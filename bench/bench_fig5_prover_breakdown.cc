@@ -1,0 +1,62 @@
+// Figure 5 (table): per-instance cost of the Zaatar prover compared to local
+// computation, decomposed into its phases:
+//   local | solve constraints | construct u | crypto ops | answer queries | e2e
+//
+// Expected shape (paper): e2e is orders of magnitude above local; construct-u
+// ~40% and crypto ~35% of prover time, the remainder answering queries.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace zaatar {
+namespace {
+
+using bench::HumanSeconds;
+
+double g_total_e2e = 0, g_total_crypto = 0, g_total_u = 0, g_total_answer = 0;
+
+template <typename F>
+void Row(const App<F>& app, const PcpParams& params, size_t beta) {
+  auto program = CompileZlang<F>(app.source);
+  auto m = MeasureZaatarBatch(app, program, beta, params, /*seed=*/7);
+  double e2e = m.prover.Total();
+  printf("%-38s %10s %12s %12s %12s %12s %12s  %s\n", app.name.c_str(),
+         HumanSeconds(m.stats.t_local_s).c_str(),
+         HumanSeconds(m.prover.solve_constraints_s).c_str(),
+         HumanSeconds(m.prover.construct_proof_s).c_str(),
+         HumanSeconds(m.prover.crypto_s).c_str(),
+         HumanSeconds(m.prover.answer_queries_s).c_str(),
+         HumanSeconds(e2e).c_str(),
+         m.all_accepted ? "ok" : "** REJECTED **");
+  g_total_e2e += e2e;
+  g_total_crypto += m.prover.crypto_s;
+  g_total_u += m.prover.construct_proof_s;
+  g_total_answer += m.prover.answer_queries_s;
+}
+
+}  // namespace
+}  // namespace zaatar
+
+int main() {
+  using namespace zaatar;
+  PcpParams params;
+  printf("Figure 5: per-instance Zaatar prover cost vs local execution\n\n");
+  printf("%-38s %10s %12s %12s %12s %12s %12s\n", "computation (Psi)",
+         "local", "solve", "construct u", "crypto ops", "answer q",
+         "e2e CPU");
+  bench::PrintRule(120);
+  const size_t kBeta = 2;
+  Row(MakePamApp(8, 16), params, kBeta);
+  Row(MakeRootFindApp(6, 8), params, kBeta);
+  Row(MakeApspApp(4), params, kBeta);
+  Row(MakeFannkuchApp(3, 5, 12), params, kBeta);
+  Row(MakeLcsApp(16), params, kBeta);
+  bench::PrintRule(120);
+  printf("\nPhase mix across the suite (paper: ~40%% construct u, ~35%% "
+         "crypto, remainder answering queries):\n");
+  printf("  construct u: %4.1f%%   crypto: %4.1f%%   answer queries: %4.1f%%\n",
+         100 * g_total_u / g_total_e2e, 100 * g_total_crypto / g_total_e2e,
+         100 * g_total_answer / g_total_e2e);
+  return 0;
+}

@@ -1,0 +1,176 @@
+// Figure 7: break-even batch sizes under Zaatar and Ginger — the minimum
+// number of instances beta at which the verifier's total cost (amortized
+// setup + per-instance work) drops below executing the batch locally.
+//
+// Zaatar numbers come from measured setup/per-instance/native costs; Ginger
+// from the cost model (as in the paper). Expected shape: Zaatar's break-even
+// sizes are orders of magnitude smaller, because its query setup is
+// proportional to a linear- rather than quadratic-length proof.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace zaatar {
+namespace {
+
+std::string HumanBatch(double b) {
+  if (b < 0) {
+    return "never";
+  }
+  char buf[32];
+  if (b < 1e6) {
+    snprintf(buf, sizeof(buf), "%.0f", b);
+  } else {
+    snprintf(buf, sizeof(buf), "%.1e", b);
+  }
+  return buf;
+}
+
+template <typename F>
+void Row(const App<F>& app, const PcpParams& params,
+         const MicroCosts& micro) {
+  auto program = CompileZlang<F>(app.source);
+  auto m = MeasureZaatarBatch(app, program, 2, params, /*seed=*/21);
+  double setup = m.query_generation_s + m.commit_setup_s;
+  double zaatar_measured = CostModel::BreakevenBatch(
+      setup, m.verifier_per_instance_s, m.stats.t_local_s);
+  CostModel model(micro, params);
+  double zaatar_model = model.ZaatarBreakeven(m.stats);
+  double ginger_model = model.GingerBreakeven(m.stats);
+  printf("%-38s %10s %12s %12s %12s %12s\n", app.name.c_str(),
+         bench::HumanSeconds(m.stats.t_local_s).c_str(),
+         bench::HumanSeconds(setup).c_str(),
+         HumanBatch(zaatar_measured).c_str(), HumanBatch(zaatar_model).c_str(),
+         HumanBatch(ginger_model).c_str());
+}
+
+}  // namespace
+}  // namespace zaatar
+
+namespace zaatar {
+namespace {
+
+// Paper-scale extrapolation: scale the measured constraint statistics by the
+// benchmark's complexity polynomial to the paper's input size, measure the
+// native baseline at that size for real, and evaluate both models.
+template <typename F>
+void PaperScaleRow(const char* label, const App<F>& bench_app,
+                   double count_factor, double io_factor,
+                   double paper_t_local, const PcpParams& params,
+                   const MicroCosts& micro) {
+  auto program = CompileZlang<F>(bench_app.source);
+  ComputationStats s = ComputeStats(program, paper_t_local);
+  s.z_ginger = static_cast<size_t>(s.z_ginger * count_factor);
+  s.c_ginger = static_cast<size_t>(s.c_ginger * count_factor);
+  s.k = static_cast<size_t>(s.k * count_factor);
+  s.k2 = static_cast<size_t>(s.k2 * count_factor);
+  s.z_zaatar = static_cast<size_t>(s.z_zaatar * count_factor);
+  s.c_zaatar = static_cast<size_t>(s.c_zaatar * count_factor);
+  s.num_inputs = static_cast<size_t>(s.num_inputs * io_factor);
+  s.num_outputs = std::max<size_t>(1, s.num_outputs);
+  CostModel model(micro, params);
+  double zb = model.ZaatarBreakeven(s);
+  double gb = model.GingerBreakeven(s);
+  printf("%-38s %10s %12s %12s", label,
+         bench::HumanSeconds(paper_t_local).c_str(),
+         HumanBatch(zb).c_str(), HumanBatch(gb).c_str());
+  if (zb > 0 && gb > 0) {
+    printf("   G/Z = %.1e", gb / zb);
+  }
+  printf("\n");
+}
+
+}  // namespace
+}  // namespace zaatar
+
+int main() {
+  using namespace zaatar;
+  PcpParams params;
+  printf("Figure 7: break-even batch sizes (Zaatar measured+model, Ginger "
+         "model)\n\n");
+  MicroCosts m128 = bench::MeasureMicroCosts<F128>();
+  MicroCosts m220 = bench::MeasureMicroCosts<F220>();
+  printf("%-38s %10s %12s %12s %12s %12s\n", "computation", "t_local",
+         "V setup", "Z(meas)", "Z(model)", "G(model)");
+  bench::PrintRule(110);
+  Row(MakePamApp(8, 16), params, m128);
+  Row(MakeRootFindApp(6, 8), params, m220);
+  Row(MakeApspApp(4), params, m128);
+  Row(MakeFannkuchApp(3, 5, 12), params, m128);
+  Row(MakeLcsApp(16), params, m128);
+  printf(
+      "\nNote: 'never' means verifying one instance costs more than running\n"
+      "it locally, so no batch size breaks even — the paper's point that\n"
+      "outsourcing pays only for computations that are expensive relative\n"
+      "to their I/O (§5.4). At these reduced benchmark sizes the native\n"
+      "computations are microseconds, so absolute break-even sizes suffer;\n"
+      "the Zaatar/Ginger *ratio* is the reproduced shape. The paper's\n"
+      "regime, with its input sizes, is extrapolated below. (Also note the\n"
+      "paper's local baseline ran under GMP bignums; ours is native int64,\n"
+      "~10-50x faster, which further inflates our break-even sizes.)\n");
+
+  printf("\nPaper-scale break-even estimates (models at the paper's input "
+         "sizes):\n");
+  printf("%-38s %10s %12s %12s\n", "computation @ paper size", "t_local",
+         "Z(model)", "G(model)");
+  bench::PrintRule(100);
+  // Count factors scale |C| etc. from our bench knob to the paper's knob
+  // via each benchmark's complexity polynomial.
+  PaperScaleRow("pam_clustering(m=20,d=128)", MakePamApp(8, 16),
+                (20.0 * 20 * 128) / (8.0 * 8 * 16), (20.0 * 128) / (8.0 * 16),
+                MakePamApp(20, 128).measure_native_seconds(), params, m128);
+  PaperScaleRow("root_finding(m=256,L=8)", MakeRootFindApp(6, 8),
+                (256.0 * 256) / (6.0 * 6), (256.0 * 256) / (6.0 * 6),
+                MakeRootFindApp(256, 8).measure_native_seconds(), params,
+                m220);
+  PaperScaleRow("all_pairs_shortest_path(m=25)", MakeApspApp(4),
+                (25.0 * 25 * 25) / (4.0 * 4 * 4), (25.0 * 25) / (4.0 * 4),
+                MakeApspApp(25).measure_native_seconds(), params, m128);
+  PaperScaleRow("fannkuch(m=100,n=13)", MakeFannkuchApp(3, 5, 12),
+                (100.0 * 13 * 80) / (3.0 * 5 * 12), (100.0 * 13) / (3.0 * 5),
+                MakeFannkuchApp(100, 13, 80).measure_native_seconds(), params,
+                m128);
+  PaperScaleRow("longest_common_subsequence(m=300)", MakeLcsApp(16),
+                (300.0 * 300) / (16.0 * 16), 300.0 / 16,
+                MakeLcsApp(300).measure_native_seconds(), params, m128);
+  printf("\nStill 'never' above: our native baselines are 10-50x faster than "
+         "the paper's GMP\nruns and our decrypt (d) is ~6x the paper's, so "
+         "per-instance verification exceeds\nlocal execution at every size "
+         "on this hardware.\n");
+
+  // Finally, Figure 7 recomputed from the paper's own published constants:
+  // its §5.1 microbenchmark row and its Figure 5 "local" column, through our
+  // implementation of the Figure 3 models. This is the regime the paper
+  // reports (batch sizes in the thousands for Zaatar, astronomically larger
+  // for Ginger).
+  printf("\nFigure 7 from the paper's published constants (micro costs + GMP "
+         "local times):\n");
+  printf("%-38s %10s %12s %12s\n", "computation @ paper size", "t_local",
+         "Z(model)", "G(model)");
+  bench::PrintRule(100);
+  {
+    MicroCosts paper128{.e = 65e-6, .d = 170e-6, .h = 91e-6,
+                        .f_lazy = 68e-9, .f = 210e-9, .f_div = 2e-6,
+                        .c = 160e-9};
+    MicroCosts paper220{.e = 88e-6, .d = 170e-6, .h = 130e-6,
+                        .f_lazy = 90e-9, .f = 320e-9, .f_div = 3e-6,
+                        .c = 260e-9};
+    PaperScaleRow("pam_clustering(m=20,d=128)", MakePamApp(8, 16),
+                  (20.0 * 20 * 128) / (8.0 * 8 * 16),
+                  (20.0 * 128) / (8.0 * 16), 51.6e-3, params, paper128);
+    PaperScaleRow("root_finding(m=256,L=8)", MakeRootFindApp(6, 8),
+                  (256.0 * 256) / (6.0 * 6), (256.0 * 256) / (6.0 * 6),
+                  0.8, params, paper220);
+    PaperScaleRow("all_pairs_shortest_path(m=25)", MakeApspApp(4),
+                  (25.0 * 25 * 25) / (4.0 * 4 * 4), (25.0 * 25) / (4.0 * 4),
+                  8.1e-3, params, paper128);
+    PaperScaleRow("fannkuch(m=100,n=13)", MakeFannkuchApp(3, 5, 12),
+                  (100.0 * 13 * 80) / (3.0 * 5 * 12),
+                  (100.0 * 13) / (3.0 * 5), 0.8e-3, params, paper128);
+    PaperScaleRow("longest_common_subsequence(m=300)", MakeLcsApp(16),
+                  (300.0 * 300) / (16.0 * 16), 300.0 / 16, 1.4e-3, params,
+                  paper128);
+  }
+  return 0;
+}

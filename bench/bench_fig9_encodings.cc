@@ -1,0 +1,80 @@
+// Figure 9 (table): computation encodings — number of variables and
+// constraints in both systems' representations, and the resulting proof
+// vector lengths:
+//   |Z_ginger| |Z_zaatar| |C_ginger| |C_zaatar| |u_ginger| |u_zaatar|
+//
+// Expected shape: |Z| and |C| are close between the systems (Zaatar adds K2
+// auxiliaries); |u_ginger| = |Z|+|Z|^2 dwarfs |u_zaatar| = |Z|+|C|+1 — the
+// core of the paper's contribution. Also checks §4's accounting identities.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace zaatar {
+namespace {
+
+template <typename F>
+void Row(const App<F>& app) {
+  auto p = CompileZlang<F>(app.source);
+  printf("%-38s %10zu %10zu %10zu %10zu %12s %12s %8.0fx\n",
+         app.name.c_str(), p.ZGinger(), p.ZZaatar(), p.CGinger(), p.CZaatar(),
+         bench::HumanCount(static_cast<double>(p.UGinger())).c_str(),
+         bench::HumanCount(static_cast<double>(p.UZaatar())).c_str(),
+         static_cast<double>(p.UGinger()) / static_cast<double>(p.UZaatar()));
+  // §4 identities: |Z_zaatar| = |Z_ginger| + K2', |C_zaatar| = |C_ginger| +
+  // K2', where K2' <= K2 (folding optimization).
+  size_t k2_used = p.ZZaatar() - p.ZGinger();
+  if (p.CZaatar() - p.CGinger() != k2_used ||
+      k2_used > p.ginger.DistinctQuadTermCount()) {
+    printf("  ** accounting identity violated! **\n");
+  }
+}
+
+template <typename F>
+void UniformRow(const App<F>& app) {
+  // The paper's uniform transform (no folding): |C_z| = |C_g| + K2 exactly.
+  auto p = CompileZlang<F>(app.source, TransformOptions{false});
+  size_t k2 = p.ginger.DistinctQuadTermCount();
+  printf("%-38s K2=%-8zu |C_z|=%zu (=|C_g|+K2: %s)\n", app.name.c_str(), k2,
+         p.CZaatar(),
+         p.CZaatar() == p.CGinger() + k2 ? "yes" : "** NO **");
+}
+
+}  // namespace
+}  // namespace zaatar
+
+int main() {
+  using namespace zaatar;
+  printf("Figure 9: computation encodings (counts) and proof lengths\n\n");
+  printf("%-38s %10s %10s %10s %10s %12s %12s %8s\n", "computation",
+         "|Z_g|", "|Z_z|", "|C_g|", "|C_z|", "|u_ginger|", "|u_zaatar|",
+         "u_g/u_z");
+  bench::PrintRule(120);
+  Row(MakePamApp(8, 16));
+  Row(MakeRootFindApp(6, 8));
+  Row(MakeApspApp(4));
+  Row(MakeFannkuchApp(3, 5, 12));
+  Row(MakeLcsApp(16));
+  Row(MakeMatMulApp(6));
+  bench::PrintRule(120);
+
+  printf("\nScaling within each family (constraints should track the "
+         "complexity exponent):\n");
+  for (size_t m : {8u, 16u, 32u}) {
+    auto p = CompileZlang<F128>(LcsSource(m));
+    printf("  lcs m=%-3zu |C_g|=%-8zu |C_g|/m^2=%.1f\n", m, p.CGinger(),
+           static_cast<double>(p.CGinger()) / (m * m));
+  }
+  for (size_t m : {2u, 3u, 4u}) {
+    auto p = CompileZlang<F128>(ApspSource(m));
+    printf("  apsp m=%-2zu |C_g|=%-8zu |C_g|/m^3=%.1f\n", m, p.CGinger(),
+           static_cast<double>(p.CGinger()) / (m * m * m));
+  }
+
+  printf("\nUniform (paper §4) transform accounting, folding disabled:\n");
+  UniformRow(MakeLcsApp(8));
+  UniformRow(MakeFannkuchApp(2, 4, 8));
+  UniformRow(MakeApspApp(2));
+  return 0;
+}

@@ -1,0 +1,110 @@
+// What the protocol is for: every way a prover can cheat, and the check that
+// catches it. Each section mounts a concrete attack against a real instance
+// and shows the verifier rejecting.
+
+#include <cstdio>
+
+#include "src/apps/harness.h"
+
+using namespace zaatar;
+using F = F128;
+
+int main() {
+  auto app = MakeLcsApp(8);
+  auto program = CompileZlang<F>(app.source);
+  Prg prg(666);
+  Qap<F> qap(program.zaatar.r1cs);
+  auto setup = ZaatarArgument<F>::Setup(
+      ZaatarPcp<F>::GenerateQueries(qap, PcpParams{}, prg), prg);
+
+  auto instance = app.make_instance(prg);
+  auto ginger_w = program.SolveGinger(instance.inputs);
+  auto outputs = program.ExtractOutputs(ginger_w);
+  auto zaatar_w = program.SolveZaatar(ginger_w);
+  auto honest_proof = BuildZaatarProof(qap, zaatar_w);
+  auto honest_bound = program.BoundValues(instance.inputs, outputs);
+
+  int failures = 0;
+  auto expect_reject = [&](const char* attack, bool accepted) {
+    printf("  %-58s %s\n", attack,
+           accepted ? "** ACCEPTED (BUG!) **" : "rejected, as it must be");
+    if (accepted) {
+      failures++;
+    }
+  };
+
+  printf("baseline: honest prover...\n");
+  {
+    auto ip = ZaatarArgument<F>::Prove({&honest_proof.z, &honest_proof.h},
+                                       setup);
+    bool ok = ZaatarArgument<F>::VerifyInstance(setup, ip, honest_bound);
+    printf("  honest proof %s\n\n", ok ? "accepted" : "** REJECTED (BUG!)");
+    if (!ok) {
+      return 1;
+    }
+  }
+
+  printf("attacks:\n");
+
+  // Attack 1: claim a wrong output (LCS length off by one) with an honest
+  // witness for the real output.
+  {
+    auto ip = ZaatarArgument<F>::Prove({&honest_proof.z, &honest_proof.h},
+                                       setup);
+    auto bound = honest_bound;
+    bound.back() += F::One();
+    expect_reject("wrong output, honest proof",
+                  ZaatarArgument<F>::VerifyInstance(setup, ip, bound));
+  }
+
+  // Attack 2: fabricate a witness for the wrong output and prove it
+  // "honestly" (H computed as the best-effort quotient).
+  {
+    auto forged_w = zaatar_w;
+    forged_w[0] += F::One();
+    auto forged = BuildZaatarProof(qap, forged_w);
+    auto ip = ZaatarArgument<F>::Prove({&forged.z, &forged.h}, setup);
+    expect_reject("forged witness, consistent commitment",
+                  ZaatarArgument<F>::VerifyInstance(setup, ip, honest_bound));
+  }
+
+  // Attack 3: answer the PCP queries from one witness but commit to another
+  // (binding attack on the commitment).
+  {
+    auto other_w = zaatar_w;
+    other_w[1] += F::One();
+    auto other = BuildZaatarProof(qap, other_w);
+    auto ip = ZaatarArgument<F>::Prove({&honest_proof.z, &honest_proof.h},
+                                       setup);
+    auto swapped = ZaatarArgument<F>::Prove({&other.z, &other.h}, setup);
+    ip.parts[0].commitment = swapped.parts[0].commitment;
+    expect_reject("responses from witness A, commitment to witness B",
+                  ZaatarArgument<F>::VerifyInstance(setup, ip, honest_bound));
+  }
+
+  // Attack 4: fix up a single PCP response post hoc.
+  {
+    auto ip = ZaatarArgument<F>::Prove({&honest_proof.z, &honest_proof.h},
+                                       setup);
+    ip.parts[1].responses[3] += F::One();
+    expect_reject("single tampered oracle response",
+                  ZaatarArgument<F>::VerifyInstance(setup, ip, honest_bound));
+  }
+
+  // Attack 5: mix-and-match oracles — z from the honest witness, h from a
+  // forged one. Each is a perfectly linear function; only the divisibility
+  // test ties them together.
+  {
+    auto forged_w = zaatar_w;
+    forged_w[2] += F::One();
+    auto forged = BuildZaatarProof(qap, forged_w);
+    auto ip =
+        ZaatarArgument<F>::Prove({&honest_proof.z, &forged.h}, setup);
+    expect_reject("inconsistent (z, h) oracle pair",
+                  ZaatarArgument<F>::VerifyInstance(setup, ip, honest_bound));
+  }
+
+  printf("\n%s\n", failures == 0 ? "all attacks rejected."
+                                 : "SOME ATTACK SUCCEEDED — soundness bug!");
+  return failures == 0 ? 0 : 1;
+}

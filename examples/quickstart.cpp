@@ -1,0 +1,78 @@
+// Quickstart: outsource a tiny computation and verify the result.
+//
+//   1. Write the computation in zlang.
+//   2. Compile it to constraints (both encodings come back).
+//   3. Verifier: generate PCP queries + commitment setup for a batch.
+//   4. Prover: solve the constraints, build the (z, h) proof, commit, answer.
+//   5. Verifier: check commitment consistency + the PCP decision.
+
+#include <cstdio>
+
+#include "src/apps/harness.h"
+#include "src/compiler/compile.h"
+
+using namespace zaatar;
+
+int main() {
+  using F = F128;
+
+  // Step 1: the computation. The verifier wants y = max_i (x_i^2 + 3 x_i).
+  const char* kSource = R"(
+program quickstart;
+const n = 8;
+input int32 x[n];
+output int<70> y;
+var int<70> best;
+var int<70> cur;
+best = x[0] * x[0] + 3 * x[0];
+for i in 1..n-1 {
+  cur = x[i] * x[i] + 3 * x[i];
+  if (cur > best) { best = cur; }
+}
+y = best;
+)";
+
+  // Step 2: compile.
+  CompiledProgram<F> program = CompileZlang<F>(kSource);
+  printf("compiled '%s': %zu Ginger constraints, %zu quadratic-form "
+         "constraints,\n  Zaatar proof length %zu vs Ginger proof length %zu\n",
+         program.name.c_str(), program.CGinger(), program.CZaatar(),
+         program.UZaatar(), program.UGinger());
+
+  // Step 3: verifier-side batch setup (amortized over many instances).
+  Prg prg(2013);
+  Qap<F> qap(program.zaatar.r1cs);
+  PcpParams params;  // rho_lin=20, rho=8: soundness error < 1e-6
+  auto queries = ZaatarPcp<F>::GenerateQueries(qap, params, prg);
+  auto setup = ZaatarArgument<F>::Setup(std::move(queries), prg);
+  printf("verifier setup done (%zu queries, ElGamal over a 1024-bit "
+         "group)\n",
+         setup.queries.TotalQueryCount());
+
+  // Steps 4-5: run a small batch of instances.
+  for (int instance = 0; instance < 3; instance++) {
+    std::vector<F> inputs;
+    for (int i = 0; i < 8; i++) {
+      inputs.push_back(EncodeSignedInt<F>((instance + 2) * i - 5));
+    }
+    // Prover executes the computation, obtaining the witness and outputs.
+    auto ginger_w = program.SolveGinger(inputs);
+    auto outputs = program.ExtractOutputs(ginger_w);
+    auto zaatar_w = program.SolveZaatar(ginger_w);
+    auto proof = BuildZaatarProof(qap, zaatar_w);
+    auto instance_proof =
+        ZaatarArgument<F>::Prove({&proof.z, &proof.h}, setup);
+
+    // Verifier checks the claimed output.
+    auto bound = program.BoundValues(inputs, outputs);
+    bool ok = ZaatarArgument<F>::VerifyInstance(setup, instance_proof, bound);
+    printf("instance %d: claimed y = %lld -> %s\n", instance,
+           static_cast<long long>(DecodeSignedInt<F>(outputs[0])),
+           ok ? "ACCEPTED" : "REJECTED");
+    if (!ok) {
+      return 1;
+    }
+  }
+  printf("quickstart complete: all instances verified.\n");
+  return 0;
+}

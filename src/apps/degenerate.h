@@ -1,0 +1,78 @@
+// The degenerate computation class of §4: dense degree-2 polynomial
+// evaluation, y = sum_{i<=j} c_ij x_i x_j with compile-time coefficients.
+//
+// Ginger encodes this almost for free — one constraint holding every product
+// term plus m input bindings, so |Z_ginger| = m and the quadratic proof
+// (z, z ⊗ z) is only ~m² long. Zaatar's transform must introduce an
+// auxiliary variable per distinct product, K2 = m(m+1)/2 ≈ K2*, landing in
+// the paper's worst case where |u_zaatar| ≈ |u_ginger|. This module
+// hand-constructs the system (the zlang compiler would decompose the sum
+// into per-product constraints, which is the non-degenerate encoding) for
+// the §4 cost-benefit ablation and the encoding-chooser tests.
+
+#ifndef SRC_APPS_DEGENERATE_H_
+#define SRC_APPS_DEGENERATE_H_
+
+#include <vector>
+
+#include "src/constraints/ginger.h"
+#include "src/crypto/prg.h"
+
+namespace zaatar {
+
+template <typename F>
+struct DegenerateQuadForm {
+  GingerSystem<F> ginger;
+  std::vector<F> coeffs;  // row-major m x m, used for i <= j only
+  size_t m = 0;
+
+  // Full satisfying assignment (Z = proxies, X = inputs, Y = the value).
+  std::vector<F> MakeAssignment(const std::vector<F>& x) const {
+    std::vector<F> w;
+    w.reserve(2 * m + 1);
+    w.insert(w.end(), x.begin(), x.end());  // proxies z_i = x_i
+    w.insert(w.end(), x.begin(), x.end());  // inputs
+    F y = F::Zero();
+    for (size_t i = 0; i < m; i++) {
+      for (size_t j = i; j < m; j++) {
+        y += coeffs[i * m + j] * x[i] * x[j];
+      }
+    }
+    w.push_back(y);
+    return w;
+  }
+};
+
+// Builds the hand-tailored encoding: m binding constraints z_i = x_i plus a
+// single constraint sum c_ij z_i z_j - Y = 0.
+template <typename F>
+DegenerateQuadForm<F> BuildDegenerateQuadForm(size_t m, Prg& prg) {
+  DegenerateQuadForm<F> d;
+  d.m = m;
+  d.ginger.layout = {m, m, 1};
+  d.coeffs.resize(m * m, F::Zero());
+
+  for (size_t i = 0; i < m; i++) {
+    GingerConstraint<F> bind;  // z_i - x_i = 0
+    bind.linear.AddTerm(static_cast<uint32_t>(i), F::One());
+    bind.linear.AddTerm(static_cast<uint32_t>(m + i), -F::One());
+    d.ginger.constraints.push_back(std::move(bind));
+  }
+
+  GingerConstraint<F> form;  // sum_{i<=j} c_ij z_i z_j - y = 0
+  for (size_t i = 0; i < m; i++) {
+    for (size_t j = i; j < m; j++) {
+      F c = prg.NextNonzeroField<F>();
+      d.coeffs[i * m + j] = c;
+      form.quad.push_back(
+          {static_cast<uint32_t>(i), static_cast<uint32_t>(j), c});
+    }
+  }
+  form.linear.AddTerm(static_cast<uint32_t>(2 * m), -F::One());  // -Y
+  d.ginger.constraints.push_back(std::move(form));
+  return d;
+}
+
+}  // namespace zaatar
+
+#endif  // SRC_APPS_DEGENERATE_H_

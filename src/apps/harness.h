@@ -1,0 +1,174 @@
+// End-to-end measurement harness: compiles an App, runs a full batched
+// argument (verifier setup, per-instance prove + verify), and reports the
+// per-phase costs the evaluation figures need. Used by bench/ and examples/.
+
+#ifndef SRC_APPS_HARNESS_H_
+#define SRC_APPS_HARNESS_H_
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/apps/suite.h"
+#include "src/argument/argument.h"
+#include "src/argument/cost_model.h"
+#include "src/constraints/qap.h"
+#include "src/pcp/ginger_pcp.h"
+#include "src/pcp/zaatar_pcp.h"
+
+namespace zaatar {
+
+struct BatchMeasurement {
+  ComputationStats stats;          // includes measured t_local
+  double query_generation_s = 0;   // verifier, amortized over the batch
+  double commit_setup_s = 0;       // verifier, amortized over the batch
+  ProverCosts prover;              // mean per instance
+  double verifier_per_instance_s = 0;
+  size_t proof_len = 0;
+  size_t total_queries = 0;
+  bool all_accepted = true;
+};
+
+// Fills the encoding statistics (Figure 9 quantities) without running
+// anything.
+template <typename F>
+ComputationStats ComputeStats(const CompiledProgram<F>& program,
+                              double t_local_s) {
+  ComputationStats s;
+  s.t_local_s = t_local_s;
+  s.z_ginger = program.ZGinger();
+  s.c_ginger = program.CGinger();
+  s.k = program.ginger.AdditiveTermCount();
+  s.k2 = program.ginger.DistinctQuadTermCount();
+  s.z_zaatar = program.ZZaatar();
+  s.c_zaatar = program.CZaatar();
+  s.num_inputs = program.ginger.layout.num_inputs;
+  s.num_outputs = program.ginger.layout.num_outputs;
+  return s;
+}
+
+// Runs a batch of `beta` instances through the full Zaatar argument.
+template <typename F>
+BatchMeasurement MeasureZaatarBatch(const App<F>& app,
+                                    const CompiledProgram<F>& program,
+                                    size_t beta, const PcpParams& params,
+                                    uint64_t seed,
+                                    bool measure_native = true) {
+  BatchMeasurement out;
+  out.stats = ComputeStats(
+      program, measure_native ? app.measure_native_seconds() : 0.0);
+
+  Prg prg(seed);
+  Qap<F> qap(program.zaatar.r1cs);
+
+  Stopwatch sw;
+  auto queries = ZaatarPcp<F>::GenerateQueries(qap, params, prg);
+  out.query_generation_s = sw.Lap();
+  out.total_queries = queries.TotalQueryCount();
+  out.proof_len = queries.z_len + queries.h_len;
+
+  auto setup = ZaatarArgument<F>::Setup(std::move(queries), prg,
+                                        out.query_generation_s);
+  out.commit_setup_s = setup.costs.commit_setup_s;
+
+  for (size_t i = 0; i < beta; i++) {
+    AppInstance<F> inst = app.make_instance(prg);
+
+    Stopwatch phase;
+    std::vector<F> gw = program.SolveGinger(inst.inputs);
+    std::vector<F> w = program.SolveZaatar(gw);
+    out.prover.solve_constraints_s += phase.Lap();
+
+    ZaatarProof<F> proof = BuildZaatarProof(qap, w);
+    out.prover.construct_proof_s += phase.Lap();
+
+    auto instance_proof =
+        ZaatarArgument<F>::Prove({&proof.z, &proof.h}, setup);
+    out.prover.crypto_s += instance_proof.costs.crypto_s;
+    out.prover.answer_queries_s += instance_proof.costs.answer_queries_s;
+
+    std::vector<F> outputs = program.ExtractOutputs(gw);
+    if (outputs != inst.expected_outputs) {
+      throw std::runtime_error(app.name +
+                               ": compiled outputs disagree with the native "
+                               "reference");
+    }
+    std::vector<F> bound = program.BoundValues(inst.inputs, outputs);
+    bool ok = ZaatarArgument<F>::VerifyInstance(
+        setup, instance_proof, bound, &out.verifier_per_instance_s);
+    out.all_accepted = out.all_accepted && ok;
+  }
+  double b = static_cast<double>(beta);
+  out.prover.solve_constraints_s /= b;
+  out.prover.construct_proof_s /= b;
+  out.prover.crypto_s /= b;
+  out.prover.answer_queries_s /= b;
+  out.verifier_per_instance_s /= b;
+  return out;
+}
+
+// Same for the Ginger baseline. Only feasible at small sizes (the proof is
+// |Z| + |Z|^2 long); larger sizes use the Figure 3 cost model, as the paper
+// itself does.
+template <typename F>
+BatchMeasurement MeasureGingerBatch(const App<F>& app,
+                                    const CompiledProgram<F>& program,
+                                    size_t beta, const PcpParams& params,
+                                    uint64_t seed,
+                                    bool measure_native = true) {
+  BatchMeasurement out;
+  out.stats = ComputeStats(
+      program, measure_native ? app.measure_native_seconds() : 0.0);
+
+  Prg prg(seed);
+  GingerPcpInstance<F> pcp_instance = BuildGingerPcpInstance(program.ginger);
+
+  Stopwatch sw;
+  auto queries = GingerPcp<F>::GenerateQueries(pcp_instance, params, prg);
+  out.query_generation_s = sw.Lap();
+  out.total_queries = queries.TotalQueryCount();
+  out.proof_len = queries.n + queries.n * queries.n;
+
+  auto setup = GingerArgument<F>::Setup(std::move(queries), prg,
+                                        out.query_generation_s);
+  out.commit_setup_s = setup.costs.commit_setup_s;
+
+  for (size_t i = 0; i < beta; i++) {
+    AppInstance<F> inst = app.make_instance(prg);
+
+    Stopwatch phase;
+    std::vector<F> gw = program.SolveGinger(inst.inputs);
+    out.prover.solve_constraints_s += phase.Lap();
+
+    GingerProof<F> proof = BuildGingerProof(pcp_instance, gw);
+    out.prover.construct_proof_s += phase.Lap();
+
+    auto instance_proof =
+        GingerArgument<F>::Prove({&proof.z, &proof.tensor}, setup);
+    out.prover.crypto_s += instance_proof.costs.crypto_s;
+    out.prover.answer_queries_s += instance_proof.costs.answer_queries_s;
+
+    std::vector<F> outputs = program.ExtractOutputs(gw);
+    if (outputs != inst.expected_outputs) {
+      throw std::runtime_error(app.name +
+                               ": compiled outputs disagree with the native "
+                               "reference");
+    }
+    std::vector<F> bound = program.BoundValues(inst.inputs, outputs);
+    bool ok = GingerArgument<F>::VerifyInstance(
+        setup, instance_proof, bound, &out.verifier_per_instance_s);
+    out.all_accepted = out.all_accepted && ok;
+  }
+  double b = static_cast<double>(beta);
+  out.prover.solve_constraints_s /= b;
+  out.prover.construct_proof_s /= b;
+  out.prover.crypto_s /= b;
+  out.prover.answer_queries_s /= b;
+  out.verifier_per_instance_s /= b;
+  return out;
+}
+
+}  // namespace zaatar
+
+#endif  // SRC_APPS_HARNESS_H_

@@ -1,0 +1,180 @@
+#include "src/apps/native.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace zaatar {
+
+namespace {
+constexpr int64_t kBig = int64_t{1} << 62;
+}  // namespace
+
+PamResult NativePam(const std::vector<int64_t>& x, size_t m, size_t d,
+                    size_t iters) {
+  assert(x.size() == m * d);
+  std::vector<int64_t> dist(m * m, 0);
+  for (size_t i = 0; i < m; i++) {
+    for (size_t j = i + 1; j < m; j++) {
+      int64_t s = 0;
+      for (size_t t = 0; t < d; t++) {
+        int64_t df = x[i * d + t] - x[j * d + t];
+        s += df * df;
+      }
+      dist[i * m + j] = s;
+      dist[j * m + i] = s;
+    }
+  }
+  size_t m0 = 0, m1 = 1;
+  std::vector<bool> near0(m);
+  for (size_t it = 0; it < iters; it++) {
+    for (size_t p = 0; p < m; p++) {
+      near0[p] = dist[p * m + m0] <= dist[p * m + m1];
+    }
+    for (int cluster = 0; cluster < 2; cluster++) {
+      int64_t best = kBig;
+      size_t bestidx = cluster == 0 ? m0 : m1;
+      for (size_t i = 0; i < m; i++) {
+        int64_t acc = 0;
+        for (size_t j = 0; j < m; j++) {
+          bool in_cluster = cluster == 0 ? near0[j] : !near0[j];
+          acc += in_cluster ? dist[i * m + j] : 0;
+        }
+        bool self_in = cluster == 0 ? near0[i] : !near0[i];
+        int64_t cand = self_in ? acc : kBig;
+        if (cand < best) {
+          best = cand;
+          bestidx = i;
+        }
+      }
+      (cluster == 0 ? m0 : m1) = bestidx;
+    }
+  }
+  PamResult r;
+  for (size_t p = 0; p < m; p++) {
+    r.total_cost += std::min(dist[p * m + m0], dist[p * m + m1]);
+  }
+  r.medoid0 = static_cast<int64_t>(m0);
+  r.medoid1 = static_cast<int64_t>(m1);
+  return r;
+}
+
+RootFindResult NativeRootFind(const std::vector<int64_t>& a,
+                              const std::vector<int64_t>& b,
+                              const std::vector<int64_t>& c, int64_t nlo0,
+                              int64_t nhi0, size_t m, size_t l) {
+  assert(a.size() == m * m && b.size() == m && c.size() == m);
+  __int128 nlo = nlo0, nhi = nhi0, den = 1;
+  std::vector<__int128> unum(m);
+  for (size_t it = 0; it < l; it++) {
+    __int128 nmid = nlo + nhi;
+    __int128 dmid = den * 2;
+    for (size_t i = 0; i < m; i++) {
+      unum[i] = static_cast<__int128>(b[i]) * dmid + nmid * c[i];
+    }
+    __int128 fnum = 0;
+    for (size_t i = 0; i < m; i++) {
+      for (size_t j = 0; j < m; j++) {
+        fnum += static_cast<__int128>(a[i * m + j]) * (unum[i] * unum[j]);
+      }
+    }
+    if (fnum < 0) {
+      nlo = nmid;
+      nhi = nhi * 2;
+    } else {
+      nhi = nmid;
+      nlo = nlo * 2;
+    }
+    den = dmid;
+  }
+  return {nlo + nhi, den * 2};
+}
+
+int64_t NativeApsp(const std::vector<int64_t>& w_num,
+                   const std::vector<int64_t>& w_den, size_t m) {
+  assert(w_num.size() == m * m && w_den.size() == m * m);
+  // Fixed-point init: floor(num * 2^16 / den), dens positive.
+  std::vector<int64_t> d(m * m);
+  for (size_t i = 0; i < m * m; i++) {
+    __int128 scaled = static_cast<__int128>(w_num[i]) << 16;
+    __int128 den = w_den[i];
+    __int128 q = scaled / den;
+    if (scaled % den != 0 && scaled < 0) {
+      q -= 1;  // floor for negatives (weights are positive in practice)
+    }
+    d[i] = static_cast<int64_t>(q);
+  }
+  for (size_t k = 0; k < m; k++) {
+    for (size_t i = 0; i < m; i++) {
+      for (size_t j = 0; j < m; j++) {
+        d[i * m + j] = std::min(d[i * m + j], d[i * m + k] + d[k * m + j]);
+      }
+    }
+  }
+  int64_t acc = 0;
+  for (size_t j = 0; j < m; j++) {
+    acc += d[j];
+  }
+  return acc;
+}
+
+FannkuchResult NativeFannkuch(const std::vector<int64_t>& perms, size_t m,
+                              size_t n, size_t max_steps) {
+  assert(perms.size() == m * n);
+  FannkuchResult r;
+  std::vector<int64_t> p(n);
+  for (size_t pi = 0; pi < m; pi++) {
+    for (size_t i = 0; i < n; i++) {
+      p[i] = perms[pi * n + i];
+    }
+    int64_t flips = 0;
+    bool done = false;
+    for (size_t step = 0; step < max_steps; step++) {
+      int64_t k = p[0];
+      if (k == 1) {
+        done = true;
+      }
+      if (!done) {
+        flips++;
+        std::reverse(p.begin(), p.begin() + k);
+      }
+    }
+    r.total_flips += flips;
+    r.max_flips = std::max(r.max_flips, flips);
+  }
+  return r;
+}
+
+int64_t NativeLcs(const std::vector<int64_t>& s,
+                  const std::vector<int64_t>& t) {
+  size_t m = s.size();
+  assert(t.size() == m);
+  std::vector<int64_t> dp((m + 1) * (m + 1), 0);
+  auto at = [&](size_t i, size_t j) -> int64_t& {
+    return dp[i * (m + 1) + j];
+  };
+  for (size_t i = 1; i <= m; i++) {
+    for (size_t j = 1; j <= m; j++) {
+      at(i, j) = s[i - 1] == t[j - 1]
+                     ? at(i - 1, j - 1) + 1
+                     : std::max(at(i - 1, j), at(i, j - 1));
+    }
+  }
+  return at(m, m);
+}
+
+std::vector<int64_t> NativeMatMul(const std::vector<int64_t>& a,
+                                  const std::vector<int64_t>& b, size_t m) {
+  assert(a.size() == m * m && b.size() == m * m);
+  std::vector<int64_t> c(m * m, 0);
+  for (size_t i = 0; i < m; i++) {
+    for (size_t k = 0; k < m; k++) {
+      int64_t aik = a[i * m + k];
+      for (size_t j = 0; j < m; j++) {
+        c[i * m + j] += aik * b[k * m + j];
+      }
+    }
+  }
+  return c;
+}
+
+}  // namespace zaatar

@@ -1,0 +1,65 @@
+// Native (uncompiled) reference implementations of the five benchmark
+// computations. These serve two purposes:
+//   1. correctness oracles — each must match the compiled circuit's outputs
+//      bit-for-bit on random inputs (tests/apps_test.cc), which pins down
+//      the zlang programs' exact semantics (tie-breaking, bounded loops,
+//      fixed-point rounding);
+//   2. the "local computation" baseline of Figures 5 and 7 (executed with
+//      native machine arithmetic, standing in for the paper's GMP runs).
+
+#ifndef SRC_APPS_NATIVE_H_
+#define SRC_APPS_NATIVE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace zaatar {
+
+struct PamResult {
+  int64_t total_cost = 0;
+  int64_t medoid0 = 0;
+  int64_t medoid1 = 0;
+};
+
+// x is row-major m x d. Mirrors PamSource exactly (2 clusters, `iters`
+// swap iterations, strict-< argmin tie-breaking, 2^62 sentinel).
+PamResult NativePam(const std::vector<int64_t>& x, size_t m, size_t d,
+                    size_t iters);
+
+struct RootFindResult {
+  __int128 root_num = 0;
+  __int128 root_den = 0;
+};
+
+// a row-major m x m. Mirrors RootFindSource (dyadic interval state).
+RootFindResult NativeRootFind(const std::vector<int64_t>& a,
+                              const std::vector<int64_t>& b,
+                              const std::vector<int64_t>& c, int64_t nlo0,
+                              int64_t nhi0, size_t m, size_t l);
+
+// Edge weights as (num, den) pairs, row-major m x m, dens positive.
+// Returns the fixed-point (2^-16) numerator of the sum of row-0 distances,
+// mirroring ApspSource's floor-rounding semantics.
+int64_t NativeApsp(const std::vector<int64_t>& w_num,
+                   const std::vector<int64_t>& w_den, size_t m);
+
+struct FannkuchResult {
+  int64_t total_flips = 0;
+  int64_t max_flips = 0;
+};
+
+// perms row-major m x n, each row a permutation of 1..n.
+FannkuchResult NativeFannkuch(const std::vector<int64_t>& perms, size_t m,
+                              size_t n, size_t max_steps);
+
+int64_t NativeLcs(const std::vector<int64_t>& s,
+                  const std::vector<int64_t>& t);
+
+// Row-major m x m product c = a * b.
+std::vector<int64_t> NativeMatMul(const std::vector<int64_t>& a,
+                                  const std::vector<int64_t>& b, size_t m);
+
+}  // namespace zaatar
+
+#endif  // SRC_APPS_NATIVE_H_

@@ -1,0 +1,315 @@
+#include "src/apps/programs.h"
+
+#include <utility>
+#include <vector>
+
+namespace zaatar {
+
+namespace apps_internal {
+
+std::string Subst(
+    const char* tmpl,
+    const std::vector<std::pair<std::string, size_t>>& subs) {
+  std::string out = tmpl;
+  for (const auto& [key, value] : subs) {
+    std::string token = "$" + key;
+    std::string repl = std::to_string(value);
+    size_t pos = 0;
+    while ((pos = out.find(token, pos)) != std::string::npos) {
+      out.replace(pos, token.size(), repl);
+      pos += repl.size();
+    }
+  }
+  return out;
+}
+
+}  // namespace apps_internal
+
+std::string PamSource(size_t m, size_t d, size_t iters) {
+  static const char* kTemplate = R"(
+program pam;
+const M = $M;
+const D = $D;
+const ITERS = $ITERS;
+const BIG = 4611686018427387904;  // 2^62 sentinel for argmin
+
+input int32 x[M][D];
+output int<80> total_cost;
+output int32 medoid0;
+output int32 medoid1;
+
+var int<80> dist[M][M];
+var int<80> s;
+var int<40> df;
+var int32 m0;
+var int32 m1;
+var int<80> dm0;
+var int<80> dm1;
+var bool near0[M];
+var int<90> best;
+var int32 bestidx;
+var int<90> cand;
+var int<90> acc;
+
+// Pairwise squared Euclidean distances: the O(m^2 d) core.
+for i in 0..M-1 {
+  for j in 0..M-1 { dist[i][j] = 0; }
+}
+for i in 0..M-1 {
+  for j in i+1..M-1 {
+    s = 0;
+    for t in 0..D-1 {
+      df = x[i][t] - x[j][t];
+      s = s + df * df;
+    }
+    dist[i][j] = s;
+    dist[j][i] = s;
+  }
+}
+
+m0 = 0;
+m1 = 1;
+for it in 1..ITERS {
+  // Assign each point to the nearer medoid (medoid indices are runtime
+  // values, so reading dist[p][m0] costs a selector sweep).
+  for p in 0..M-1 {
+    dm0 = 0;
+    dm1 = 0;
+    for q in 0..M-1 {
+      if (m0 == q) { dm0 = dist[p][q]; }
+      if (m1 == q) { dm1 = dist[p][q]; }
+    }
+    near0[p] = dm0 <= dm1;
+  }
+  // New medoid of cluster 0: member minimizing total in-cluster distance.
+  best = BIG;
+  bestidx = m0;
+  for i in 0..M-1 {
+    acc = 0;
+    for j in 0..M-1 { acc = acc + (near0[j] ? dist[i][j] : 0); }
+    cand = near0[i] ? acc : BIG;
+    if (cand < best) { best = cand; bestidx = i; }
+  }
+  m0 = bestidx;
+  // New medoid of cluster 1.
+  best = BIG;
+  bestidx = m1;
+  for i in 0..M-1 {
+    acc = 0;
+    for j in 0..M-1 { acc = acc + (near0[j] ? 0 : dist[i][j]); }
+    cand = near0[i] ? BIG : acc;
+    if (cand < best) { best = cand; bestidx = i; }
+  }
+  m1 = bestidx;
+}
+
+// Total assignment cost under the final medoids.
+acc = 0;
+for p in 0..M-1 {
+  dm0 = 0;
+  dm1 = 0;
+  for q in 0..M-1 {
+    if (m0 == q) { dm0 = dist[p][q]; }
+    if (m1 == q) { dm1 = dist[p][q]; }
+  }
+  acc = acc + min(dm0, dm1);
+}
+total_cost = acc;
+medoid0 = m0;
+medoid1 = m1;
+)";
+  return apps_internal::Subst(kTemplate,
+                              {{"M", m}, {"D", d}, {"ITERS", iters}});
+}
+
+std::string RootFindSource(size_t m, size_t l) {
+  static const char* kTemplate = R"(
+program rootfind;
+const M = $M;
+const L = $L;
+
+input int32 a[M][M];
+input int32 b[M];
+input int32 c[M];
+input int32 nlo0;   // initial interval [nlo0, nhi0] with denominator 1
+input int32 nhi0;
+output int<64> root_num;
+output int<64> root_den;
+
+// Interval state as dyadic rationals over a shared denominator `den`, which
+// doubles each iteration (so widths grow linearly in L).
+var int<60> nlo;
+var int<60> nhi;
+var int<60> den;
+var int<60> nmid;
+var int<60> dmid;
+var int<120> unum[M];
+var int<200> fnum;
+var int<200> term;
+
+nlo = nlo0;
+nhi = nhi0;
+den = 1;
+for it in 1..L {
+  nmid = nlo + nhi;
+  dmid = den * 2;
+  // u_i = b_i + mid * c_i, as a numerator over dmid.
+  for i in 0..M-1 {
+    unum[i] = b[i] * dmid + nmid * c[i];
+  }
+  // sign(f(mid)) = sign(sum_ij a_ij u_i u_j)  (denominator positive).
+  fnum = 0;
+  for i in 0..M-1 {
+    for j in 0..M-1 {
+      term = unum[i] * unum[j];
+      fnum = fnum + a[i][j] * term;
+    }
+  }
+  if (fnum < 0) {
+    nlo = nmid;
+    nhi = nhi * 2;
+  } else {
+    nhi = nmid;
+    nlo = nlo * 2;
+  }
+  den = dmid;
+}
+root_num = nlo + nhi;
+root_den = den * 2;
+)";
+  return apps_internal::Subst(kTemplate, {{"M", m}, {"L", l}});
+}
+
+std::string ApspSource(size_t m) {
+  static const char* kTemplate = R"(
+program apsp;
+const M = $M;
+
+// Positive rational edge weights (runtime numerator/denominator pairs).
+input rational<16, 10> w[M][M];
+// Sum of the shortest-path distances out of vertex 0.
+output rational<56, 16> dsum;
+
+// Distances are fixed-point with 16 fractional bits; every assignment
+// rounds (floor) to that grid, which bounds widths across the m^3 chained
+// relaxations.
+var rational<48, 16> d[M][M];
+var rational<56, 16> acc;
+
+for i in 0..M-1 {
+  for j in 0..M-1 {
+    d[i][j] = w[i][j];
+  }
+}
+for k in 0..M-1 {
+  for i in 0..M-1 {
+    for j in 0..M-1 {
+      d[i][j] = min(d[i][j], d[i][k] + d[k][j]);
+    }
+  }
+}
+acc = 0;
+for j in 0..M-1 {
+  acc = acc + d[0][j];
+}
+dsum = acc;
+)";
+  return apps_internal::Subst(kTemplate, {{"M", m}});
+}
+
+std::string FannkuchSource(size_t m, size_t n, size_t max_steps) {
+  static const char* kTemplate = R"(
+program fannkuch;
+const M = $M;
+const N = $N;
+const STEPS = $STEPS;
+
+input int32 perm[M][N];   // each row: a permutation of 1..N
+output int32 total_flips;
+output int32 max_flips;
+
+var int32 p[N];
+var int32 tmp[N];
+var int32 flips;
+var int32 k;
+var bool done;
+var int32 total;
+var int32 maxf;
+
+total = 0;
+maxf = 0;
+for pi in 0..M-1 {
+  for i in 0..N-1 { p[i] = perm[pi][i]; }
+  flips = 0;
+  done = false;
+  for step in 1..STEPS {
+    k = p[0];
+    if (k == 1) { done = true; }
+    if (!done) {
+      flips = flips + 1;
+      // Reverse the prefix of (runtime) length k: data-dependent reads.
+      for i in 0..N-1 { tmp[i] = p[i]; }
+      for i in 0..N-1 {
+        if (i < k) { p[i] = tmp[k - 1 - i]; }
+      }
+    }
+  }
+  total = total + flips;
+  if (maxf < flips) { maxf = flips; }
+}
+total_flips = total;
+max_flips = maxf;
+)";
+  return apps_internal::Subst(
+      kTemplate, {{"M", m}, {"N", n}, {"STEPS", max_steps}});
+}
+
+std::string LcsSource(size_t m) {
+  static const char* kTemplate = R"(
+program lcs;
+const M = $M;
+
+input int32 s[M];
+input int32 t[M];
+output int32 lcs_len;
+
+var int32 dp[M + 1][M + 1];
+
+for i in 0..M { dp[i][0] = 0; }
+for j in 0..M { dp[0][j] = 0; }
+for i in 1..M {
+  for j in 1..M {
+    dp[i][j] = (s[i - 1] == t[j - 1])
+                   ? (dp[i - 1][j - 1] + 1)
+                   : max(dp[i - 1][j], dp[i][j - 1]);
+  }
+}
+lcs_len = dp[M][M];
+)";
+  return apps_internal::Subst(kTemplate, {{"M", m}});
+}
+
+std::string MatMulSource(size_t m) {
+  static const char* kTemplate = R"(
+program matmul;
+const M = $M;
+
+input int32 a[M][M];
+input int32 b[M][M];
+output int<72> c[M][M];
+
+var int<72> s;
+for i in 0..M-1 {
+  for j in 0..M-1 {
+    s = 0;
+    for k in 0..M-1 {
+      s = s + a[i][k] * b[k][j];
+    }
+    c[i][j] = s;
+  }
+}
+)";
+  return apps_internal::Subst(kTemplate, {{"M", m}});
+}
+
+}  // namespace zaatar

@@ -1,0 +1,261 @@
+// Benchmark-suite registry: pairs each zlang benchmark with an input
+// generator and its native reference, producing (field-encoded inputs,
+// expected outputs) instances for tests, benches, and examples.
+
+#ifndef SRC_APPS_SUITE_H_
+#define SRC_APPS_SUITE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <numeric>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/apps/native.h"
+#include "src/apps/programs.h"
+#include "src/compiler/compile.h"
+#include "src/crypto/prg.h"
+#include "src/field/fields.h"
+#include "src/util/stopwatch.h"
+
+namespace zaatar {
+
+template <typename F>
+struct AppInstance {
+  std::vector<F> inputs;             // field-encoded, one per input slot
+  std::vector<F> expected_outputs;   // from the native reference
+};
+
+template <typename F>
+struct App {
+  std::string name;
+  std::string source;
+  // Fresh random instance with its expected outputs.
+  std::function<AppInstance<F>(Prg&)> make_instance;
+  // Mean native execution time (the T / "local" baseline).
+  std::function<double()> measure_native_seconds;
+};
+
+namespace suite_internal {
+
+// Times `body` by running it enough times to exceed ~20ms of wall clock.
+template <typename Fn>
+double TimeNative(Fn&& body) {
+  body();  // warm-up
+  size_t reps = 1;
+  for (;;) {
+    Stopwatch sw;
+    for (size_t i = 0; i < reps; i++) {
+      body();
+    }
+    double s = sw.ElapsedSeconds();
+    if (s > 0.02 || reps >= (size_t{1} << 22)) {
+      return s / static_cast<double>(reps);
+    }
+    reps *= 4;
+  }
+}
+
+inline std::vector<int64_t> RandomInts(Prg& prg, size_t n, int64_t lo,
+                                       int64_t hi) {
+  std::vector<int64_t> v(n);
+  for (auto& x : v) {
+    x = lo + static_cast<int64_t>(
+                 prg.NextBounded(static_cast<uint64_t>(hi - lo)));
+  }
+  return v;
+}
+
+template <typename F>
+std::vector<F> EncodeInts(const std::vector<int64_t>& v) {
+  std::vector<F> out;
+  out.reserve(v.size());
+  for (int64_t x : v) {
+    out.push_back(EncodeSignedInt<F>(x));
+  }
+  return out;
+}
+
+}  // namespace suite_internal
+
+inline App<F128> MakePamApp(size_t m, size_t d, size_t iters = 2) {
+  App<F128> app;
+  app.name = "pam_clustering(m=" + std::to_string(m) +
+             ",d=" + std::to_string(d) + ")";
+  app.source = PamSource(m, d, iters);
+  app.make_instance = [m, d, iters](Prg& prg) {
+    auto x = suite_internal::RandomInts(prg, m * d, 0, 512);
+    PamResult r = NativePam(x, m, d, iters);
+    AppInstance<F128> inst;
+    inst.inputs = suite_internal::EncodeInts<F128>(x);
+    inst.expected_outputs = suite_internal::EncodeInts<F128>(
+        {r.total_cost, r.medoid0, r.medoid1});
+    return inst;
+  };
+  app.measure_native_seconds = [m, d, iters]() {
+    Prg prg(0xA11);
+    auto x = suite_internal::RandomInts(prg, m * d, 0, 512);
+    return suite_internal::TimeNative([&] { NativePam(x, m, d, iters); });
+  };
+  return app;
+}
+
+inline App<F220> MakeRootFindApp(size_t m, size_t l) {
+  App<F220> app;
+  app.name = "root_finding(m=" + std::to_string(m) +
+             ",L=" + std::to_string(l) + ")";
+  app.source = RootFindSource(m, l);
+  auto gen = [m](Prg& prg) {
+    struct Raw {
+      std::vector<int64_t> a, b, c;
+      int64_t nlo0, nhi0;
+    } raw;
+    raw.a = suite_internal::RandomInts(prg, m * m, -128, 128);
+    raw.b = suite_internal::RandomInts(prg, m, -128, 128);
+    raw.c = suite_internal::RandomInts(prg, m, -128, 128);
+    raw.nlo0 = -1 - static_cast<int64_t>(prg.NextBounded(8));
+    raw.nhi0 = 1 + static_cast<int64_t>(prg.NextBounded(8));
+    return raw;
+  };
+  app.make_instance = [m, l, gen](Prg& prg) {
+    auto raw = gen(prg);
+    RootFindResult r =
+        NativeRootFind(raw.a, raw.b, raw.c, raw.nlo0, raw.nhi0, m, l);
+    AppInstance<F220> inst;
+    inst.inputs = suite_internal::EncodeInts<F220>(raw.a);
+    auto bb = suite_internal::EncodeInts<F220>(raw.b);
+    auto cc = suite_internal::EncodeInts<F220>(raw.c);
+    inst.inputs.insert(inst.inputs.end(), bb.begin(), bb.end());
+    inst.inputs.insert(inst.inputs.end(), cc.begin(), cc.end());
+    inst.inputs.push_back(EncodeSignedInt<F220>(raw.nlo0));
+    inst.inputs.push_back(EncodeSignedInt<F220>(raw.nhi0));
+    inst.expected_outputs = {
+        EncodeSignedInt<F220>(static_cast<int64_t>(r.root_num)),
+        EncodeSignedInt<F220>(static_cast<int64_t>(r.root_den))};
+    return inst;
+  };
+  app.measure_native_seconds = [m, l, gen]() {
+    Prg prg(0xA22);
+    auto raw = gen(prg);
+    return suite_internal::TimeNative([&] {
+      NativeRootFind(raw.a, raw.b, raw.c, raw.nlo0, raw.nhi0, m, l);
+    });
+  };
+  return app;
+}
+
+inline App<F128> MakeApspApp(size_t m) {
+  App<F128> app;
+  app.name = "all_pairs_shortest_path(m=" + std::to_string(m) + ")";
+  app.source = ApspSource(m);
+  app.make_instance = [m](Prg& prg) {
+    auto num = suite_internal::RandomInts(prg, m * m, 1, 4096);
+    auto den = suite_internal::RandomInts(prg, m * m, 1, 1024);
+    int64_t sum = NativeApsp(num, den, m);
+    AppInstance<F128> inst;
+    inst.inputs.reserve(2 * m * m);
+    for (size_t i = 0; i < m * m; i++) {
+      inst.inputs.push_back(EncodeSignedInt<F128>(num[i]));
+      inst.inputs.push_back(EncodeSignedInt<F128>(den[i]));
+    }
+    inst.expected_outputs = {EncodeSignedInt<F128>(sum),
+                             EncodeSignedInt<F128>(int64_t{1} << 16)};
+    return inst;
+  };
+  app.measure_native_seconds = [m]() {
+    Prg prg(0xA33);
+    auto num = suite_internal::RandomInts(prg, m * m, 1, 4096);
+    auto den = suite_internal::RandomInts(prg, m * m, 1, 1024);
+    return suite_internal::TimeNative([&] { NativeApsp(num, den, m); });
+  };
+  return app;
+}
+
+inline App<F128> MakeFannkuchApp(size_t m, size_t n, size_t max_steps) {
+  App<F128> app;
+  app.name = "fannkuch(m=" + std::to_string(m) + ",n=" + std::to_string(n) +
+             ")";
+  app.source = FannkuchSource(m, n, max_steps);
+  auto gen = [m, n](Prg& prg) {
+    std::vector<int64_t> perms(m * n);
+    for (size_t pi = 0; pi < m; pi++) {
+      std::vector<int64_t> p(n);
+      std::iota(p.begin(), p.end(), 1);
+      for (size_t i = n; i > 1; i--) {  // Fisher-Yates
+        std::swap(p[i - 1], p[prg.NextBounded(i)]);
+      }
+      std::copy(p.begin(), p.end(), perms.begin() + pi * n);
+    }
+    return perms;
+  };
+  app.make_instance = [m, n, max_steps, gen](Prg& prg) {
+    auto perms = gen(prg);
+    FannkuchResult r = NativeFannkuch(perms, m, n, max_steps);
+    AppInstance<F128> inst;
+    inst.inputs = suite_internal::EncodeInts<F128>(perms);
+    inst.expected_outputs =
+        suite_internal::EncodeInts<F128>({r.total_flips, r.max_flips});
+    return inst;
+  };
+  app.measure_native_seconds = [m, n, max_steps, gen]() {
+    Prg prg(0xA44);
+    auto perms = gen(prg);
+    return suite_internal::TimeNative(
+        [&] { NativeFannkuch(perms, m, n, max_steps); });
+  };
+  return app;
+}
+
+inline App<F128> MakeLcsApp(size_t m) {
+  App<F128> app;
+  app.name = "longest_common_subsequence(m=" + std::to_string(m) + ")";
+  app.source = LcsSource(m);
+  app.make_instance = [m](Prg& prg) {
+    auto s = suite_internal::RandomInts(prg, m, 0, 4);
+    auto t = suite_internal::RandomInts(prg, m, 0, 4);
+    int64_t len = NativeLcs(s, t);
+    AppInstance<F128> inst;
+    inst.inputs = suite_internal::EncodeInts<F128>(s);
+    auto tt = suite_internal::EncodeInts<F128>(t);
+    inst.inputs.insert(inst.inputs.end(), tt.begin(), tt.end());
+    inst.expected_outputs = {EncodeSignedInt<F128>(len)};
+    return inst;
+  };
+  app.measure_native_seconds = [m]() {
+    Prg prg(0xA55);
+    auto s = suite_internal::RandomInts(prg, m, 0, 4);
+    auto t = suite_internal::RandomInts(prg, m, 0, 4);
+    return suite_internal::TimeNative([&] { NativeLcs(s, t); });
+  };
+  return app;
+}
+
+inline App<F128> MakeMatMulApp(size_t m) {
+  App<F128> app;
+  app.name = "matrix_multiplication(m=" + std::to_string(m) + ")";
+  app.source = MatMulSource(m);
+  app.make_instance = [m](Prg& prg) {
+    auto a = suite_internal::RandomInts(prg, m * m, -1024, 1024);
+    auto b = suite_internal::RandomInts(prg, m * m, -1024, 1024);
+    auto c = NativeMatMul(a, b, m);
+    AppInstance<F128> inst;
+    inst.inputs = suite_internal::EncodeInts<F128>(a);
+    auto bb = suite_internal::EncodeInts<F128>(b);
+    inst.inputs.insert(inst.inputs.end(), bb.begin(), bb.end());
+    inst.expected_outputs = suite_internal::EncodeInts<F128>(c);
+    return inst;
+  };
+  app.measure_native_seconds = [m]() {
+    Prg prg(0xA66);
+    auto a = suite_internal::RandomInts(prg, m * m, -1024, 1024);
+    auto b = suite_internal::RandomInts(prg, m * m, -1024, 1024);
+    return suite_internal::TimeNative([&] { NativeMatMul(a, b, m); });
+  };
+  return app;
+}
+
+}  // namespace zaatar
+
+#endif  // SRC_APPS_SUITE_H_

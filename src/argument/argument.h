@@ -1,0 +1,184 @@
+// The batched efficient-argument protocol: linear commitment wrapped around a
+// two-oracle linear PCP (paper Figure 2 with Zaatar's shaded replacements, or
+// the original Ginger pieces via GingerAdapter).
+//
+// Batch model (§2.2): the verifier's query generation, encryption of r, and
+// consistency vectors t are produced once per (computation, batch) in
+// Setup(); each of the beta instances then runs Prove()/VerifyInstance().
+
+#ifndef SRC_ARGUMENT_ARGUMENT_H_
+#define SRC_ARGUMENT_ARGUMENT_H_
+
+#include <array>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "src/commit/commitment.h"
+#include "src/crypto/elgamal.h"
+#include "src/crypto/prg.h"
+#include "src/pcp/ginger_pcp.h"
+#include "src/pcp/zaatar_pcp.h"
+#include "src/util/stopwatch.h"
+
+namespace zaatar {
+
+// Prover per-instance cost decomposition (the Figure 5 columns; the first
+// two phases happen in the application layer and are filled in by it).
+struct ProverCosts {
+  double solve_constraints_s = 0;
+  double construct_proof_s = 0;
+  double crypto_s = 0;
+  double answer_queries_s = 0;
+
+  double Total() const {
+    return solve_constraints_s + construct_proof_s + crypto_s +
+           answer_queries_s;
+  }
+
+  ProverCosts& operator+=(const ProverCosts& o) {
+    solve_constraints_s += o.solve_constraints_s;
+    construct_proof_s += o.construct_proof_s;
+    crypto_s += o.crypto_s;
+    answer_queries_s += o.answer_queries_s;
+    return *this;
+  }
+};
+
+struct VerifierSetupCosts {
+  double query_generation_s = 0;  // computation-specific + oblivious queries
+  double commit_setup_s = 0;      // Enc(r) and t vectors
+
+  double Total() const { return query_generation_s + commit_setup_s; }
+};
+
+// Adapter requirements (see ZaatarAdapter / GingerAdapter below):
+//   using Queries = ...;
+//   static size_t OracleLength(const Queries&, size_t oracle);          // 0,1
+//   static const std::vector<std::vector<F>>& OracleQueries(const Queries&,
+//                                                           size_t oracle);
+//   static bool Decide(const Queries&, resp0, resp1, bound_values);
+template <typename F, typename Adapter>
+class Argument {
+ public:
+  using EG = ElGamal<F>;
+
+  struct VerifierSetup {
+    typename EG::KeyPair keys;
+    typename Adapter::Queries queries;
+    std::array<OracleCommitSetup<F>, 2> commit;
+    VerifierSetupCosts costs;
+
+    size_t TotalQueryElements() const {
+      size_t n = 0;
+      for (size_t o = 0; o < 2; o++) {
+        n += Adapter::OracleQueries(queries, o).size() *
+             Adapter::OracleLength(queries, o);
+      }
+      return n;
+    }
+  };
+
+  struct InstanceProof {
+    std::array<OracleProofPart<F>, 2> parts;
+    ProverCosts costs;
+  };
+
+  // Verifier, once per batch. `queries` should come from the PCP's
+  // GenerateQueries (its cost belongs to query_generation_s and is measured
+  // by the caller; pass it in `query_generation_seconds`).
+  static VerifierSetup Setup(typename Adapter::Queries queries, Prg& prg,
+                             double query_generation_seconds = 0) {
+    VerifierSetup s;
+    s.costs.query_generation_s = query_generation_seconds;
+    Stopwatch timer;
+    s.keys = EG::GenerateKeys(prg);
+    s.queries = std::move(queries);
+    for (size_t o = 0; o < 2; o++) {
+      s.commit[o] = LinearCommitment<F>::CreateSetup(
+          s.keys.pk, Adapter::OracleLength(s.queries, o),
+          Adapter::OracleQueries(s.queries, o), prg);
+    }
+    s.costs.commit_setup_s = timer.ElapsedSeconds();
+    return s;
+  }
+
+  // Prover, once per instance. `proof_vectors` are the two oracle vectors
+  // (e.g. z and h); construct-u / solve costs are added by the caller.
+  static InstanceProof Prove(
+      const std::array<const std::vector<F>*, 2>& proof_vectors,
+      const VerifierSetup& setup) {
+    InstanceProof p;
+    for (size_t o = 0; o < 2; o++) {
+      p.parts[o] = LinearCommitment<F>::Prove(
+          *proof_vectors[o], setup.commit[o].enc_r,
+          Adapter::OracleQueries(setup.queries, o), setup.commit[o].t,
+          &p.costs.crypto_s, &p.costs.answer_queries_s);
+    }
+    return p;
+  }
+
+  // Verifier, once per instance. `bound_values` are inputs then outputs.
+  static bool VerifyInstance(const VerifierSetup& setup,
+                             const InstanceProof& proof,
+                             const std::vector<F>& bound_values,
+                             double* seconds = nullptr) {
+    Stopwatch timer;
+    bool ok = true;
+    for (size_t o = 0; o < 2 && ok; o++) {
+      ok = LinearCommitment<F>::CheckConsistency(
+          setup.keys.pk, setup.keys.sk, setup.commit[o], proof.parts[o]);
+    }
+    if (ok) {
+      ok = Adapter::Decide(setup.queries, proof.parts[0].responses,
+                           proof.parts[1].responses, bound_values);
+    }
+    if (seconds != nullptr) {
+      *seconds += timer.ElapsedSeconds();
+    }
+    return ok;
+  }
+};
+
+template <typename F>
+struct ZaatarAdapter {
+  using Queries = typename ZaatarPcp<F>::Queries;
+  static size_t OracleLength(const Queries& q, size_t oracle) {
+    return oracle == 0 ? q.z_len : q.h_len;
+  }
+  static const std::vector<std::vector<F>>& OracleQueries(const Queries& q,
+                                                          size_t oracle) {
+    return oracle == 0 ? q.z_queries : q.h_queries;
+  }
+  static bool Decide(const Queries& q, const std::vector<F>& r0,
+                     const std::vector<F>& r1,
+                     const std::vector<F>& bound_values) {
+    return ZaatarPcp<F>::Decide(q, r0, r1, bound_values);
+  }
+};
+
+template <typename F>
+struct GingerAdapter {
+  using Queries = typename GingerPcp<F>::Queries;
+  static size_t OracleLength(const Queries& q, size_t oracle) {
+    return oracle == 0 ? q.n : q.n * q.n;
+  }
+  static const std::vector<std::vector<F>>& OracleQueries(const Queries& q,
+                                                          size_t oracle) {
+    return oracle == 0 ? q.pi1_queries : q.pi2_queries;
+  }
+  static bool Decide(const Queries& q, const std::vector<F>& r0,
+                     const std::vector<F>& r1,
+                     const std::vector<F>& bound_values) {
+    return GingerPcp<F>::Decide(q, r0, r1, bound_values);
+  }
+};
+
+template <typename F>
+using ZaatarArgument = Argument<F, ZaatarAdapter<F>>;
+template <typename F>
+using GingerArgument = Argument<F, GingerAdapter<F>>;
+
+}  // namespace zaatar
+
+#endif  // SRC_ARGUMENT_ARGUMENT_H_

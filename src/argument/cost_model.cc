@@ -1,0 +1,143 @@
+#include "src/argument/cost_model.h"
+
+#include <cmath>
+
+namespace zaatar {
+
+namespace {
+
+double Log2(size_t n) { return n <= 1 ? 1.0 : std::log2(static_cast<double>(n)); }
+
+}  // namespace
+
+// ---- Zaatar ----
+
+double CostModel::ZaatarConstructProof(const ComputationStats& s) const {
+  double lg = Log2(s.c_zaatar);
+  return s.t_local_s + 3.0 * micro_.f * s.c_zaatar * lg * lg;
+}
+
+double CostModel::ZaatarIssueResponses(const ComputationStats& s) const {
+  double l_prime = static_cast<double>(params_.ZaatarTotalQueries());
+  return (micro_.h + (params_.rho * l_prime + 1) * micro_.f) *
+         s.ZaatarProofLen();
+}
+
+double CostModel::ZaatarProverPerInstance(const ComputationStats& s) const {
+  return ZaatarConstructProof(s) + ZaatarIssueResponses(s);
+}
+
+double CostModel::ZaatarQuerySetupSpecific(const ComputationStats& s) const {
+  return params_.rho *
+         (micro_.c + (micro_.f_div + 5 * micro_.f) * s.c_zaatar +
+          micro_.f * s.k + 3.0 * micro_.f * s.k2);
+}
+
+double CostModel::ZaatarQuerySetupOblivious(const ComputationStats& s) const {
+  double l_prime = static_cast<double>(params_.ZaatarTotalQueries());
+  return (micro_.e + 2 * micro_.c +
+          params_.rho * (2.0 * params_.rho_lin * micro_.c +
+                         l_prime * micro_.f)) *
+         s.ZaatarProofLen();
+}
+
+double CostModel::ZaatarVerifierSetup(const ComputationStats& s) const {
+  return ZaatarQuerySetupSpecific(s) + ZaatarQuerySetupOblivious(s);
+}
+
+double CostModel::ZaatarVerifierPerInstance(const ComputationStats& s) const {
+  double l_prime = static_cast<double>(params_.ZaatarTotalQueries());
+  return micro_.d + params_.rho *
+                        (l_prime + 3.0 * (s.num_inputs + s.num_outputs)) *
+                        micro_.f;
+}
+
+// ---- Ginger ----
+
+double CostModel::GingerConstructProof(const ComputationStats& s) const {
+  return s.t_local_s +
+         micro_.f_lazy * static_cast<double>(s.z_ginger) * s.z_ginger;
+}
+
+double CostModel::GingerIssueResponses(const ComputationStats& s) const {
+  double l = static_cast<double>(params_.GingerHighOrderQueries());
+  return (micro_.h + (params_.rho * l + 1) * micro_.f) * s.GingerProofLen();
+}
+
+double CostModel::GingerProverPerInstance(const ComputationStats& s) const {
+  return GingerConstructProof(s) + GingerIssueResponses(s);
+}
+
+double CostModel::GingerQuerySetupSpecific(const ComputationStats& s) const {
+  return params_.rho * (micro_.c * s.c_ginger + micro_.f * s.k);
+}
+
+double CostModel::GingerQuerySetupOblivious(const ComputationStats& s) const {
+  double l = static_cast<double>(params_.GingerHighOrderQueries());
+  return (micro_.e + 2 * micro_.c +
+          params_.rho *
+              (2.0 * params_.rho_lin * micro_.c + (l + 1) * micro_.f)) *
+         s.GingerProofLen();
+}
+
+double CostModel::GingerVerifierSetup(const ComputationStats& s) const {
+  return GingerQuerySetupSpecific(s) + GingerQuerySetupOblivious(s);
+}
+
+double CostModel::GingerVerifierPerInstance(const ComputationStats& s) const {
+  double l = static_cast<double>(params_.GingerHighOrderQueries());
+  return micro_.d + params_.rho *
+                        (2.0 * l + s.num_inputs + s.num_outputs) * micro_.f;
+}
+
+// ---- Encoding choice ----
+
+CostModel::Encoding CostModel::ChooseEncoding(
+    const ComputationStats& s) const {
+  return GingerProverPerInstance(s) < ZaatarProverPerInstance(s)
+             ? Encoding::kGinger
+             : Encoding::kZaatar;
+}
+
+double CostModel::K2Star(const ComputationStats& s) {
+  double z = static_cast<double>(s.z_ginger);
+  return (z * z - z) / 2.0;
+}
+
+// ---- Break-even ----
+
+double CostModel::BreakevenBatch(double setup_s, double per_instance_s,
+                                 double t_local_s) {
+  if (t_local_s <= per_instance_s) {
+    return -1;
+  }
+  return setup_s / (t_local_s - per_instance_s);
+}
+
+double CostModel::ZaatarBreakeven(const ComputationStats& s) const {
+  return BreakevenBatch(ZaatarVerifierSetup(s), ZaatarVerifierPerInstance(s),
+                        s.t_local_s);
+}
+
+double CostModel::GingerBreakeven(const ComputationStats& s) const {
+  return BreakevenBatch(GingerVerifierSetup(s), GingerVerifierPerInstance(s),
+                        s.t_local_s);
+}
+
+// ---- Network ----
+
+size_t NetworkCosts::SetupBytes(size_t proof_len, size_t field_bytes,
+                                size_t group_bytes) {
+  // Enc(r): two group elements per proof position; t vector: one field
+  // element per position; queries: a 32-byte PRG seed.
+  return proof_len * (2 * group_bytes + field_bytes) + 32;
+}
+
+size_t NetworkCosts::InstanceBytes(size_t num_queries, size_t field_bytes,
+                                   size_t group_bytes) {
+  // One commitment (two group elements) per oracle (x2), responses and the
+  // t-response in field elements.
+  return 2 * 2 * group_bytes + (num_queries + 2) * field_bytes;
+}
+
+}  // namespace zaatar

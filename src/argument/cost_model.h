@@ -1,0 +1,118 @@
+// The analytic cost models of Figure 3 (Zaatar column) and [54, Fig. 2]
+// (Ginger column), parameterized by microbenchmark-measured primitive costs.
+//
+// The paper uses these models in two ways, and so do we:
+//   1. to validate Zaatar's measured costs (empirics land 5-15% above the
+//      model in the paper; bench_fig3_cost_model reports our gap), and
+//   2. to estimate Ginger's costs at input sizes where running it for real
+//      is infeasible ("we use estimates, rather than empirics, because the
+//      computations would be too expensive under Ginger", §5.1).
+
+#ifndef SRC_ARGUMENT_COST_MODEL_H_
+#define SRC_ARGUMENT_COST_MODEL_H_
+
+#include <cstddef>
+
+#include "src/pcp/params.h"
+
+namespace zaatar {
+
+// Primitive operation costs in seconds (the §5.1 microbenchmark table).
+struct MicroCosts {
+  double e = 0;       // encrypt one field element
+  double d = 0;       // decrypt (to group element)
+  double h = 0;       // ciphertext homomorphic fold: one Pow + multiply
+  double f_lazy = 0;  // field multiply without reduction
+  double f = 0;       // field multiply
+  double f_div = 0;   // field division (inversion + multiply)
+  double c = 0;       // pseudorandomly generate one field element
+};
+
+// Static facts about one compiled computation, in both encodings.
+struct ComputationStats {
+  double t_local_s = 0;   // time to execute the computation natively (T)
+  size_t z_ginger = 0;    // |Z_ginger|
+  size_t c_ginger = 0;    // |C_ginger|
+  size_t k = 0;           // K: additive terms in C_ginger
+  size_t k2 = 0;          // K2: distinct degree-2 terms in C_ginger
+  size_t z_zaatar = 0;    // |Z_zaatar|
+  size_t c_zaatar = 0;    // |C_zaatar|
+  size_t num_inputs = 0;  // |x|
+  size_t num_outputs = 0;  // |y|
+
+  size_t GingerProofLen() const { return z_ginger + z_ginger * z_ginger; }
+  size_t ZaatarProofLen() const { return z_zaatar + c_zaatar + 1; }
+};
+
+class CostModel {
+ public:
+  CostModel(const MicroCosts& micro, const PcpParams& params)
+      : micro_(micro), params_(params) {}
+
+  // ---- Zaatar (Figure 3, right column) ----
+
+  // P: construct proof vector = T + 3 f |C| log2^2 |C|.
+  double ZaatarConstructProof(const ComputationStats& s) const;
+  // P: issue responses = (h + (rho*l' + 1) f) |u|.
+  double ZaatarIssueResponses(const ComputationStats& s) const;
+  double ZaatarProverPerInstance(const ComputationStats& s) const;
+
+  // V, per batch (not yet divided by beta):
+  // computation-specific queries = rho (c + (fdiv + 5f)|C| + f K + 3 f K2).
+  double ZaatarQuerySetupSpecific(const ComputationStats& s) const;
+  // computation-oblivious = (e + 2c + rho (2 rho_lin c + l' f)) |u|.
+  double ZaatarQuerySetupOblivious(const ComputationStats& s) const;
+  double ZaatarVerifierSetup(const ComputationStats& s) const;
+  // V, per instance: process responses = d + rho (l' + 3|x| + 3|y|) f.
+  double ZaatarVerifierPerInstance(const ComputationStats& s) const;
+
+  // ---- Ginger (Figure 3, left column) ----
+
+  double GingerConstructProof(const ComputationStats& s) const;
+  double GingerIssueResponses(const ComputationStats& s) const;
+  double GingerProverPerInstance(const ComputationStats& s) const;
+  double GingerQuerySetupSpecific(const ComputationStats& s) const;
+  double GingerQuerySetupOblivious(const ComputationStats& s) const;
+  double GingerVerifierSetup(const ComputationStats& s) const;
+  double GingerVerifierPerInstance(const ComputationStats& s) const;
+
+  // ---- Encoding choice (§4, footnote 5) ----
+  // "The degenerate cases are detectable, so the compiler could simply
+  // choose to use Ginger over Zaatar" — realized later by Allspice [57].
+  // Picks the encoding with the cheaper modeled prover; ties go to Zaatar.
+  enum class Encoding { kZaatar, kGinger };
+  Encoding ChooseEncoding(const ComputationStats& s) const;
+
+  // The paper's K2* threshold: Zaatar's proof is shorter iff
+  // K2 < (|Z_ginger|^2 - |Z_ginger|) / 2.
+  static double K2Star(const ComputationStats& s);
+
+  // ---- Break-even batch sizes (§2.2) ----
+  // Smallest beta with setup + beta*per_instance < beta*t_local; returns -1
+  // if outsourcing never pays (per-instance cost exceeds local execution).
+  static double BreakevenBatch(double setup_s, double per_instance_s,
+                               double t_local_s);
+  double ZaatarBreakeven(const ComputationStats& s) const;
+  double GingerBreakeven(const ComputationStats& s) const;
+
+  const MicroCosts& micro() const { return micro_; }
+  const PcpParams& params() const { return params_; }
+
+ private:
+  MicroCosts micro_;
+  PcpParams params_;
+};
+
+// ---- Network cost accounting (bytes) ----
+struct NetworkCosts {
+  // Per batch: Enc(r) ciphertexts + t vectors + query seed.
+  static size_t SetupBytes(size_t proof_len, size_t field_bytes,
+                           size_t group_bytes = 128);
+  // Per instance: commitments + responses.
+  static size_t InstanceBytes(size_t num_queries, size_t field_bytes,
+                              size_t group_bytes = 128);
+};
+
+}  // namespace zaatar
+
+#endif  // SRC_ARGUMENT_COST_MODEL_H_

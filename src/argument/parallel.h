@@ -1,0 +1,107 @@
+// Distributing the prover (paper Figure 6): batch instances are independent,
+// so the prover parallelizes across CPU workers with near-zero coordination,
+// and cryptographic operations can be offloaded to an accelerator.
+//
+// Two pieces:
+//   - ParallelFor: a real thread-pool primitive used to distribute
+//     per-instance proving across hardware threads.
+//   - DistributedProverModel: the latency model for the paper's cluster/GPU
+//     configurations (e.g. "30C+30G"). On this reproduction's hardware we
+//     measure single-worker phase costs empirically and model the fleet; the
+//     GPU is modeled as a crypto-phase accelerator calibrated to the paper's
+//     observation that GPUs cut per-instance latency by ~20% (see DESIGN.md
+//     §5 on substitutions).
+
+#ifndef SRC_ARGUMENT_PARALLEL_H_
+#define SRC_ARGUMENT_PARALLEL_H_
+
+#include <atomic>
+#include <cmath>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "src/argument/argument.h"
+
+namespace zaatar {
+
+// Runs fn(i) for i in [0, n) across `workers` threads.
+inline void ParallelFor(size_t n, size_t workers,
+                        const std::function<void(size_t)>& fn) {
+  if (workers <= 1 || n <= 1) {
+    for (size_t i = 0; i < n; i++) {
+      fn(i);
+    }
+    return;
+  }
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (size_t w = 0; w < workers; w++) {
+    threads.emplace_back([&] {
+      for (;;) {
+        size_t i = next.fetch_add(1);
+        if (i >= n) {
+          return;
+        }
+        fn(i);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+}
+
+struct WorkerConfig {
+  size_t cpu_cores = 1;
+  size_t gpus = 0;
+  // Crypto-phase acceleration per GPU-equipped core. 2.33x on the crypto
+  // phase yields the paper's ~20% end-to-end per-instance gain given crypto
+  // is ~35% of prover time (Figure 5).
+  double gpu_crypto_speedup = 2.33;
+
+  std::string Label() const {
+    std::string s = std::to_string(cpu_cores) + "C";
+    if (gpus > 0) {
+      s += "+" + std::to_string(gpus) + "G";
+    }
+    return s;
+  }
+};
+
+class DistributedProverModel {
+ public:
+  // Per-instance latency on one worker of the given configuration.
+  static double InstanceLatency(const ProverCosts& costs,
+                                const WorkerConfig& config) {
+    double crypto = costs.crypto_s;
+    if (config.gpus > 0) {
+      crypto /= config.gpu_crypto_speedup;
+    }
+    return costs.solve_constraints_s + costs.construct_proof_s + crypto +
+           costs.answer_queries_s;
+  }
+
+  // Latency of a batch of `beta` instances: instances are independent, so the
+  // batch completes in ceil(beta / cores) sequential waves.
+  static double BatchLatency(const ProverCosts& per_instance, size_t beta,
+                             const WorkerConfig& config) {
+    double waves = std::ceil(static_cast<double>(beta) /
+                             static_cast<double>(config.cpu_cores));
+    return waves * InstanceLatency(per_instance, config);
+  }
+
+  // Speedup versus proving the whole batch on a single plain CPU core.
+  static double Speedup(const ProverCosts& per_instance, size_t beta,
+                        const WorkerConfig& config) {
+    WorkerConfig single{.cpu_cores = 1, .gpus = 0};
+    return BatchLatency(per_instance, beta, single) /
+           BatchLatency(per_instance, beta, config);
+  }
+};
+
+}  // namespace zaatar
+
+#endif  // SRC_ARGUMENT_PARALLEL_H_

@@ -1,0 +1,145 @@
+// Concrete wire formats for the two protocol messages, realizing the
+// network-cost structure of Appendix A.1 / the paper's cost discussion:
+// the verifier ships a query *seed* (public coin) plus the encrypted
+// commitment material; the prover ships commitments and responses.
+
+#ifndef SRC_ARGUMENT_WIRE_H_
+#define SRC_ARGUMENT_WIRE_H_
+
+#include <array>
+#include <vector>
+
+#include "src/argument/argument.h"
+#include "src/util/serialize.h"
+
+namespace zaatar {
+
+// V -> P, once per (computation, batch). The PCP queries are derived from
+// `query_seed` by both parties (GenerateQueries is deterministic in the
+// Prg); Enc(r) and t are the commitment phase-1/3 material. The verifier's
+// secrets (r, alphas, the ElGamal secret key) never leave its side.
+template <typename F>
+struct SetupMessage {
+  uint64_t query_seed = 0;
+  // Per oracle: the encrypted r vector and the consistency vector t.
+  std::array<std::vector<typename ElGamal<F>::Ciphertext>, 2> enc_r;
+  std::array<std::vector<F>, 2> t;
+
+  static SetupMessage FromSetup(
+      uint64_t seed, const typename Argument<F, ZaatarAdapter<F>>::
+                         VerifierSetup& setup) {
+    SetupMessage msg;
+    msg.query_seed = seed;
+    for (size_t o = 0; o < 2; o++) {
+      msg.enc_r[o] = setup.commit[o].enc_r;
+      msg.t[o] = setup.commit[o].t;
+    }
+    return msg;
+  }
+
+  std::vector<uint8_t> Serialize() const {
+    using Zp = typename ElGamal<F>::Zp;
+    ByteWriter w;
+    w.PutU64(query_seed);
+    for (size_t o = 0; o < 2; o++) {
+      w.PutU32(static_cast<uint32_t>(enc_r[o].size()));
+      for (const auto& ct : enc_r[o]) {
+        w.PutBigInt(ct.c1.ToCanonical());
+        w.PutBigInt(ct.c2.ToCanonical());
+      }
+      PutFieldVector(&w, t[o]);
+    }
+    (void)sizeof(Zp);
+    return w.bytes();
+  }
+
+  static SetupMessage Deserialize(const std::vector<uint8_t>& bytes) {
+    using EG = ElGamal<F>;
+    using Zp = typename EG::Zp;
+    SetupMessage msg;
+    ByteReader r(bytes);
+    msg.query_seed = r.GetU64();
+    for (size_t o = 0; o < 2; o++) {
+      uint32_t n = r.GetU32();
+      msg.enc_r[o].reserve(n);
+      for (uint32_t i = 0; i < n; i++) {
+        typename EG::Ciphertext ct;
+        ct.c1 = Zp::FromCanonical(r.template GetBigInt<Zp::kLimbs>());
+        ct.c2 = Zp::FromCanonical(r.template GetBigInt<Zp::kLimbs>());
+        msg.enc_r[o].push_back(ct);
+      }
+      msg.t[o] = GetFieldVector<F>(&r);
+    }
+    if (!r.AtEnd()) {
+      throw std::runtime_error("trailing bytes in SetupMessage");
+    }
+    return msg;
+  }
+};
+
+// P -> V, once per instance.
+template <typename F>
+struct InstanceProofMessage {
+  std::array<typename ElGamal<F>::Ciphertext, 2> commitments;
+  std::array<std::vector<F>, 2> responses;
+  std::array<F, 2> t_responses;
+
+  template <typename Adapter>
+  static InstanceProofMessage FromProof(
+      const typename Argument<F, Adapter>::InstanceProof& proof) {
+    InstanceProofMessage msg;
+    for (size_t o = 0; o < 2; o++) {
+      msg.commitments[o] = proof.parts[o].commitment;
+      msg.responses[o] = proof.parts[o].responses;
+      msg.t_responses[o] = proof.parts[o].t_response;
+    }
+    return msg;
+  }
+
+  // Rebuilds the in-memory proof (costs are transport metadata, not wire
+  // content, and reset to zero).
+  template <typename Adapter>
+  typename Argument<F, Adapter>::InstanceProof ToProof() const {
+    typename Argument<F, Adapter>::InstanceProof proof;
+    for (size_t o = 0; o < 2; o++) {
+      proof.parts[o].commitment = commitments[o];
+      proof.parts[o].responses = responses[o];
+      proof.parts[o].t_response = t_responses[o];
+    }
+    return proof;
+  }
+
+  std::vector<uint8_t> Serialize() const {
+    ByteWriter w;
+    for (size_t o = 0; o < 2; o++) {
+      w.PutBigInt(commitments[o].c1.ToCanonical());
+      w.PutBigInt(commitments[o].c2.ToCanonical());
+      PutFieldVector(&w, responses[o]);
+      PutField(&w, t_responses[o]);
+    }
+    return w.bytes();
+  }
+
+  static InstanceProofMessage Deserialize(const std::vector<uint8_t>& bytes) {
+    using EG = ElGamal<F>;
+    using Zp = typename EG::Zp;
+    InstanceProofMessage msg;
+    ByteReader r(bytes);
+    for (size_t o = 0; o < 2; o++) {
+      msg.commitments[o].c1 =
+          Zp::FromCanonical(r.template GetBigInt<Zp::kLimbs>());
+      msg.commitments[o].c2 =
+          Zp::FromCanonical(r.template GetBigInt<Zp::kLimbs>());
+      msg.responses[o] = GetFieldVector<F>(&r);
+      msg.t_responses[o] = GetField<F>(&r);
+    }
+    if (!r.AtEnd()) {
+      throw std::runtime_error("trailing bytes in InstanceProofMessage");
+    }
+    return msg;
+  }
+};
+
+}  // namespace zaatar
+
+#endif  // SRC_ARGUMENT_WIRE_H_

@@ -1,0 +1,138 @@
+// The linear commitment primitive (Commit + Multidecommit) of Pepper/Ginger
+// (paper §2.2), which turns a linear PCP oracle into an argument against a
+// computationally bounded prover.
+//
+// Per oracle and per batch, the verifier:
+//   1. samples a secret vector r and sends Enc(r) (exponent ElGamal, §5.1);
+//   2. later sends the PCP queries q_1..q_mu plus the consistency query
+//      t = r + sum_i alpha_i q_i with secret random alpha_i.
+// Per instance, the prover:
+//   3. commits by homomorphically evaluating e = Enc(pi(r));
+//   4. answers pi(q_1), .., pi(q_mu), pi(t) in the clear.
+// The verifier accepts the responses as oracle answers iff
+//      g^(pi(t) - sum_i alpha_i pi(q_i)) == Dec(e)  (checked in the group).
+// Binding holds because plaintext arithmetic is exactly F (the ElGamal
+// subgroup order equals the field modulus).
+
+#ifndef SRC_COMMIT_COMMITMENT_H_
+#define SRC_COMMIT_COMMITMENT_H_
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "src/crypto/elgamal.h"
+#include "src/crypto/prg.h"
+#include "src/pcp/linear_oracle.h"
+#include "src/util/stopwatch.h"
+
+namespace zaatar {
+
+// Verifier-side per-oracle, per-batch state.
+template <typename F>
+struct OracleCommitSetup {
+  using EG = ElGamal<F>;
+
+  std::vector<F> r;                                // secret
+  std::vector<typename EG::Ciphertext> enc_r;      // sent to the prover
+  std::vector<F> alphas;                           // secret, one per query
+  std::vector<F> t;                                // sent with the queries
+};
+
+// Prover-side per-oracle, per-instance message.
+template <typename F>
+struct OracleProofPart {
+  typename ElGamal<F>::Ciphertext commitment;  // e = Enc(pi(r))
+  std::vector<F> responses;                    // pi(q_i), aligned with queries
+  F t_response;                                // pi(t)
+};
+
+template <typename F>
+class LinearCommitment {
+ public:
+  using EG = ElGamal<F>;
+
+  // Phase 1 + 3 setup (verifier, amortized over the batch).
+  static OracleCommitSetup<F> CreateSetup(
+      const typename EG::PublicKey& pk, size_t oracle_len,
+      const std::vector<std::vector<F>>& queries, Prg& prg) {
+    OracleCommitSetup<F> s;
+    s.r = prg.NextFieldVector<F>(oracle_len);
+    s.enc_r.reserve(oracle_len);
+    for (const F& ri : s.r) {
+      s.enc_r.push_back(EG::Encrypt(pk, ri, prg));
+    }
+    s.alphas.reserve(queries.size());
+    s.t = s.r;
+    for (const auto& q : queries) {
+      assert(q.size() == oracle_len);
+      F alpha = prg.NextField<F>();
+      s.alphas.push_back(alpha);
+      for (size_t i = 0; i < oracle_len; i++) {
+        s.t[i] += alpha * q[i];
+      }
+    }
+    return s;
+  }
+
+  // Phases 2 + 4 (prover, per instance): commit homomorphically, then answer
+  // every query plus the consistency query. `crypto_seconds` /
+  // `answer_seconds` receive the phase costs when non-null.
+  static OracleProofPart<F> Prove(const std::vector<F>& u,
+                                  const std::vector<typename EG::Ciphertext>&
+                                      enc_r,
+                                  const std::vector<std::vector<F>>& queries,
+                                  const std::vector<F>& t,
+                                  double* crypto_seconds = nullptr,
+                                  double* answer_seconds = nullptr);
+
+  // Per-instance verifier check: are the responses consistent with the
+  // committed linear function?
+  static bool CheckConsistency(const typename EG::PublicKey& pk,
+                               const typename EG::SecretKey& sk,
+                               const OracleCommitSetup<F>& setup,
+                               const OracleProofPart<F>& part) {
+    assert(part.responses.size() == setup.alphas.size());
+    F expected = part.t_response;
+    for (size_t i = 0; i < setup.alphas.size(); i++) {
+      expected -= setup.alphas[i] * part.responses[i];
+    }
+    typename EG::Zp decrypted =
+        EG::DecryptToGroup(sk, pk, part.commitment);
+    return decrypted == EG::GroupEmbed(pk, expected);
+  }
+};
+
+template <typename F>
+OracleProofPart<F> LinearCommitment<F>::Prove(
+    const std::vector<F>& u,
+    const std::vector<typename EG::Ciphertext>& enc_r,
+    const std::vector<std::vector<F>>& queries, const std::vector<F>& t,
+    double* crypto_seconds, double* answer_seconds) {
+  assert(u.size() == enc_r.size());
+  OracleProofPart<F> part;
+
+  Stopwatch timer;
+  part.commitment = EG::InnerProduct(enc_r.data(), u.data(), u.size());
+  if (crypto_seconds != nullptr) {
+    *crypto_seconds += timer.Lap();
+  } else {
+    timer.Restart();
+  }
+
+  part.responses.reserve(queries.size());
+  for (const auto& q : queries) {
+    part.responses.push_back(
+        VectorOracle<F>::InnerProduct(q.data(), u.data(), u.size()));
+  }
+  part.t_response = VectorOracle<F>::InnerProduct(t.data(), u.data(), u.size());
+  if (answer_seconds != nullptr) {
+    *answer_seconds += timer.Lap();
+  }
+  return part;
+}
+
+}  // namespace zaatar
+
+#endif  // SRC_COMMIT_COMMITMENT_H_

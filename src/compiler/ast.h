@@ -1,0 +1,130 @@
+// Abstract syntax tree for zlang.
+//
+// Grammar sketch (recursive descent, see parser.cc):
+//   program  := ('program' ident ';')? decl* stmt*
+//   decl     := ('input'|'output'|'var') type ident ('[' expr ']')* ('=' expr)? ';'
+//            |  'const' ident '=' expr ';'
+//   type     := 'int8'|'int16'|'int32'|'int64'|'int' '<' expr '>'
+//            |  'bool' | 'rational' '<' expr ',' expr '>'
+//   stmt     := lvalue '=' expr ';' | 'if' '(' expr ')' block ('else' ...)?
+//            |  'for' ident 'in' expr '..' expr block | block
+//   expr     := the usual C precedence with ?:, ||, &&, comparisons, + - * / %,
+//               unary - !, calls (builtins min/max/abs), and array indexing.
+
+#ifndef SRC_COMPILER_AST_H_
+#define SRC_COMPILER_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/compiler/token.h"
+
+namespace zaatar {
+
+struct TypeNode {
+  enum class Kind { kInt, kBool, kRational };
+  Kind kind = Kind::kInt;
+  size_t width = 32;      // int width, or rational numerator width
+  size_t den_width = 0;   // rational denominator width
+  std::vector<size_t> dims;  // array dimensions (outermost first); empty =
+                             // scalar. Filled by the parser from constant
+                             // expressions.
+
+  bool IsArray() const { return !dims.empty(); }
+  size_t ElementCount() const {
+    size_t n = 1;
+    for (size_t d : dims) {
+      n *= d;
+    }
+    return n;
+  }
+};
+
+struct Expr {
+  enum class Kind {
+    kIntLit,
+    kBoolLit,
+    kVarRef,
+    kIndex,    // children[0] = base var ref, children[1..] = indices
+    kBinary,   // op, children[0], children[1]
+    kUnary,    // op, children[0]
+    kTernary,  // children[0] ? children[1] : children[2]
+    kCall,     // name(children...)
+  };
+  Kind kind;
+  int64_t int_value = 0;
+  std::string name;
+  TokenKind op = TokenKind::kEnd;
+  std::vector<std::unique_ptr<Expr>> children;
+  size_t line = 0, column = 0;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Declaration;
+
+struct Stmt {
+  enum class Kind {
+    kAssign, kIf, kFor, kBlock, kAssert, kReturn, kVarDecl,
+  };
+  Kind kind;
+  // kAssign: name, indices (may be empty), value.
+  // kIf: value = condition, body = then, else_body = else.
+  // kFor: name = loop variable, lo/hi = inclusive bounds, body.
+  // kAssert / kReturn: value = the asserted / returned expression.
+  std::string name;
+  std::vector<ExprPtr> indices;
+  ExprPtr value;
+  ExprPtr lo, hi;
+  std::vector<std::unique_ptr<Stmt>> body;
+  std::vector<std::unique_ptr<Stmt>> else_body;
+  std::unique_ptr<Declaration> decl;  // kVarDecl
+  size_t line = 0, column = 0;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Declaration {
+  enum class Kind { kInput, kOutput, kLocal, kConstant };
+  Kind kind;
+  std::string name;
+  TypeNode type;
+  ExprPtr init;  // kConstant value; optional kLocal initializer
+  // Width and dimension expressions may reference earlier `const`
+  // declarations, so they are resolved during evaluation, not parsing.
+  ExprPtr width_expr;
+  ExprPtr den_width_expr;
+  std::vector<ExprPtr> dim_exprs;
+  size_t line = 0, column = 0;
+};
+
+// A user-defined function: scalar parameters, statements, and a trailing
+// `return expr;`. Functions are inlined at each call site (the constraint
+// model has no notion of a call); they may read program-level variables but
+// their writes are local.
+struct FunctionDecl {
+  std::string name;
+  TypeNode return_type;
+  struct Param {
+    std::string name;
+    TypeNode type;
+    ExprPtr width_expr;
+    ExprPtr den_width_expr;
+  };
+  std::vector<Param> params;
+  std::vector<StmtPtr> body;  // last statement must be kReturn
+  size_t line = 0, column = 0;
+};
+
+struct ProgramAst {
+  std::string name;
+  std::vector<Declaration> decls;
+  std::vector<FunctionDecl> functions;
+  std::vector<StmtPtr> body;
+};
+
+}  // namespace zaatar
+
+#endif  // SRC_COMPILER_AST_H_

@@ -1,0 +1,314 @@
+// CircuitBuilder: accumulates Ginger constraints plus witness-solver ops as
+// the evaluator walks the program, then finalizes variable numbering.
+//
+// During construction, variables carry *provisional* indices tagged by role
+// (unbound / input / output) in the top bits; Finalize() renumbers them into
+// the layout the constraint systems expect (Z first, then X, then Y) and
+// rewrites every constraint and solver op.
+//
+// The gadget vocabulary matches the paper's §2.2/§5.4 discussion:
+//   Product       degree-2 constraint (the compiler's workhorse)
+//   IsZero        the "X != Z" trick: 0 = (X-Z)·M - 1, via an aux inverse
+//   Decompose     bit decomposition; order comparisons cost O(width)
+//                 constraints ("O(log |F|) constraints for inequality
+//                 comparisons")
+//   AssertEqual   a linear constraint
+
+#ifndef SRC_COMPILER_BUILDER_H_
+#define SRC_COMPILER_BUILDER_H_
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/compiler/lexer.h"
+#include "src/compiler/solver.h"
+#include "src/constraints/ginger.h"
+
+namespace zaatar {
+
+template <typename F>
+class CircuitBuilder {
+ public:
+  using LC = LinearCombination<F>;
+
+  static constexpr uint32_t kTagShift = 30;
+  static constexpr uint32_t kUnboundTag = 0u << kTagShift;
+  static constexpr uint32_t kInputTag = 1u << kTagShift;
+  static constexpr uint32_t kOutputTag = 2u << kTagShift;
+  static constexpr uint32_t kOrdinalMask = (1u << kTagShift) - 1;
+
+  uint32_t NewInput() { return kInputTag | num_inputs_++; }
+  uint32_t NewOutput() { return kOutputTag | num_outputs_++; }
+
+  size_t num_inputs() const { return num_inputs_; }
+  size_t num_outputs() const { return num_outputs_; }
+  size_t num_constraints() const { return constraints_.size(); }
+
+  // ----- gadgets -----
+
+  // Returns an LC referring to a single fresh variable equal to `lc`.
+  // No-op when lc is already a bare variable.
+  LC Materialize(const LC& lc) {
+    if (lc.terms().size() == 1 && lc.constant().IsZero() &&
+        lc.terms()[0].second.IsOne()) {
+      return lc;
+    }
+    uint32_t v = NewUnbound();
+    // v - lc = 0
+    GingerConstraint<F> c;
+    c.linear = lc * (-F::One());
+    c.linear.AddTerm(v, F::One());
+    c.linear.Compact();
+    constraints_.push_back(std::move(c));
+    PushAffine(v, lc);
+    return LC::Variable(v);
+  }
+
+  // Product of two linear combinations; returns the result as a fresh
+  // variable (or folds it when either side is constant).
+  LC Product(const LC& a, const LC& b) {
+    if (a.IsConstant()) {
+      return b * a.constant();
+    }
+    if (b.IsConstant()) {
+      return a * b.constant();
+    }
+    // Keep the degree-2 cross expansion small; Ginger constraints allow many
+    // additive terms, but large cross products inflate K and K2 needlessly.
+    LC la = a.terms().size() <= 2 ? a : Materialize(a);
+    LC lb = b.terms().size() <= 2 ? b : Materialize(b);
+
+    uint32_t v = NewUnbound();
+    GingerConstraint<F> c;
+    // la·lb - v = 0, expanded.
+    c.linear = lb * la.constant() + la * lb.constant();
+    c.linear.AddConstant(-(la.constant() * lb.constant()));  // counted twice
+    c.linear.AddTerm(v, -F::One());
+    c.linear.Compact();
+    for (const auto& [va, ca] : la.terms()) {
+      for (const auto& [vb, cb] : lb.terms()) {
+        c.quad.push_back({va, vb, ca * cb});
+      }
+    }
+    constraints_.push_back(std::move(c));
+
+    SolverOp<F> op;
+    op.kind = SolverOp<F>::Kind::kProduct;
+    op.dst = v;
+    op.a = la;
+    op.b = lb;
+    op.c0 = F::Zero();
+    op.c1 = F::One();
+    solver_.push_back(std::move(op));
+    return LC::Variable(v);
+  }
+
+  // Boolean (0/1) variable that is 1 iff value == 0.
+  LC IsZero(const LC& value) {
+    LC v = Materialize(value);
+    uint32_t m = NewUnbound();
+    uint32_t b = NewUnbound();
+    uint32_t vv = v.terms()[0].first;
+    // v·m + b - 1 = 0
+    {
+      GingerConstraint<F> c;
+      c.quad.push_back({vv, m, F::One()});
+      c.linear.AddTerm(b, F::One());
+      c.linear.AddConstant(-F::One());
+      constraints_.push_back(std::move(c));
+    }
+    // v·b = 0
+    {
+      GingerConstraint<F> c;
+      c.quad.push_back({vv, b, F::One()});
+      constraints_.push_back(std::move(c));
+    }
+    {
+      SolverOp<F> op;
+      op.kind = SolverOp<F>::Kind::kInvOrZero;
+      op.dst = m;
+      op.a = v;
+      solver_.push_back(std::move(op));
+    }
+    {
+      SolverOp<F> op;  // b = 1 - v·m
+      op.kind = SolverOp<F>::Kind::kProduct;
+      op.dst = b;
+      op.a = v;
+      op.b = LC::Variable(m);
+      op.c0 = F::One();
+      op.c1 = -F::One();
+      solver_.push_back(std::move(op));
+    }
+    return LC::Variable(b);
+  }
+
+  // Decomposes `value` (whose canonical representation is known to fit in
+  // `width` bits) into bits, least significant first. Each bit costs one
+  // constraint; one linear constraint ties them to the value.
+  std::vector<LC> Decompose(const LC& value, size_t width) {
+    assert(width + 2 < F::kModulusBits &&
+           "bit width too large for the field");
+    std::vector<uint32_t> bits(width);
+    SolverOp<F> op;
+    op.kind = SolverOp<F>::Kind::kBits;
+    op.a = value;
+    GingerConstraint<F> sum;  // sum_i 2^i b_i - value = 0
+    sum.linear = value * (-F::One());
+    F pow = F::One();
+    std::vector<LC> out;
+    out.reserve(width);
+    for (size_t i = 0; i < width; i++) {
+      bits[i] = NewUnbound();
+      op.bit_dsts.push_back(bits[i]);
+      // b·b - b = 0
+      GingerConstraint<F> bc;
+      bc.quad.push_back({bits[i], bits[i], F::One()});
+      bc.linear.AddTerm(bits[i], -F::One());
+      constraints_.push_back(std::move(bc));
+      sum.linear.AddTerm(bits[i], pow);
+      pow = pow.Double();
+      out.push_back(LC::Variable(bits[i]));
+    }
+    sum.linear.Compact();
+    constraints_.push_back(std::move(sum));
+    solver_.push_back(std::move(op));
+    return out;
+  }
+
+  // Floor division: fresh (quotient, remainder) variables with the single
+  // constraint dividend = q·divisor + r. The *caller* must add the range
+  // constraints (r in [0, divisor), q in range) that make the decomposition
+  // unique — see Evaluator::FixRationalDynamic.
+  std::pair<LC, LC> DivFloor(const LC& dividend, const LC& divisor) {
+    uint32_t q = NewUnbound();
+    uint32_t r = NewUnbound();
+    {
+      SolverOp<F> op;
+      op.kind = SolverOp<F>::Kind::kDivFloor;
+      op.dst = q;
+      op.dst2 = r;
+      op.a = dividend;
+      op.b = divisor;
+      solver_.push_back(std::move(op));
+    }
+    // dividend - q·divisor - r = 0.
+    LC d = divisor.terms().empty() ? divisor : Materialize(divisor);
+    GingerConstraint<F> c;
+    c.linear = dividend;
+    c.linear.AddTerm(r, -F::One());
+    if (d.IsConstant()) {
+      c.linear.AddTerm(q, -d.constant());
+    } else {
+      c.quad.push_back({q, d.terms()[0].first, -F::One()});
+    }
+    c.linear.Compact();
+    constraints_.push_back(std::move(c));
+    return {LC::Variable(q), LC::Variable(r)};
+  }
+
+  // Fresh variable carrying floor(sqrt(value)) — the *caller* must add the
+  // range constraints (s^2 <= value < (s+1)^2) that pin it down.
+  LC SqrtWitness(const LC& value) {
+    uint32_t s = NewUnbound();
+    SolverOp<F> op;
+    op.kind = SolverOp<F>::Kind::kSqrt;
+    op.dst = s;
+    op.a = value;
+    solver_.push_back(std::move(op));
+    return LC::Variable(s);
+  }
+
+  // Linear constraint a = b.
+  void AssertEqual(const LC& a, const LC& b) {
+    GingerConstraint<F> c;
+    c.linear = a + b * (-F::One());
+    c.linear.Compact();
+    if (c.linear.IsConstant()) {
+      if (!c.linear.constant().IsZero()) {
+        throw CompileError("constraint is unsatisfiable for all inputs", 0, 0);
+      }
+      return;
+    }
+    constraints_.push_back(std::move(c));
+  }
+
+  // Pins an output variable to a computed value: one linear constraint plus
+  // the solver op that produces the output.
+  void BindOutput(uint32_t output_var, const LC& value) {
+    GingerConstraint<F> c;
+    c.linear = value * (-F::One());
+    c.linear.AddTerm(output_var, F::One());
+    c.linear.Compact();
+    constraints_.push_back(std::move(c));
+    PushAffine(output_var, value);
+  }
+
+  // ----- finalization -----
+
+  struct Result {
+    GingerSystem<F> system;
+    std::vector<SolverOp<F>> solver;
+  };
+
+  Result Finalize() {
+    const uint32_t n_unbound = num_unbound_;
+    const uint32_t n_inputs = num_inputs_;
+    auto remap = [n_unbound, n_inputs](uint32_t v) -> uint32_t {
+      uint32_t tag = v & ~kOrdinalMask;
+      uint32_t ord = v & kOrdinalMask;
+      switch (tag) {
+        case kUnboundTag: return ord;
+        case kInputTag: return n_unbound + ord;
+        default: return n_unbound + n_inputs + ord;  // kOutputTag
+      }
+    };
+
+    Result r;
+    r.system.layout.num_unbound = num_unbound_;
+    r.system.layout.num_inputs = num_inputs_;
+    r.system.layout.num_outputs = num_outputs_;
+    r.system.constraints = std::move(constraints_);
+    for (auto& c : r.system.constraints) {
+      c.linear.RemapVariables(remap);
+      for (auto& q : c.quad) {
+        q.a = remap(q.a);
+        q.b = remap(q.b);
+      }
+    }
+    r.solver = std::move(solver_);
+    for (auto& op : r.solver) {
+      op.dst = remap(op.dst);
+      op.a.RemapVariables(remap);
+      op.b.RemapVariables(remap);
+      for (auto& b : op.bit_dsts) {
+        b = remap(b);
+      }
+    }
+    return r;
+  }
+
+ private:
+  uint32_t NewUnbound() { return kUnboundTag | num_unbound_++; }
+
+  void PushAffine(uint32_t dst, const LC& lc) {
+    SolverOp<F> op;
+    op.kind = SolverOp<F>::Kind::kAffine;
+    op.dst = dst;
+    op.a = lc;
+    solver_.push_back(std::move(op));
+  }
+
+  uint32_t num_unbound_ = 0;
+  uint32_t num_inputs_ = 0;
+  uint32_t num_outputs_ = 0;
+  std::vector<GingerConstraint<F>> constraints_;
+  std::vector<SolverOp<F>> solver_;
+};
+
+}  // namespace zaatar
+
+#endif  // SRC_COMPILER_BUILDER_H_

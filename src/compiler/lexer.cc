@@ -1,0 +1,230 @@
+#include "src/compiler/lexer.h"
+
+#include <cctype>
+#include <map>
+
+namespace zaatar {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEnd: return "<end>";
+    case TokenKind::kIdentifier: return "identifier";
+    case TokenKind::kIntLiteral: return "integer literal";
+    case TokenKind::kProgram: return "'program'";
+    case TokenKind::kInput: return "'input'";
+    case TokenKind::kOutput: return "'output'";
+    case TokenKind::kVar: return "'var'";
+    case TokenKind::kConst: return "'const'";
+    case TokenKind::kIf: return "'if'";
+    case TokenKind::kElse: return "'else'";
+    case TokenKind::kFor: return "'for'";
+    case TokenKind::kIn: return "'in'";
+    case TokenKind::kTrue: return "'true'";
+    case TokenKind::kFalse: return "'false'";
+    case TokenKind::kIntType: return "int type";
+    case TokenKind::kBoolType: return "'bool'";
+    case TokenKind::kRationalType: return "'rational'";
+    case TokenKind::kFunc: return "'func'";
+    case TokenKind::kReturn: return "'return'";
+    case TokenKind::kAssert: return "'assert'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kLBracket: return "'['";
+    case TokenKind::kRBracket: return "']'";
+    case TokenKind::kLess: return "'<'";
+    case TokenKind::kLessEq: return "'<='";
+    case TokenKind::kGreater: return "'>'";
+    case TokenKind::kGreaterEq: return "'>='";
+    case TokenKind::kEqEq: return "'=='";
+    case TokenKind::kNotEq: return "'!='";
+    case TokenKind::kAssign: return "'='";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kPercent: return "'%'";
+    case TokenKind::kAndAnd: return "'&&'";
+    case TokenKind::kOrOr: return "'||'";
+    case TokenKind::kNot: return "'!'";
+    case TokenKind::kShl: return "'<<'";
+    case TokenKind::kShr: return "'>>'";
+    case TokenKind::kAmp: return "'&'";
+    case TokenKind::kPipe: return "'|'";
+    case TokenKind::kCaret: return "'^'";
+    case TokenKind::kQuestion: return "'?'";
+    case TokenKind::kColon: return "':'";
+    case TokenKind::kSemicolon: return "';'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kDotDot: return "'..'";
+  }
+  return "<unknown>";
+}
+
+namespace {
+
+const std::map<std::string, TokenKind>& Keywords() {
+  static const std::map<std::string, TokenKind> kKeywords = {
+      {"program", TokenKind::kProgram}, {"input", TokenKind::kInput},
+      {"output", TokenKind::kOutput},   {"var", TokenKind::kVar},
+      {"const", TokenKind::kConst},     {"if", TokenKind::kIf},
+      {"else", TokenKind::kElse},       {"for", TokenKind::kFor},
+      {"in", TokenKind::kIn},           {"true", TokenKind::kTrue},
+      {"false", TokenKind::kFalse},     {"bool", TokenKind::kBoolType},
+      {"rational", TokenKind::kRationalType},
+      {"func", TokenKind::kFunc},
+      {"return", TokenKind::kReturn},
+      {"assert", TokenKind::kAssert},
+  };
+  return kKeywords;
+}
+
+// int8/int16/int32/int64 map to kIntType with the width in int_value; the
+// generic form int<N> is handled by the parser (kIntType with value 0).
+bool SizedIntKeyword(const std::string& word, int64_t* width) {
+  if (word == "int") {
+    *width = 0;  // width follows as <N>
+    return true;
+  }
+  if (word == "int8") { *width = 8; return true; }
+  if (word == "int16") { *width = 16; return true; }
+  if (word == "int32") { *width = 32; return true; }
+  if (word == "int64") { *width = 64; return true; }
+  return false;
+}
+
+}  // namespace
+
+std::vector<Token> Lex(const std::string& source) {
+  std::vector<Token> tokens;
+  size_t line = 1, col = 1;
+  size_t i = 0;
+  const size_t n = source.size();
+
+  auto make = [&](TokenKind kind) {
+    Token t;
+    t.kind = kind;
+    t.line = line;
+    t.column = col;
+    return t;
+  };
+  auto advance = [&](size_t count = 1) {
+    for (size_t k = 0; k < count && i < n; k++) {
+      if (source[i] == '\n') {
+        line++;
+        col = 1;
+      } else {
+        col++;
+      }
+      i++;
+    }
+  };
+
+  while (i < n) {
+    char ch = source[i];
+    if (std::isspace(static_cast<unsigned char>(ch))) {
+      advance();
+      continue;
+    }
+    // Comments.
+    if (ch == '/' && i + 1 < n && source[i + 1] == '/') {
+      while (i < n && source[i] != '\n') {
+        advance();
+      }
+      continue;
+    }
+    if (ch == '/' && i + 1 < n && source[i + 1] == '*') {
+      advance(2);
+      while (i + 1 < n && !(source[i] == '*' && source[i + 1] == '/')) {
+        advance();
+      }
+      if (i + 1 >= n) {
+        throw CompileError("unterminated block comment", line, col);
+      }
+      advance(2);
+      continue;
+    }
+    // Identifiers and keywords.
+    if (std::isalpha(static_cast<unsigned char>(ch)) || ch == '_') {
+      Token t = make(TokenKind::kIdentifier);
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(source[i])) ||
+                       source[i] == '_')) {
+        advance();
+      }
+      t.text = source.substr(start, i - start);
+      auto kw = Keywords().find(t.text);
+      int64_t width = 0;
+      if (kw != Keywords().end()) {
+        t.kind = kw->second;
+      } else if (SizedIntKeyword(t.text, &width)) {
+        t.kind = TokenKind::kIntType;
+        t.int_value = width;
+      }
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    // Integer literals (decimal).
+    if (std::isdigit(static_cast<unsigned char>(ch))) {
+      Token t = make(TokenKind::kIntLiteral);
+      size_t start = i;
+      while (i < n && std::isdigit(static_cast<unsigned char>(source[i]))) {
+        advance();
+      }
+      t.text = source.substr(start, i - start);
+      t.int_value = std::stoll(t.text);
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    // Operators / punctuation.
+    auto two = [&](char a, char b) {
+      return ch == a && i + 1 < n && source[i + 1] == b;
+    };
+    Token t = make(TokenKind::kEnd);
+    if (two('<', '<')) { t.kind = TokenKind::kShl; advance(2); }
+    else if (two('>', '>')) { t.kind = TokenKind::kShr; advance(2); }
+    else if (two('<', '=')) { t.kind = TokenKind::kLessEq; advance(2); }
+    else if (two('>', '=')) { t.kind = TokenKind::kGreaterEq; advance(2); }
+    else if (two('=', '=')) { t.kind = TokenKind::kEqEq; advance(2); }
+    else if (two('!', '=')) { t.kind = TokenKind::kNotEq; advance(2); }
+    else if (two('&', '&')) { t.kind = TokenKind::kAndAnd; advance(2); }
+    else if (two('|', '|')) { t.kind = TokenKind::kOrOr; advance(2); }
+    else if (two('.', '.')) { t.kind = TokenKind::kDotDot; advance(2); }
+    else {
+      switch (ch) {
+        case '(': t.kind = TokenKind::kLParen; break;
+        case ')': t.kind = TokenKind::kRParen; break;
+        case '{': t.kind = TokenKind::kLBrace; break;
+        case '}': t.kind = TokenKind::kRBrace; break;
+        case '[': t.kind = TokenKind::kLBracket; break;
+        case ']': t.kind = TokenKind::kRBracket; break;
+        case '<': t.kind = TokenKind::kLess; break;
+        case '>': t.kind = TokenKind::kGreater; break;
+        case '=': t.kind = TokenKind::kAssign; break;
+        case '+': t.kind = TokenKind::kPlus; break;
+        case '-': t.kind = TokenKind::kMinus; break;
+        case '*': t.kind = TokenKind::kStar; break;
+        case '/': t.kind = TokenKind::kSlash; break;
+        case '%': t.kind = TokenKind::kPercent; break;
+        case '!': t.kind = TokenKind::kNot; break;
+        case '&': t.kind = TokenKind::kAmp; break;
+        case '|': t.kind = TokenKind::kPipe; break;
+        case '^': t.kind = TokenKind::kCaret; break;
+        case '?': t.kind = TokenKind::kQuestion; break;
+        case ':': t.kind = TokenKind::kColon; break;
+        case ';': t.kind = TokenKind::kSemicolon; break;
+        case ',': t.kind = TokenKind::kComma; break;
+        default:
+          throw CompileError(std::string("unexpected character '") + ch + "'",
+                             line, col);
+      }
+      advance();
+    }
+    tokens.push_back(std::move(t));
+  }
+  tokens.push_back(make(TokenKind::kEnd));
+  return tokens;
+}
+
+}  // namespace zaatar

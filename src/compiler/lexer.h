@@ -1,0 +1,38 @@
+// Hand-written lexer for zlang. Supports // line comments and /* block
+// comments */. Reports errors by throwing CompileError (caught at the
+// Compile() API boundary).
+
+#ifndef SRC_COMPILER_LEXER_H_
+#define SRC_COMPILER_LEXER_H_
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/compiler/token.h"
+
+namespace zaatar {
+
+// All frontend errors (lexing, parsing, type checking, constraint
+// generation) are reported as CompileError with source position in what().
+class CompileError : public std::runtime_error {
+ public:
+  CompileError(const std::string& message, size_t line, size_t column)
+      : std::runtime_error("line " + std::to_string(line) + ":" +
+                           std::to_string(column) + ": " + message),
+        line_(line),
+        column_(column) {}
+
+  size_t line() const { return line_; }
+  size_t column() const { return column_; }
+
+ private:
+  size_t line_;
+  size_t column_;
+};
+
+std::vector<Token> Lex(const std::string& source);
+
+}  // namespace zaatar
+
+#endif  // SRC_COMPILER_LEXER_H_

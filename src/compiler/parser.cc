@@ -1,0 +1,459 @@
+#include "src/compiler/parser.h"
+
+#include <utility>
+
+namespace zaatar {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  ProgramAst ParseProgram() {
+    ProgramAst prog;
+    if (Check(TokenKind::kProgram)) {
+      Next();
+      prog.name = Expect(TokenKind::kIdentifier).text;
+      Expect(TokenKind::kSemicolon);
+    }
+    while (Check(TokenKind::kInput) || Check(TokenKind::kOutput) ||
+           Check(TokenKind::kVar) || Check(TokenKind::kConst) ||
+           Check(TokenKind::kFunc)) {
+      if (Check(TokenKind::kFunc)) {
+        prog.functions.push_back(ParseFunction());
+      } else {
+        prog.decls.push_back(ParseDeclaration());
+      }
+    }
+    while (!Check(TokenKind::kEnd)) {
+      prog.body.push_back(ParseStatement());
+    }
+    return prog;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Next() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  bool Check(TokenKind kind) const { return Peek().kind == kind; }
+  bool Accept(TokenKind kind) {
+    if (Check(kind)) {
+      Next();
+      return true;
+    }
+    return false;
+  }
+  const Token& Expect(TokenKind kind) {
+    if (!Check(kind)) {
+      throw CompileError(std::string("expected ") + TokenKindName(kind) +
+                             " but found " + TokenKindName(Peek().kind),
+                         Peek().line, Peek().column);
+    }
+    return Next();
+  }
+
+  Declaration ParseDeclaration() {
+    Declaration d;
+    const Token& intro = Next();
+    d.line = intro.line;
+    d.column = intro.column;
+    switch (intro.kind) {
+      case TokenKind::kInput: d.kind = Declaration::Kind::kInput; break;
+      case TokenKind::kOutput: d.kind = Declaration::Kind::kOutput; break;
+      case TokenKind::kVar: d.kind = Declaration::Kind::kLocal; break;
+      case TokenKind::kConst: {
+        d.kind = Declaration::Kind::kConstant;
+        d.name = Expect(TokenKind::kIdentifier).text;
+        Expect(TokenKind::kAssign);
+        d.init = ParseExpr();
+        Expect(TokenKind::kSemicolon);
+        return d;
+      }
+      default:
+        throw CompileError("expected declaration", intro.line, intro.column);
+    }
+    ParseType(&d);
+    d.name = Expect(TokenKind::kIdentifier).text;
+    while (Accept(TokenKind::kLBracket)) {
+      d.dim_exprs.push_back(ParseExpr());
+      Expect(TokenKind::kRBracket);
+    }
+    if (Accept(TokenKind::kAssign)) {
+      d.init = ParseExpr();
+    }
+    Expect(TokenKind::kSemicolon);
+    return d;
+  }
+
+  // Width expressions stop below comparison/shift precedence so the closing
+  // '>' is not eaten as an operator.
+  void ParseTypeInto(TypeNode* type, ExprPtr* width_expr,
+                     ExprPtr* den_width_expr) {
+    const Token& t = Next();
+    switch (t.kind) {
+      case TokenKind::kIntType:
+        type->kind = TypeNode::Kind::kInt;
+        if (t.int_value != 0) {
+          type->width = static_cast<size_t>(t.int_value);
+        } else {
+          Expect(TokenKind::kLess);
+          *width_expr = ParseAdditive();
+          Expect(TokenKind::kGreater);
+        }
+        break;
+      case TokenKind::kBoolType:
+        type->kind = TypeNode::Kind::kBool;
+        type->width = 1;
+        break;
+      case TokenKind::kRationalType:
+        type->kind = TypeNode::Kind::kRational;
+        Expect(TokenKind::kLess);
+        *width_expr = ParseAdditive();
+        Expect(TokenKind::kComma);
+        *den_width_expr = ParseAdditive();
+        Expect(TokenKind::kGreater);
+        break;
+      default:
+        throw CompileError("expected a type", t.line, t.column);
+    }
+  }
+
+  void ParseType(Declaration* d) {
+    ParseTypeInto(&d->type, &d->width_expr, &d->den_width_expr);
+  }
+
+  FunctionDecl ParseFunction() {
+    FunctionDecl f;
+    const Token& intro = Expect(TokenKind::kFunc);
+    f.line = intro.line;
+    f.column = intro.column;
+    ExprPtr ret_width, ret_den;  // return type widths are advisory
+    ParseTypeInto(&f.return_type, &ret_width, &ret_den);
+    f.name = Expect(TokenKind::kIdentifier).text;
+    Expect(TokenKind::kLParen);
+    if (!Check(TokenKind::kRParen)) {
+      do {
+        FunctionDecl::Param p;
+        ParseTypeInto(&p.type, &p.width_expr, &p.den_width_expr);
+        p.name = Expect(TokenKind::kIdentifier).text;
+        f.params.push_back(std::move(p));
+      } while (Accept(TokenKind::kComma));
+    }
+    Expect(TokenKind::kRParen);
+    f.body = ParseBlock();
+    if (f.body.empty() || f.body.back()->kind != Stmt::Kind::kReturn) {
+      throw CompileError(
+          "function body must end with a 'return' statement", f.line,
+          f.column);
+    }
+    return f;
+  }
+
+  StmtPtr ParseStatement() {
+    const Token& t = Peek();
+    if (t.kind == TokenKind::kAssert) {
+      auto s = NewStmt(Stmt::Kind::kAssert);
+      Next();
+      s->value = ParseExpr();
+      Expect(TokenKind::kSemicolon);
+      return s;
+    }
+    if (t.kind == TokenKind::kReturn) {
+      auto s = NewStmt(Stmt::Kind::kReturn);
+      Next();
+      s->value = ParseExpr();
+      Expect(TokenKind::kSemicolon);
+      return s;
+    }
+    if (t.kind == TokenKind::kVar) {
+      auto s = NewStmt(Stmt::Kind::kVarDecl);
+      s->decl = std::make_unique<Declaration>(ParseDeclaration());
+      return s;
+    }
+    if (t.kind == TokenKind::kIf) {
+      return ParseIf();
+    }
+    if (t.kind == TokenKind::kFor) {
+      return ParseFor();
+    }
+    if (t.kind == TokenKind::kLBrace) {
+      auto s = NewStmt(Stmt::Kind::kBlock);
+      s->body = ParseBlock();
+      return s;
+    }
+    // Assignment.
+    auto s = NewStmt(Stmt::Kind::kAssign);
+    s->name = Expect(TokenKind::kIdentifier).text;
+    while (Accept(TokenKind::kLBracket)) {
+      s->indices.push_back(ParseExpr());
+      Expect(TokenKind::kRBracket);
+    }
+    Expect(TokenKind::kAssign);
+    s->value = ParseExpr();
+    Expect(TokenKind::kSemicolon);
+    return s;
+  }
+
+  StmtPtr ParseIf() {
+    auto s = NewStmt(Stmt::Kind::kIf);
+    Expect(TokenKind::kIf);
+    Expect(TokenKind::kLParen);
+    s->value = ParseExpr();
+    Expect(TokenKind::kRParen);
+    s->body = ParseBlock();
+    if (Accept(TokenKind::kElse)) {
+      if (Check(TokenKind::kIf)) {
+        s->else_body.push_back(ParseIf());
+      } else {
+        s->else_body = ParseBlock();
+      }
+    }
+    return s;
+  }
+
+  StmtPtr ParseFor() {
+    auto s = NewStmt(Stmt::Kind::kFor);
+    Expect(TokenKind::kFor);
+    s->name = Expect(TokenKind::kIdentifier).text;
+    Expect(TokenKind::kIn);
+    s->lo = ParseExpr();
+    Expect(TokenKind::kDotDot);
+    s->hi = ParseExpr();
+    s->body = ParseBlock();
+    return s;
+  }
+
+  std::vector<StmtPtr> ParseBlock() {
+    Expect(TokenKind::kLBrace);
+    std::vector<StmtPtr> body;
+    while (!Check(TokenKind::kRBrace)) {
+      body.push_back(ParseStatement());
+    }
+    Expect(TokenKind::kRBrace);
+    return body;
+  }
+
+  // --- expressions, by precedence ---
+
+  ExprPtr ParseExpr() { return ParseTernary(); }
+
+  ExprPtr ParseTernary() {
+    ExprPtr cond = ParseOr();
+    if (!Accept(TokenKind::kQuestion)) {
+      return cond;
+    }
+    auto e = NewExpr(Expr::Kind::kTernary);
+    ExprPtr then = ParseExpr();
+    Expect(TokenKind::kColon);
+    ExprPtr other = ParseTernary();
+    e->children.push_back(std::move(cond));
+    e->children.push_back(std::move(then));
+    e->children.push_back(std::move(other));
+    return e;
+  }
+
+  ExprPtr ParseOr() {
+    ExprPtr lhs = ParseAnd();
+    while (Check(TokenKind::kOrOr)) {
+      TokenKind op = Next().kind;
+      ExprPtr rhs = ParseAnd();
+      lhs = Binary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  ExprPtr ParseAnd() {
+    ExprPtr lhs = ParseBitOr();
+    while (Check(TokenKind::kAndAnd)) {
+      TokenKind op = Next().kind;
+      ExprPtr rhs = ParseBitOr();
+      lhs = Binary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  ExprPtr ParseBitOr() {
+    ExprPtr lhs = ParseBitXor();
+    while (Check(TokenKind::kPipe)) {
+      TokenKind op = Next().kind;
+      ExprPtr rhs = ParseBitXor();
+      lhs = Binary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  ExprPtr ParseBitXor() {
+    ExprPtr lhs = ParseBitAnd();
+    while (Check(TokenKind::kCaret)) {
+      TokenKind op = Next().kind;
+      ExprPtr rhs = ParseBitAnd();
+      lhs = Binary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  ExprPtr ParseBitAnd() {
+    ExprPtr lhs = ParseComparison();
+    while (Check(TokenKind::kAmp)) {
+      TokenKind op = Next().kind;
+      ExprPtr rhs = ParseComparison();
+      lhs = Binary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  ExprPtr ParseComparison() {
+    ExprPtr lhs = ParseShift();
+    switch (Peek().kind) {
+      case TokenKind::kLess:
+      case TokenKind::kLessEq:
+      case TokenKind::kGreater:
+      case TokenKind::kGreaterEq:
+      case TokenKind::kEqEq:
+      case TokenKind::kNotEq: {
+        TokenKind op = Next().kind;
+        ExprPtr rhs = ParseShift();
+        return Binary(op, std::move(lhs), std::move(rhs));
+      }
+      default:
+        return lhs;
+    }
+  }
+
+  ExprPtr ParseShift() {
+    ExprPtr lhs = ParseAdditive();
+    while (Check(TokenKind::kShl) || Check(TokenKind::kShr)) {
+      TokenKind op = Next().kind;
+      ExprPtr rhs = ParseAdditive();
+      lhs = Binary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  ExprPtr ParseAdditive() {
+    ExprPtr lhs = ParseMultiplicative();
+    while (Check(TokenKind::kPlus) || Check(TokenKind::kMinus)) {
+      TokenKind op = Next().kind;
+      ExprPtr rhs = ParseMultiplicative();
+      lhs = Binary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  ExprPtr ParseMultiplicative() {
+    ExprPtr lhs = ParseUnary();
+    while (Check(TokenKind::kStar) || Check(TokenKind::kSlash) ||
+           Check(TokenKind::kPercent)) {
+      TokenKind op = Next().kind;
+      ExprPtr rhs = ParseUnary();
+      lhs = Binary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  ExprPtr ParseUnary() {
+    if (Check(TokenKind::kMinus) || Check(TokenKind::kNot)) {
+      auto e = NewExpr(Expr::Kind::kUnary);
+      e->op = Next().kind;
+      e->children.push_back(ParseUnary());
+      return e;
+    }
+    return ParsePrimary();
+  }
+
+  ExprPtr ParsePrimary() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kIntLiteral: {
+        auto e = NewExpr(Expr::Kind::kIntLit);
+        e->int_value = Next().int_value;
+        return e;
+      }
+      case TokenKind::kTrue:
+      case TokenKind::kFalse: {
+        auto e = NewExpr(Expr::Kind::kBoolLit);
+        e->int_value = Next().kind == TokenKind::kTrue ? 1 : 0;
+        return e;
+      }
+      case TokenKind::kLParen: {
+        Next();
+        ExprPtr e = ParseExpr();
+        Expect(TokenKind::kRParen);
+        return e;
+      }
+      case TokenKind::kIdentifier: {
+        if (Peek(1).kind == TokenKind::kLParen) {
+          auto e = NewExpr(Expr::Kind::kCall);
+          e->name = Next().text;
+          Next();  // '('
+          if (!Check(TokenKind::kRParen)) {
+            e->children.push_back(ParseExpr());
+            while (Accept(TokenKind::kComma)) {
+              e->children.push_back(ParseExpr());
+            }
+          }
+          Expect(TokenKind::kRParen);
+          return e;
+        }
+        auto ref = NewExpr(Expr::Kind::kVarRef);
+        ref->name = Next().text;
+        if (Check(TokenKind::kLBracket)) {
+          auto idx = NewExpr(Expr::Kind::kIndex);
+          idx->children.push_back(std::move(ref));
+          while (Accept(TokenKind::kLBracket)) {
+            idx->children.push_back(ParseExpr());
+            Expect(TokenKind::kRBracket);
+          }
+          return idx;
+        }
+        return ref;
+      }
+      default:
+        throw CompileError(std::string("unexpected ") +
+                               TokenKindName(t.kind) + " in expression",
+                           t.line, t.column);
+    }
+  }
+
+  ExprPtr NewExpr(Expr::Kind kind) {
+    auto e = std::make_unique<Expr>();
+    e->kind = kind;
+    e->line = Peek().line;
+    e->column = Peek().column;
+    return e;
+  }
+
+  StmtPtr NewStmt(Stmt::Kind kind) {
+    auto s = std::make_unique<Stmt>();
+    s->kind = kind;
+    s->line = Peek().line;
+    s->column = Peek().column;
+    return s;
+  }
+
+  ExprPtr Binary(TokenKind op, ExprPtr lhs, ExprPtr rhs) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::kBinary;
+    e->op = op;
+    e->line = lhs->line;
+    e->column = lhs->column;
+    e->children.push_back(std::move(lhs));
+    e->children.push_back(std::move(rhs));
+    return e;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+ProgramAst Parse(const std::string& source) {
+  Parser parser(Lex(source));
+  return parser.ParseProgram();
+}
+
+}  // namespace zaatar

@@ -1,0 +1,18 @@
+// Recursive-descent parser for zlang (grammar in ast.h).
+
+#ifndef SRC_COMPILER_PARSER_H_
+#define SRC_COMPILER_PARSER_H_
+
+#include <string>
+
+#include "src/compiler/ast.h"
+#include "src/compiler/lexer.h"
+
+namespace zaatar {
+
+// Throws CompileError on malformed input.
+ProgramAst Parse(const std::string& source);
+
+}  // namespace zaatar
+
+#endif  // SRC_COMPILER_PARSER_H_

@@ -1,0 +1,174 @@
+// The witness solver: a straight-line program, emitted alongside the
+// constraints, that computes every unbound variable (and output) from the
+// inputs. This is what the prover runs in the "solve constraints" phase of
+// Figure 5 — constraint systems are not executable, so each gadget records
+// how to produce its auxiliary values.
+
+#ifndef SRC_COMPILER_SOLVER_H_
+#define SRC_COMPILER_SOLVER_H_
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "src/constraints/linear_combination.h"
+
+namespace zaatar {
+
+template <typename F>
+struct SolverOp {
+  enum class Kind {
+    kAffine,     // dst = a(w)
+    kProduct,    // dst = c0 + c1 * a(w) * b(w)
+    kInvOrZero,  // dst = a(w) == 0 ? 0 : a(w)^{-1}
+    kBits,       // bit_dsts[i] = i-th bit of a(w), canonical; value must fit
+    kDivFloor,   // dst = floor(a(w) / b(w)) (a signed, b positive < 2^63);
+                 // dst2 = a(w) - dst*b(w), the remainder in [0, b)
+    kSqrt,       // dst = floor(sqrt(a(w))), a nonnegative < 2^126
+  };
+
+  Kind kind = Kind::kAffine;
+  uint32_t dst = 0;
+  uint32_t dst2 = 0;
+  LinearCombination<F> a;
+  LinearCombination<F> b;
+  F c0 = F::Zero();
+  F c1 = F::Zero();
+  std::vector<uint32_t> bit_dsts;
+};
+
+// Interprets a field element as a signed integer magnitude: returns true and
+// the magnitude if the canonical value is <= p/2, else the magnitude of p-v.
+template <typename F>
+bool SignedMagnitude(const F& v, typename F::Repr* magnitude) {
+  typename F::Repr c = v.ToCanonical();
+  typename F::Repr half = F::kModulus;
+  half.Shr1InPlace();
+  if (c > half) {
+    typename F::Repr neg = F::kModulus;
+    neg.SubInPlace(c);
+    *magnitude = neg;
+    return false;  // negative
+  }
+  *magnitude = c;
+  return true;
+}
+
+// Executes the ops in order against `values` (inputs pre-filled by the
+// caller; every other referenced slot is written before it is read, by
+// construction). Throws std::runtime_error if a kBits value exceeds its
+// declared width — that indicates a width-tracking bug, not a user error.
+template <typename F>
+void RunSolver(const std::vector<SolverOp<F>>& ops, std::vector<F>* values) {
+  for (const auto& op : ops) {
+    switch (op.kind) {
+      case SolverOp<F>::Kind::kAffine:
+        (*values)[op.dst] = op.a.Evaluate(*values);
+        break;
+      case SolverOp<F>::Kind::kProduct:
+        (*values)[op.dst] =
+            op.c0 + op.c1 * op.a.Evaluate(*values) * op.b.Evaluate(*values);
+        break;
+      case SolverOp<F>::Kind::kInvOrZero: {
+        F v = op.a.Evaluate(*values);
+        (*values)[op.dst] = v.IsZero() ? F::Zero() : v.Inverse();
+        break;
+      }
+      case SolverOp<F>::Kind::kBits: {
+        typename F::Repr canonical = op.a.Evaluate(*values).ToCanonical();
+        if (canonical.BitLength() > op.bit_dsts.size()) {
+          throw std::runtime_error(
+              "witness solver: value exceeds its tracked bit width");
+        }
+        for (size_t i = 0; i < op.bit_dsts.size(); i++) {
+          (*values)[op.bit_dsts[i]] =
+              canonical.Bit(i) ? F::One() : F::Zero();
+        }
+        break;
+      }
+      case SolverOp<F>::Kind::kSqrt: {
+        typename F::Repr mag;
+        if (!SignedMagnitude(op.a.Evaluate(*values), &mag) ||
+            mag.BitLength() > 126) {
+          throw std::runtime_error(
+              "witness solver: sqrt requires a nonnegative value < 2^126");
+        }
+        // Initial estimate from the top 64 bits, then integer Newton.
+        size_t bits = mag.BitLength();
+        uint64_t approx_shift = bits > 62 ? bits - 62 : 0;
+        if (approx_shift % 2 == 1) {
+          approx_shift++;
+        }
+        typename F::Repr top = mag;
+        for (size_t i = 0; i < approx_shift; i++) {
+          top.Shr1InPlace();
+        }
+        auto to128 = [](const typename F::Repr& r) -> __uint128_t {
+          __uint128_t v = r.limbs[0];
+          if constexpr (F::kLimbs > 1) {
+            v |= static_cast<__uint128_t>(r.limbs[1]) << 64;
+          }
+          return v;
+        };
+        uint64_t root = static_cast<uint64_t>(
+            std::sqrt(static_cast<double>(to128(top))));
+        __uint128_t s =
+            static_cast<__uint128_t>(root) << (approx_shift / 2);
+        // Newton correction in 128-bit space (values < 2^126 fit).
+        __uint128_t x = to128(mag);
+        for (int iter = 0; iter < 64 && s != 0; iter++) {
+          __uint128_t next = (s + x / s) / 2;
+          if (next >= s) {
+            break;
+          }
+          s = next;
+        }
+        while ((s + 1) * (s + 1) <= x) {
+          s++;
+        }
+        while (s * s > x) {
+          s--;
+        }
+        typename F::Repr out;
+        out.limbs[0] = static_cast<uint64_t>(s);
+        if constexpr (F::kLimbs > 1) {
+          out.limbs[1] = static_cast<uint64_t>(s >> 64);
+        }
+        (*values)[op.dst] = F::FromCanonical(out);
+        break;
+      }
+      case SolverOp<F>::Kind::kDivFloor: {
+        typename F::Repr div_mag;
+        F divisor = op.b.Evaluate(*values);
+        if (!SignedMagnitude(divisor, &div_mag) || div_mag.IsZero() ||
+            div_mag.BitLength() > 63) {
+          throw std::runtime_error(
+              "witness solver: divisor must be positive and < 2^63");
+        }
+        uint64_t d = div_mag.limbs[0];
+        typename F::Repr num_mag;
+        bool nonneg = SignedMagnitude(op.a.Evaluate(*values), &num_mag);
+        typename F::Repr q = num_mag;
+        uint64_t r = q.DivModU64InPlace(d);
+        if (nonneg) {
+          (*values)[op.dst] = F::FromCanonical(q);
+          (*values)[op.dst2] = F::FromUint(r);
+        } else if (r == 0) {
+          (*values)[op.dst] = -F::FromCanonical(q);
+          (*values)[op.dst2] = F::Zero();
+        } else {
+          // floor(-x/d) = -(x/d) - 1 when d does not divide x.
+          (*values)[op.dst] =
+              -(F::FromCanonical(q) + F::One());
+          (*values)[op.dst2] = F::FromUint(d - r);
+        }
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace zaatar
+
+#endif  // SRC_COMPILER_SOLVER_H_

@@ -1,0 +1,82 @@
+// Token definitions for zlang, the C-like source language this repository
+// compiles to constraints (standing in for the paper's SFDL frontend; see
+// DESIGN.md §5).
+
+#ifndef SRC_COMPILER_TOKEN_H_
+#define SRC_COMPILER_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace zaatar {
+
+enum class TokenKind {
+  kEnd,
+  kIdentifier,
+  kIntLiteral,
+  // keywords
+  kProgram,
+  kInput,
+  kOutput,
+  kVar,
+  kConst,
+  kIf,
+  kElse,
+  kFor,
+  kIn,
+  kTrue,
+  kFalse,
+  kIntType,       // int8 / int16 / int32 / int64 / int<N>
+  kBoolType,
+  kRationalType,  // rational<Wn, Wd>
+  kFunc,
+  kReturn,
+  kAssert,
+  // punctuation / operators
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kLBracket,
+  kRBracket,
+  kLess,
+  kLessEq,
+  kGreater,
+  kGreaterEq,
+  kEqEq,
+  kNotEq,
+  kAssign,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kAndAnd,
+  kOrOr,
+  kNot,
+  kShl,  // <<
+  kShr,  // >>
+  kAmp,
+  kPipe,
+  kCaret,
+  kQuestion,
+  kColon,
+  kSemicolon,
+  kComma,
+  kDotDot,  // ..
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;     // identifier name / literal text
+  int64_t int_value = 0;  // for kIntLiteral and sized int types (the width)
+  size_t line = 0;
+  size_t column = 0;
+};
+
+// Human-readable token name for diagnostics.
+const char* TokenKindName(TokenKind kind);
+
+}  // namespace zaatar
+
+#endif  // SRC_COMPILER_TOKEN_H_

@@ -1,0 +1,114 @@
+// Typed symbolic values manipulated by the evaluator.
+//
+// Integers are field elements with a tracked magnitude bound: |v| < 2^width.
+// Widths grow through arithmetic (add: +1 bit, mul: sum) and gate the
+// comparison gadgets; exceeding the field capacity is a compile error (the
+// paper's compiler has the same bounded-width model). A value known at
+// compile time additionally carries `static_value`, which is what loop
+// bounds and array indices require.
+//
+// Rationals follow Ginger's primitive floating-point representation: a pair
+// (numerator, denominator) of integers with the denominator positive by
+// construction (inputs are declared positive; +, -, *, and division by a
+// positive constant preserve positivity). Comparisons cross-multiply.
+
+#ifndef SRC_COMPILER_VALUES_H_
+#define SRC_COMPILER_VALUES_H_
+
+#include <cmath>
+#include <cstdint>
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "src/constraints/linear_combination.h"
+
+namespace zaatar {
+
+template <typename F>
+struct IntVal {
+  LinearCombination<F> lc;
+  // Magnitude bound: |value| < 2^width. A real number, so long accumulation
+  // chains grow by log2(#terms), not by one bit per addition.
+  double width = 1;
+  std::optional<int64_t> static_value;
+
+  static IntVal Constant(int64_t v) {
+    IntVal r;
+    r.lc = LinearCombination<F>(F::FromInt(v));
+    uint64_t mag = v >= 0 ? static_cast<uint64_t>(v)
+                          : static_cast<uint64_t>(-(v + 1)) + 1;
+    size_t bits = 1;
+    while ((uint64_t{1} << bits) <= mag && bits < 63) {
+      bits++;
+    }
+    r.width = static_cast<double>(bits);
+    r.static_value = v;
+    return r;
+  }
+
+  bool IsStatic() const { return static_value.has_value(); }
+};
+
+template <typename F>
+struct BoolVal {
+  LinearCombination<F> lc;  // guaranteed 0 or 1
+  std::optional<bool> static_value;
+
+  static BoolVal Constant(bool v) {
+    BoolVal r;
+    r.lc = LinearCombination<F>(v ? F::One() : F::Zero());
+    r.static_value = v;
+    return r;
+  }
+
+  bool IsStatic() const { return static_value.has_value(); }
+};
+
+template <typename F>
+struct RatVal {
+  IntVal<F> num;
+  IntVal<F> den;  // positive by construction
+
+  static RatVal FromInt(const IntVal<F>& v) {
+    RatVal r;
+    r.num = v;
+    r.den = IntVal<F>::Constant(1);
+    return r;
+  }
+};
+
+template <typename F>
+struct Value;
+
+template <typename F>
+struct ArrayVal {
+  std::vector<size_t> dims;       // outermost first
+  std::vector<Value<F>> elems;    // row-major, dims product elements
+};
+
+template <typename F>
+struct Value {
+  std::variant<IntVal<F>, BoolVal<F>, RatVal<F>, ArrayVal<F>> v;
+
+  Value() : v(IntVal<F>::Constant(0)) {}
+  Value(IntVal<F> x) : v(std::move(x)) {}          // NOLINT(runtime/explicit)
+  Value(BoolVal<F> x) : v(std::move(x)) {}         // NOLINT(runtime/explicit)
+  Value(RatVal<F> x) : v(std::move(x)) {}          // NOLINT(runtime/explicit)
+  Value(ArrayVal<F> x) : v(std::move(x)) {}        // NOLINT(runtime/explicit)
+
+  bool IsInt() const { return std::holds_alternative<IntVal<F>>(v); }
+  bool IsBool() const { return std::holds_alternative<BoolVal<F>>(v); }
+  bool IsRational() const { return std::holds_alternative<RatVal<F>>(v); }
+  bool IsArray() const { return std::holds_alternative<ArrayVal<F>>(v); }
+
+  const IntVal<F>& AsInt() const { return std::get<IntVal<F>>(v); }
+  const BoolVal<F>& AsBool() const { return std::get<BoolVal<F>>(v); }
+  const RatVal<F>& AsRational() const { return std::get<RatVal<F>>(v); }
+  const ArrayVal<F>& AsArray() const { return std::get<ArrayVal<F>>(v); }
+  ArrayVal<F>& AsArray() { return std::get<ArrayVal<F>>(v); }
+};
+
+}  // namespace zaatar
+
+#endif  // SRC_COMPILER_VALUES_H_

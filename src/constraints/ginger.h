@@ -1,0 +1,98 @@
+// Ginger's constraint formalism (paper §2.2): systems of degree-2 equations
+// over F. Each constraint is
+//     linear(W) + sum_k coeff_k * W_{a_k} * W_{b_k} = 0,
+// i.e. an arbitrary degree-2 polynomial with any number of additive terms.
+// This is the compiler's output format and the baseline system's native
+// representation (its proof vector is (z, z ⊗ z)).
+
+#ifndef SRC_CONSTRAINTS_GINGER_H_
+#define SRC_CONSTRAINTS_GINGER_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "src/constraints/linear_combination.h"
+
+namespace zaatar {
+
+template <typename F>
+struct QuadTerm {
+  uint32_t a;
+  uint32_t b;
+  F coeff;
+};
+
+template <typename F>
+struct GingerConstraint {
+  LinearCombination<F> linear;
+  std::vector<QuadTerm<F>> quad;
+
+  F Evaluate(const std::vector<F>& assignment) const {
+    F acc = linear.Evaluate(assignment);
+    for (const auto& t : quad) {
+      acc += t.coeff * assignment[t.a] * assignment[t.b];
+    }
+    return acc;
+  }
+};
+
+template <typename F>
+class GingerSystem {
+ public:
+  VariableLayout layout;
+  std::vector<GingerConstraint<F>> constraints;
+
+  size_t NumConstraints() const { return constraints.size(); }
+  size_t NumVariables() const { return layout.Total(); }
+
+  // Checks every constraint against a full assignment (Z then X then Y).
+  bool IsSatisfied(const std::vector<F>& assignment) const {
+    for (const auto& c : constraints) {
+      if (!c.Evaluate(assignment).IsZero()) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // Index of the first violated constraint, or -1 (diagnostics).
+  long FirstViolated(const std::vector<F>& assignment) const {
+    for (size_t j = 0; j < constraints.size(); j++) {
+      if (!constraints[j].Evaluate(assignment).IsZero()) {
+        return static_cast<long>(j);
+      }
+    }
+    return -1;
+  }
+
+  // K in the Figure 3 cost model: total number of additive terms across all
+  // constraints (linear terms + degree-2 terms; constants excluded).
+  size_t AdditiveTermCount() const {
+    size_t k = 0;
+    for (const auto& c : constraints) {
+      k += c.linear.TermCount() + c.quad.size();
+    }
+    return k;
+  }
+
+  // K2 in the Figure 3 cost model: the number of *distinct* degree-2 terms
+  // (unordered variable pairs) appearing anywhere in the system. This is
+  // exactly the number of auxiliary variables the Ginger->Zaatar transform
+  // introduces.
+  size_t DistinctQuadTermCount() const {
+    std::set<std::pair<uint32_t, uint32_t>> seen;
+    for (const auto& c : constraints) {
+      for (const auto& t : c.quad) {
+        seen.insert(std::minmax(t.a, t.b));
+      }
+    }
+    return seen.size();
+  }
+};
+
+}  // namespace zaatar
+
+#endif  // SRC_CONSTRAINTS_GINGER_H_

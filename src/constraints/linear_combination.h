@@ -1,0 +1,132 @@
+// Sparse linear combinations over constraint variables, plus the shared
+// variable-layout convention.
+//
+// Variable index space (paper §2.1 / Appendix A.1 notation):
+//   [0, num_unbound)                      — Z, the unbound ("witness") vars
+//   [num_unbound, num_unbound + |x|)      — X, the input variables
+//   [.., total)                           — Y, the output variables
+// The constant term is carried separately (the QAP maps it to row 0).
+//
+// Keeping Z first means the prover's z-vector is just assignment[0..n') and
+// new auxiliary variables (e.g. from the Ginger->Zaatar transform) append to
+// the Z region with a simple shift of the X/Y indices.
+
+#ifndef SRC_CONSTRAINTS_LINEAR_COMBINATION_H_
+#define SRC_CONSTRAINTS_LINEAR_COMBINATION_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace zaatar {
+
+struct VariableLayout {
+  size_t num_unbound = 0;  // |Z|
+  size_t num_inputs = 0;   // |x|
+  size_t num_outputs = 0;  // |y|
+
+  size_t Total() const { return num_unbound + num_inputs + num_outputs; }
+  size_t FirstInput() const { return num_unbound; }
+  size_t FirstOutput() const { return num_unbound + num_inputs; }
+  bool IsUnbound(uint32_t v) const { return v < num_unbound; }
+  bool IsInput(uint32_t v) const {
+    return v >= FirstInput() && v < FirstOutput();
+  }
+  bool IsOutput(uint32_t v) const {
+    return v >= FirstOutput() && v < Total();
+  }
+};
+
+template <typename F>
+class LinearCombination {
+ public:
+  LinearCombination() : constant_(F::Zero()) {}
+  explicit LinearCombination(const F& constant) : constant_(constant) {}
+
+  static LinearCombination Variable(uint32_t v) {
+    LinearCombination lc;
+    lc.AddTerm(v, F::One());
+    return lc;
+  }
+
+  void AddTerm(uint32_t var, const F& coeff) {
+    if (!coeff.IsZero()) {
+      terms_.emplace_back(var, coeff);
+    }
+  }
+  void AddConstant(const F& c) { constant_ += c; }
+
+  const std::vector<std::pair<uint32_t, F>>& terms() const { return terms_; }
+  const F& constant() const { return constant_; }
+
+  bool IsConstant() const { return terms_.empty(); }
+  size_t TermCount() const { return terms_.size(); }
+
+  F Evaluate(const std::vector<F>& assignment) const {
+    F acc = constant_;
+    for (const auto& [v, c] : terms_) {
+      assert(v < assignment.size());
+      acc += c * assignment[v];
+    }
+    return acc;
+  }
+
+  LinearCombination operator+(const LinearCombination& o) const {
+    LinearCombination r = *this;
+    r.constant_ += o.constant_;
+    r.terms_.insert(r.terms_.end(), o.terms_.begin(), o.terms_.end());
+    return r;
+  }
+
+  LinearCombination operator*(const F& s) const {
+    LinearCombination r;
+    r.constant_ = constant_ * s;
+    r.terms_.reserve(terms_.size());
+    for (const auto& [v, c] : terms_) {
+      r.AddTerm(v, c * s);
+    }
+    return r;
+  }
+
+  // Merges duplicate variable entries and drops zero coefficients.
+  void Compact() {
+    if (terms_.size() <= 1) {
+      return;
+    }
+    std::sort(terms_.begin(), terms_.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::vector<std::pair<uint32_t, F>> merged;
+    merged.reserve(terms_.size());
+    for (const auto& t : terms_) {
+      if (!merged.empty() && merged.back().first == t.first) {
+        merged.back().second += t.second;
+      } else {
+        merged.push_back(t);
+      }
+    }
+    merged.erase(std::remove_if(merged.begin(), merged.end(),
+                                [](const auto& t) {
+                                  return t.second.IsZero();
+                                }),
+                 merged.end());
+    terms_ = std::move(merged);
+  }
+
+  // Rewrites variable indices (used when a transform grows the Z region).
+  template <typename Fn>
+  void RemapVariables(Fn&& fn) {
+    for (auto& t : terms_) {
+      t.first = fn(t.first);
+    }
+  }
+
+ private:
+  std::vector<std::pair<uint32_t, F>> terms_;
+  F constant_;
+};
+
+}  // namespace zaatar
+
+#endif  // SRC_CONSTRAINTS_LINEAR_COMBINATION_H_

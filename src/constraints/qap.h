@@ -1,0 +1,177 @@
+// Quadratic Arithmetic Program encoding of a quadratic-form constraint set
+// (paper Appendix A.1, after Gennaro et al.).
+//
+// Interpolation points: sigma_j = j for j = 1..|C| (the arithmetic
+// progression that enables the incremental barycentric weights of Appendix
+// A.3), plus the extra point 0 at which every A_i/B_i/C_i vanishes.
+//
+//   - Prover side: ComputeH interpolates A(t) = sum_i w_i A_i(t) (and B, C)
+//     from their evaluations at the points, forms P_w = A·B - C, and divides
+//     by D(t) = prod_j (t - sigma_j). Cost ~ 3·f·|C|·log²|C| via the
+//     subproduct-tree machinery in src/poly.
+//   - Verifier side: EvaluateAtTau computes {A_i(tau)}, {B_i(tau)},
+//     {C_i(tau)} for all rows i (row 0 = constant term) and D(tau) with
+//     barycentric Lagrange evaluation, in O(|C| + nnz) field operations plus
+//     one batched inversion.
+
+#ifndef SRC_CONSTRAINTS_QAP_H_
+#define SRC_CONSTRAINTS_QAP_H_
+
+#include <cassert>
+#include <memory>
+#include <vector>
+
+#include "src/constraints/r1cs.h"
+#include "src/poly/algorithms.h"
+
+namespace zaatar {
+
+template <typename F>
+class Qap {
+ public:
+  explicit Qap(const R1cs<F>& cs) : cs_(&cs) {}
+
+  const R1cs<F>& constraint_system() const { return *cs_; }
+  size_t Degree() const { return cs_->NumConstraints(); }
+
+  // ----- Prover -----
+
+  struct HResult {
+    std::vector<F> h;  // |C|+1 coefficients of H(t), low degree first
+    bool exact;        // true iff D(t) divided P_w(t) exactly (i.e. the
+                       // assignment satisfies the constraints)
+  };
+
+  // Computes the coefficients of H(t) = P_w(t) / D(t) for the given full
+  // assignment. For an unsatisfying assignment `exact` is false and `h` is
+  // the polynomial quotient (useful for building cheating provers in tests).
+  HResult ComputeH(const std::vector<F>& assignment) const {
+    const size_t m = Degree();
+    const SubproductTree<F>& tree = Tree();
+
+    std::vector<F> ea(m + 1, F::Zero()), eb(m + 1, F::Zero()),
+        ec(m + 1, F::Zero());
+    for (size_t j = 0; j < m; j++) {
+      const auto& c = cs_->constraints[j];
+      ea[j + 1] = c.a.Evaluate(assignment);
+      eb[j + 1] = c.b.Evaluate(assignment);
+      ec[j + 1] = c.c.Evaluate(assignment);
+    }
+    Polynomial<F> pa = tree.Interpolate(ea);
+    Polynomial<F> pb = tree.Interpolate(eb);
+    Polynomial<F> pc = tree.Interpolate(ec);
+    Polynomial<F> pw = pa * pb - pc;
+
+    // D(t) = Root()/t since the point set is {0, 1, .., m}.
+    Polynomial<F> d = tree.Root().ShiftDown(1);
+    auto [q, r] = DivRem(pw, d);
+
+    HResult out;
+    out.exact = r.IsZero();
+    out.h.assign(m + 1, F::Zero());
+    for (size_t i = 0; i < q.CoefficientCount() && i <= m; i++) {
+      out.h[i] = q[i];
+    }
+    return out;
+  }
+
+  // ----- Verifier -----
+
+  struct Evaluation {
+    // Row i+1 corresponds to variable i; row 0 is the constant term.
+    std::vector<F> a_rows;
+    std::vector<F> b_rows;
+    std::vector<F> c_rows;
+    F d_tau;
+  };
+
+  // Requires tau outside {0, 1, ..., |C|} (callers resample; the collision
+  // probability is |C|+1 / |F|).
+  Evaluation EvaluateAtTau(const F& tau) const {
+    const size_t m = Degree();
+    const size_t rows = cs_->NumVariables() + 1;
+
+    // Barycentric pieces over points 0..m:
+    //   ell(tau) = prod_k (tau - k)
+    //   1/v_j    = prod_{k != j} (j - k), built incrementally:
+    //              1/v_{j+1} = 1/v_j · (j+1) / (j - m)
+    //   c_j      = ell(tau) · v_j / (tau - j)
+    // We batch-invert the products (1/v_j)·(tau - j) to get all c_j with a
+    // single field inversion.
+    std::vector<F> diff(m + 1);
+    F ell = F::One();
+    for (size_t k = 0; k <= m; k++) {
+      diff[k] = tau - F::FromUint(k);
+      assert(!diff[k].IsZero() && "tau collides with interpolation point");
+      ell *= diff[k];
+    }
+
+    // inverses of 1..m for the incremental weight recurrence
+    std::vector<F> small_inv(m + 1);
+    for (size_t k = 1; k <= m; k++) {
+      small_inv[k] = F::FromUint(k);
+    }
+    BatchInvert(small_inv.data() + 1, m);
+
+    std::vector<F> denom(m + 1);  // (1/v_j)·(tau - j)
+    F iv = F::One();              // 1/v_0 = (-1)^m · m!
+    for (size_t k = 1; k <= m; k++) {
+      iv *= -F::FromUint(k);
+    }
+    for (size_t j = 0; j <= m; j++) {
+      denom[j] = iv * diff[j];
+      if (j < m) {
+        // 1/v_{j+1} = 1/v_j · (j+1) / (j - m) = -1/v_j · (j+1) · inv(m-j)
+        iv = -(iv * F::FromUint(j + 1) * small_inv[m - j]);
+      }
+    }
+    BatchInvert(denom.data(), m + 1);
+    std::vector<F> cj(m + 1);
+    for (size_t j = 0; j <= m; j++) {
+      cj[j] = ell * denom[j];
+    }
+
+    Evaluation ev;
+    ev.a_rows.assign(rows, F::Zero());
+    ev.b_rows.assign(rows, F::Zero());
+    ev.c_rows.assign(rows, F::Zero());
+    // All polynomials vanish at point 0, so only j = 1..m contribute.
+    for (size_t j = 0; j < m; j++) {
+      const auto& c = cs_->constraints[j];
+      const F& w = cj[j + 1];
+      Accumulate(c.a, w, &ev.a_rows);
+      Accumulate(c.b, w, &ev.b_rows);
+      Accumulate(c.c, w, &ev.c_rows);
+    }
+    // D(tau) = ell(tau) / (tau - 0).
+    ev.d_tau = ell * diff[0].Inverse();
+    return ev;
+  }
+
+ private:
+  static void Accumulate(const LinearCombination<F>& lc, const F& w,
+                         std::vector<F>* rows) {
+    (*rows)[0] += lc.constant() * w;
+    for (const auto& [v, coeff] : lc.terms()) {
+      (*rows)[v + 1] += coeff * w;
+    }
+  }
+
+  const SubproductTree<F>& Tree() const {
+    if (tree_ == nullptr) {
+      std::vector<F> points(Degree() + 1);
+      for (size_t k = 0; k < points.size(); k++) {
+        points[k] = F::FromUint(k);
+      }
+      tree_ = std::make_unique<SubproductTree<F>>(std::move(points));
+    }
+    return *tree_;
+  }
+
+  const R1cs<F>* cs_;
+  mutable std::unique_ptr<SubproductTree<F>> tree_;
+};
+
+}  // namespace zaatar
+
+#endif  // SRC_CONSTRAINTS_QAP_H_

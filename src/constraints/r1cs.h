@@ -1,0 +1,67 @@
+// Quadratic-form constraints (paper §4): each constraint j is
+//     p_{j,A}(W) · p_{j,B}(W) = p_{j,C}(W)
+// with degree-1 p's. This is the form Zaatar's QAP encoding requires; the
+// Ginger->Zaatar transform (src/constraints/transform.h) produces it.
+
+#ifndef SRC_CONSTRAINTS_R1CS_H_
+#define SRC_CONSTRAINTS_R1CS_H_
+
+#include <vector>
+
+#include "src/constraints/linear_combination.h"
+
+namespace zaatar {
+
+template <typename F>
+struct R1csConstraint {
+  LinearCombination<F> a;
+  LinearCombination<F> b;
+  LinearCombination<F> c;
+
+  bool IsSatisfied(const std::vector<F>& assignment) const {
+    return a.Evaluate(assignment) * b.Evaluate(assignment) ==
+           c.Evaluate(assignment);
+  }
+};
+
+template <typename F>
+class R1cs {
+ public:
+  VariableLayout layout;
+  std::vector<R1csConstraint<F>> constraints;
+
+  size_t NumConstraints() const { return constraints.size(); }
+  size_t NumVariables() const { return layout.Total(); }
+
+  bool IsSatisfied(const std::vector<F>& assignment) const {
+    for (const auto& c : constraints) {
+      if (!c.IsSatisfied(assignment)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  long FirstViolated(const std::vector<F>& assignment) const {
+    for (size_t j = 0; j < constraints.size(); j++) {
+      if (!constraints[j].IsSatisfied(assignment)) {
+        return static_cast<long>(j);
+      }
+    }
+    return -1;
+  }
+
+  // Total nonzero coefficients across the A, B, C sides (drives the
+  // verifier's computation-specific query cost, <= K + 3·K2 per §A.3).
+  size_t NonzeroCount() const {
+    size_t n = 0;
+    for (const auto& c : constraints) {
+      n += c.a.TermCount() + c.b.TermCount() + c.c.TermCount();
+    }
+    return n;
+  }
+};
+
+}  // namespace zaatar
+
+#endif  // SRC_CONSTRAINTS_R1CS_H_

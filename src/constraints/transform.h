@@ -1,0 +1,136 @@
+// The Ginger -> Zaatar constraint transformation (paper §4): rewrite every
+// degree-2 constraint system into quadratic form by replacing degree-2 terms
+// with fresh variables, plus one product constraint per distinct term.
+//
+// |Z_zaatar| = |Z_ginger| + K2 and |C_zaatar| = |C_ginger| + K2, where K2 is
+// the number of distinct degree-2 terms (GingerSystem::DistinctQuadTermCount).
+//
+// An optional folding optimization emits a constraint whose only degree-2
+// content is a single product directly as pA·pB = pC (no fresh variable);
+// this covers multiplication gates and bit constraints, and only tightens
+// the K2 bound. It can be disabled to get the paper's uniform transform.
+
+#ifndef SRC_CONSTRAINTS_TRANSFORM_H_
+#define SRC_CONSTRAINTS_TRANSFORM_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "src/constraints/ginger.h"
+#include "src/constraints/r1cs.h"
+
+namespace zaatar {
+
+struct TransformOptions {
+  // If true, constraints with exactly one degree-2 term become a single
+  // quadratic-form constraint with no auxiliary variable.
+  bool fold_single_quad = true;
+};
+
+template <typename F>
+struct ZaatarTransform {
+  R1cs<F> r1cs;
+  // products[i] = (a, b) in *Ginger* index space: auxiliary variable
+  // (old_num_unbound + i) carries the value w[a]·w[b].
+  std::vector<std::pair<uint32_t, uint32_t>> products;
+  size_t ginger_num_unbound = 0;
+
+  size_t NumAuxiliaryVariables() const { return products.size(); }
+
+  // Maps a Ginger variable index into the Zaatar index space.
+  uint32_t Remap(uint32_t v) const {
+    return v < ginger_num_unbound
+               ? v
+               : v + static_cast<uint32_t>(products.size());
+  }
+
+  // Extends a satisfying Ginger assignment (full vector, Z then X then Y)
+  // into the Zaatar assignment by computing the product variables.
+  std::vector<F> ExtendAssignment(const std::vector<F>& ginger) const {
+    std::vector<F> out;
+    out.reserve(ginger.size() + products.size());
+    out.insert(out.end(), ginger.begin(),
+               ginger.begin() + ginger_num_unbound);
+    for (const auto& [a, b] : products) {
+      out.push_back(ginger[a] * ginger[b]);
+    }
+    out.insert(out.end(), ginger.begin() + ginger_num_unbound, ginger.end());
+    return out;
+  }
+};
+
+template <typename F>
+ZaatarTransform<F> GingerToZaatar(const GingerSystem<F>& g,
+                                  const TransformOptions& options = {}) {
+  ZaatarTransform<F> t;
+  t.ginger_num_unbound = g.layout.num_unbound;
+
+  // First pass: allocate auxiliary variables for distinct degree-2 terms that
+  // are not folded away.
+  std::map<std::pair<uint32_t, uint32_t>, uint32_t> aux;  // pair -> aux index
+  for (const auto& c : g.constraints) {
+    if (options.fold_single_quad && c.quad.size() == 1) {
+      continue;
+    }
+    for (const auto& q : c.quad) {
+      auto key = std::minmax(q.a, q.b);
+      if (aux.find(key) == aux.end()) {
+        uint32_t idx = static_cast<uint32_t>(t.products.size());
+        aux.emplace(key, idx);
+        t.products.emplace_back(key.first, key.second);
+      }
+    }
+  }
+
+  const uint32_t k2 = static_cast<uint32_t>(t.products.size());
+  t.r1cs.layout = g.layout;
+  t.r1cs.layout.num_unbound += k2;
+  t.r1cs.constraints.reserve(g.constraints.size() + k2);
+
+  auto remap = [&](uint32_t v) { return t.Remap(v); };
+
+  // Second pass: rewrite each constraint.
+  for (const auto& c : g.constraints) {
+    R1csConstraint<F> rc;
+    if (options.fold_single_quad && c.quad.size() == 1) {
+      // linear + k·a·b = 0  ->  (w_a)·(k·w_b) = -linear
+      const auto& q = c.quad[0];
+      rc.a = LinearCombination<F>::Variable(remap(q.a));
+      rc.b.AddTerm(remap(q.b), q.coeff);
+      rc.c = (c.linear * (-F::One()));
+      rc.c.RemapVariables(remap);
+    } else {
+      // linear + sum k_i·prod_i = 0  ->  (linear + sum k_i·aux_i)·(1) = 0
+      rc.a = c.linear;
+      rc.a.RemapVariables(remap);
+      for (const auto& q : c.quad) {
+        uint32_t aux_idx = aux.at(std::minmax(q.a, q.b));
+        rc.a.AddTerm(static_cast<uint32_t>(g.layout.num_unbound) + aux_idx,
+                     q.coeff);
+      }
+      rc.a.Compact();
+      rc.b.AddConstant(F::One());
+      // rc.c stays zero.
+    }
+    t.r1cs.constraints.push_back(std::move(rc));
+  }
+
+  // Product constraints: w_a · w_b = aux.
+  for (size_t i = 0; i < t.products.size(); i++) {
+    R1csConstraint<F> rc;
+    rc.a = LinearCombination<F>::Variable(remap(t.products[i].first));
+    rc.b = LinearCombination<F>::Variable(remap(t.products[i].second));
+    rc.c = LinearCombination<F>::Variable(
+        static_cast<uint32_t>(g.layout.num_unbound + i));
+    t.r1cs.constraints.push_back(std::move(rc));
+  }
+
+  return t;
+}
+
+}  // namespace zaatar
+
+#endif  // SRC_CONSTRAINTS_TRANSFORM_H_

@@ -1,0 +1,76 @@
+#include "src/crypto/chacha.h"
+
+namespace zaatar {
+
+namespace {
+
+inline uint32_t Rotl(uint32_t x, int n) { return (x << n) | (x >> (32 - n)); }
+
+inline void QuarterRound(uint32_t& a, uint32_t& b, uint32_t& c, uint32_t& d) {
+  a += b;
+  d = Rotl(d ^ a, 16);
+  c += d;
+  b = Rotl(b ^ c, 12);
+  a += b;
+  d = Rotl(d ^ a, 8);
+  c += d;
+  b = Rotl(b ^ c, 7);
+}
+
+inline uint32_t Load32Le(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+inline void Store32Le(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+}  // namespace
+
+ChaCha20::ChaCha20(const std::array<uint8_t, kKeyBytes>& key,
+                   const std::array<uint8_t, kNonceBytes>& nonce,
+                   uint32_t initial_counter) {
+  state_[0] = 0x61707865;
+  state_[1] = 0x3320646e;
+  state_[2] = 0x79622d32;
+  state_[3] = 0x6b206574;
+  for (int i = 0; i < 8; i++) {
+    state_[4 + i] = Load32Le(&key[4 * i]);
+  }
+  state_[12] = initial_counter;
+  for (int i = 0; i < 3; i++) {
+    state_[13 + i] = Load32Le(&nonce[4 * i]);
+  }
+}
+
+void ChaCha20::NextBlock(uint8_t out[kBlockBytes]) {
+  std::array<uint32_t, 16> x = state_;
+  for (int round = 0; round < 10; round++) {
+    QuarterRound(x[0], x[4], x[8], x[12]);
+    QuarterRound(x[1], x[5], x[9], x[13]);
+    QuarterRound(x[2], x[6], x[10], x[14]);
+    QuarterRound(x[3], x[7], x[11], x[15]);
+    QuarterRound(x[0], x[5], x[10], x[15]);
+    QuarterRound(x[1], x[6], x[11], x[12]);
+    QuarterRound(x[2], x[7], x[8], x[13]);
+    QuarterRound(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; i++) {
+    Store32Le(&out[4 * i], x[i] + state_[i]);
+  }
+  state_[12]++;  // block counter
+}
+
+void ChaCha20::Block(const std::array<uint8_t, kKeyBytes>& key,
+                     const std::array<uint8_t, kNonceBytes>& nonce,
+                     uint32_t counter, uint8_t out[kBlockBytes]) {
+  ChaCha20 c(key, nonce, counter);
+  c.NextBlock(out);
+}
+
+}  // namespace zaatar

@@ -1,0 +1,175 @@
+// Additively homomorphic ("exponent") ElGamal over prime-order subgroups of
+// Z_p^* with 1024-bit p — the encryption used by the linear commitment
+// primitive (paper §2.2, "Ginger uses ElGamal [25] with 1024-bit keys").
+//
+// The crucial parameter choice (inherited from Pepper): the subgroup order IS
+// the field modulus q of the verified-computation field F. Plaintexts are
+// field elements placed in the exponent, Enc(m) = (g^r, h^r · g^m), so
+// ciphertext products add plaintexts *in F* and scalar powers multiply them
+// by field constants — exactly the homomorphism the commitment protocol
+// needs. Decryption recovers g^m (not m); the protocol only ever compares
+// group elements, never extracts discrete logs.
+//
+// Groups for both field sizes were generated offline (p = k·q + 1 prime,
+// g = h^((p-1)/q) of order q) and are validated by tests/elgamal_test.cc.
+
+#ifndef SRC_CRYPTO_ELGAMAL_H_
+#define SRC_CRYPTO_ELGAMAL_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/crypto/prg.h"
+#include "src/field/fields.h"
+#include "src/field/prime_field.h"
+
+namespace zaatar {
+
+// 1024-bit group modulus for the q = 2^128 - 159 subgroup.
+struct ElGamalP128Config {
+  static constexpr size_t kLimbs = 16;
+  static constexpr std::array<uint64_t, 16> kModulus = {
+      0x4bc01b31ccd182a9ULL, 0xeb623fcc0b5de92eULL, 0x7adf26de2a33c25fULL,
+      0x358ab81ff99bbfdaULL, 0x16133ab59a2a30d1ULL, 0x5ffef0d50ff6849eULL,
+      0x6877f8f5314e5366ULL, 0x1dbd8b62df8a99f2ULL, 0x7c431f5223d6521eULL,
+      0x5f817adee4349357ULL, 0x708296c991e98fccULL, 0xaaf8b030f97df761ULL,
+      0x00ce2b05e583f000ULL, 0x42c2c25060072ca8ULL, 0x6c1130b75d49289bULL,
+      0xe0862c196157b030ULL};
+  static constexpr const char* kName = "ElGamalP128";
+};
+
+// 1024-bit group modulus for the q = 2^220 - 77 subgroup.
+struct ElGamalP220Config {
+  static constexpr size_t kLimbs = 16;
+  static constexpr std::array<uint64_t, 16> kModulus = {
+      0x0e8bb78040061735ULL, 0xe7c996cab34aa127ULL, 0x89dc4f898f1c28a2ULL,
+      0x1356500334683ba9ULL, 0xc47daa5312d447f6ULL, 0x80195e349c9171bfULL,
+      0xb41713d1788fe955ULL, 0x722f5bff3c774235ULL, 0xcc000b7804a8d606ULL,
+      0xa2419273f5790fddULL, 0xb2ef424d87b81fafULL, 0xa46cdf7333d77d32ULL,
+      0x993d7f00022b17f5ULL, 0x5a0691df4302f944ULL, 0xd65dd3329452f84cULL,
+      0xd4cde72807ae4a69ULL};
+  static constexpr const char* kName = "ElGamalP220";
+};
+
+// Maps a verified-computation field to its ElGamal group parameters.
+template <typename F>
+struct ElGamalGroupTraits;
+
+template <>
+struct ElGamalGroupTraits<F128> {
+  using PConfig = ElGamalP128Config;
+  static constexpr std::array<uint64_t, 16> kGenerator = {
+      0x713fbc8649f2093aULL, 0xd57c5c16411788a7ULL, 0x4eb88e6e3111db0cULL,
+      0x88d0c6fa52c16b0bULL, 0x586ccbd0eb6da339ULL, 0x98c720efa2da0b09ULL,
+      0x320fc0c523963601ULL, 0xbb0fcaec2fd335b0ULL, 0xdc117b8def21de5bULL,
+      0x2c5c234f109fed52ULL, 0x89e1441813ef39a0ULL, 0x182b7a6a1c1c48b0ULL,
+      0x5057af5e708586cbULL, 0xebde0e397951a876ULL, 0x8db599c61bc4702aULL,
+      0x0496ca68735ad7a2ULL};
+};
+
+template <>
+struct ElGamalGroupTraits<F220> {
+  using PConfig = ElGamalP220Config;
+  static constexpr std::array<uint64_t, 16> kGenerator = {
+      0xad979779592f1662ULL, 0x158c40e5bb0b7773ULL, 0x75f0c0dc63706b6fULL,
+      0x114ff266f4aaa0aeULL, 0xb03e383be2da4afdULL, 0xb2598215e545cd00ULL,
+      0xb749c675f959142bULL, 0x257309629ffd06e4ULL, 0xaec2fef1f1958920ULL,
+      0xc72b02d46726ff64ULL, 0x9a85306ce02d5eeeULL, 0xc715ff27d2f37174ULL,
+      0x8ad3ce9fa70c5774ULL, 0xa4548c04aeb9d193ULL, 0x795b8f8a037ee6beULL,
+      0xceab0cc43d997e08ULL};
+};
+
+// ElGamal<F>: encryption of elements of field F in the exponent of the
+// associated 1024-bit group.
+template <typename F>
+class ElGamal {
+ public:
+  using Traits = ElGamalGroupTraits<F>;
+  using Zp = PrimeField<typename Traits::PConfig>;  // group arithmetic mod p
+  using Exponent = typename F::Repr;                // exponents live mod q
+
+  struct PublicKey {
+    Zp g;  // generator of the order-q subgroup
+    Zp h;  // g^x
+  };
+
+  struct SecretKey {
+    Exponent x;  // in [1, q)
+  };
+
+  struct KeyPair {
+    PublicKey pk;
+    SecretKey sk;
+  };
+
+  struct Ciphertext {
+    Zp c1;  // g^r
+    Zp c2;  // h^r * g^m
+
+    // Homomorphic addition of plaintexts.
+    Ciphertext operator*(const Ciphertext& o) const {
+      return {c1 * o.c1, c2 * o.c2};
+    }
+    // Homomorphic multiplication of the plaintext by field scalar s.
+    Ciphertext Pow(const F& s) const {
+      typename F::Repr e = s.ToCanonical();
+      return {c1.Pow(e), c2.Pow(e)};
+    }
+  };
+
+  static Zp Generator() {
+    return Zp::FromCanonical(
+        typename Zp::Repr(Traits::kGenerator));
+  }
+
+  static KeyPair GenerateKeys(Prg& prg) {
+    F x = prg.NextNonzeroField<F>();
+    Zp g = Generator();
+    KeyPair kp;
+    kp.sk.x = x.ToCanonical();
+    kp.pk.g = g;
+    kp.pk.h = g.Pow(kp.sk.x);
+    return kp;
+  }
+
+  static Ciphertext Encrypt(const PublicKey& pk, const F& m, Prg& prg) {
+    F r = prg.NextField<F>();
+    Exponent re = r.ToCanonical();
+    return {pk.g.Pow(re), pk.h.Pow(re) * pk.g.Pow(m.ToCanonical())};
+  }
+
+  // Returns g^m; full decryption to m would require a discrete log, which the
+  // commitment protocol never needs.
+  static Zp DecryptToGroup(const SecretKey& sk, const PublicKey& pk,
+                           const Ciphertext& ct) {
+    // c2 / c1^x. Inverse via Fermat over Z_p (p - 2 exponent).
+    Zp c1x = ct.c1.Pow(sk.x);
+    typename Zp::Repr pm2 = Zp::kModulus;
+    pm2.SubInPlace(typename Zp::Repr(uint64_t{2}));
+    return ct.c2 * c1x.Pow(pm2);
+  }
+
+  // g^m for a field element m (used by the verifier's consistency check).
+  static Zp GroupEmbed(const PublicKey& pk, const F& m) {
+    return pk.g.Pow(m.ToCanonical());
+  }
+
+  // Homomorphically evaluates Enc(<u, r>) from Enc(r) and plaintext weights u:
+  // prod_i cts[i]^{u[i]}. This is the prover's commitment step; its cost is
+  // the "h" parameter of the Figure 3 cost model, per element.
+  static Ciphertext InnerProduct(const Ciphertext* cts, const F* u, size_t n) {
+    Ciphertext acc{Zp::One(), Zp::One()};
+    for (size_t i = 0; i < n; i++) {
+      if (u[i].IsZero()) {
+        continue;
+      }
+      acc = acc * cts[i].Pow(u[i]);
+    }
+    return acc;
+  }
+};
+
+}  // namespace zaatar
+
+#endif  // SRC_CRYPTO_ELGAMAL_H_

@@ -1,0 +1,112 @@
+// Seeded pseudorandom generator producing words, bounded integers, and
+// uniform field elements (rejection sampling), backed by ChaCha20.
+//
+// Both the verifier's PCP query randomness and the commitment randomness are
+// drawn from Prg instances. Queries can therefore be shipped as a seed
+// (the network-cost optimization of [53, Apdx A.3]).
+
+#ifndef SRC_CRYPTO_PRG_H_
+#define SRC_CRYPTO_PRG_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "src/crypto/chacha.h"
+#include "src/field/bigint.h"
+
+namespace zaatar {
+
+class Prg {
+ public:
+  explicit Prg(uint64_t seed) {
+    std::array<uint8_t, ChaCha20::kKeyBytes> key{};
+    std::memcpy(key.data(), &seed, sizeof(seed));
+    cipher_ = ChaCha20(key, /*nonce=*/{}, /*initial_counter=*/0);
+  }
+
+  explicit Prg(const std::array<uint8_t, ChaCha20::kKeyBytes>& key)
+      : cipher_(key, /*nonce=*/{}, /*initial_counter=*/0) {}
+
+  uint64_t NextU64() {
+    if (pos_ + 8 > ChaCha20::kBlockBytes) {
+      Refill();
+    }
+    uint64_t v;
+    std::memcpy(&v, &buf_[pos_], 8);
+    pos_ += 8;
+    return v;
+  }
+
+  // Uniform in [0, bound); bound > 0. Rejection sampling, no modulo bias.
+  uint64_t NextBounded(uint64_t bound) {
+    if (bound <= 1) {
+      return 0;
+    }
+    uint64_t mask = ~uint64_t{0} >> __builtin_clzll(bound - 1 | 1);
+    for (;;) {
+      uint64_t v = NextU64() & mask;
+      if (v < bound) {
+        return v;
+      }
+    }
+  }
+
+  bool NextBool() { return (NextU64() & 1) != 0; }
+
+  // Uniform field element (rejection sampling against the modulus).
+  template <typename F>
+  F NextField() {
+    using Repr = typename F::Repr;
+    constexpr size_t kTopBits = F::kModulusBits % 64;
+    constexpr uint64_t kTopMask =
+        kTopBits == 0 ? ~uint64_t{0} : ((uint64_t{1} << kTopBits) - 1);
+    constexpr size_t kWords = (F::kModulusBits + 63) / 64;
+    for (;;) {
+      Repr r;
+      for (size_t i = 0; i < kWords; i++) {
+        r.limbs[i] = NextU64();
+      }
+      r.limbs[kWords - 1] &= kTopMask;
+      if (r < F::kModulus) {
+        return F::FromCanonical(r);
+      }
+    }
+  }
+
+  // Uniform nonzero field element.
+  template <typename F>
+  F NextNonzeroField() {
+    for (;;) {
+      F v = NextField<F>();
+      if (!v.IsZero()) {
+        return v;
+      }
+    }
+  }
+
+  template <typename F>
+  std::vector<F> NextFieldVector(size_t n) {
+    std::vector<F> v(n);
+    for (size_t i = 0; i < n; i++) {
+      v[i] = NextField<F>();
+    }
+    return v;
+  }
+
+ private:
+  void Refill() {
+    cipher_.NextBlock(buf_.data());
+    pos_ = 0;
+  }
+
+  ChaCha20 cipher_{std::array<uint8_t, ChaCha20::kKeyBytes>{},
+                   std::array<uint8_t, ChaCha20::kNonceBytes>{}, 0};
+  std::array<uint8_t, ChaCha20::kBlockBytes> buf_{};
+  size_t pos_ = ChaCha20::kBlockBytes;  // force refill on first use
+};
+
+}  // namespace zaatar
+
+#endif  // SRC_CRYPTO_PRG_H_

@@ -1,0 +1,245 @@
+// Fixed-width little-endian multi-precision integers.
+//
+// BigInt<N> is N 64-bit limbs, limb 0 least significant. It is the storage
+// and arithmetic substrate for the prime fields (src/field/prime_field.h)
+// and for the 1024-bit ElGamal group (src/crypto/elgamal.h). All operations
+// are constant-width (no dynamic allocation) and most are constexpr so that
+// Montgomery parameters can be computed at compile time.
+
+#ifndef SRC_FIELD_BIGINT_H_
+#define SRC_FIELD_BIGINT_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace zaatar {
+
+template <size_t N>
+struct BigInt {
+  static_assert(N >= 1);
+  static constexpr size_t kLimbs = N;
+  static constexpr size_t kBits = 64 * N;
+
+  std::array<uint64_t, N> limbs{};
+
+  constexpr BigInt() = default;
+  constexpr explicit BigInt(uint64_t v) { limbs[0] = v; }
+  constexpr explicit BigInt(std::array<uint64_t, N> raw) : limbs(raw) {}
+
+  static constexpr BigInt Zero() { return BigInt(); }
+  static constexpr BigInt One() { return BigInt(uint64_t{1}); }
+
+  constexpr bool IsZero() const {
+    for (size_t i = 0; i < N; i++) {
+      if (limbs[i] != 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  constexpr bool IsOdd() const { return (limbs[0] & 1) != 0; }
+
+  constexpr bool operator==(const BigInt& o) const { return limbs == o.limbs; }
+  constexpr bool operator!=(const BigInt& o) const { return !(*this == o); }
+
+  // Three-way unsigned comparison: -1, 0, or +1.
+  constexpr int Compare(const BigInt& o) const {
+    for (size_t i = N; i-- > 0;) {
+      if (limbs[i] < o.limbs[i]) {
+        return -1;
+      }
+      if (limbs[i] > o.limbs[i]) {
+        return 1;
+      }
+    }
+    return 0;
+  }
+  constexpr bool operator<(const BigInt& o) const { return Compare(o) < 0; }
+  constexpr bool operator<=(const BigInt& o) const { return Compare(o) <= 0; }
+  constexpr bool operator>(const BigInt& o) const { return Compare(o) > 0; }
+  constexpr bool operator>=(const BigInt& o) const { return Compare(o) >= 0; }
+
+  // this += o; returns the carry out (0 or 1).
+  constexpr uint64_t AddInPlace(const BigInt& o) {
+    uint64_t carry = 0;
+    for (size_t i = 0; i < N; i++) {
+      __uint128_t s = static_cast<__uint128_t>(limbs[i]) + o.limbs[i] + carry;
+      limbs[i] = static_cast<uint64_t>(s);
+      carry = static_cast<uint64_t>(s >> 64);
+    }
+    return carry;
+  }
+
+  // this -= o; returns the borrow out (0 or 1).
+  constexpr uint64_t SubInPlace(const BigInt& o) {
+    uint64_t borrow = 0;
+    for (size_t i = 0; i < N; i++) {
+      __uint128_t d = static_cast<__uint128_t>(limbs[i]) -
+                      static_cast<__uint128_t>(o.limbs[i]) - borrow;
+      limbs[i] = static_cast<uint64_t>(d);
+      borrow = static_cast<uint64_t>(d >> 64) & 1;
+    }
+    return borrow;
+  }
+
+  constexpr BigInt Add(const BigInt& o, uint64_t* carry_out = nullptr) const {
+    BigInt r = *this;
+    uint64_t c = r.AddInPlace(o);
+    if (carry_out != nullptr) {
+      *carry_out = c;
+    }
+    return r;
+  }
+
+  constexpr BigInt Sub(const BigInt& o, uint64_t* borrow_out = nullptr) const {
+    BigInt r = *this;
+    uint64_t b = r.SubInPlace(o);
+    if (borrow_out != nullptr) {
+      *borrow_out = b;
+    }
+    return r;
+  }
+
+  // Full 2N-limb product.
+  constexpr BigInt<2 * N> MulWide(const BigInt& o) const {
+    BigInt<2 * N> r;
+    for (size_t i = 0; i < N; i++) {
+      uint64_t carry = 0;
+      for (size_t j = 0; j < N; j++) {
+        __uint128_t cur = static_cast<__uint128_t>(limbs[i]) * o.limbs[j] +
+                          r.limbs[i + j] + carry;
+        r.limbs[i + j] = static_cast<uint64_t>(cur);
+        carry = static_cast<uint64_t>(cur >> 64);
+      }
+      r.limbs[i + N] = carry;
+    }
+    return r;
+  }
+
+  // Left shift by one bit; returns the bit shifted out.
+  constexpr uint64_t Shl1InPlace() {
+    uint64_t carry = 0;
+    for (size_t i = 0; i < N; i++) {
+      uint64_t next = limbs[i] >> 63;
+      limbs[i] = (limbs[i] << 1) | carry;
+      carry = next;
+    }
+    return carry;
+  }
+
+  // Right shift by one bit (logical).
+  constexpr void Shr1InPlace() {
+    for (size_t i = 0; i + 1 < N; i++) {
+      limbs[i] = (limbs[i] >> 1) | (limbs[i + 1] << 63);
+    }
+    limbs[N - 1] >>= 1;
+  }
+
+  constexpr bool Bit(size_t i) const {
+    return ((limbs[i / 64] >> (i % 64)) & 1) != 0;
+  }
+
+  // Index of the highest set bit plus one; 0 for the zero value.
+  constexpr size_t BitLength() const {
+    for (size_t i = N; i-- > 0;) {
+      if (limbs[i] != 0) {
+        uint64_t w = limbs[i];
+        size_t b = 0;
+        while (w != 0) {
+          w >>= 1;
+          b++;
+        }
+        return i * 64 + b;
+      }
+    }
+    return 0;
+  }
+
+  // Truncate or zero-extend to M limbs.
+  template <size_t M>
+  constexpr BigInt<M> Resize() const {
+    BigInt<M> r;
+    for (size_t i = 0; i < (M < N ? M : N); i++) {
+      r.limbs[i] = limbs[i];
+    }
+    return r;
+  }
+
+  // Divides by a single-limb divisor: *this = quotient, returns remainder.
+  constexpr uint64_t DivModU64InPlace(uint64_t divisor) {
+    __uint128_t rem = 0;
+    for (size_t i = N; i-- > 0;) {
+      __uint128_t cur = (rem << 64) | limbs[i];
+      limbs[i] = static_cast<uint64_t>(cur / divisor);
+      rem = cur % divisor;
+    }
+    return static_cast<uint64_t>(rem);
+  }
+
+  // Remainder of this modulo a single-limb modulus m (m != 0).
+  constexpr uint64_t ModU64(uint64_t m) const {
+    __uint128_t r = 0;
+    for (size_t i = N; i-- > 0;) {
+      r = ((r << 64) | limbs[i]) % m;
+    }
+    return static_cast<uint64_t>(r);
+  }
+
+  std::string ToHex() const {
+    static const char* kDigits = "0123456789abcdef";
+    std::string s = "0x";
+    bool started = false;
+    for (size_t i = N; i-- > 0;) {
+      for (int nib = 15; nib >= 0; nib--) {
+        int d = static_cast<int>((limbs[i] >> (4 * nib)) & 0xF);
+        if (d != 0) {
+          started = true;
+        }
+        if (started) {
+          s += kDigits[d];
+        }
+      }
+    }
+    if (!started) {
+      s += '0';
+    }
+    return s;
+  }
+};
+
+// r = (a + b) mod m, assuming a, b < m.
+template <size_t N>
+constexpr BigInt<N> AddMod(const BigInt<N>& a, const BigInt<N>& b,
+                           const BigInt<N>& m) {
+  BigInt<N> r = a;
+  uint64_t carry = r.AddInPlace(b);
+  if (carry != 0 || r >= m) {
+    r.SubInPlace(m);
+  }
+  return r;
+}
+
+// r = (a - b) mod m, assuming a, b < m.
+template <size_t N>
+constexpr BigInt<N> SubMod(const BigInt<N>& a, const BigInt<N>& b,
+                           const BigInt<N>& m) {
+  BigInt<N> r = a;
+  uint64_t borrow = r.SubInPlace(b);
+  if (borrow != 0) {
+    r.AddInPlace(m);
+  }
+  return r;
+}
+
+// r = 2a mod m, assuming a < m.
+template <size_t N>
+constexpr BigInt<N> DoubleMod(const BigInt<N>& a, const BigInt<N>& m) {
+  return AddMod(a, a, m);
+}
+
+}  // namespace zaatar
+
+#endif  // SRC_FIELD_BIGINT_H_

@@ -1,0 +1,53 @@
+// Concrete field instantiations used throughout Zaatar.
+//
+// The paper evaluates with two field sizes (§5.1): a 128-bit prime modulus
+// (PAM clustering, Fannkuch, LCS, Floyd-Warshall) and a 220-bit prime modulus
+// (root finding by bisection). Both moduli here additionally serve as the
+// *subgroup order* of the corresponding 1024-bit ElGamal group
+// (src/crypto/elgamal.h), which is what makes the homomorphic linear
+// commitment arithmetic exact over F (the Pepper/Ginger construction).
+//
+// Parameters were generated offline (deterministic seed, Miller-Rabin with 40
+// rounds) and are verified by tests/field_test.cc.
+
+#ifndef SRC_FIELD_FIELDS_H_
+#define SRC_FIELD_FIELDS_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/field/prime_field.h"
+
+namespace zaatar {
+
+// q = 2^128 - 159, prime. The paper's "128-bit prime" field.
+struct F128Config {
+  static constexpr size_t kLimbs = 2;
+  static constexpr std::array<uint64_t, 2> kModulus = {0xffffffffffffff61ULL,
+                                                       0xffffffffffffffffULL};
+  static constexpr const char* kName = "F128";
+};
+using F128 = PrimeField<F128Config>;
+
+// q = 2^220 - 77, prime. The paper's "220-bit prime" field (root finding).
+struct F220Config {
+  static constexpr size_t kLimbs = 4;
+  static constexpr std::array<uint64_t, 4> kModulus = {
+      0xffffffffffffffb3ULL, 0xffffffffffffffffULL, 0xffffffffffffffffULL,
+      0x000000000fffffffULL};
+  static constexpr const char* kName = "F220";
+};
+using F220 = PrimeField<F220Config>;
+
+// 64-bit field for the evaluation-domain ablation bench (Goldilocks,
+// p = 2^64 - 2^32 + 1, 2-adicity 32). Not used by the protocol itself.
+struct FGoldilocksConfig {
+  static constexpr size_t kLimbs = 1;
+  static constexpr std::array<uint64_t, 1> kModulus = {0xffffffff00000001ULL};
+  static constexpr const char* kName = "FGoldilocks";
+};
+using FGoldilocks = PrimeField<FGoldilocksConfig>;
+
+}  // namespace zaatar
+
+#endif  // SRC_FIELD_FIELDS_H_

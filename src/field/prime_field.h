@@ -1,0 +1,255 @@
+// Montgomery-form prime fields over fixed-width big integers.
+//
+// PrimeField<Config> implements F_p for a compile-time modulus p supplied by
+// Config. Elements are stored in Montgomery form (x·R mod p, R = 2^(64·N)).
+// All Montgomery constants are computed at compile time from the modulus, so
+// adding a field is just declaring a Config (see src/field/fields.h).
+//
+// Config requirements:
+//   static constexpr size_t kLimbs;                       // limb count N
+//   static constexpr std::array<uint64_t, kLimbs> kModulus;  // odd prime, LE
+//   static constexpr const char* kName;                   // for diagnostics
+
+#ifndef SRC_FIELD_PRIME_FIELD_H_
+#define SRC_FIELD_PRIME_FIELD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/field/bigint.h"
+
+namespace zaatar {
+
+namespace field_internal {
+
+// -p^{-1} mod 2^64 via Newton iteration (p odd).
+constexpr uint64_t NegInvModWord(uint64_t p) {
+  uint64_t x = 1;
+  for (int i = 0; i < 6; i++) {
+    x *= 2 - p * x;  // doubles the number of correct low bits
+  }
+  return ~x + 1;  // -x
+}
+
+// 2^bits mod p by repeated doubling, starting from start < p.
+template <size_t N>
+constexpr BigInt<N> ShiftedMod(BigInt<N> start, size_t bits,
+                               const BigInt<N>& p) {
+  BigInt<N> r = start;
+  for (size_t i = 0; i < bits; i++) {
+    r = DoubleMod(r, p);
+  }
+  return r;
+}
+
+}  // namespace field_internal
+
+template <typename Config>
+class PrimeField {
+ public:
+  static constexpr size_t kLimbs = Config::kLimbs;
+  using Repr = BigInt<kLimbs>;
+
+  static constexpr Repr kModulus = Repr(Config::kModulus);
+  static constexpr size_t kModulusBits = kModulus.BitLength();
+  static constexpr uint64_t kN0Inv =
+      field_internal::NegInvModWord(Config::kModulus[0]);
+  // R mod p and R^2 mod p, R = 2^(64N).
+  static constexpr Repr kMontR =
+      field_internal::ShiftedMod(Repr::One(), 64 * kLimbs, kModulus);
+  static constexpr Repr kMontR2 =
+      field_internal::ShiftedMod(kMontR, 64 * kLimbs, kModulus);
+
+  constexpr PrimeField() = default;
+
+  static constexpr PrimeField Zero() { return PrimeField(); }
+  static constexpr PrimeField One() { return FromMontgomery(kMontR); }
+
+  // Builds an element from a canonical (non-Montgomery) residue < p.
+  static constexpr PrimeField FromCanonical(const Repr& x) {
+    PrimeField r;
+    r.v_ = MontMul(x, kMontR2);
+    return r;
+  }
+
+  static constexpr PrimeField FromUint(uint64_t x) {
+    return FromCanonical(Repr(x));
+  }
+
+  static constexpr PrimeField FromInt(int64_t x) {
+    if (x >= 0) {
+      return FromUint(static_cast<uint64_t>(x));
+    }
+    return Zero() - FromUint(static_cast<uint64_t>(-(x + 1)) + 1);
+  }
+
+  // Reduces an arbitrary little-endian limb span into the field:
+  // sum_i limbs[i] * (2^64)^i mod p.
+  static PrimeField FromLimbs(const uint64_t* limbs, size_t count) {
+    PrimeField shift = FromCanonical(
+        field_internal::ShiftedMod(Repr::One(), 64, kModulus));  // 2^64
+    PrimeField acc = Zero();
+    for (size_t i = count; i-- > 0;) {
+      acc = acc * shift + FromUint(limbs[i]);
+    }
+    return acc;
+  }
+
+  // Wraps a raw Montgomery-form value (must be < p).
+  static constexpr PrimeField FromMontgomery(const Repr& m) {
+    PrimeField r;
+    r.v_ = m;
+    return r;
+  }
+
+  constexpr const Repr& Montgomery() const { return v_; }
+
+  constexpr Repr ToCanonical() const { return MontMul(v_, Repr::One()); }
+
+  constexpr uint64_t ToUint64() const { return ToCanonical().limbs[0]; }
+
+  constexpr bool IsZero() const { return v_.IsZero(); }
+  constexpr bool IsOne() const { return v_ == kMontR; }
+
+  constexpr bool operator==(const PrimeField& o) const { return v_ == o.v_; }
+  constexpr bool operator!=(const PrimeField& o) const { return v_ != o.v_; }
+
+  constexpr PrimeField operator+(const PrimeField& o) const {
+    return FromMontgomery(AddMod(v_, o.v_, kModulus));
+  }
+  constexpr PrimeField operator-(const PrimeField& o) const {
+    return FromMontgomery(SubMod(v_, o.v_, kModulus));
+  }
+  constexpr PrimeField operator-() const {
+    return FromMontgomery(v_.IsZero() ? v_ : kModulus.Sub(v_));
+  }
+  constexpr PrimeField operator*(const PrimeField& o) const {
+    return FromMontgomery(MontMul(v_, o.v_));
+  }
+  constexpr PrimeField& operator+=(const PrimeField& o) {
+    v_ = AddMod(v_, o.v_, kModulus);
+    return *this;
+  }
+  constexpr PrimeField& operator-=(const PrimeField& o) {
+    v_ = SubMod(v_, o.v_, kModulus);
+    return *this;
+  }
+  constexpr PrimeField& operator*=(const PrimeField& o) {
+    v_ = MontMul(v_, o.v_);
+    return *this;
+  }
+
+  constexpr PrimeField Square() const { return *this * *this; }
+
+  constexpr PrimeField Double() const {
+    return FromMontgomery(DoubleMod(v_, kModulus));
+  }
+
+  // x^e for an arbitrary-width exponent (square-and-multiply, MSB first).
+  template <size_t M>
+  constexpr PrimeField Pow(const BigInt<M>& e) const {
+    PrimeField r = One();
+    size_t top = e.BitLength();
+    for (size_t i = top; i-- > 0;) {
+      r = r.Square();
+      if (e.Bit(i)) {
+        r = r * *this;
+      }
+    }
+    return r;
+  }
+
+  constexpr PrimeField Pow(uint64_t e) const { return Pow(BigInt<1>(e)); }
+
+  // Multiplicative inverse via Fermat: x^(p-2). Inverse of zero is zero
+  // (callers that care must check; this matches the convention used by the
+  // constraint gadgets, where 0^{-1} never reaches a constraint unguarded).
+  constexpr PrimeField Inverse() const {
+    Repr e = kModulus;
+    e.SubInPlace(Repr(uint64_t{2}));
+    return Pow(e);
+  }
+
+  constexpr PrimeField operator/(const PrimeField& o) const {
+    return *this * o.Inverse();
+  }
+
+  std::string ToHexString() const { return ToCanonical().ToHex(); }
+
+  // Montgomery product: a·b·R^{-1} mod p (CIOS).
+  static constexpr Repr MontMul(const Repr& a, const Repr& b) {
+    constexpr size_t N = kLimbs;
+    // Accumulator of N+2 limbs.
+    uint64_t t[N + 2] = {};
+    for (size_t i = 0; i < N; i++) {
+      // t += a[i] * b
+      uint64_t carry = 0;
+      for (size_t j = 0; j < N; j++) {
+        __uint128_t cur =
+            static_cast<__uint128_t>(a.limbs[i]) * b.limbs[j] + t[j] + carry;
+        t[j] = static_cast<uint64_t>(cur);
+        carry = static_cast<uint64_t>(cur >> 64);
+      }
+      __uint128_t cur = static_cast<__uint128_t>(t[N]) + carry;
+      t[N] = static_cast<uint64_t>(cur);
+      t[N + 1] = static_cast<uint64_t>(cur >> 64);
+
+      // m = t[0] * n0inv mod 2^64; t += m*p; t >>= 64
+      uint64_t m = t[0] * kN0Inv;
+      __uint128_t cur2 =
+          static_cast<__uint128_t>(m) * kModulus.limbs[0] + t[0];
+      carry = static_cast<uint64_t>(cur2 >> 64);
+      for (size_t j = 1; j < N; j++) {
+        cur2 = static_cast<__uint128_t>(m) * kModulus.limbs[j] + t[j] + carry;
+        t[j - 1] = static_cast<uint64_t>(cur2);
+        carry = static_cast<uint64_t>(cur2 >> 64);
+      }
+      cur2 = static_cast<__uint128_t>(t[N]) + carry;
+      t[N - 1] = static_cast<uint64_t>(cur2);
+      t[N] = t[N + 1] + static_cast<uint64_t>(cur2 >> 64);
+      t[N + 1] = 0;
+    }
+    Repr r;
+    for (size_t i = 0; i < N; i++) {
+      r.limbs[i] = t[i];
+    }
+    if (t[N] != 0 || r >= kModulus) {
+      r.SubInPlace(kModulus);
+    }
+    return r;
+  }
+
+ private:
+  Repr v_{};  // Montgomery form
+};
+
+// In-place batch inversion (Montgomery's trick): one field inversion plus
+// 3(n-1) multiplications. Zero entries are left as zero.
+template <typename F>
+void BatchInvert(F* elems, size_t n) {
+  if (n == 0) {
+    return;
+  }
+  std::vector<F> prefix(n);
+  F acc = F::One();
+  for (size_t i = 0; i < n; i++) {
+    prefix[i] = acc;
+    if (!elems[i].IsZero()) {
+      acc *= elems[i];
+    }
+  }
+  F inv = acc.Inverse();
+  for (size_t i = n; i-- > 0;) {
+    if (elems[i].IsZero()) {
+      continue;
+    }
+    F orig = elems[i];
+    elems[i] = inv * prefix[i];
+    inv *= orig;
+  }
+}
+
+}  // namespace zaatar
+
+#endif  // SRC_FIELD_PRIME_FIELD_H_

@@ -1,0 +1,245 @@
+// The baseline linear PCP of Ginger/Pepper (paper §2.2), built on the
+// classical construction of Arora et al.: the proof is u = (z, z ⊗ z), so
+// its length is quadratic in the number of variables. Zaatar's improvement
+// is measured against this encoding.
+//
+// Batching requires the verifier's queries to be independent of the instance
+// inputs. Following Pepper/Ginger, bound variables therefore enter the
+// encoded system only through *binding constraints* z_proxy - x_k = 0: the
+// input value sits in the constraint's constant term, so it only affects the
+// scalar gamma_0 of the circuit test (computed per instance), never the
+// shared query vectors. Conveniently, reinterpreting every variable of a
+// GingerSystem as unbound keeps the index space intact; we just append the
+// binding constraints.
+//
+// Per repetition the verifier runs:
+//   - rho_lin linearity triples against pi_1 (length n) and pi_2 (length n²),
+//   - a quadratic-correction test:
+//       pi_1(qa) · pi_1(qb) = pi_2(q3 + qa ⊗ qb) - pi_2(q3),
+//   - a circuit test with gamma_1, gamma_2 built from fresh randomness v_j:
+//       (pi_2(g2+b2) - pi_2(b2)) + (pi_1(g1+b1) - pi_1(b1)) + gamma_0 = 0.
+
+#ifndef SRC_PCP_GINGER_PCP_H_
+#define SRC_PCP_GINGER_PCP_H_
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "src/constraints/ginger.h"
+#include "src/crypto/prg.h"
+#include "src/pcp/linear_oracle.h"
+#include "src/pcp/params.h"
+
+namespace zaatar {
+
+// A GingerSystem re-encoded for the PCP: every variable is part of the proof
+// and bound variables are pinned by binding constraints whose constants are
+// filled in per instance.
+template <typename F>
+struct GingerPcpInstance {
+  size_t n = 0;  // proof dimension (= total variables of the source system)
+  std::vector<GingerConstraint<F>> circuit;  // input-independent constraints
+  // bindings[k] = variable index pinned to bound value k (inputs then
+  // outputs, layout order). The implied constraint is w_v - value_k = 0.
+  std::vector<uint32_t> bindings;
+};
+
+template <typename F>
+GingerPcpInstance<F> BuildGingerPcpInstance(const GingerSystem<F>& sys) {
+  GingerPcpInstance<F> inst;
+  inst.n = sys.layout.Total();
+  inst.circuit = sys.constraints;
+  size_t n_bound = sys.layout.num_inputs + sys.layout.num_outputs;
+  inst.bindings.reserve(n_bound);
+  for (size_t k = 0; k < n_bound; k++) {
+    inst.bindings.push_back(
+        static_cast<uint32_t>(sys.layout.num_unbound + k));
+  }
+  return inst;
+}
+
+// The honest prover's proof: pi_1 = w, pi_2 = w ⊗ w.
+template <typename F>
+struct GingerProof {
+  std::vector<F> z;       // length n
+  std::vector<F> tensor;  // length n², tensor[i*n + k] = z_i · z_k
+};
+
+template <typename F>
+GingerProof<F> BuildGingerProof(const GingerPcpInstance<F>& inst,
+                                const std::vector<F>& assignment) {
+  assert(assignment.size() == inst.n);
+  GingerProof<F> proof;
+  proof.z = assignment;
+  proof.tensor.resize(inst.n * inst.n);
+  for (size_t i = 0; i < inst.n; i++) {
+    for (size_t k = 0; k < inst.n; k++) {
+      proof.tensor[i * inst.n + k] = assignment[i] * assignment[k];
+    }
+  }
+  return proof;
+}
+
+template <typename F>
+class GingerPcp {
+ public:
+  struct LinTriple {
+    size_t i0, i1, i2;
+  };
+
+  struct Repetition {
+    std::vector<LinTriple> lin1, lin2;
+    size_t quad_a = 0, quad_b = 0;               // pi_1 indices
+    size_t quad_blind = 0, quad_main = 0;        // pi_2 indices
+    size_t gamma1 = 0, gamma2 = 0;               // blinded circuit queries
+    size_t blind1 = 0, blind2 = 0;
+    F gamma0_fixed;
+    std::vector<F> gamma_bound;  // v_j of each binding constraint
+  };
+
+  struct Queries {
+    std::vector<std::vector<F>> pi1_queries;  // length n each
+    std::vector<std::vector<F>> pi2_queries;  // length n² each
+    std::vector<Repetition> reps;
+    size_t n = 0;
+
+    size_t TotalQueryCount() const {
+      return pi1_queries.size() + pi2_queries.size();
+    }
+  };
+
+  static Queries GenerateQueries(const GingerPcpInstance<F>& inst,
+                                 const PcpParams& params, Prg& prg) {
+    const size_t n = inst.n;
+    Queries out;
+    out.n = n;
+    out.reps.reserve(params.rho);
+    for (size_t rep = 0; rep < params.rho; rep++) {
+      Repetition r;
+      for (size_t k = 0; k < params.rho_lin; k++) {
+        r.lin1.push_back(PushLinearityTriple(&out.pi1_queries, n, prg));
+        r.lin2.push_back(PushLinearityTriple(&out.pi2_queries, n * n, prg));
+      }
+      r.blind1 = r.lin1[0].i0;
+      r.blind2 = r.lin2[0].i0;
+
+      // Quadratic-correction test.
+      std::vector<F> qa = prg.NextFieldVector<F>(n);
+      std::vector<F> qb = prg.NextFieldVector<F>(n);
+      std::vector<F> q3 = prg.NextFieldVector<F>(n * n);
+      std::vector<F> q3_outer(n * n);
+      for (size_t i = 0; i < n; i++) {
+        for (size_t k = 0; k < n; k++) {
+          q3_outer[i * n + k] = q3[i * n + k] + qa[i] * qb[k];
+        }
+      }
+      r.quad_a = out.pi1_queries.size();
+      out.pi1_queries.push_back(std::move(qa));
+      r.quad_b = out.pi1_queries.size();
+      out.pi1_queries.push_back(std::move(qb));
+      r.quad_blind = out.pi2_queries.size();
+      out.pi2_queries.push_back(std::move(q3));
+      r.quad_main = out.pi2_queries.size();
+      out.pi2_queries.push_back(std::move(q3_outer));
+
+      // Circuit test: gamma vectors from per-constraint randomness v_j.
+      std::vector<F> gamma1(n, F::Zero());
+      std::vector<F> gamma2(n * n, F::Zero());
+      F gamma0 = F::Zero();
+      for (const auto& c : inst.circuit) {
+        F v = prg.NextField<F>();
+        gamma0 += v * c.linear.constant();
+        for (const auto& [var, coeff] : c.linear.terms()) {
+          gamma1[var] += v * coeff;
+        }
+        for (const auto& q : c.quad) {
+          gamma2[static_cast<size_t>(q.a) * n + q.b] += v * q.coeff;
+        }
+      }
+      r.gamma_bound.reserve(inst.bindings.size());
+      for (uint32_t var : inst.bindings) {
+        F v = prg.NextField<F>();
+        gamma1[var] += v;  // constraint w_var - value = 0
+        r.gamma_bound.push_back(v);
+      }
+      r.gamma0_fixed = gamma0;
+      r.gamma1 = PushBlinded(&out.pi1_queries, std::move(gamma1),
+                             out.pi1_queries[r.blind1]);
+      r.gamma2 = PushBlinded(&out.pi2_queries, std::move(gamma2),
+                             out.pi2_queries[r.blind2]);
+      out.reps.push_back(std::move(r));
+    }
+    return out;
+  }
+
+  static bool Decide(const Queries& queries, const std::vector<F>& resp1,
+                     const std::vector<F>& resp2,
+                     const std::vector<F>& bound_values) {
+    assert(resp1.size() == queries.pi1_queries.size());
+    assert(resp2.size() == queries.pi2_queries.size());
+    for (const auto& rep : queries.reps) {
+      for (const auto& t : rep.lin1) {
+        if (resp1[t.i0] + resp1[t.i1] != resp1[t.i2]) {
+          return false;
+        }
+      }
+      for (const auto& t : rep.lin2) {
+        if (resp2[t.i0] + resp2[t.i1] != resp2[t.i2]) {
+          return false;
+        }
+      }
+      // Quadratic correction.
+      if (resp1[rep.quad_a] * resp1[rep.quad_b] !=
+          resp2[rep.quad_main] - resp2[rep.quad_blind]) {
+        return false;
+      }
+      // Circuit test.
+      assert(rep.gamma_bound.size() == bound_values.size());
+      F gamma0 = rep.gamma0_fixed;
+      for (size_t k = 0; k < bound_values.size(); k++) {
+        gamma0 -= rep.gamma_bound[k] * bound_values[k];
+      }
+      F val = (resp2[rep.gamma2] - resp2[rep.blind2]) +
+              (resp1[rep.gamma1] - resp1[rep.blind1]) + gamma0;
+      if (!val.IsZero()) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  static LinTriple PushLinearityTriple(std::vector<std::vector<F>>* queries,
+                                       size_t len, Prg& prg) {
+    std::vector<F> a = prg.NextFieldVector<F>(len);
+    std::vector<F> b = prg.NextFieldVector<F>(len);
+    std::vector<F> c(len);
+    for (size_t i = 0; i < len; i++) {
+      c[i] = a[i] + b[i];
+    }
+    LinTriple t;
+    t.i0 = queries->size();
+    queries->push_back(std::move(a));
+    t.i1 = queries->size();
+    queries->push_back(std::move(b));
+    t.i2 = queries->size();
+    queries->push_back(std::move(c));
+    return t;
+  }
+
+  static size_t PushBlinded(std::vector<std::vector<F>>* queries,
+                            std::vector<F> raw, const std::vector<F>& blind) {
+    for (size_t i = 0; i < raw.size(); i++) {
+      raw[i] += blind[i];
+    }
+    size_t idx = queries->size();
+    queries->push_back(std::move(raw));
+    return idx;
+  }
+};
+
+}  // namespace zaatar
+
+#endif  // SRC_PCP_GINGER_PCP_H_

@@ -1,0 +1,36 @@
+// Soundness parameters shared by both linear PCPs (paper Appendix A.2).
+//
+// With delta = 0.0294 and rho_lin = 20 linearity-test iterations, a single
+// PCP repetition has soundness error kappa = 0.177; rho = 8 repetitions give
+// kappa^rho < 9.6e-7 ("less than one part in a million"). The argument
+// system adds a commitment error of 9·mu·|F|^(-1/3), negligible for the
+// 128/220-bit fields.
+
+#ifndef SRC_PCP_PARAMS_H_
+#define SRC_PCP_PARAMS_H_
+
+#include <cstddef>
+
+namespace zaatar {
+
+struct PcpParams {
+  size_t rho_lin = 20;  // linearity test iterations per repetition
+  size_t rho = 8;       // PCP repetitions
+
+  // Paper-faithful single-repetition soundness bound.
+  static constexpr double kKappa = 0.177;
+
+  // Query-count accounting used by the cost models (Figure 3):
+  // Ginger: l = 3·rho_lin + 2 high-order queries per repetition.
+  size_t GingerHighOrderQueries() const { return 3 * rho_lin + 2; }
+  // Zaatar: l' = 6·rho_lin + 4 total queries per repetition.
+  size_t ZaatarTotalQueries() const { return 6 * rho_lin + 4; }
+
+  // Parameters for fast tests: still sound enough to distinguish honest from
+  // cheating with overwhelming probability, but far fewer queries.
+  static PcpParams Light() { return PcpParams{.rho_lin = 3, .rho = 2}; }
+};
+
+}  // namespace zaatar
+
+#endif  // SRC_PCP_PARAMS_H_

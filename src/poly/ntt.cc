@@ -1,0 +1,147 @@
+#include "src/poly/ntt.h"
+
+#include <cassert>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+namespace zaatar {
+
+namespace {
+
+// Decimation-in-time butterflies expect bit-reversed input ordering.
+void BitReverse(uint64_t* data, size_t log_n) {
+  size_t n = size_t{1} << log_n;
+  for (size_t i = 0, j = 0; i < n; i++) {
+    if (i < j) {
+      std::swap(data[i], data[j]);
+    }
+    size_t bit = n >> 1;
+    while ((j & bit) != 0) {
+      j ^= bit;
+      bit >>= 1;
+    }
+    j |= bit;
+  }
+}
+
+}  // namespace
+
+NttPlan::NttPlan(size_t prime_index, size_t log_n)
+    : field_(kNttPrimes[prime_index]), log_n_(log_n) {
+  assert(prime_index < kNumNttPrimes);
+  assert(log_n <= kNttTwoAdicity);
+  size_t n = size();
+
+  // Root of order n: root42^(2^(42 - log_n)).
+  uint64_t root = field_.ToMont(kNttRoots[prime_index]);
+  for (size_t i = 0; i < kNttTwoAdicity - log_n; i++) {
+    root = field_.Mul(root, root);
+  }
+  uint64_t inv_root = field_.Inverse(root);
+
+  // Twiddle layout: for each stage with half-block size m, powers w^0..w^{m-1}
+  // of the order-2m root. Total n-1 entries.
+  fwd_twiddles_.resize(n);
+  inv_twiddles_.resize(n);
+  for (uint64_t* tw : {fwd_twiddles_.data(), inv_twiddles_.data()}) {
+    uint64_t r = (tw == fwd_twiddles_.data()) ? root : inv_root;
+    size_t pos = 0;
+    for (size_t m = n / 2; m >= 1; m /= 2) {
+      // Root of order 2m for this stage: r^(n / (2m)).
+      uint64_t stage_root = r;
+      for (size_t k = 2 * m; k < n; k *= 2) {
+        stage_root = field_.Mul(stage_root, stage_root);
+      }
+      uint64_t w = field_.One();
+      for (size_t j = 0; j < m; j++) {
+        tw[pos++] = w;
+        w = field_.Mul(w, stage_root);
+      }
+    }
+  }
+
+  uint64_t n_mont = field_.ToMont(n % field_.modulus());
+  n_inv_mont_ = field_.Inverse(n_mont);
+}
+
+void NttPlan::Transform(uint64_t* data,
+                        const std::vector<uint64_t>& twiddles) const {
+  size_t n = size();
+  BitReverse(data, log_n_);
+  // Stages from block size 2 upward; twiddles were stored from the widest
+  // stage (m = n/2) down, so index from the tail.
+  for (size_t m = 1; m < n; m *= 2) {
+    // Twiddle block for this stage starts where the stage with half-size m
+    // was stored. Stage order in storage: m = n/2 first (offset 0), then
+    // n/4, ..., 1. Stage with half-size m sits at offset n - 2m.
+    const uint64_t* w = &twiddles[n - 2 * m];
+    for (size_t block = 0; block < n; block += 2 * m) {
+      for (size_t j = 0; j < m; j++) {
+        uint64_t u = data[block + j];
+        uint64_t t = field_.Mul(data[block + j + m], w[j]);
+        data[block + j] = field_.Add(u, t);
+        data[block + j + m] = field_.Sub(u, t);
+      }
+    }
+  }
+}
+
+void NttPlan::Forward(uint64_t* data) const { Transform(data, fwd_twiddles_); }
+
+void NttPlan::Inverse(uint64_t* data) const {
+  Transform(data, inv_twiddles_);
+  size_t n = size();
+  for (size_t i = 0; i < n; i++) {
+    data[i] = field_.Mul(data[i], n_inv_mont_);
+  }
+}
+
+const NttPlan& GetNttPlan(size_t prime_index, size_t log_n) {
+  static std::mutex mu;
+  static std::map<std::pair<size_t, size_t>, std::unique_ptr<NttPlan>> cache;
+  std::lock_guard<std::mutex> lock(mu);
+  auto key = std::make_pair(prime_index, log_n);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache.emplace(key, std::make_unique<NttPlan>(prime_index, log_n))
+             .first;
+  }
+  return *it->second;
+}
+
+std::vector<uint64_t> ConvolveModPrime(size_t prime_index, const uint64_t* a,
+                                       size_t a_len, const uint64_t* b,
+                                       size_t b_len) {
+  assert(a_len > 0 && b_len > 0);
+  size_t out_len = a_len + b_len - 1;
+  size_t log_n = 0;
+  while ((size_t{1} << log_n) < out_len) {
+    log_n++;
+  }
+  const NttPlan& plan = GetNttPlan(prime_index, log_n);
+  const MontField64& f = plan.field();
+  size_t n = plan.size();
+
+  std::vector<uint64_t> fa(n, 0), fb(n, 0);
+  for (size_t i = 0; i < a_len; i++) {
+    fa[i] = f.ToMont(a[i]);
+  }
+  for (size_t i = 0; i < b_len; i++) {
+    fb[i] = f.ToMont(b[i]);
+  }
+  plan.Forward(fa.data());
+  plan.Forward(fb.data());
+  for (size_t i = 0; i < n; i++) {
+    fa[i] = f.Mul(fa[i], fb[i]);
+  }
+  plan.Inverse(fa.data());
+  std::vector<uint64_t> out(out_len);
+  for (size_t i = 0; i < out_len; i++) {
+    out[i] = f.FromMont(fa[i]);
+  }
+  return out;
+}
+
+}  // namespace zaatar

@@ -1,0 +1,191 @@
+// Dense univariate polynomials over a prime field.
+//
+// Coefficients are stored low-degree-first. The zero polynomial is the empty
+// coefficient vector; all constructors and operations maintain the invariant
+// that the leading stored coefficient is nonzero.
+
+#ifndef SRC_POLY_POLYNOMIAL_H_
+#define SRC_POLY_POLYNOMIAL_H_
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "src/poly/crt_mul.h"
+
+namespace zaatar {
+
+template <typename F>
+class Polynomial {
+ public:
+  Polynomial() = default;
+  explicit Polynomial(std::vector<F> coeffs) : c_(std::move(coeffs)) {
+    Normalize();
+  }
+
+  static Polynomial Zero() { return Polynomial(); }
+  static Polynomial Constant(const F& v) { return Polynomial({v}); }
+  // x - root (a subproduct-tree leaf).
+  static Polynomial Linear(const F& root) {
+    return Polynomial({-root, F::One()});
+  }
+
+  bool IsZero() const { return c_.empty(); }
+  // Degree of the zero polynomial is reported as -1.
+  long Degree() const { return static_cast<long>(c_.size()) - 1; }
+  size_t CoefficientCount() const { return c_.size(); }
+  const std::vector<F>& Coefficients() const { return c_; }
+
+  const F& operator[](size_t i) const { return c_[i]; }
+  F CoefficientOrZero(size_t i) const {
+    return i < c_.size() ? c_[i] : F::Zero();
+  }
+  F LeadingCoefficient() const {
+    return c_.empty() ? F::Zero() : c_.back();
+  }
+
+  bool operator==(const Polynomial& o) const { return c_ == o.c_; }
+  bool operator!=(const Polynomial& o) const { return c_ != o.c_; }
+
+  // Horner evaluation.
+  F Evaluate(const F& x) const {
+    F acc = F::Zero();
+    for (size_t i = c_.size(); i-- > 0;) {
+      acc = acc * x + c_[i];
+    }
+    return acc;
+  }
+
+  Polynomial operator+(const Polynomial& o) const {
+    std::vector<F> r(std::max(c_.size(), o.c_.size()), F::Zero());
+    for (size_t i = 0; i < c_.size(); i++) {
+      r[i] += c_[i];
+    }
+    for (size_t i = 0; i < o.c_.size(); i++) {
+      r[i] += o.c_[i];
+    }
+    return Polynomial(std::move(r));
+  }
+
+  Polynomial operator-(const Polynomial& o) const {
+    std::vector<F> r(std::max(c_.size(), o.c_.size()), F::Zero());
+    for (size_t i = 0; i < c_.size(); i++) {
+      r[i] += c_[i];
+    }
+    for (size_t i = 0; i < o.c_.size(); i++) {
+      r[i] -= o.c_[i];
+    }
+    return Polynomial(std::move(r));
+  }
+
+  Polynomial operator-() const {
+    std::vector<F> r(c_.size());
+    for (size_t i = 0; i < c_.size(); i++) {
+      r[i] = -c_[i];
+    }
+    return Polynomial(std::move(r));
+  }
+
+  Polynomial operator*(const F& s) const {
+    std::vector<F> r(c_.size());
+    for (size_t i = 0; i < c_.size(); i++) {
+      r[i] = c_[i] * s;
+    }
+    return Polynomial(std::move(r));
+  }
+
+  Polynomial operator*(const Polynomial& o) const {
+    if (IsZero() || o.IsZero()) {
+      return Zero();
+    }
+    if (std::min(c_.size(), o.c_.size()) <= kNaiveMulThreshold) {
+      return Polynomial(NaiveMul(c_, o.c_));
+    }
+    return Polynomial(MulCrt(c_.data(), c_.size(), o.c_.data(), o.c_.size()));
+  }
+
+  // Schoolbook product (also used by tests to cross-check the CRT path).
+  static std::vector<F> NaiveMul(const std::vector<F>& a,
+                                 const std::vector<F>& b) {
+    std::vector<F> r(a.size() + b.size() - 1, F::Zero());
+    for (size_t i = 0; i < a.size(); i++) {
+      if (a[i].IsZero()) {
+        continue;
+      }
+      for (size_t j = 0; j < b.size(); j++) {
+        r[i + j] += a[i] * b[j];
+      }
+    }
+    return r;
+  }
+
+  // The first `count` coefficients (i.e. the polynomial mod x^count).
+  Polynomial Truncate(size_t count) const {
+    if (c_.size() <= count) {
+      return *this;
+    }
+    return Polynomial(std::vector<F>(c_.begin(), c_.begin() + count));
+  }
+
+  // Coefficient reversal rev_k(f) = x^k f(1/x), k >= Degree().
+  Polynomial Reverse(size_t k) const {
+    assert(static_cast<long>(k) >= Degree());
+    std::vector<F> r(k + 1, F::Zero());
+    for (size_t i = 0; i < c_.size(); i++) {
+      r[k - i] = c_[i];
+    }
+    return Polynomial(std::move(r));
+  }
+
+  // Multiplication by x^k.
+  Polynomial ShiftUp(size_t k) const {
+    if (IsZero()) {
+      return Zero();
+    }
+    std::vector<F> r(c_.size() + k, F::Zero());
+    for (size_t i = 0; i < c_.size(); i++) {
+      r[i + k] = c_[i];
+    }
+    return Polynomial(std::move(r));
+  }
+
+  // Exact division by x^k (asserts the low coefficients are zero).
+  Polynomial ShiftDown(size_t k) const {
+    if (IsZero()) {
+      return Zero();
+    }
+    assert(c_.size() > k);
+    for (size_t i = 0; i < k; i++) {
+      assert(c_[i].IsZero());
+    }
+    return Polynomial(std::vector<F>(c_.begin() + k, c_.end()));
+  }
+
+  // Formal derivative.
+  Polynomial Derivative() const {
+    if (c_.size() <= 1) {
+      return Zero();
+    }
+    std::vector<F> r(c_.size() - 1);
+    for (size_t i = 1; i < c_.size(); i++) {
+      r[i - 1] = c_[i] * F::FromUint(i);
+    }
+    return Polynomial(std::move(r));
+  }
+
+ private:
+  static constexpr size_t kNaiveMulThreshold = 32;
+
+  void Normalize() {
+    while (!c_.empty() && c_.back().IsZero()) {
+      c_.pop_back();
+    }
+  }
+
+  std::vector<F> c_;
+};
+
+}  // namespace zaatar
+
+#endif  // SRC_POLY_POLYNOMIAL_H_

@@ -1,0 +1,151 @@
+// Byte-level serialization for protocol messages.
+//
+// The paper's network accounting (§A.1: "a full query sent from V to P, and
+// a random seed from which V and P derive the PCP queries pseudorandomly")
+// needs concrete wire formats. This module provides bounds-checked
+// little-endian encoding for field elements, big integers, ciphertexts, and
+// the two protocol messages:
+//   - SetupMessage (V -> P, once per batch): a 32-byte query seed, the
+//     encrypted commitment vectors Enc(r), and the consistency vectors t.
+//     The queries themselves are never shipped — P re-derives them from the
+//     seed (they are public coin); r and the alphas stay verifier-secret.
+//   - InstanceProofMessage (P -> V, per instance): the two commitments and
+//     all oracle responses.
+
+#ifndef SRC_UTIL_SERIALIZE_H_
+#define SRC_UTIL_SERIALIZE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "src/field/bigint.h"
+
+namespace zaatar {
+
+class ByteWriter {
+ public:
+  void PutU32(uint32_t v) {
+    for (int i = 0; i < 4; i++) {
+      buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  void PutU64(uint64_t v) {
+    for (int i = 0; i < 8; i++) {
+      buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  template <size_t N>
+  void PutBigInt(const BigInt<N>& v) {
+    for (size_t i = 0; i < N; i++) {
+      PutU64(v.limbs[i]);
+    }
+  }
+
+  void PutBytes(const uint8_t* data, size_t n) {
+    buf_.insert(buf_.end(), data, data + n);
+  }
+
+  const std::vector<uint8_t>& bytes() const { return buf_; }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<uint8_t>& bytes) : bytes_(&bytes) {}
+
+  uint32_t GetU32() {
+    Require(4);
+    uint32_t v = 0;
+    for (int i = 0; i < 4; i++) {
+      v |= static_cast<uint32_t>((*bytes_)[pos_++]) << (8 * i);
+    }
+    return v;
+  }
+
+  uint64_t GetU64() {
+    Require(8);
+    uint64_t v = 0;
+    for (int i = 0; i < 8; i++) {
+      v |= static_cast<uint64_t>((*bytes_)[pos_++]) << (8 * i);
+    }
+    return v;
+  }
+
+  template <size_t N>
+  BigInt<N> GetBigInt() {
+    BigInt<N> v;
+    for (size_t i = 0; i < N; i++) {
+      v.limbs[i] = GetU64();
+    }
+    return v;
+  }
+
+  void GetBytes(uint8_t* out, size_t n) {
+    Require(n);
+    std::memcpy(out, bytes_->data() + pos_, n);
+    pos_ += n;
+  }
+
+  bool AtEnd() const { return pos_ == bytes_->size(); }
+  size_t remaining() const { return bytes_->size() - pos_; }
+
+ private:
+  void Require(size_t n) const {
+    if (pos_ + n > bytes_->size()) {
+      throw std::runtime_error("serialized message truncated");
+    }
+  }
+
+  const std::vector<uint8_t>* bytes_;
+  size_t pos_ = 0;
+};
+
+// Field elements travel in canonical (non-Montgomery) form and are validated
+// against the modulus on decode — a malformed message cannot smuggle an
+// out-of-range residue into the protocol.
+template <typename F>
+void PutField(ByteWriter* w, const F& v) {
+  w->PutBigInt(v.ToCanonical());
+}
+
+template <typename F>
+F GetField(ByteReader* r) {
+  auto canonical = r->template GetBigInt<F::kLimbs>();
+  if (!(canonical < F::kModulus)) {
+    throw std::runtime_error("field element out of range");
+  }
+  return F::FromCanonical(canonical);
+}
+
+template <typename F>
+void PutFieldVector(ByteWriter* w, const std::vector<F>& v) {
+  w->PutU32(static_cast<uint32_t>(v.size()));
+  for (const F& x : v) {
+    PutField(w, x);
+  }
+}
+
+template <typename F>
+std::vector<F> GetFieldVector(ByteReader* r) {
+  uint32_t n = r->GetU32();
+  if (static_cast<size_t>(n) * F::kLimbs * 8 > r->remaining()) {
+    throw std::runtime_error("field vector length exceeds message");
+  }
+  std::vector<F> v;
+  v.reserve(n);
+  for (uint32_t i = 0; i < n; i++) {
+    v.push_back(GetField<F>(r));
+  }
+  return v;
+}
+
+}  // namespace zaatar
+
+#endif  // SRC_UTIL_SERIALIZE_H_

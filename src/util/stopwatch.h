@@ -1,0 +1,35 @@
+// Minimal monotonic stopwatch for the cost accounting that backs the
+// Figure 5 decomposition and the Figure 3 model-vs-measured comparison.
+
+#ifndef SRC_UTIL_STOPWATCH_H_
+#define SRC_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace zaatar {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  // Returns elapsed seconds and restarts (for phase-by-phase accounting).
+  double Lap() {
+    double s = ElapsedSeconds();
+    Restart();
+    return s;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace zaatar
+
+#endif  // SRC_UTIL_STOPWATCH_H_

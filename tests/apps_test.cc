@@ -1,0 +1,117 @@
+// Integration tests: the five benchmark programs, compiled and solved,
+// must agree with their native references on random instances, and their
+// constraint systems must scale the way Figure 9 reports.
+
+#include <gtest/gtest.h>
+
+#include "src/apps/harness.h"
+#include "src/apps/suite.h"
+
+namespace zaatar {
+namespace {
+
+template <typename F>
+void CheckAppAgainstNative(const App<F>& app, int instances, uint64_t seed) {
+  auto program = CompileZlang<F>(app.source);
+  Prg prg(seed);
+  for (int k = 0; k < instances; k++) {
+    auto inst = app.make_instance(prg);
+    auto gw = program.SolveGinger(inst.inputs);
+    ASSERT_TRUE(program.ginger.IsSatisfied(gw))
+        << app.name << " ginger constraint "
+        << program.ginger.FirstViolated(gw);
+    auto zw = program.SolveZaatar(gw);
+    ASSERT_TRUE(program.zaatar.r1cs.IsSatisfied(zw))
+        << app.name << " r1cs constraint "
+        << program.zaatar.r1cs.FirstViolated(zw);
+    EXPECT_EQ(program.ExtractOutputs(gw), inst.expected_outputs)
+        << app.name << " instance " << k;
+  }
+}
+
+TEST(AppsTest, PamMatchesNative) {
+  CheckAppAgainstNative(MakePamApp(5, 6), 4, 1001);
+}
+
+TEST(AppsTest, PamWithMoreIterations) {
+  CheckAppAgainstNative(MakePamApp(6, 4, /*iters=*/3), 2, 1002);
+}
+
+TEST(AppsTest, RootFindMatchesNative) {
+  CheckAppAgainstNative(MakeRootFindApp(3, 5), 4, 1003);
+}
+
+TEST(AppsTest, RootFindDeepIterations) {
+  CheckAppAgainstNative(MakeRootFindApp(2, 10), 2, 1004);
+}
+
+TEST(AppsTest, ApspMatchesNative) {
+  CheckAppAgainstNative(MakeApspApp(4), 3, 1005);
+}
+
+TEST(AppsTest, FannkuchMatchesNative) {
+  CheckAppAgainstNative(MakeFannkuchApp(3, 5, 12), 4, 1006);
+}
+
+TEST(AppsTest, FannkuchPermutationNeedingManyFlips) {
+  CheckAppAgainstNative(MakeFannkuchApp(5, 4, 10), 3, 1007);
+}
+
+TEST(AppsTest, LcsMatchesNative) {
+  CheckAppAgainstNative(MakeLcsApp(10), 4, 1008);
+}
+
+TEST(AppsTest, NativeLcsSanity) {
+  EXPECT_EQ(NativeLcs({1, 2, 3, 4}, {1, 2, 3, 4}), 4);
+  EXPECT_EQ(NativeLcs({1, 2, 3, 4}, {4, 3, 2, 1}), 1);
+  EXPECT_EQ(NativeLcs({1, 3, 2, 4}, {1, 2, 3, 4}), 3);
+}
+
+TEST(AppsTest, NativeFannkuchKnownValue) {
+  // Permutation (2 1 3): one flip yields (1 2 3).
+  FannkuchResult r = NativeFannkuch({2, 1, 3}, 1, 3, 10);
+  EXPECT_EQ(r.total_flips, 1);
+  // (3 1 2) -> reverse 3 -> (2 1 3) -> reverse 2 -> (1 2 3): 2 flips.
+  r = NativeFannkuch({3, 1, 2}, 1, 3, 10);
+  EXPECT_EQ(r.total_flips, 2);
+}
+
+// Figure 9's shape: |C| grows linearly in the size knob for each benchmark,
+// and the Zaatar proof length stays linear while Ginger's is quadratic.
+TEST(AppsTest, LcsEncodingScalesQuadraticallyInM) {
+  auto p8 = CompileZlang<F128>(LcsSource(8));
+  auto p16 = CompileZlang<F128>(LcsSource(16));
+  double ratio = static_cast<double>(p16.CGinger()) /
+                 static_cast<double>(p8.CGinger());
+  EXPECT_GT(ratio, 3.0);  // ~4x for doubling m (O(m^2) cells)
+  EXPECT_LT(ratio, 5.0);
+}
+
+TEST(AppsTest, ProofLengthsLinearVsQuadratic) {
+  auto p = CompileZlang<F128>(LcsSource(12));
+  EXPECT_EQ(p.UZaatar(), p.ZZaatar() + p.CZaatar() + 1);
+  EXPECT_EQ(p.UGinger(), p.ZGinger() + p.ZGinger() * p.ZGinger());
+  // The gap that motivates the paper.
+  EXPECT_GT(p.UGinger(), 50 * p.UZaatar());
+}
+
+TEST(AppsTest, RootFindNeedsTheWideField) {
+  // The same program must fail to compile over the 128-bit field at the
+  // paper's iteration counts (widths exceed capacity) but succeed over F220.
+  EXPECT_THROW(CompileZlang<F128>(RootFindSource(4, 8)), CompileError);
+  EXPECT_NO_THROW(CompileZlang<F220>(RootFindSource(4, 8)));
+}
+
+TEST(AppsTest, ComputationStatsArePopulated) {
+  auto program = CompileZlang<F128>(LcsSource(8));
+  ComputationStats s = ComputeStats(program, 1e-6);
+  EXPECT_EQ(s.c_ginger, program.CGinger());
+  EXPECT_EQ(s.z_zaatar, program.ZZaatar());
+  EXPECT_GT(s.k, s.c_ginger);  // several additive terms per constraint
+  EXPECT_GT(s.k2, 0u);
+  EXPECT_EQ(s.num_inputs, 16u);
+  EXPECT_EQ(s.num_outputs, 1u);
+}
+
+}  // namespace
+}  // namespace zaatar

@@ -1,0 +1,147 @@
+#include "src/argument/argument.h"
+
+#include <gtest/gtest.h>
+
+#include "src/constraints/qap.h"
+#include "src/constraints/transform.h"
+#include "src/field/fields.h"
+#include "tests/test_util.h"
+
+namespace zaatar {
+namespace {
+
+using F = F128;
+
+struct ZaatarFixture {
+  RandomSystem<F> rs;
+  ZaatarTransform<F> transform;
+
+  static ZaatarFixture Make(Prg& prg) {
+    ZaatarFixture f;
+    f.rs = MakeRandomSatisfiedSystem<F>(prg, 10, 3, 2, 16);
+    f.transform = GingerToZaatar(f.rs.system);
+    return f;
+  }
+};
+
+TEST(ZaatarArgumentTest, BatchAcceptsHonestProver) {
+  Prg prg(110);
+  auto f = ZaatarFixture::Make(prg);
+  Qap<F> qap(f.transform.r1cs);
+  auto queries = ZaatarPcp<F>::GenerateQueries(qap, PcpParams::Light(), prg);
+  auto setup = ZaatarArgument<F>::Setup(std::move(queries), prg);
+
+  // Batch: re-randomize the witness per "instance" by regenerating systems
+  // is not possible (queries depend on constraints), so a batch here means
+  // the same instance proven multiple times — the protocol path is the same.
+  auto w = f.transform.ExtendAssignment(f.rs.assignment);
+  auto proof = BuildZaatarProof(qap, w);
+  for (int i = 0; i < 3; i++) {
+    auto ip = ZaatarArgument<F>::Prove({&proof.z, &proof.h}, setup);
+    EXPECT_TRUE(
+        ZaatarArgument<F>::VerifyInstance(setup, ip, f.rs.BoundValues()));
+  }
+}
+
+TEST(ZaatarArgumentTest, RejectsWrongOutputClaim) {
+  Prg prg(111);
+  auto f = ZaatarFixture::Make(prg);
+  Qap<F> qap(f.transform.r1cs);
+  auto setup = ZaatarArgument<F>::Setup(
+      ZaatarPcp<F>::GenerateQueries(qap, PcpParams::Light(), prg), prg);
+  auto w = f.transform.ExtendAssignment(f.rs.assignment);
+  auto proof = BuildZaatarProof(qap, w);
+  auto ip = ZaatarArgument<F>::Prove({&proof.z, &proof.h}, setup);
+  auto bad = f.rs.BoundValues();
+  bad.back() += F::One();
+  EXPECT_FALSE(ZaatarArgument<F>::VerifyInstance(setup, ip, bad));
+}
+
+TEST(ZaatarArgumentTest, RejectsTamperedResponsesViaCommitment) {
+  Prg prg(112);
+  auto f = ZaatarFixture::Make(prg);
+  Qap<F> qap(f.transform.r1cs);
+  auto setup = ZaatarArgument<F>::Setup(
+      ZaatarPcp<F>::GenerateQueries(qap, PcpParams::Light(), prg), prg);
+  auto w = f.transform.ExtendAssignment(f.rs.assignment);
+  auto proof = BuildZaatarProof(qap, w);
+  auto ip = ZaatarArgument<F>::Prove({&proof.z, &proof.h}, setup);
+  for (size_t oracle = 0; oracle < 2; oracle++) {
+    auto tampered = ip;
+    tampered.parts[oracle].responses[0] += F::One();
+    EXPECT_FALSE(ZaatarArgument<F>::VerifyInstance(setup, tampered,
+                                                   f.rs.BoundValues()))
+        << "oracle " << oracle;
+  }
+}
+
+TEST(ZaatarArgumentTest, RejectsCheatingWitnessEndToEnd) {
+  Prg prg(113);
+  auto f = ZaatarFixture::Make(prg);
+  Qap<F> qap(f.transform.r1cs);
+  auto setup = ZaatarArgument<F>::Setup(
+      ZaatarPcp<F>::GenerateQueries(qap, PcpParams::Light(), prg), prg);
+  auto bad_w = f.transform.ExtendAssignment(f.rs.assignment);
+  bad_w[2] += F::One();
+  auto proof = BuildZaatarProof(qap, bad_w);
+  auto ip = ZaatarArgument<F>::Prove({&proof.z, &proof.h}, setup);
+  EXPECT_FALSE(
+      ZaatarArgument<F>::VerifyInstance(setup, ip, f.rs.BoundValues()));
+}
+
+TEST(ZaatarArgumentTest, CostAccountingIsPopulated) {
+  Prg prg(114);
+  auto f = ZaatarFixture::Make(prg);
+  Qap<F> qap(f.transform.r1cs);
+  auto setup = ZaatarArgument<F>::Setup(
+      ZaatarPcp<F>::GenerateQueries(qap, PcpParams::Light(), prg), prg, 0.5);
+  EXPECT_EQ(setup.costs.query_generation_s, 0.5);
+  EXPECT_GT(setup.costs.commit_setup_s, 0.0);
+  auto w = f.transform.ExtendAssignment(f.rs.assignment);
+  auto proof = BuildZaatarProof(qap, w);
+  auto ip = ZaatarArgument<F>::Prove({&proof.z, &proof.h}, setup);
+  EXPECT_GT(ip.costs.crypto_s, 0.0);
+  EXPECT_GT(ip.costs.answer_queries_s, 0.0);
+  double verify_s = 0;
+  ZaatarArgument<F>::VerifyInstance(setup, ip, f.rs.BoundValues(),
+                                    &verify_s);
+  EXPECT_GT(verify_s, 0.0);
+}
+
+TEST(GingerArgumentTest, EndToEndAcceptAndReject) {
+  Prg prg(115);
+  auto rs = MakeRandomSatisfiedSystem<F>(prg, 8, 2, 2, 14);
+  auto inst = BuildGingerPcpInstance(rs.system);
+  auto setup = GingerArgument<F>::Setup(
+      GingerPcp<F>::GenerateQueries(inst, PcpParams::Light(), prg), prg);
+  auto proof = BuildGingerProof(inst, rs.assignment);
+  auto ip = GingerArgument<F>::Prove({&proof.z, &proof.tensor}, setup);
+  EXPECT_TRUE(GingerArgument<F>::VerifyInstance(setup, ip, rs.BoundValues()));
+
+  auto bad = rs.BoundValues();
+  bad[0] += F::One();
+  EXPECT_FALSE(GingerArgument<F>::VerifyInstance(setup, ip, bad));
+
+  auto tampered = ip;
+  tampered.parts[1].t_response += F::One();
+  EXPECT_FALSE(
+      GingerArgument<F>::VerifyInstance(setup, tampered, rs.BoundValues()));
+}
+
+TEST(ArgumentTest, SetupSizesMatchAdapters) {
+  Prg prg(116);
+  auto f = ZaatarFixture::Make(prg);
+  Qap<F> qap(f.transform.r1cs);
+  auto queries = ZaatarPcp<F>::GenerateQueries(qap, PcpParams::Light(), prg);
+  size_t zq = queries.z_queries.size(), hq = queries.h_queries.size();
+  size_t zl = queries.z_len, hl = queries.h_len;
+  auto setup = ZaatarArgument<F>::Setup(std::move(queries), prg);
+  EXPECT_EQ(setup.commit[0].enc_r.size(), zl);
+  EXPECT_EQ(setup.commit[1].enc_r.size(), hl);
+  EXPECT_EQ(setup.commit[0].alphas.size(), zq);
+  EXPECT_EQ(setup.commit[1].alphas.size(), hq);
+  EXPECT_EQ(setup.TotalQueryElements(), zq * zl + hq * hl);
+}
+
+}  // namespace
+}  // namespace zaatar

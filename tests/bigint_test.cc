@@ -1,0 +1,182 @@
+#include "src/field/bigint.h"
+
+#include <gtest/gtest.h>
+
+#include "src/crypto/prg.h"
+
+namespace zaatar {
+namespace {
+
+using B2 = BigInt<2>;
+using B4 = BigInt<4>;
+
+__uint128_t ToU128(const B2& b) {
+  return (static_cast<__uint128_t>(b.limbs[1]) << 64) | b.limbs[0];
+}
+
+B2 FromU128(__uint128_t v) {
+  B2 b;
+  b.limbs[0] = static_cast<uint64_t>(v);
+  b.limbs[1] = static_cast<uint64_t>(v >> 64);
+  return b;
+}
+
+TEST(BigIntTest, ZeroAndOne) {
+  EXPECT_TRUE(B2::Zero().IsZero());
+  EXPECT_FALSE(B2::One().IsZero());
+  EXPECT_TRUE(B2::One().IsOdd());
+  EXPECT_EQ(B2::One().BitLength(), 1u);
+  EXPECT_EQ(B2::Zero().BitLength(), 0u);
+}
+
+TEST(BigIntTest, CompareOrdersLexicographicallyFromHighLimb) {
+  B2 small(uint64_t{5});
+  B2 big;
+  big.limbs[1] = 1;
+  EXPECT_LT(small.Compare(big), 0);
+  EXPECT_GT(big.Compare(small), 0);
+  EXPECT_EQ(small.Compare(small), 0);
+  EXPECT_TRUE(small < big);
+  EXPECT_TRUE(big >= small);
+}
+
+TEST(BigIntTest, AddSubMatchU128) {
+  Prg prg(1);
+  for (int i = 0; i < 200; i++) {
+    __uint128_t a = (static_cast<__uint128_t>(prg.NextU64()) << 64) |
+                    prg.NextU64();
+    __uint128_t b = (static_cast<__uint128_t>(prg.NextU64()) << 64) |
+                    prg.NextU64();
+    B2 ba = FromU128(a), bb = FromU128(b);
+    EXPECT_EQ(ToU128(ba.Add(bb)), static_cast<__uint128_t>(a + b));
+    EXPECT_EQ(ToU128(ba.Sub(bb)), static_cast<__uint128_t>(a - b));
+  }
+}
+
+TEST(BigIntTest, AddReportsCarry) {
+  B2 max;
+  max.limbs[0] = max.limbs[1] = ~uint64_t{0};
+  uint64_t carry = 0;
+  B2 r = max.Add(B2::One(), &carry);
+  EXPECT_TRUE(r.IsZero());
+  EXPECT_EQ(carry, 1u);
+}
+
+TEST(BigIntTest, SubReportsBorrow) {
+  uint64_t borrow = 0;
+  B2 r = B2::Zero().Sub(B2::One(), &borrow);
+  EXPECT_EQ(borrow, 1u);
+  EXPECT_EQ(r.limbs[0], ~uint64_t{0});
+  EXPECT_EQ(r.limbs[1], ~uint64_t{0});
+}
+
+TEST(BigIntTest, MulWideMatchesU128ForSingleLimbs) {
+  Prg prg(2);
+  for (int i = 0; i < 200; i++) {
+    uint64_t a = prg.NextU64(), b = prg.NextU64();
+    BigInt<1> ba(a), bb(b);
+    BigInt<2> r = ba.MulWide(bb);
+    __uint128_t expect = static_cast<__uint128_t>(a) * b;
+    EXPECT_EQ(r.limbs[0], static_cast<uint64_t>(expect));
+    EXPECT_EQ(r.limbs[1], static_cast<uint64_t>(expect >> 64));
+  }
+}
+
+TEST(BigIntTest, ShiftRoundTrip) {
+  Prg prg(3);
+  for (int i = 0; i < 100; i++) {
+    B4 v;
+    for (auto& limb : v.limbs) {
+      limb = prg.NextU64();
+    }
+    v.limbs[3] &= ~(uint64_t{1} << 63);  // make room for the left shift
+    B4 w = v;
+    w.Shl1InPlace();
+    w.Shr1InPlace();
+    EXPECT_EQ(w, v);
+  }
+}
+
+TEST(BigIntTest, BitAccessMatchesShifts) {
+  B4 v;
+  v.limbs[0] = 0b1011;
+  v.limbs[2] = uint64_t{1} << 17;
+  EXPECT_TRUE(v.Bit(0));
+  EXPECT_TRUE(v.Bit(1));
+  EXPECT_FALSE(v.Bit(2));
+  EXPECT_TRUE(v.Bit(3));
+  EXPECT_TRUE(v.Bit(128 + 17));
+  EXPECT_FALSE(v.Bit(128 + 18));
+  EXPECT_EQ(v.BitLength(), 128u + 18u);
+}
+
+TEST(BigIntTest, DivModU64MatchesReference) {
+  Prg prg(4);
+  for (int i = 0; i < 200; i++) {
+    __uint128_t a = (static_cast<__uint128_t>(prg.NextU64()) << 64) |
+                    prg.NextU64();
+    uint64_t d = prg.NextU64() | 1;
+    B2 q = FromU128(a);
+    uint64_t r = q.DivModU64InPlace(d);
+    EXPECT_EQ(ToU128(q), static_cast<__uint128_t>(a / d));
+    EXPECT_EQ(r, static_cast<uint64_t>(a % d));
+  }
+}
+
+TEST(BigIntTest, ModU64) {
+  Prg prg(5);
+  for (int i = 0; i < 200; i++) {
+    __uint128_t a = (static_cast<__uint128_t>(prg.NextU64()) << 64) |
+                    prg.NextU64();
+    uint64_t m = (prg.NextU64() | 1) >> 1 | 1;
+    EXPECT_EQ(FromU128(a).ModU64(m), static_cast<uint64_t>(a % m));
+  }
+}
+
+TEST(BigIntTest, AddModSubModStayReduced) {
+  // Modulus with high bit set so sums overflow the word width.
+  B2 m;
+  m.limbs[0] = 0xffffffffffffff61ULL;
+  m.limbs[1] = ~uint64_t{0};
+  Prg prg(6);
+  for (int i = 0; i < 200; i++) {
+    B2 a = FromU128((static_cast<__uint128_t>(prg.NextU64()) << 64) |
+                    prg.NextU64());
+    B2 b = FromU128((static_cast<__uint128_t>(prg.NextU64()) << 64) |
+                    prg.NextU64());
+    if (a >= m) {
+      a.SubInPlace(m);
+    }
+    if (b >= m) {
+      b.SubInPlace(m);
+    }
+    B2 sum = AddMod(a, b, m);
+    B2 diff = SubMod(a, b, m);
+    EXPECT_LT(sum.Compare(m), 0);
+    EXPECT_LT(diff.Compare(m), 0);
+    // (a + b) - b == a
+    EXPECT_EQ(SubMod(sum, b, m), a);
+    // (a - b) + b == a
+    EXPECT_EQ(AddMod(diff, b, m), a);
+  }
+}
+
+TEST(BigIntTest, ResizeTruncatesAndExtends) {
+  B4 v;
+  v.limbs = {1, 2, 3, 4};
+  BigInt<2> t = v.Resize<2>();
+  EXPECT_EQ(t.limbs[0], 1u);
+  EXPECT_EQ(t.limbs[1], 2u);
+  BigInt<6> e = v.Resize<6>();
+  EXPECT_EQ(e.limbs[3], 4u);
+  EXPECT_EQ(e.limbs[5], 0u);
+}
+
+TEST(BigIntTest, ToHex) {
+  B2 v(uint64_t{0xdeadbeef});
+  EXPECT_EQ(v.ToHex(), "0xdeadbeef");
+  EXPECT_EQ(B2::Zero().ToHex(), "0x0");
+}
+
+}  // namespace
+}  // namespace zaatar

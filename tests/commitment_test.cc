@@ -1,0 +1,133 @@
+#include "src/commit/commitment.h"
+
+#include <gtest/gtest.h>
+
+#include "src/field/fields.h"
+
+namespace zaatar {
+namespace {
+
+using F = F128;
+using Commit = LinearCommitment<F>;
+using EG = ElGamal<F>;
+
+struct Fixture {
+  typename EG::KeyPair keys;
+  std::vector<F> u;
+  std::vector<std::vector<F>> queries;
+  OracleCommitSetup<F> setup;
+  OracleProofPart<F> part;
+
+  static Fixture Make(Prg& prg, size_t len = 10, size_t num_queries = 6) {
+    Fixture f;
+    f.keys = EG::GenerateKeys(prg);
+    f.u = prg.NextFieldVector<F>(len);
+    for (size_t i = 0; i < num_queries; i++) {
+      f.queries.push_back(prg.NextFieldVector<F>(len));
+    }
+    f.setup = Commit::CreateSetup(f.keys.pk, len, f.queries, prg);
+    f.part = Commit::Prove(f.u, f.setup.enc_r, f.queries, f.setup.t);
+    return f;
+  }
+};
+
+TEST(CommitmentTest, HonestProverPassesConsistency) {
+  Prg prg(100);
+  auto f = Fixture::Make(prg);
+  EXPECT_TRUE(Commit::CheckConsistency(f.keys.pk, f.keys.sk, f.setup, f.part));
+}
+
+TEST(CommitmentTest, ResponsesAreTrueInnerProducts) {
+  Prg prg(101);
+  auto f = Fixture::Make(prg);
+  for (size_t i = 0; i < f.queries.size(); i++) {
+    EXPECT_EQ(f.part.responses[i],
+              VectorOracle<F>::InnerProduct(f.queries[i].data(), f.u.data(),
+                                            f.u.size()));
+  }
+}
+
+TEST(CommitmentTest, TVectorIsRPlusAlphaCombination) {
+  Prg prg(102);
+  auto f = Fixture::Make(prg);
+  for (size_t i = 0; i < f.u.size(); i++) {
+    F expect = f.setup.r[i];
+    for (size_t k = 0; k < f.queries.size(); k++) {
+      expect += f.setup.alphas[k] * f.queries[k][i];
+    }
+    EXPECT_EQ(f.setup.t[i], expect);
+  }
+}
+
+TEST(CommitmentTest, RejectsTamperedResponse) {
+  Prg prg(103);
+  auto f = Fixture::Make(prg);
+  for (size_t i = 0; i < f.part.responses.size(); i++) {
+    auto tampered = f.part;
+    tampered.responses[i] += F::One();
+    EXPECT_FALSE(
+        Commit::CheckConsistency(f.keys.pk, f.keys.sk, f.setup, tampered))
+        << "response " << i;
+  }
+}
+
+TEST(CommitmentTest, RejectsTamperedTResponse) {
+  Prg prg(104);
+  auto f = Fixture::Make(prg);
+  auto tampered = f.part;
+  tampered.t_response += F::One();
+  EXPECT_FALSE(
+      Commit::CheckConsistency(f.keys.pk, f.keys.sk, f.setup, tampered));
+}
+
+TEST(CommitmentTest, RejectsCommitmentToDifferentVector) {
+  // Prover commits to u but answers queries from u': the decommitment check
+  // catches the switch (binding).
+  Prg prg(105);
+  auto f = Fixture::Make(prg);
+  auto u2 = prg.NextFieldVector<F>(f.u.size());
+  auto part2 = Commit::Prove(u2, f.setup.enc_r, f.queries, f.setup.t);
+  auto frankenstein = f.part;           // responses from u ...
+  frankenstein.commitment = part2.commitment;  // ... commitment to u2
+  EXPECT_FALSE(
+      Commit::CheckConsistency(f.keys.pk, f.keys.sk, f.setup, frankenstein));
+}
+
+TEST(CommitmentTest, ConsistentCheatIsAcceptedButIsLinear) {
+  // A prover may answer with ANY fixed linear function; the commitment layer
+  // only binds, the PCP layer decides. Committing honestly to a different
+  // vector must still pass.
+  Prg prg(106);
+  auto f = Fixture::Make(prg);
+  auto u2 = prg.NextFieldVector<F>(f.u.size());
+  auto part2 = Commit::Prove(u2, f.setup.enc_r, f.queries, f.setup.t);
+  EXPECT_TRUE(
+      Commit::CheckConsistency(f.keys.pk, f.keys.sk, f.setup, part2));
+}
+
+TEST(CommitmentTest, ZeroLengthQueriesStillBind) {
+  Prg prg(107);
+  auto keys = EG::GenerateKeys(prg);
+  auto u = prg.NextFieldVector<F>(4);
+  std::vector<std::vector<F>> no_queries;
+  auto setup = Commit::CreateSetup(keys.pk, 4, no_queries, prg);
+  auto part = Commit::Prove(u, setup.enc_r, no_queries, setup.t);
+  EXPECT_TRUE(Commit::CheckConsistency(keys.pk, keys.sk, setup, part));
+  part.t_response += F::One();
+  EXPECT_FALSE(Commit::CheckConsistency(keys.pk, keys.sk, setup, part));
+}
+
+TEST(CommitmentTest, PhaseTimersAccumulate) {
+  Prg prg(108);
+  auto keys = EG::GenerateKeys(prg);
+  auto u = prg.NextFieldVector<F>(8);
+  std::vector<std::vector<F>> queries = {prg.NextFieldVector<F>(8)};
+  auto setup = Commit::CreateSetup(keys.pk, 8, queries, prg);
+  double crypto = 0, answer = 0;
+  Commit::Prove(u, setup.enc_r, queries, setup.t, &crypto, &answer);
+  EXPECT_GT(crypto, 0.0);
+  EXPECT_GT(answer, 0.0);
+}
+
+}  // namespace
+}  // namespace zaatar

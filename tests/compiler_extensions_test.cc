@@ -1,0 +1,255 @@
+// Tests for the language extensions beyond the paper's core feature set
+// (§5.4 calls these out as missing engineering): user functions, assert,
+// bitwise operators, shifts, runtime integer division, and integer sqrt.
+
+#include <gtest/gtest.h>
+
+#include "src/compiler/compile.h"
+#include "src/field/fields.h"
+
+namespace zaatar {
+namespace {
+
+using F = F128;
+
+std::vector<int64_t> RunProgram(const std::string& source,
+                                const std::vector<int64_t>& inputs) {
+  auto program = CompileZlang<F>(source);
+  std::vector<F> in;
+  for (int64_t v : inputs) {
+    in.push_back(EncodeSignedInt<F>(v));
+  }
+  auto gw = program.SolveGinger(in);
+  EXPECT_TRUE(program.ginger.IsSatisfied(gw))
+      << "ginger constraint " << program.ginger.FirstViolated(gw);
+  auto zw = program.SolveZaatar(gw);
+  EXPECT_TRUE(program.zaatar.r1cs.IsSatisfied(zw))
+      << "r1cs constraint " << program.zaatar.r1cs.FirstViolated(zw);
+  std::vector<int64_t> out;
+  for (const F& v : program.ExtractOutputs(gw)) {
+    out.push_back(DecodeSignedInt<F>(v));
+  }
+  return out;
+}
+
+TEST(FunctionTest, SimpleFunctionInlines) {
+  EXPECT_EQ(RunProgram("func int32 sq(int32 x) { return x * x; }"
+                       "input int32 a; output int<70> y; y = sq(a) + sq(3);",
+                       {7}),
+            (std::vector<int64_t>{49 + 9}));
+}
+
+TEST(FunctionTest, FunctionWithLocalsAndMultipleParams) {
+  EXPECT_EQ(RunProgram(
+                "func int32 dot2(int32 a, int32 b, int32 c, int32 d) {"
+                "  var int<70> s; s = a * c + b * d; return s;"
+                "}"
+                "input int32 x; output int<70> y; y = dot2(x, 2, 3, 4);",
+                {5}),
+            (std::vector<int64_t>{5 * 3 + 8}));
+}
+
+TEST(FunctionTest, NestedCalls) {
+  EXPECT_EQ(RunProgram(
+                "func int32 inc(int32 x) { return x + 1; }"
+                "func int32 twice(int32 x) { return inc(inc(x)); }"
+                "input int32 a; output int32 y; y = twice(twice(a));",
+                {10}),
+            (std::vector<int64_t>{14}));
+}
+
+TEST(FunctionTest, WritesInsideFunctionsStayLocal) {
+  // The function shadows and mutates `t`; the caller's t is untouched.
+  EXPECT_EQ(RunProgram("var int32 t;"
+                       "func int32 stomp(int32 x) { var int32 t; t = 999; "
+                       "return x + t; }"
+                       "input int32 a; output int32 y; output int32 tt;"
+                       "t = 5; y = stomp(a); tt = t;",
+                       {1}),
+            (std::vector<int64_t>{1000, 5}));
+}
+
+TEST(FunctionTest, FunctionsInsideLoops) {
+  EXPECT_EQ(RunProgram("func int32 sq(int32 x) { return x * x; }"
+                       "output int<70> y; var int<70> s; s = 0;"
+                       "for i in 1..4 { s = s + sq(i); } y = s;",
+                       {}),
+            (std::vector<int64_t>{1 + 4 + 9 + 16}));
+}
+
+TEST(FunctionTest, RationalParameters) {
+  EXPECT_EQ(RunProgram(
+                "func rational<40,20> mid(rational<16,8> a, rational<16,8> "
+                "b) { return (a + b) / 2; }"
+                "input rational<16,8> p; input rational<16,8> q;"
+                "output rational<40,8> m; m = mid(p, q);",
+                {1, 2, 3, 2}),  // (1/2 + 3/2)/2 = 1
+            (std::vector<int64_t>{256, 256}));
+}
+
+TEST(FunctionTest, Errors) {
+  EXPECT_THROW(CompileZlang<F>("func int32 f(int32 x) { x = 1; }"
+                               "output int32 y; y = f(1);"),
+               CompileError);  // no return
+  EXPECT_THROW(CompileZlang<F>("func int32 f(int32 x) { return f(x); }"
+                               "output int32 y; y = f(1);"),
+               CompileError);  // recursion -> depth limit
+  EXPECT_THROW(CompileZlang<F>("func int32 f(int32 x) { return x; }"
+                               "output int32 y; y = f(1, 2);"),
+               CompileError);  // arity
+  EXPECT_THROW(CompileZlang<F>("output int32 y; y = 1; return y;"),
+               CompileError);  // return outside function
+}
+
+TEST(AssertTest, SatisfiedAssertAddsConstraint) {
+  auto p = CompileZlang<F>(
+      "input int32 a; output int32 y; assert a != 0; y = a;");
+  auto gw = p.SolveGinger({EncodeSignedInt<F>(5)});
+  EXPECT_TRUE(p.ginger.IsSatisfied(gw));
+}
+
+TEST(AssertTest, ViolatedAssertMakesSystemUnsatisfiable) {
+  auto p = CompileZlang<F>(
+      "input int32 a; output int32 y; assert a != 0; y = a;");
+  auto gw = p.SolveGinger({EncodeSignedInt<F>(0)});
+  EXPECT_FALSE(p.ginger.IsSatisfied(gw));
+}
+
+TEST(AssertTest, StaticallyFalseAssertIsCompileError) {
+  EXPECT_THROW(CompileZlang<F>("output int32 y; assert 1 > 2; y = 0;"),
+               CompileError);
+  EXPECT_NO_THROW(CompileZlang<F>("output int32 y; assert 2 > 1; y = 0;"));
+}
+
+struct BitCase {
+  int64_t a, b;
+};
+class BitwiseTest : public ::testing::TestWithParam<BitCase> {};
+
+TEST_P(BitwiseTest, MatchesNativeSemantics) {
+  auto [a, b] = GetParam();
+  auto out = RunProgram(
+      "input int32 a; input int32 b;"
+      "output int32 andv; output int32 orv; output int32 xorv;"
+      "andv = a & b; orv = a | b; xorv = a ^ b;",
+      {a, b});
+  EXPECT_EQ(out, (std::vector<int64_t>{a & b, a | b, a ^ b}))
+      << "a=" << a << " b=" << b;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, BitwiseTest,
+    ::testing::Values(BitCase{0, 0}, BitCase{1, 1}, BitCase{0b1100, 0b1010},
+                      BitCase{255, 256}, BitCase{0x7fffffff, 0x55555555},
+                      BitCase{12345, 67890}));
+
+TEST(ShiftTest, LeftShiftMultiplies) {
+  EXPECT_EQ(RunProgram("input int32 a; output int<64> y; y = a << 5;", {3}),
+            (std::vector<int64_t>{96}));
+  EXPECT_EQ(RunProgram("input int32 a; output int<64> y; y = a << 5;", {-3}),
+            (std::vector<int64_t>{-96}));
+}
+
+TEST(ShiftTest, RightShiftIsArithmeticFloor) {
+  EXPECT_EQ(RunProgram("input int32 a; output int32 y; y = a >> 2;", {13}),
+            (std::vector<int64_t>{3}));
+  EXPECT_EQ(RunProgram("input int32 a; output int32 y; y = a >> 2;", {-13}),
+            (std::vector<int64_t>{-4}));  // floor(-13/4)
+  EXPECT_EQ(RunProgram("input int32 a; output int32 y; y = a >> 2;", {-16}),
+            (std::vector<int64_t>{-4}));
+}
+
+TEST(ShiftTest, ShiftPrecedenceBelowAdditive) {
+  // 1 + 2 << 3 parses as (1+2) << 3 = 24 (zlang shift binds looser than +).
+  EXPECT_EQ(RunProgram("output int32 y; y = 1 + 2 << 3;", {}),
+            (std::vector<int64_t>{24}));
+}
+
+TEST(DivModTest, RuntimeDivisionMatchesFloorSemantics) {
+  const char* src =
+      "input int32 a; input int32 b; output int32 q; output int32 r;"
+      "q = idiv(a, b); r = imod(a, b);";
+  struct Case {
+    int64_t a, b, q, r;
+  };
+  for (const auto& c : std::vector<Case>{{17, 5, 3, 2},
+                                         {-17, 5, -4, 3},
+                                         {15, 5, 3, 0},
+                                         {-15, 5, -3, 0},
+                                         {0, 7, 0, 0},
+                                         {6, 7, 0, 6}}) {
+    EXPECT_EQ(RunProgram(src, {c.a, c.b}),
+              (std::vector<int64_t>{c.q, c.r}))
+        << c.a << "/" << c.b;
+  }
+}
+
+TEST(DivModTest, DivisionInsideExpressions) {
+  // Average of array elements via runtime division.
+  EXPECT_EQ(RunProgram("input int32 a[4]; input int32 n; output int32 avg;"
+                       "var int<40> s; s = 0;"
+                       "for i in 0..3 { s = s + a[i]; }"
+                       "avg = idiv(s, n);",
+                       {10, 20, 30, 41, 4}),
+            (std::vector<int64_t>{25}));
+}
+
+TEST(SqrtTest, RuntimeIntegerSqrt) {
+  const char* src = "input int32 a; output int32 s; s = isqrt(a);";
+  for (int64_t v : {0, 1, 2, 3, 4, 15, 16, 17, 123456, 2147395600}) {
+    int64_t expect = static_cast<int64_t>(std::sqrt(static_cast<double>(v)));
+    while (expect * expect > v) {
+      expect--;
+    }
+    while ((expect + 1) * (expect + 1) <= v) {
+      expect++;
+    }
+    EXPECT_EQ(RunProgram(src, {v}), (std::vector<int64_t>{expect})) << v;
+  }
+}
+
+TEST(SqrtTest, SqrtWitnessIsConstrainedNotTrusted) {
+  // Tamper with the sqrt witness variable: the range constraints must fail.
+  auto p = CompileZlang<F>(
+      "input int32 a; output int32 s; s = isqrt(a);");
+  auto gw = p.SolveGinger({EncodeSignedInt<F>(100)});
+  ASSERT_TRUE(p.ginger.IsSatisfied(gw));
+  // Find the output value 10 and nudge the witness variables around it: a
+  // wrong sqrt claim (e.g. 9 or 11) must violate some constraint. We emulate
+  // a cheating prover by re-running the solver and patching the output +
+  // every copy of the sqrt value.
+  for (int64_t wrong : {9, 11}) {
+    auto bad = gw;
+    for (auto& v : bad) {
+      if (DecodeSignedInt<F>(v) == 10) {
+        v = EncodeSignedInt<F>(wrong);
+      }
+    }
+    EXPECT_FALSE(p.ginger.IsSatisfied(bad)) << wrong;
+  }
+}
+
+TEST(VarStmtTest, DeclarationsInsideBlocks) {
+  EXPECT_EQ(RunProgram("input int32 a; output int32 y;"
+                       "if (a > 0) { } else { }"
+                       "for i in 0..2 { var int32 t; t = a + i; y = t; }",
+                       {10}),
+            (std::vector<int64_t>{12}));
+}
+
+TEST(ExtensionsIntegrationTest, PopcountViaShiftsAndMasks) {
+  // A little program exercising several extensions at once.
+  EXPECT_EQ(RunProgram(
+                "func int32 bit(int32 x, int32 k) {"
+                "  return (x >> k) & 1;"
+                "}"
+                "input int32 a; output int32 pop;"
+                "var int32 s; s = 0;"
+                "for k in 0..7 { s = s + bit(a, k); }"
+                "pop = s;",
+                {0b10110101}),
+            (std::vector<int64_t>{5}));
+}
+
+}  // namespace
+}  // namespace zaatar

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "src/compiler/lexer.h"
+#include "src/compiler/parser.h"
+
+namespace zaatar {
+namespace {
+
+TEST(LexerTest, TokenKindsAndPositions) {
+  auto toks = Lex("x = a + 42;\ny = x * 2;");
+  ASSERT_GE(toks.size(), 12u);
+  EXPECT_EQ(toks[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(toks[0].text, "x");
+  EXPECT_EQ(toks[0].line, 1u);
+  EXPECT_EQ(toks[1].kind, TokenKind::kAssign);
+  EXPECT_EQ(toks[3].kind, TokenKind::kPlus);
+  EXPECT_EQ(toks[4].kind, TokenKind::kIntLiteral);
+  EXPECT_EQ(toks[4].int_value, 42);
+  EXPECT_EQ(toks[6].line, 2u);
+  EXPECT_EQ(toks.back().kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, KeywordsAndSizedInts) {
+  auto toks = Lex("input int32 x; var int<77> y; bool b; rational<8,4> r;");
+  EXPECT_EQ(toks[0].kind, TokenKind::kInput);
+  EXPECT_EQ(toks[1].kind, TokenKind::kIntType);
+  EXPECT_EQ(toks[1].int_value, 32);
+  EXPECT_EQ(toks[5].kind, TokenKind::kIntType);
+  EXPECT_EQ(toks[5].int_value, 0);  // generic int, width follows
+  auto has = [&](TokenKind k) {
+    for (const auto& t : toks) {
+      if (t.kind == k) {
+        return true;
+      }
+    }
+    return false;
+  };
+  EXPECT_TRUE(has(TokenKind::kBoolType));
+  EXPECT_TRUE(has(TokenKind::kRationalType));
+}
+
+TEST(LexerTest, TwoCharOperators) {
+  auto toks = Lex("a <= b >= c == d != e && f || g .. h");
+  std::vector<TokenKind> ops;
+  for (const auto& t : toks) {
+    if (t.kind != TokenKind::kIdentifier && t.kind != TokenKind::kEnd) {
+      ops.push_back(t.kind);
+    }
+  }
+  EXPECT_EQ(ops, (std::vector<TokenKind>{
+                     TokenKind::kLessEq, TokenKind::kGreaterEq,
+                     TokenKind::kEqEq, TokenKind::kNotEq, TokenKind::kAndAnd,
+                     TokenKind::kOrOr, TokenKind::kDotDot}));
+}
+
+TEST(LexerTest, CommentsAreSkipped) {
+  auto toks = Lex("a // line comment\n/* block\ncomment */ b");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[1].text, "b");
+  EXPECT_EQ(toks[1].line, 3u);
+}
+
+TEST(LexerTest, RejectsBadCharacters) {
+  EXPECT_THROW(Lex("a @ b"), CompileError);
+  EXPECT_THROW(Lex("/* unterminated"), CompileError);
+}
+
+TEST(ParserTest, ProgramHeaderAndDeclarations) {
+  auto ast = Parse(
+      "program demo;\n"
+      "const n = 4;\n"
+      "input int32 a[n][2];\n"
+      "output bool ok;\n"
+      "var rational<8, 4> r;\n"
+      "ok = true;\n");
+  EXPECT_EQ(ast.name, "demo");
+  ASSERT_EQ(ast.decls.size(), 4u);
+  EXPECT_EQ(ast.decls[0].kind, Declaration::Kind::kConstant);
+  EXPECT_EQ(ast.decls[1].kind, Declaration::Kind::kInput);
+  EXPECT_EQ(ast.decls[1].dim_exprs.size(), 2u);
+  EXPECT_EQ(ast.decls[2].kind, Declaration::Kind::kOutput);
+  EXPECT_EQ(ast.decls[2].type.kind, TypeNode::Kind::kBool);
+  EXPECT_EQ(ast.decls[3].type.kind, TypeNode::Kind::kRational);
+  ASSERT_EQ(ast.body.size(), 1u);
+  EXPECT_EQ(ast.body[0]->kind, Stmt::Kind::kAssign);
+}
+
+TEST(ParserTest, PrecedenceMulOverAdd) {
+  auto ast = Parse("var int32 x; x = 1 + 2 * 3;");
+  const Expr& e = *ast.body[0]->value;
+  ASSERT_EQ(e.kind, Expr::Kind::kBinary);
+  EXPECT_EQ(e.op, TokenKind::kPlus);
+  EXPECT_EQ(e.children[1]->op, TokenKind::kStar);
+}
+
+TEST(ParserTest, ComparisonBindsLooserThanArithmetic) {
+  auto ast = Parse("var bool b; b = 1 + 2 < 3 * 4;");
+  const Expr& e = *ast.body[0]->value;
+  EXPECT_EQ(e.op, TokenKind::kLess);
+  EXPECT_EQ(e.children[0]->op, TokenKind::kPlus);
+  EXPECT_EQ(e.children[1]->op, TokenKind::kStar);
+}
+
+TEST(ParserTest, TernaryAndLogical) {
+  auto ast = Parse("var int32 x; x = a && b || c ? 1 : 2;");
+  const Expr& e = *ast.body[0]->value;
+  ASSERT_EQ(e.kind, Expr::Kind::kTernary);
+  EXPECT_EQ(e.children[0]->op, TokenKind::kOrOr);
+  EXPECT_EQ(e.children[0]->children[0]->op, TokenKind::kAndAnd);
+}
+
+TEST(ParserTest, IfElseChain) {
+  auto ast = Parse(
+      "var int32 x;\n"
+      "if (a) { x = 1; } else if (b) { x = 2; } else { x = 3; }\n");
+  const Stmt& s = *ast.body[0];
+  EXPECT_EQ(s.kind, Stmt::Kind::kIf);
+  ASSERT_EQ(s.else_body.size(), 1u);
+  EXPECT_EQ(s.else_body[0]->kind, Stmt::Kind::kIf);
+  EXPECT_EQ(s.else_body[0]->else_body.size(), 1u);
+}
+
+TEST(ParserTest, ForLoopWithExpressionBounds) {
+  auto ast = Parse("const n = 9; for i in 1..n-1 { }");
+  const Stmt& s = *ast.body[0];
+  EXPECT_EQ(s.kind, Stmt::Kind::kFor);
+  EXPECT_EQ(s.name, "i");
+  EXPECT_EQ(s.lo->kind, Expr::Kind::kIntLit);
+  EXPECT_EQ(s.hi->op, TokenKind::kMinus);
+}
+
+TEST(ParserTest, IndexedAssignmentAndReads) {
+  auto ast = Parse("var int32 a[3][4]; a[1][2] = a[0][0] + 1;");
+  const Stmt& s = *ast.body[0];
+  EXPECT_EQ(s.indices.size(), 2u);
+  EXPECT_EQ(s.value->children[0]->kind, Expr::Kind::kIndex);
+}
+
+TEST(ParserTest, IntWidthExpressionStopsAtGreater) {
+  // Regression: int<80> must not parse "80 > name" as a comparison.
+  auto ast = Parse("var int<80> x; x = 0;");
+  EXPECT_EQ(ast.decls[0].type.kind, TypeNode::Kind::kInt);
+  ASSERT_NE(ast.decls[0].width_expr, nullptr);
+}
+
+TEST(ParserTest, CallsWithMultipleArguments) {
+  auto ast = Parse("var int32 x; x = min(a, max(b, 3));");
+  const Expr& e = *ast.body[0]->value;
+  EXPECT_EQ(e.kind, Expr::Kind::kCall);
+  EXPECT_EQ(e.name, "min");
+  ASSERT_EQ(e.children.size(), 2u);
+  EXPECT_EQ(e.children[1]->name, "max");
+}
+
+TEST(ParserTest, ErrorsCarryPositions) {
+  try {
+    Parse("var int32 x;\nx = ;\n");
+    FAIL() << "expected CompileError";
+  } catch (const CompileError& e) {
+    EXPECT_EQ(e.line(), 2u);
+  }
+  EXPECT_THROW(Parse("input int32;"), CompileError);       // missing name
+  EXPECT_THROW(Parse("for i in 1 { }"), CompileError);     // missing ..
+  EXPECT_THROW(Parse("if a { }"), CompileError);           // missing parens
+  EXPECT_THROW(Parse("var notatype x;"), CompileError);
+}
+
+}  // namespace
+}  // namespace zaatar

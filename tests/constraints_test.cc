@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "src/constraints/ginger.h"
+#include "src/constraints/linear_combination.h"
+#include "src/constraints/r1cs.h"
+#include "src/constraints/transform.h"
+#include "src/field/fields.h"
+#include "tests/test_util.h"
+
+namespace zaatar {
+namespace {
+
+using F = F128;
+using LC = LinearCombination<F>;
+
+TEST(LinearCombinationTest, EvaluateWithConstant) {
+  LC lc(F::FromUint(7));
+  lc.AddTerm(0, F::FromUint(2));
+  lc.AddTerm(2, F::FromUint(3));
+  std::vector<F> w = {F::FromUint(10), F::FromUint(100), F::FromUint(5)};
+  EXPECT_EQ(lc.Evaluate(w), F::FromUint(7 + 2 * 10 + 3 * 5));
+}
+
+TEST(LinearCombinationTest, ZeroCoefficientsAreDropped) {
+  LC lc;
+  lc.AddTerm(1, F::Zero());
+  EXPECT_TRUE(lc.IsConstant());
+  EXPECT_EQ(lc.TermCount(), 0u);
+}
+
+TEST(LinearCombinationTest, CompactMergesDuplicates) {
+  LC lc;
+  lc.AddTerm(3, F::FromUint(2));
+  lc.AddTerm(1, F::FromUint(5));
+  lc.AddTerm(3, F::FromUint(4));
+  lc.AddTerm(1, -F::FromUint(5));  // cancels entirely
+  lc.Compact();
+  EXPECT_EQ(lc.TermCount(), 1u);
+  EXPECT_EQ(lc.terms()[0].first, 3u);
+  EXPECT_EQ(lc.terms()[0].second, F::FromUint(6));
+}
+
+TEST(LinearCombinationTest, ArithmeticAndRemap) {
+  LC a = LC::Variable(0);
+  LC b = LC::Variable(1);
+  LC c = (a + b) * F::FromUint(3);
+  c.RemapVariables([](uint32_t v) { return v + 10; });
+  std::vector<F> w(12, F::Zero());
+  w[10] = F::FromUint(2);
+  w[11] = F::FromUint(4);
+  EXPECT_EQ(c.Evaluate(w), F::FromUint(18));
+}
+
+TEST(VariableLayoutTest, RegionPredicates) {
+  VariableLayout layout{3, 2, 1};
+  EXPECT_EQ(layout.Total(), 6u);
+  EXPECT_TRUE(layout.IsUnbound(2));
+  EXPECT_FALSE(layout.IsUnbound(3));
+  EXPECT_TRUE(layout.IsInput(3));
+  EXPECT_TRUE(layout.IsInput(4));
+  EXPECT_TRUE(layout.IsOutput(5));
+  EXPECT_FALSE(layout.IsOutput(4));
+}
+
+TEST(GingerSystemTest, SatisfiabilityAndCounts) {
+  Prg prg(60);
+  auto rs = MakeRandomSatisfiedSystem<F>(prg, 6, 2, 2, 12);
+  EXPECT_TRUE(rs.system.IsSatisfied(rs.assignment));
+  EXPECT_EQ(rs.system.FirstViolated(rs.assignment), -1);
+  auto bad = rs.assignment;
+  bad[0] += F::One();
+  EXPECT_FALSE(rs.system.IsSatisfied(bad));
+  EXPECT_GE(rs.system.FirstViolated(bad), 0);
+  EXPECT_GT(rs.system.AdditiveTermCount(), 0u);
+  EXPECT_GT(rs.system.DistinctQuadTermCount(), 0u);
+  // K2 counts unordered pairs at most once.
+  EXPECT_LE(rs.system.DistinctQuadTermCount(),
+            2 * rs.system.NumConstraints());
+}
+
+TEST(GingerSystemTest, K2DeduplicatesSymmetricPairs) {
+  GingerSystem<F> g;
+  g.layout = {3, 0, 0};
+  GingerConstraint<F> c1;
+  c1.quad.push_back({0, 1, F::One()});
+  GingerConstraint<F> c2;
+  c2.quad.push_back({1, 0, F::FromUint(5)});  // same unordered pair
+  c2.quad.push_back({2, 2, F::One()});
+  g.constraints = {c1, c2};
+  EXPECT_EQ(g.DistinctQuadTermCount(), 2u);
+}
+
+class TransformTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(TransformTest, PreservesSatisfiability) {
+  TransformOptions options{.fold_single_quad = GetParam()};
+  Prg prg(61);
+  for (int trial = 0; trial < 10; trial++) {
+    auto rs = MakeRandomSatisfiedSystem<F>(prg, 8, 3, 2, 15);
+    auto t = GingerToZaatar(rs.system, options);
+    auto w = t.ExtendAssignment(rs.assignment);
+    EXPECT_TRUE(t.r1cs.IsSatisfied(w))
+        << "trial " << trial << " violated " << t.r1cs.FirstViolated(w);
+  }
+}
+
+TEST_P(TransformTest, RejectsPerturbedWitness) {
+  TransformOptions options{.fold_single_quad = GetParam()};
+  Prg prg(62);
+  auto rs = MakeRandomSatisfiedSystem<F>(prg, 8, 3, 2, 15);
+  auto t = GingerToZaatar(rs.system, options);
+  for (size_t v = 0; v < rs.system.layout.Total(); v++) {
+    auto bad = rs.assignment;
+    bad[v] += F::One();
+    auto w = t.ExtendAssignment(bad);
+    EXPECT_FALSE(t.r1cs.IsSatisfied(w)) << "perturbing var " << v;
+  }
+}
+
+TEST_P(TransformTest, LayoutAndCountRelations) {
+  TransformOptions options{.fold_single_quad = GetParam()};
+  Prg prg(63);
+  auto rs = MakeRandomSatisfiedSystem<F>(prg, 8, 3, 2, 15);
+  auto t = GingerToZaatar(rs.system, options);
+  size_t k2 = t.NumAuxiliaryVariables();
+  EXPECT_EQ(t.r1cs.layout.num_unbound, rs.system.layout.num_unbound + k2);
+  EXPECT_EQ(t.r1cs.NumConstraints(), rs.system.NumConstraints() + k2);
+  EXPECT_EQ(t.r1cs.layout.num_inputs, rs.system.layout.num_inputs);
+  EXPECT_EQ(t.r1cs.layout.num_outputs, rs.system.layout.num_outputs);
+  // The paper's bound: K2 <= distinct degree-2 terms.
+  EXPECT_LE(k2, rs.system.DistinctQuadTermCount());
+  if (!options.fold_single_quad) {
+    EXPECT_EQ(k2, rs.system.DistinctQuadTermCount());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FoldModes, TransformTest, ::testing::Bool());
+
+TEST(TransformTest, FoldedSingleProductConstraint) {
+  // z0 * z1 - z2 = 0 should become exactly one quadratic-form constraint
+  // with no auxiliary variable when folding is on.
+  GingerSystem<F> g;
+  g.layout = {3, 0, 0};
+  GingerConstraint<F> c;
+  c.quad.push_back({0, 1, F::One()});
+  c.linear.AddTerm(2, -F::One());
+  g.constraints = {c};
+  auto t = GingerToZaatar(g, {.fold_single_quad = true});
+  EXPECT_EQ(t.NumAuxiliaryVariables(), 0u);
+  EXPECT_EQ(t.r1cs.NumConstraints(), 1u);
+  std::vector<F> w = {F::FromUint(6), F::FromUint(7), F::FromUint(42)};
+  EXPECT_TRUE(t.r1cs.IsSatisfied(t.ExtendAssignment(w)));
+  w[2] = F::FromUint(41);
+  EXPECT_FALSE(t.r1cs.IsSatisfied(t.ExtendAssignment(w)));
+}
+
+TEST(R1csTest, ConstraintEvaluation) {
+  R1csConstraint<F> c;
+  c.a = LinearCombination<F>::Variable(0);
+  c.b = LinearCombination<F>::Variable(1);
+  c.c = LinearCombination<F>::Variable(2);
+  std::vector<F> good = {F::FromUint(3), F::FromUint(4), F::FromUint(12)};
+  std::vector<F> bad = {F::FromUint(3), F::FromUint(4), F::FromUint(13)};
+  EXPECT_TRUE(c.IsSatisfied(good));
+  EXPECT_FALSE(c.IsSatisfied(bad));
+}
+
+}  // namespace
+}  // namespace zaatar

@@ -1,0 +1,151 @@
+#include "src/argument/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "src/argument/parallel.h"
+
+namespace zaatar {
+namespace {
+
+MicroCosts TestMicro() {
+  // The paper's 128-bit microbenchmark row (§5.1), in seconds.
+  MicroCosts m;
+  m.e = 65e-6;
+  m.d = 170e-6;
+  m.h = 91e-6;
+  m.f_lazy = 68e-9;
+  m.f = 210e-9;
+  m.f_div = 2e-6;
+  m.c = 160e-9;
+  return m;
+}
+
+ComputationStats LcsLikeStats(size_t m) {
+  // Figure 9's LCS row: |Z| = |C| = 43 m^2, K ~ 5.6 |C|, K2 ~ 0.7 |C|.
+  ComputationStats s;
+  s.z_ginger = 43 * m * m;
+  s.c_ginger = 43 * m * m;
+  s.k = 240 * m * m;
+  s.k2 = 30 * m * m;
+  s.z_zaatar = s.z_ginger + s.k2;
+  s.c_zaatar = s.c_ginger + s.k2;
+  s.num_inputs = 2 * m;
+  s.num_outputs = 1;
+  s.t_local_s = 1e-8 * m * m;
+  return s;
+}
+
+TEST(CostModelTest, ZaatarProverIsOrdersOfMagnitudeBelowGinger) {
+  CostModel model(TestMicro(), PcpParams{});
+  ComputationStats s = LcsLikeStats(100);  // the paper's m=300 scale / 3
+  double zaatar = model.ZaatarProverPerInstance(s);
+  double ginger = model.GingerProverPerInstance(s);
+  EXPECT_GT(ginger / zaatar, 1e3);  // "3-6 orders of magnitude"
+  EXPECT_LT(ginger / zaatar, 1e8);
+}
+
+TEST(CostModelTest, GingerScalesQuadraticallyZaatarLinearly) {
+  CostModel model(TestMicro(), PcpParams{});
+  auto s1 = LcsLikeStats(50);
+  auto s2 = LcsLikeStats(100);  // 4x the constraints
+  double zr = model.ZaatarProverPerInstance(s2) /
+              model.ZaatarProverPerInstance(s1);
+  double gr = model.GingerProverPerInstance(s2) /
+              model.GingerProverPerInstance(s1);
+  EXPECT_GT(zr, 3.5);
+  EXPECT_LT(zr, 6.0);  // ~linear with a log factor
+  EXPECT_GT(gr, 12.0);
+  EXPECT_LT(gr, 18.0);  // ~quadratic (16x)
+}
+
+TEST(CostModelTest, BreakevenBatchMath) {
+  EXPECT_DOUBLE_EQ(CostModel::BreakevenBatch(100.0, 1.0, 2.0), 100.0);
+  EXPECT_DOUBLE_EQ(CostModel::BreakevenBatch(100.0, 0.0, 0.5), 200.0);
+  // Outsourcing never pays if verifying an instance costs more than
+  // computing it.
+  EXPECT_LT(CostModel::BreakevenBatch(100.0, 3.0, 2.0), 0.0);
+}
+
+TEST(CostModelTest, ZaatarBreakevenFarBelowGinger) {
+  CostModel model(TestMicro(), PcpParams{});
+  ComputationStats s = LcsLikeStats(60);
+  s.t_local_s = 1e-2;
+  double zb = model.ZaatarBreakeven(s);
+  double gb = model.GingerBreakeven(s);
+  ASSERT_GT(zb, 0.0);
+  ASSERT_GT(gb, 0.0);
+  EXPECT_GT(gb / zb, 100.0);  // "several orders of magnitude" (Figure 7)
+}
+
+TEST(CostModelTest, VerifierPerInstanceScalesWithIo) {
+  CostModel model(TestMicro(), PcpParams{});
+  auto s = LcsLikeStats(20);
+  double base = model.ZaatarVerifierPerInstance(s);
+  s.num_inputs *= 100;
+  EXPECT_GT(model.ZaatarVerifierPerInstance(s), base);
+}
+
+TEST(CostModelTest, QuerySetupDominatedByObliviousPart) {
+  // The oblivious queries touch every proof element with encryption-scale
+  // work; the computation-specific part is field-ops only.
+  CostModel model(TestMicro(), PcpParams{});
+  auto s = LcsLikeStats(40);
+  EXPECT_GT(model.ZaatarQuerySetupOblivious(s),
+            model.ZaatarQuerySetupSpecific(s));
+}
+
+TEST(NetworkCostsTest, ByteAccounting) {
+  // proof_len=1000, 16-byte field, 128-byte group.
+  size_t setup = NetworkCosts::SetupBytes(1000, 16);
+  EXPECT_EQ(setup, 1000u * (2 * 128 + 16) + 32);
+  size_t inst = NetworkCosts::InstanceBytes(500, 16);
+  EXPECT_EQ(inst, 4u * 128 + 502 * 16);
+}
+
+TEST(ParallelModelTest, NearLinearSpeedupAcrossWorkers) {
+  ProverCosts per;
+  per.solve_constraints_s = 0.1;
+  per.construct_proof_s = 1.0;
+  per.crypto_s = 1.0;
+  per.answer_queries_s = 0.4;
+  size_t beta = 60;
+  WorkerConfig c4{.cpu_cores = 4};
+  WorkerConfig c60{.cpu_cores = 60};
+  EXPECT_NEAR(DistributedProverModel::Speedup(per, beta, c4), 4.0, 1e-9);
+  EXPECT_NEAR(DistributedProverModel::Speedup(per, beta, c60), 60.0, 1e-9);
+  // Imperfect division of the batch loses a wave.
+  WorkerConfig c32{.cpu_cores = 32};
+  EXPECT_NEAR(DistributedProverModel::Speedup(per, beta, c32), 30.0, 1e-9);
+}
+
+TEST(ParallelModelTest, GpuCutsPerInstanceLatencyAbout20Percent) {
+  // Figure 5's phase mix: crypto ~35% of prover time.
+  ProverCosts per;
+  per.solve_constraints_s = 0.05;
+  per.construct_proof_s = 0.40;
+  per.crypto_s = 0.35;
+  per.answer_queries_s = 0.20;
+  WorkerConfig plain{.cpu_cores = 1, .gpus = 0};
+  WorkerConfig gpu{.cpu_cores = 1, .gpus = 1};
+  double gain = 1.0 - DistributedProverModel::InstanceLatency(per, gpu) /
+                          DistributedProverModel::InstanceLatency(per, plain);
+  EXPECT_GT(gain, 0.15);
+  EXPECT_LT(gain, 0.25);
+}
+
+TEST(ParallelForTest, CoversAllIndices) {
+  std::vector<int> hits(1000, 0);
+  ParallelFor(hits.size(), 4, [&](size_t i) { hits[i]++; });
+  for (int h : hits) {
+    EXPECT_EQ(h, 1);
+  }
+  // Degenerate worker counts.
+  std::vector<int> single(10, 0);
+  ParallelFor(single.size(), 1, [&](size_t i) { single[i]++; });
+  for (int h : single) {
+    EXPECT_EQ(h, 1);
+  }
+}
+
+}  // namespace
+}  // namespace zaatar

@@ -1,0 +1,108 @@
+#include "src/crypto/elgamal.h"
+
+#include <gtest/gtest.h>
+
+namespace zaatar {
+namespace {
+
+template <typename F>
+class ElGamalTest : public ::testing::Test {};
+
+using FieldTypes = ::testing::Types<F128, F220>;
+TYPED_TEST_SUITE(ElGamalTest, FieldTypes);
+
+TYPED_TEST(ElGamalTest, GeneratorHasOrderQ) {
+  using F = TypeParam;
+  using EG = ElGamal<F>;
+  typename EG::Zp g = EG::Generator();
+  EXPECT_FALSE(g.IsOne());
+  // g^q = 1 where q is the field modulus.
+  EXPECT_TRUE(g.Pow(F::kModulus).IsOne());
+}
+
+TYPED_TEST(ElGamalTest, GroupModulusCongruentOneModQ) {
+  using F = TypeParam;
+  using EG = ElGamal<F>;
+  // p - 1 must be divisible by q: check p mod q == 1 by folding limbs into F.
+  typename EG::Zp::Repr p = EG::Zp::kModulus;
+  F p_mod_q = F::FromLimbs(p.limbs.data(), p.limbs.size());
+  EXPECT_TRUE(p_mod_q.IsOne());
+}
+
+TYPED_TEST(ElGamalTest, EncryptDecryptRoundTrip) {
+  using F = TypeParam;
+  using EG = ElGamal<F>;
+  Prg prg(50);
+  auto kp = EG::GenerateKeys(prg);
+  for (int i = 0; i < 5; i++) {
+    F m = prg.NextField<F>();
+    auto ct = EG::Encrypt(kp.pk, m, prg);
+    EXPECT_EQ(EG::DecryptToGroup(kp.sk, kp.pk, ct), EG::GroupEmbed(kp.pk, m));
+  }
+}
+
+TYPED_TEST(ElGamalTest, EncryptionIsRandomized) {
+  using F = TypeParam;
+  using EG = ElGamal<F>;
+  Prg prg(51);
+  auto kp = EG::GenerateKeys(prg);
+  F m = prg.NextField<F>();
+  auto c1 = EG::Encrypt(kp.pk, m, prg);
+  auto c2 = EG::Encrypt(kp.pk, m, prg);
+  EXPECT_NE(c1.c1, c2.c1);  // fresh randomness
+  EXPECT_EQ(EG::DecryptToGroup(kp.sk, kp.pk, c1),
+            EG::DecryptToGroup(kp.sk, kp.pk, c2));
+}
+
+TYPED_TEST(ElGamalTest, HomomorphicAdditionAndScaling) {
+  using F = TypeParam;
+  using EG = ElGamal<F>;
+  Prg prg(52);
+  auto kp = EG::GenerateKeys(prg);
+  F a = prg.NextField<F>(), b = prg.NextField<F>(), s = prg.NextField<F>();
+  auto ca = EG::Encrypt(kp.pk, a, prg);
+  auto cb = EG::Encrypt(kp.pk, b, prg);
+  // Enc(a)*Enc(b) decrypts to g^(a+b).
+  EXPECT_EQ(EG::DecryptToGroup(kp.sk, kp.pk, ca * cb),
+            EG::GroupEmbed(kp.pk, a + b));
+  // Enc(a)^s decrypts to g^(a·s) — arithmetic is exactly mod q = |F|.
+  EXPECT_EQ(EG::DecryptToGroup(kp.sk, kp.pk, ca.Pow(s)),
+            EG::GroupEmbed(kp.pk, a * s));
+}
+
+TYPED_TEST(ElGamalTest, HomomorphicInnerProduct) {
+  using F = TypeParam;
+  using EG = ElGamal<F>;
+  Prg prg(53);
+  auto kp = EG::GenerateKeys(prg);
+  const size_t kN = 12;
+  auto r = prg.template NextFieldVector<F>(kN);
+  auto u = prg.template NextFieldVector<F>(kN);
+  u[3] = F::Zero();  // exercise the skip-zero path
+  std::vector<typename EG::Ciphertext> cts;
+  for (const F& ri : r) {
+    cts.push_back(EG::Encrypt(kp.pk, ri, prg));
+  }
+  auto ct = EG::InnerProduct(cts.data(), u.data(), kN);
+  F expect = F::Zero();
+  for (size_t i = 0; i < kN; i++) {
+    expect += r[i] * u[i];
+  }
+  EXPECT_EQ(EG::DecryptToGroup(kp.sk, kp.pk, ct),
+            EG::GroupEmbed(kp.pk, expect));
+}
+
+TYPED_TEST(ElGamalTest, WrongKeyDoesNotDecrypt) {
+  using F = TypeParam;
+  using EG = ElGamal<F>;
+  Prg prg(54);
+  auto kp = EG::GenerateKeys(prg);
+  auto other = EG::GenerateKeys(prg);
+  F m = prg.NextField<F>();
+  auto ct = EG::Encrypt(kp.pk, m, prg);
+  EXPECT_NE(EG::DecryptToGroup(other.sk, kp.pk, ct),
+            EG::GroupEmbed(kp.pk, m));
+}
+
+}  // namespace
+}  // namespace zaatar

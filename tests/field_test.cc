@@ -1,0 +1,184 @@
+#include "src/field/fields.h"
+
+#include <gtest/gtest.h>
+
+#include "src/crypto/prg.h"
+
+namespace zaatar {
+namespace {
+
+// Field axioms and parameter validation, run for every configured field.
+template <typename F>
+class FieldTest : public ::testing::Test {};
+
+using FieldTypes = ::testing::Types<F128, F220, FGoldilocks>;
+TYPED_TEST_SUITE(FieldTest, FieldTypes);
+
+TYPED_TEST(FieldTest, ZeroOneIdentities) {
+  using F = TypeParam;
+  EXPECT_TRUE(F::Zero().IsZero());
+  EXPECT_TRUE(F::One().IsOne());
+  EXPECT_EQ(F::One() * F::One(), F::One());
+  EXPECT_EQ(F::Zero() + F::One(), F::One());
+  EXPECT_EQ(F::One() - F::One(), F::Zero());
+  EXPECT_EQ(-F::Zero(), F::Zero());
+}
+
+TYPED_TEST(FieldTest, RingAxiomsOnRandomElements) {
+  using F = TypeParam;
+  Prg prg(11);
+  for (int i = 0; i < 100; i++) {
+    F a = prg.NextField<F>(), b = prg.NextField<F>(), c = prg.NextField<F>();
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ((a * b) * c, a * (b * c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a - a, F::Zero());
+    EXPECT_EQ(a + (-a), F::Zero());
+    EXPECT_EQ(a.Double(), a + a);
+    EXPECT_EQ(a.Square(), a * a);
+  }
+}
+
+TYPED_TEST(FieldTest, InverseAndDivision) {
+  using F = TypeParam;
+  Prg prg(12);
+  for (int i = 0; i < 50; i++) {
+    F a = prg.NextNonzeroField<F>();
+    EXPECT_EQ(a * a.Inverse(), F::One());
+    F b = prg.NextNonzeroField<F>();
+    EXPECT_EQ((a / b) * b, a);
+  }
+  EXPECT_TRUE(F::Zero().Inverse().IsZero());  // documented convention
+}
+
+TYPED_TEST(FieldTest, FermatLittleTheorem) {
+  using F = TypeParam;
+  Prg prg(13);
+  for (int i = 0; i < 10; i++) {
+    F a = prg.NextNonzeroField<F>();
+    // a^(p-1) = 1.
+    typename F::Repr e = F::kModulus;
+    e.SubInPlace(typename F::Repr(uint64_t{1}));
+    EXPECT_EQ(a.Pow(e), F::One());
+    EXPECT_EQ(a.Pow(F::kModulus), a);
+  }
+}
+
+TYPED_TEST(FieldTest, PowMatchesRepeatedMultiplication) {
+  using F = TypeParam;
+  Prg prg(14);
+  F a = prg.NextField<F>();
+  F acc = F::One();
+  for (uint64_t e = 0; e < 30; e++) {
+    EXPECT_EQ(a.Pow(e), acc);
+    acc *= a;
+  }
+}
+
+TYPED_TEST(FieldTest, CanonicalRoundTrip) {
+  using F = TypeParam;
+  Prg prg(15);
+  for (int i = 0; i < 50; i++) {
+    F a = prg.NextField<F>();
+    EXPECT_EQ(F::FromCanonical(a.ToCanonical()), a);
+  }
+  EXPECT_EQ(F::FromUint(42).ToUint64(), 42u);
+}
+
+TYPED_TEST(FieldTest, FromIntHandlesNegatives) {
+  using F = TypeParam;
+  EXPECT_EQ(F::FromInt(-1) + F::One(), F::Zero());
+  EXPECT_EQ(F::FromInt(-17), -F::FromUint(17));
+  EXPECT_EQ(F::FromInt(INT64_MIN) + F::FromUint(uint64_t{1} << 63),
+            F::Zero());
+}
+
+TYPED_TEST(FieldTest, FromLimbsFoldsPowersOfTwo64) {
+  using F = TypeParam;
+  uint64_t limbs[3] = {7, 9, 2};
+  F expect = F::FromUint(7) +
+             F::FromUint(9) * F::FromUint(2).Pow(uint64_t{64}) +
+             F::FromUint(2) * F::FromUint(2).Pow(uint64_t{128});
+  EXPECT_EQ(F::FromLimbs(limbs, 3), expect);
+}
+
+TYPED_TEST(FieldTest, BatchInvertMatchesIndividualInverses) {
+  using F = TypeParam;
+  Prg prg(16);
+  std::vector<F> v = prg.NextFieldVector<F>(40);
+  v[7] = F::Zero();  // zeros must be passed through untouched
+  std::vector<F> expect(v.size());
+  for (size_t i = 0; i < v.size(); i++) {
+    expect[i] = v[i].Inverse();
+  }
+  BatchInvert(v.data(), v.size());
+  EXPECT_EQ(v, expect);
+  EXPECT_TRUE(v[7].IsZero());
+}
+
+TYPED_TEST(FieldTest, ModulusIsPrimeMillerRabin) {
+  using F = TypeParam;
+  // Miller-Rabin using the field's own arithmetic: p-1 = 2^r * d.
+  typename F::Repr d = F::kModulus;
+  d.SubInPlace(typename F::Repr(uint64_t{1}));
+  size_t r = 0;
+  while (!d.IsOdd()) {
+    d.Shr1InPlace();
+    r++;
+  }
+  ASSERT_GE(r, 1u);
+  Prg prg(17);
+  for (int round = 0; round < 12; round++) {
+    F a = prg.NextNonzeroField<F>();
+    F x = a.Pow(d);
+    if (x.IsOne() || x == -F::One()) {
+      continue;
+    }
+    bool witness = true;
+    for (size_t i = 0; i + 1 < r; i++) {
+      x = x.Square();
+      if (x == -F::One()) {
+        witness = false;
+        break;
+      }
+    }
+    EXPECT_FALSE(witness) << "modulus failed Miller-Rabin";
+  }
+}
+
+TEST(FieldParamsTest, ModuliMatchTheDocumentedValues) {
+  // q128 = 2^128 - 159.
+  F128 v = F128::FromUint(0);
+  (void)v;
+  BigInt<2> q128 = F128::kModulus;
+  q128.AddInPlace(BigInt<2>(uint64_t{159}));
+  EXPECT_TRUE(q128.IsZero());  // wrapped around 2^128 exactly
+  // q220 = 2^220 - 77.
+  BigInt<4> q220 = F220::kModulus;
+  q220.AddInPlace(BigInt<4>(uint64_t{77}));
+  BigInt<4> two220;
+  two220.limbs[3] = uint64_t{1} << (220 - 192);
+  EXPECT_EQ(q220, two220);
+  EXPECT_EQ(F128::kModulusBits, 128u);
+  EXPECT_EQ(F220::kModulusBits, 220u);
+}
+
+TEST(PrgFieldTest, SamplesAreWellDistributed) {
+  // Crude uniformity check: the top bit of canonical values should be set
+  // about half the time for F128 (modulus is just below 2^128).
+  Prg prg(18);
+  int top = 0;
+  const int kSamples = 2000;
+  for (int i = 0; i < kSamples; i++) {
+    if (prg.NextField<F128>().ToCanonical().Bit(127)) {
+      top++;
+    }
+  }
+  EXPECT_GT(top, kSamples / 2 - 200);
+  EXPECT_LT(top, kSamples / 2 + 200);
+}
+
+}  // namespace
+}  // namespace zaatar

@@ -1,0 +1,147 @@
+#include "src/pcp/ginger_pcp.h"
+
+#include <gtest/gtest.h>
+
+#include "src/field/fields.h"
+#include "tests/test_util.h"
+
+namespace zaatar {
+namespace {
+
+using F = F128;
+using Pcp = GingerPcp<F>;
+
+struct Fixture {
+  RandomSystem<F> rs;
+  GingerPcpInstance<F> instance;
+  GingerProof<F> proof;
+  std::vector<F> bound;
+
+  static Fixture Make(Prg& prg, size_t num_unbound = 8,
+                      size_t num_constraints = 14) {
+    Fixture f;
+    f.rs = MakeRandomSatisfiedSystem<F>(prg, num_unbound, 2, 2,
+                                        num_constraints);
+    f.instance = BuildGingerPcpInstance(f.rs.system);
+    f.proof = BuildGingerProof(f.instance, f.rs.assignment);
+    f.bound = f.rs.BoundValues();
+    return f;
+  }
+};
+
+std::pair<std::vector<F>, std::vector<F>> HonestResponses(
+    const Pcp::Queries& q, const GingerProof<F>& proof) {
+  VectorOracle<F> o1(proof.z), o2(proof.tensor);
+  return {o1.QueryAll(q.pi1_queries), o2.QueryAll(q.pi2_queries)};
+}
+
+TEST(GingerPcpTest, ProofIsQuadraticInVariables) {
+  Prg prg(90);
+  auto f = Fixture::Make(prg);
+  size_t n = f.instance.n;
+  EXPECT_EQ(f.proof.z.size(), n);
+  EXPECT_EQ(f.proof.tensor.size(), n * n);
+  // tensor[i*n+k] = z_i * z_k.
+  EXPECT_EQ(f.proof.tensor[3 * n + 5], f.proof.z[3] * f.proof.z[5]);
+}
+
+TEST(GingerPcpTest, CompletenessWithFullParams) {
+  Prg prg(91);
+  auto f = Fixture::Make(prg);
+  auto q = Pcp::GenerateQueries(f.instance, PcpParams{}, prg);
+  auto [r1, r2] = HonestResponses(q, f.proof);
+  EXPECT_TRUE(Pcp::Decide(q, r1, r2, f.bound));
+}
+
+TEST(GingerPcpTest, RejectsWrongOutput) {
+  Prg prg(92);
+  auto f = Fixture::Make(prg);
+  auto q = Pcp::GenerateQueries(f.instance, PcpParams::Light(), prg);
+  auto [r1, r2] = HonestResponses(q, f.proof);
+  for (size_t k = 0; k < f.bound.size(); k++) {
+    auto bad = f.bound;
+    bad[k] += F::One();
+    EXPECT_FALSE(Pcp::Decide(q, r1, r2, bad)) << "bound value " << k;
+  }
+}
+
+TEST(GingerPcpTest, RejectsWrongWitness) {
+  Prg prg(93);
+  auto f = Fixture::Make(prg);
+  auto q = Pcp::GenerateQueries(f.instance, PcpParams::Light(), prg);
+  for (int trial = 0; trial < 5; trial++) {
+    auto bad_assignment = f.rs.assignment;
+    bad_assignment[prg.NextBounded(f.rs.system.layout.num_unbound)] +=
+        prg.NextNonzeroField<F>();
+    auto bad_proof = BuildGingerProof(f.instance, bad_assignment);
+    auto [r1, r2] = HonestResponses(q, bad_proof);
+    EXPECT_FALSE(Pcp::Decide(q, r1, r2, f.bound)) << "trial " << trial;
+  }
+}
+
+TEST(GingerPcpTest, QuadraticCorrectionCatchesMismatchedTensor) {
+  // pi_2 = z' ⊗ z' for a different z': both oracles are linear, but the
+  // tensor is not the square of the pi_1 vector.
+  Prg prg(94);
+  auto f = Fixture::Make(prg);
+  auto other = f.rs.assignment;
+  other[1] += F::One();
+  auto other_proof = BuildGingerProof(f.instance, other);
+  auto q = Pcp::GenerateQueries(f.instance, PcpParams::Light(), prg);
+  VectorOracle<F> o1(f.proof.z), o2(other_proof.tensor);
+  EXPECT_FALSE(Pcp::Decide(q, o1.QueryAll(q.pi1_queries),
+                           o2.QueryAll(q.pi2_queries), f.bound));
+}
+
+TEST(GingerPcpTest, RejectsTensorOfDifferentVectorPair) {
+  // pi_2[i,k] = z_i * y_k with y != z is linear but fails quad correction
+  // with high probability.
+  Prg prg(95);
+  auto f = Fixture::Make(prg);
+  size_t n = f.instance.n;
+  auto y = prg.NextFieldVector<F>(n);
+  std::vector<F> cross(n * n);
+  for (size_t i = 0; i < n; i++) {
+    for (size_t k = 0; k < n; k++) {
+      cross[i * n + k] = f.proof.z[i] * y[k];
+    }
+  }
+  auto q = Pcp::GenerateQueries(f.instance, PcpParams::Light(), prg);
+  VectorOracle<F> o1(f.proof.z), o2(cross);
+  EXPECT_FALSE(Pcp::Decide(q, o1.QueryAll(q.pi1_queries),
+                           o2.QueryAll(q.pi2_queries), f.bound));
+}
+
+TEST(GingerPcpTest, BindingConstraintsPinInputsAndOutputs) {
+  Prg prg(96);
+  auto f = Fixture::Make(prg);
+  EXPECT_EQ(f.instance.bindings.size(),
+            f.rs.system.layout.num_inputs + f.rs.system.layout.num_outputs);
+  // A proof whose proxy entries disagree with the bound values must fail.
+  auto forged = f.rs.assignment;
+  forged[f.rs.system.layout.FirstInput()] += F::One();
+  // Recompute so the circuit constraints... they now fail; instead test the
+  // opposite: circuit fine, but claimed bound values differ (covered by
+  // RejectsWrongOutput). Here: assignment consistent with *different*
+  // inputs should fail against the original bound values.
+  Prg prg2(97);
+  auto rs2 = MakeRandomSatisfiedSystem<F>(prg2, 8, 2, 2, 14);
+  // Same shape, different witness & inputs. Use f's queries (same sizes).
+  auto proof2 = BuildGingerProof(f.instance, rs2.assignment);
+  auto q = Pcp::GenerateQueries(f.instance, PcpParams::Light(), prg);
+  auto [r1, r2] = HonestResponses(q, proof2);
+  EXPECT_FALSE(Pcp::Decide(q, r1, r2, f.bound));
+}
+
+TEST(GingerPcpTest, ProofLengthIsQuadraticVersusZaatarLinear) {
+  // The headline contrast (Figure 9's |u| columns).
+  Prg prg(98);
+  auto f = Fixture::Make(prg, /*num_unbound=*/20, /*num_constraints=*/30);
+  size_t n = f.instance.n;
+  size_t ginger_len = n + n * n;
+  EXPECT_EQ(f.proof.z.size() + f.proof.tensor.size(), ginger_len);
+  EXPECT_GT(ginger_len, 24u * 24u);
+}
+
+}  // namespace
+}  // namespace zaatar

@@ -1,0 +1,200 @@
+// Differential testing of the compiler: random expression programs are
+// generated simultaneously as zlang source and as a native evaluation tree;
+// compiled outputs must match native results bit-for-bit, and the resulting
+// constraint systems must be satisfied by the solver's witness. This sweeps
+// a far larger space of gadget compositions than the hand-written semantic
+// tests.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <functional>
+#include <string>
+
+#include "src/compiler/compile.h"
+#include "src/crypto/prg.h"
+#include "src/field/fields.h"
+
+namespace zaatar {
+namespace {
+
+using F = F128;
+
+// A generated expression: zlang text plus a native evaluator and a
+// conservative magnitude bound (to keep widths inside the field and values
+// inside int64).
+struct GenExpr {
+  std::string text;
+  std::function<int64_t(const std::vector<int64_t>&)> eval;
+  double width;  // |value| < 2^width
+};
+
+class ExprGen {
+ public:
+  ExprGen(Prg* prg, size_t num_inputs) : prg_(prg), num_inputs_(num_inputs) {}
+
+  GenExpr Gen(int depth, double max_width) {
+    if (depth == 0 || prg_->NextBounded(4) == 0) {
+      return Leaf();
+    }
+    switch (prg_->NextBounded(8)) {
+      case 0: {  // addition
+        GenExpr a = Gen(depth - 1, max_width - 1);
+        GenExpr b = Gen(depth - 1, max_width - 1);
+        return {"(" + a.text + " + " + b.text + ")",
+                [a, b](const std::vector<int64_t>& x) {
+                  return a.eval(x) + b.eval(x);
+                },
+                std::max(a.width, b.width) + 1};
+      }
+      case 1: {  // subtraction
+        GenExpr a = Gen(depth - 1, max_width - 1);
+        GenExpr b = Gen(depth - 1, max_width - 1);
+        return {"(" + a.text + " - " + b.text + ")",
+                [a, b](const std::vector<int64_t>& x) {
+                  return a.eval(x) - b.eval(x);
+                },
+                std::max(a.width, b.width) + 1};
+      }
+      case 2: {  // multiplication, width permitting
+        GenExpr a = Gen(depth - 1, max_width / 2);
+        GenExpr b = Gen(depth - 1, max_width / 2);
+        if (a.width + b.width > max_width) {
+          return Leaf();
+        }
+        return {"(" + a.text + " * " + b.text + ")",
+                [a, b](const std::vector<int64_t>& x) {
+                  return a.eval(x) * b.eval(x);
+                },
+                a.width + b.width};
+      }
+      case 3: {  // min
+        GenExpr a = Gen(depth - 1, max_width);
+        GenExpr b = Gen(depth - 1, max_width);
+        return {"min(" + a.text + ", " + b.text + ")",
+                [a, b](const std::vector<int64_t>& x) {
+                  return std::min(a.eval(x), b.eval(x));
+                },
+                std::max(a.width, b.width)};
+      }
+      case 4: {  // max
+        GenExpr a = Gen(depth - 1, max_width);
+        GenExpr b = Gen(depth - 1, max_width);
+        return {"max(" + a.text + ", " + b.text + ")",
+                [a, b](const std::vector<int64_t>& x) {
+                  return std::max(a.eval(x), b.eval(x));
+                },
+                std::max(a.width, b.width)};
+      }
+      case 5: {  // abs
+        GenExpr a = Gen(depth - 1, max_width);
+        return {"abs(" + a.text + ")",
+                [a](const std::vector<int64_t>& x) {
+                  return std::abs(a.eval(x));
+                },
+                a.width};
+      }
+      case 6: {  // comparison-driven ternary
+        GenExpr c1 = Gen(depth - 1, max_width);
+        GenExpr c2 = Gen(depth - 1, max_width);
+        GenExpr a = Gen(depth - 1, max_width);
+        GenExpr b = Gen(depth - 1, max_width);
+        const char* ops[] = {"<", "<=", ">", ">=", "==", "!="};
+        size_t op = prg_->NextBounded(6);
+        std::string text = "(" + c1.text + " " + ops[op] + " " + c2.text +
+                           " ? " + a.text + " : " + b.text + ")";
+        return {text,
+                [c1, c2, a, b, op](const std::vector<int64_t>& x) {
+                  int64_t l = c1.eval(x), r = c2.eval(x);
+                  bool cond = op == 0   ? l < r
+                              : op == 1 ? l <= r
+                              : op == 2 ? l > r
+                              : op == 3 ? l >= r
+                              : op == 4 ? l == r
+                                        : l != r;
+                  return cond ? a.eval(x) : b.eval(x);
+                },
+                std::max(a.width, b.width)};
+      }
+      default: {  // arithmetic right shift by a small constant
+        GenExpr a = Gen(depth - 1, max_width);
+        size_t k = 1 + prg_->NextBounded(4);
+        return {"(" + a.text + " >> " + std::to_string(k) + ")",
+                [a, k](const std::vector<int64_t>& x) {
+                  return a.eval(x) >> k;
+                },
+                std::max(1.0, a.width - static_cast<double>(k))};
+      }
+    }
+  }
+
+ private:
+  GenExpr Leaf() {
+    if (prg_->NextBounded(3) == 0) {
+      int64_t c = static_cast<int64_t>(prg_->NextBounded(200)) - 100;
+      return {c >= 0 ? std::to_string(c)
+                     : "(0 - " + std::to_string(-c) + ")",
+              [c](const std::vector<int64_t>&) { return c; }, 8};
+    }
+    size_t i = prg_->NextBounded(num_inputs_);
+    return {"x[" + std::to_string(i) + "]",
+            [i](const std::vector<int64_t>& x) { return x[i]; }, 12};
+  }
+
+  Prg* prg_;
+  size_t num_inputs_;
+};
+
+class PropertySweepTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PropertySweepTest, RandomProgramsMatchNativeEvaluation) {
+  const size_t kInputs = 4;
+  Prg prg(GetParam());
+  ExprGen gen(&prg, kInputs);
+
+  // Three random output expressions per program.
+  std::vector<GenExpr> exprs;
+  std::string source = "input int<12> x[" + std::to_string(kInputs) + "];\n";
+  for (int i = 0; i < 3; i++) {
+    exprs.push_back(gen.Gen(/*depth=*/4, /*max_width=*/60.0));
+    source += "output int<64> y" + std::to_string(i) + ";\n";
+  }
+  for (int i = 0; i < 3; i++) {
+    source += "y" + std::to_string(i) + " = " + exprs[i].text + ";\n";
+  }
+
+  CompiledProgram<F> program;
+  try {
+    program = CompileZlang<F>(source);
+  } catch (const CompileError& e) {
+    FAIL() << "generated program failed to compile: " << e.what() << "\n"
+           << source;
+  }
+
+  for (int trial = 0; trial < 4; trial++) {
+    std::vector<int64_t> raw(kInputs);
+    std::vector<F> inputs;
+    for (size_t i = 0; i < kInputs; i++) {
+      raw[i] = static_cast<int64_t>(prg.NextBounded(4000)) - 2000;
+      inputs.push_back(EncodeSignedInt<F>(raw[i]));
+    }
+    auto gw = program.SolveGinger(inputs);
+    ASSERT_TRUE(program.ginger.IsSatisfied(gw))
+        << "constraint " << program.ginger.FirstViolated(gw) << "\n"
+        << source;
+    ASSERT_TRUE(program.zaatar.r1cs.IsSatisfied(program.SolveZaatar(gw)));
+    auto out = program.ExtractOutputs(gw);
+    for (int i = 0; i < 3; i++) {
+      EXPECT_EQ(DecodeSignedInt<F>(out[i]), exprs[i].eval(raw))
+          << "output " << i << ", inputs {" << raw[0] << "," << raw[1] << ","
+          << raw[2] << "," << raw[3] << "}\n"
+          << source;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertySweepTest,
+                         ::testing::Range<uint64_t>(1000, 1016));
+
+}  // namespace
+}  // namespace zaatar

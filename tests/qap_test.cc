@@ -1,0 +1,160 @@
+#include "src/constraints/qap.h"
+
+#include <gtest/gtest.h>
+
+#include "src/constraints/transform.h"
+#include "src/field/fields.h"
+#include "tests/test_util.h"
+
+namespace zaatar {
+namespace {
+
+using F = F128;
+
+struct QapFixture {
+  RandomSystem<F> rs;
+  ZaatarTransform<F> transform;
+  std::vector<F> witness;
+
+  static QapFixture Make(Prg& prg, size_t num_unbound = 8,
+                         size_t num_constraints = 15) {
+    QapFixture f;
+    f.rs = MakeRandomSatisfiedSystem<F>(prg, num_unbound, 3, 2,
+                                        num_constraints);
+    f.transform = GingerToZaatar(f.rs.system);
+    f.witness = f.transform.ExtendAssignment(f.rs.assignment);
+    return f;
+  }
+};
+
+TEST(QapTest, HDividesExactlyForSatisfyingAssignment) {
+  Prg prg(70);
+  auto f = QapFixture::Make(prg);
+  Qap<F> qap(f.transform.r1cs);
+  auto hr = qap.ComputeH(f.witness);
+  EXPECT_TRUE(hr.exact);
+  EXPECT_EQ(hr.h.size(), qap.Degree() + 1);
+  // H(0) = 0 because P_w vanishes at the extra interpolation point 0.
+  EXPECT_TRUE(hr.h[0].IsZero());
+}
+
+TEST(QapTest, HDoesNotDivideForBadAssignment) {
+  Prg prg(71);
+  auto f = QapFixture::Make(prg);
+  Qap<F> qap(f.transform.r1cs);
+  for (int trial = 0; trial < 5; trial++) {
+    auto bad = f.witness;
+    bad[prg.NextBounded(f.transform.r1cs.layout.num_unbound)] +=
+        prg.NextNonzeroField<F>();
+    if (f.transform.r1cs.IsSatisfied(bad)) {
+      continue;  // astronomically unlikely
+    }
+    EXPECT_FALSE(qap.ComputeH(bad).exact);
+  }
+}
+
+// The core verifier identity: D(tau)·H(tau) = A(tau)·B(tau) - C(tau), where
+// the right side is assembled from the evaluation rows and the witness.
+TEST(QapTest, DivisibilityIdentityAtRandomPoints) {
+  Prg prg(72);
+  auto f = QapFixture::Make(prg);
+  Qap<F> qap(f.transform.r1cs);
+  auto hr = qap.ComputeH(f.witness);
+  for (int trial = 0; trial < 5; trial++) {
+    F tau = prg.NextField<F>();
+    auto ev = qap.EvaluateAtTau(tau);
+    F h_tau = F::Zero();
+    F pw = F::One();
+    for (const F& hc : hr.h) {
+      h_tau += hc * pw;
+      pw *= tau;
+    }
+    F a = ev.a_rows[0], b = ev.b_rows[0], c = ev.c_rows[0];
+    for (size_t i = 0; i < f.witness.size(); i++) {
+      a += ev.a_rows[i + 1] * f.witness[i];
+      b += ev.b_rows[i + 1] * f.witness[i];
+      c += ev.c_rows[i + 1] * f.witness[i];
+    }
+    EXPECT_EQ(ev.d_tau * h_tau, a * b - c);
+  }
+}
+
+TEST(QapTest, EvaluationRowsMatchDirectInterpolation) {
+  // Cross-check the barycentric fast path against naive Lagrange for one
+  // variable's polynomial A_i(t).
+  Prg prg(73);
+  auto f = QapFixture::Make(prg, /*num_unbound=*/4, /*num_constraints=*/6);
+  Qap<F> qap(f.transform.r1cs);
+  const auto& cs = f.transform.r1cs;
+  size_t m = cs.NumConstraints();
+  F tau = prg.NextField<F>();
+  auto ev = qap.EvaluateAtTau(tau);
+
+  // Build A_i(t) for every row by naive interpolation through
+  // (0,0),(j, a_{i,j}).
+  std::vector<F> points(m + 1);
+  for (size_t k = 0; k <= m; k++) {
+    points[k] = F::FromUint(k);
+  }
+  size_t rows = cs.NumVariables() + 1;
+  for (size_t row = 0; row < rows; row++) {
+    std::vector<F> values(m + 1, F::Zero());
+    for (size_t j = 0; j < m; j++) {
+      const auto& lc = cs.constraints[j].a;
+      if (row == 0) {
+        values[j + 1] = lc.constant();
+      } else {
+        for (const auto& [v, coeff] : lc.terms()) {
+          if (v + 1 == row) {
+            values[j + 1] += coeff;
+          }
+        }
+      }
+    }
+    Polynomial<F> ai = InterpolateNaive(points, values);
+    EXPECT_EQ(ai.Evaluate(tau), ev.a_rows[row]) << "row " << row;
+  }
+}
+
+TEST(QapTest, DTauMatchesExplicitProduct) {
+  Prg prg(74);
+  auto f = QapFixture::Make(prg, 4, 7);
+  Qap<F> qap(f.transform.r1cs);
+  F tau = prg.NextField<F>();
+  auto ev = qap.EvaluateAtTau(tau);
+  F expect = F::One();
+  for (size_t j = 1; j <= qap.Degree(); j++) {
+    expect *= tau - F::FromUint(j);
+  }
+  EXPECT_EQ(ev.d_tau, expect);
+}
+
+TEST(QapTest, SingleConstraintSystem) {
+  // Minimal QAP: one constraint x*y = z.
+  R1cs<F> cs;
+  cs.layout = {3, 0, 0};
+  R1csConstraint<F> c;
+  c.a = LinearCombination<F>::Variable(0);
+  c.b = LinearCombination<F>::Variable(1);
+  c.c = LinearCombination<F>::Variable(2);
+  cs.constraints.push_back(c);
+  Qap<F> qap(cs);
+  std::vector<F> w = {F::FromUint(5), F::FromUint(8), F::FromUint(40)};
+  EXPECT_TRUE(qap.ComputeH(w).exact);
+  w[2] = F::FromUint(41);
+  EXPECT_FALSE(qap.ComputeH(w).exact);
+}
+
+TEST(QapTest, ProofVectorLengthIsLinear) {
+  // |u| = |Z| + |C| + 1: the paper's headline claim about the encoding.
+  Prg prg(75);
+  auto f = QapFixture::Make(prg, 16, 30);
+  Qap<F> qap(f.transform.r1cs);
+  auto hr = qap.ComputeH(f.witness);
+  size_t proof_len = f.transform.r1cs.layout.num_unbound + hr.h.size();
+  EXPECT_EQ(proof_len, f.transform.r1cs.layout.num_unbound +
+                           f.transform.r1cs.NumConstraints() + 1);
+}
+
+}  // namespace
+}  // namespace zaatar

@@ -1,0 +1,163 @@
+#include "src/compiler/solver.h"
+
+#include <gtest/gtest.h>
+
+#include "src/compiler/compile.h"
+#include "src/crypto/prg.h"
+#include "src/field/fields.h"
+
+namespace zaatar {
+namespace {
+
+using F = F128;
+using Op = SolverOp<F>;
+using LC = LinearCombination<F>;
+
+TEST(SolverTest, AffineOp) {
+  Op op;
+  op.kind = Op::Kind::kAffine;
+  op.dst = 2;
+  op.a = LC(F::FromUint(5));
+  op.a.AddTerm(0, F::FromUint(3));
+  std::vector<F> w = {F::FromUint(4), F::Zero(), F::Zero()};
+  RunSolver<F>({op}, &w);
+  EXPECT_EQ(w[2], F::FromUint(17));
+}
+
+TEST(SolverTest, ProductWithAffinePost) {
+  // dst = 1 - a*b  (the IsZero helper form).
+  Op op;
+  op.kind = Op::Kind::kProduct;
+  op.dst = 2;
+  op.a = LC::Variable(0);
+  op.b = LC::Variable(1);
+  op.c0 = F::One();
+  op.c1 = -F::One();
+  std::vector<F> w = {F::FromUint(6), F::FromUint(7), F::Zero()};
+  RunSolver<F>({op}, &w);
+  EXPECT_EQ(w[2], F::One() - F::FromUint(42));
+}
+
+TEST(SolverTest, InvOrZero) {
+  Op op;
+  op.kind = Op::Kind::kInvOrZero;
+  op.dst = 1;
+  op.a = LC::Variable(0);
+  std::vector<F> w = {F::FromUint(9), F::Zero()};
+  RunSolver<F>({op}, &w);
+  EXPECT_EQ(w[1] * F::FromUint(9), F::One());
+  w = {F::Zero(), F::FromUint(123)};
+  RunSolver<F>({op}, &w);
+  EXPECT_TRUE(w[1].IsZero());
+}
+
+TEST(SolverTest, BitsDecomposeCanonicalValue) {
+  Op op;
+  op.kind = Op::Kind::kBits;
+  op.a = LC::Variable(0);
+  op.bit_dsts = {1, 2, 3, 4};
+  std::vector<F> w(5, F::Zero());
+  w[0] = F::FromUint(0b1011);
+  RunSolver<F>({op}, &w);
+  EXPECT_EQ(w[1], F::One());
+  EXPECT_EQ(w[2], F::One());
+  EXPECT_EQ(w[3], F::Zero());
+  EXPECT_EQ(w[4], F::One());
+}
+
+TEST(SolverTest, BitsThrowsOnOverflowingValue) {
+  Op op;
+  op.kind = Op::Kind::kBits;
+  op.a = LC::Variable(0);
+  op.bit_dsts = {1, 2};
+  std::vector<F> w(3, F::Zero());
+  w[0] = F::FromUint(4);  // needs 3 bits
+  EXPECT_THROW(RunSolver<F>({op}, &w), std::runtime_error);
+}
+
+TEST(SolverTest, DivFloorPositive) {
+  Op op;
+  op.kind = Op::Kind::kDivFloor;
+  op.dst = 2;
+  op.dst2 = 3;
+  op.a = LC::Variable(0);
+  op.b = LC::Variable(1);
+  std::vector<F> w = {F::FromUint(17), F::FromUint(5), F::Zero(), F::Zero()};
+  RunSolver<F>({op}, &w);
+  EXPECT_EQ(w[2], F::FromUint(3));
+  EXPECT_EQ(w[3], F::FromUint(2));
+}
+
+TEST(SolverTest, DivFloorNegativeDividendUsesFloorSemantics) {
+  Op op;
+  op.kind = Op::Kind::kDivFloor;
+  op.dst = 2;
+  op.dst2 = 3;
+  op.a = LC::Variable(0);
+  op.b = LC::Variable(1);
+  // -17 / 5: floor = -4, remainder 3 (so that -17 = -4*5 + 3).
+  std::vector<F> w = {F::FromInt(-17), F::FromUint(5), F::Zero(), F::Zero()};
+  RunSolver<F>({op}, &w);
+  EXPECT_EQ(w[2], F::FromInt(-4));
+  EXPECT_EQ(w[3], F::FromUint(3));
+  // Exact negative division: -15 / 5 = -3 rem 0.
+  w = {F::FromInt(-15), F::FromUint(5), F::Zero(), F::Zero()};
+  RunSolver<F>({op}, &w);
+  EXPECT_EQ(w[2], F::FromInt(-3));
+  EXPECT_TRUE(w[3].IsZero());
+}
+
+TEST(SolverTest, DivFloorInvariantHolds) {
+  Op op;
+  op.kind = Op::Kind::kDivFloor;
+  op.dst = 2;
+  op.dst2 = 3;
+  op.a = LC::Variable(0);
+  op.b = LC::Variable(1);
+  Prg prg(120);
+  for (int i = 0; i < 50; i++) {
+    int64_t a = static_cast<int64_t>(prg.NextBounded(1u << 30)) - (1 << 29);
+    int64_t d = 1 + static_cast<int64_t>(prg.NextBounded(1000));
+    std::vector<F> w = {F::FromInt(a), F::FromInt(d), F::Zero(), F::Zero()};
+    RunSolver<F>({op}, &w);
+    // a = q*d + r with 0 <= r < d.
+    EXPECT_EQ(w[2] * F::FromInt(d) + w[3], F::FromInt(a));
+    int64_t r = DecodeSignedInt<F>(w[3]);
+    EXPECT_GE(r, 0);
+    EXPECT_LT(r, d);
+  }
+}
+
+TEST(SolverTest, DivFloorRejectsBadDivisors) {
+  Op op;
+  op.kind = Op::Kind::kDivFloor;
+  op.dst = 2;
+  op.dst2 = 3;
+  op.a = LC::Variable(0);
+  op.b = LC::Variable(1);
+  std::vector<F> w = {F::FromUint(10), F::Zero(), F::Zero(), F::Zero()};
+  EXPECT_THROW(RunSolver<F>({op}, &w), std::runtime_error);  // zero
+  w[1] = F::FromInt(-3);
+  EXPECT_THROW(RunSolver<F>({op}, &w), std::runtime_error);  // negative
+}
+
+TEST(SolverTest, OpsRunInOrder) {
+  // v1 = v0 + 1; v2 = v1 * v1.
+  Op op1;
+  op1.kind = Op::Kind::kAffine;
+  op1.dst = 1;
+  op1.a = LC::Variable(0);
+  op1.a.AddConstant(F::One());
+  Op op2;
+  op2.kind = Op::Kind::kProduct;
+  op2.dst = 2;
+  op2.a = LC::Variable(1);
+  op2.b = LC::Variable(1);
+  op2.c1 = F::One();
+  std::vector<F> w = {F::FromUint(4), F::Zero(), F::Zero()};
+  RunSolver<F>({op1, op2}, &w);
+  EXPECT_EQ(w[2], F::FromUint(25));
+}
+
+}  // namespace
+}  // namespace zaatar

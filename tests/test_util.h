@@ -1,0 +1,65 @@
+// Shared helpers for tests: random satisfiable constraint systems with a
+// known witness, used to exercise transforms, QAPs, PCPs, and arguments on
+// inputs with no special structure.
+
+#ifndef TESTS_TEST_UTIL_H_
+#define TESTS_TEST_UTIL_H_
+
+#include <vector>
+
+#include "src/constraints/ginger.h"
+#include "src/crypto/prg.h"
+
+namespace zaatar {
+
+template <typename F>
+struct RandomSystem {
+  GingerSystem<F> system;
+  std::vector<F> assignment;  // satisfying, layout order (Z, X, Y)
+
+  std::vector<F> BoundValues() const {
+    return std::vector<F>(
+        assignment.begin() + system.layout.num_unbound, assignment.end());
+  }
+};
+
+// Builds a satisfiable degree-2 system over random values: each constraint
+// mixes a few random linear and quadratic terms and fixes its constant so
+// the chosen assignment satisfies it. Every variable appears in at least one
+// constraint, so perturbing any variable (or any bound value) violates some
+// constraint with overwhelming probability.
+template <typename F>
+RandomSystem<F> MakeRandomSatisfiedSystem(Prg& prg, size_t num_unbound,
+                                          size_t num_inputs,
+                                          size_t num_outputs,
+                                          size_t num_constraints) {
+  RandomSystem<F> out;
+  out.system.layout = {num_unbound, num_inputs, num_outputs};
+  size_t total = out.system.layout.Total();
+  out.assignment = prg.NextFieldVector<F>(total);
+
+  auto random_var = [&] {
+    return static_cast<uint32_t>(prg.NextBounded(total));
+  };
+  for (size_t j = 0; j < num_constraints; j++) {
+    GingerConstraint<F> c;
+    // Coverage: constraint j always touches variable j mod total.
+    c.linear.AddTerm(static_cast<uint32_t>(j % total),
+                     prg.NextNonzeroField<F>());
+    for (int t = 0; t < 2; t++) {
+      c.linear.AddTerm(random_var(), prg.NextField<F>());
+    }
+    for (int t = 0; t < 2; t++) {
+      c.quad.push_back({random_var(), random_var(), prg.NextField<F>()});
+    }
+    c.linear.Compact();
+    F residual = c.Evaluate(out.assignment);
+    c.linear.AddConstant(-residual);
+    out.system.constraints.push_back(std::move(c));
+  }
+  return out;
+}
+
+}  // namespace zaatar
+
+#endif  // TESTS_TEST_UTIL_H_
