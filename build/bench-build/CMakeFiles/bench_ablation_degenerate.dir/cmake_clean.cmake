@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_degenerate"
+  "../bench/bench_ablation_degenerate.pdb"
+  "CMakeFiles/bench_ablation_degenerate.dir/bench_ablation_degenerate.cc.o"
+  "CMakeFiles/bench_ablation_degenerate.dir/bench_ablation_degenerate.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_degenerate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_prover_runtime"
+  "../bench/bench_fig4_prover_runtime.pdb"
+  "CMakeFiles/bench_fig4_prover_runtime.dir/bench_fig4_prover_runtime.cc.o"
+  "CMakeFiles/bench_fig4_prover_runtime.dir/bench_fig4_prover_runtime.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_prover_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

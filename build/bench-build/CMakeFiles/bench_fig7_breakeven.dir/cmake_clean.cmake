@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_breakeven"
+  "../bench/bench_fig7_breakeven.pdb"
+  "CMakeFiles/bench_fig7_breakeven.dir/bench_fig7_breakeven.cc.o"
+  "CMakeFiles/bench_fig7_breakeven.dir/bench_fig7_breakeven.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_breakeven.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

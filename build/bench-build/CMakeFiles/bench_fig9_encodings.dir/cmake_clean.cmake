@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_encodings"
+  "../bench/bench_fig9_encodings.pdb"
+  "CMakeFiles/bench_fig9_encodings.dir/bench_fig9_encodings.cc.o"
+  "CMakeFiles/bench_fig9_encodings.dir/bench_fig9_encodings.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_encodings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

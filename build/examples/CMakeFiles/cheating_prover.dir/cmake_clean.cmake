@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cheating_prover.dir/cheating_prover.cpp.o"
+  "CMakeFiles/cheating_prover.dir/cheating_prover.cpp.o.d"
+  "cheating_prover"
+  "cheating_prover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cheating_prover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cheating_prover.
+# This may be replaced when dependencies are built.

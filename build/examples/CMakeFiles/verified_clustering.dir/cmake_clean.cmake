@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verified_clustering.dir/verified_clustering.cpp.o"
+  "CMakeFiles/verified_clustering.dir/verified_clustering.cpp.o.d"
+  "verified_clustering"
+  "verified_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verified_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verified_shortest_paths.dir/verified_shortest_paths.cpp.o"
+  "CMakeFiles/verified_shortest_paths.dir/verified_shortest_paths.cpp.o.d"
+  "verified_shortest_paths"
+  "verified_shortest_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verified_shortest_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

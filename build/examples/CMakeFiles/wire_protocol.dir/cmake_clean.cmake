@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wire_protocol.dir/wire_protocol.cpp.o"
+  "CMakeFiles/wire_protocol.dir/wire_protocol.cpp.o.d"
+  "wire_protocol"
+  "wire_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wire_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

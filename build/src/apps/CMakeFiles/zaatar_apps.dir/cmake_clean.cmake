@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zaatar_apps.dir/native.cc.o"
+  "CMakeFiles/zaatar_apps.dir/native.cc.o.d"
+  "CMakeFiles/zaatar_apps.dir/programs.cc.o"
+  "CMakeFiles/zaatar_apps.dir/programs.cc.o.d"
+  "libzaatar_apps.a"
+  "libzaatar_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zaatar_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libzaatar_apps.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zaatar_argument.dir/cost_model.cc.o"
+  "CMakeFiles/zaatar_argument.dir/cost_model.cc.o.d"
+  "libzaatar_argument.a"
+  "libzaatar_argument.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zaatar_argument.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

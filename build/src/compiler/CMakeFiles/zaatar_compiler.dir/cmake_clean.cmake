@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zaatar_compiler.dir/lexer.cc.o"
+  "CMakeFiles/zaatar_compiler.dir/lexer.cc.o.d"
+  "CMakeFiles/zaatar_compiler.dir/parser.cc.o"
+  "CMakeFiles/zaatar_compiler.dir/parser.cc.o.d"
+  "libzaatar_compiler.a"
+  "libzaatar_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zaatar_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

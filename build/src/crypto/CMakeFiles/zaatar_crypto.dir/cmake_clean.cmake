@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zaatar_crypto.dir/chacha.cc.o"
+  "CMakeFiles/zaatar_crypto.dir/chacha.cc.o.d"
+  "libzaatar_crypto.a"
+  "libzaatar_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zaatar_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

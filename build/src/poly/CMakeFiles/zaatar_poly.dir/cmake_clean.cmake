@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zaatar_poly.dir/ntt.cc.o"
+  "CMakeFiles/zaatar_poly.dir/ntt.cc.o.d"
+  "libzaatar_poly.a"
+  "libzaatar_poly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zaatar_poly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/argument_test.dir/argument_test.cc.o"
+  "CMakeFiles/argument_test.dir/argument_test.cc.o.d"
+  "argument_test"
+  "argument_test.pdb"
+  "argument_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/argument_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chacha_test.dir/chacha_test.cc.o"
+  "CMakeFiles/chacha_test.dir/chacha_test.cc.o.d"
+  "chacha_test"
+  "chacha_test.pdb"
+  "chacha_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chacha_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

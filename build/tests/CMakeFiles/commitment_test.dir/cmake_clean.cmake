@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/commitment_test.dir/commitment_test.cc.o"
+  "CMakeFiles/commitment_test.dir/commitment_test.cc.o.d"
+  "commitment_test"
+  "commitment_test.pdb"
+  "commitment_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commitment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

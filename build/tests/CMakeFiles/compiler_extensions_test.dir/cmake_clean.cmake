@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compiler_extensions_test.dir/compiler_extensions_test.cc.o"
+  "CMakeFiles/compiler_extensions_test.dir/compiler_extensions_test.cc.o.d"
+  "compiler_extensions_test"
+  "compiler_extensions_test.pdb"
+  "compiler_extensions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compiler_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compiler_frontend_test.dir/compiler_frontend_test.cc.o"
+  "CMakeFiles/compiler_frontend_test.dir/compiler_frontend_test.cc.o.d"
+  "compiler_frontend_test"
+  "compiler_frontend_test.pdb"
+  "compiler_frontend_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compiler_frontend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

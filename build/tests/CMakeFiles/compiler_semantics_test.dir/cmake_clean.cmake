@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compiler_semantics_test.dir/compiler_semantics_test.cc.o"
+  "CMakeFiles/compiler_semantics_test.dir/compiler_semantics_test.cc.o.d"
+  "compiler_semantics_test"
+  "compiler_semantics_test.pdb"
+  "compiler_semantics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compiler_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

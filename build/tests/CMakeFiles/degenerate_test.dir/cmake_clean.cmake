@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/degenerate_test.dir/degenerate_test.cc.o"
+  "CMakeFiles/degenerate_test.dir/degenerate_test.cc.o.d"
+  "degenerate_test"
+  "degenerate_test.pdb"
+  "degenerate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/degenerate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ginger_pcp_test.dir/ginger_pcp_test.cc.o"
+  "CMakeFiles/ginger_pcp_test.dir/ginger_pcp_test.cc.o.d"
+  "ginger_pcp_test"
+  "ginger_pcp_test.pdb"
+  "ginger_pcp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ginger_pcp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qap_test.dir/qap_test.cc.o"
+  "CMakeFiles/qap_test.dir/qap_test.cc.o.d"
+  "qap_test"
+  "qap_test.pdb"
+  "qap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

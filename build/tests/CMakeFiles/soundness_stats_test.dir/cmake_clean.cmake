@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soundness_stats_test.dir/soundness_stats_test.cc.o"
+  "CMakeFiles/soundness_stats_test.dir/soundness_stats_test.cc.o.d"
+  "soundness_stats_test"
+  "soundness_stats_test.pdb"
+  "soundness_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soundness_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

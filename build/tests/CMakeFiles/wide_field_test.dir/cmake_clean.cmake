@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wide_field_test.dir/wide_field_test.cc.o"
+  "CMakeFiles/wide_field_test.dir/wide_field_test.cc.o.d"
+  "wide_field_test"
+  "wide_field_test.pdb"
+  "wide_field_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wide_field_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

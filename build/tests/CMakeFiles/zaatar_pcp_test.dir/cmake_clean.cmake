@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zaatar_pcp_test.dir/zaatar_pcp_test.cc.o"
+  "CMakeFiles/zaatar_pcp_test.dir/zaatar_pcp_test.cc.o.d"
+  "zaatar_pcp_test"
+  "zaatar_pcp_test.pdb"
+  "zaatar_pcp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zaatar_pcp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/bigint_test[1]_include.cmake")
+include("/root/repo/build/tests/field_test[1]_include.cmake")
+include("/root/repo/build/tests/ntt_test[1]_include.cmake")
+include("/root/repo/build/tests/poly_test[1]_include.cmake")
+include("/root/repo/build/tests/chacha_test[1]_include.cmake")
+include("/root/repo/build/tests/elgamal_test[1]_include.cmake")
+include("/root/repo/build/tests/constraints_test[1]_include.cmake")
+include("/root/repo/build/tests/qap_test[1]_include.cmake")
+include("/root/repo/build/tests/zaatar_pcp_test[1]_include.cmake")
+include("/root/repo/build/tests/ginger_pcp_test[1]_include.cmake")
+include("/root/repo/build/tests/commitment_test[1]_include.cmake")
+include("/root/repo/build/tests/argument_test[1]_include.cmake")
+include("/root/repo/build/tests/compiler_frontend_test[1]_include.cmake")
+include("/root/repo/build/tests/compiler_semantics_test[1]_include.cmake")
+include("/root/repo/build/tests/compiler_extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/degenerate_test[1]_include.cmake")
+include("/root/repo/build/tests/solver_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/harness_test[1]_include.cmake")
+include("/root/repo/build/tests/cost_model_test[1]_include.cmake")
+include("/root/repo/build/tests/wire_test[1]_include.cmake")
+include("/root/repo/build/tests/wide_field_test[1]_include.cmake")
+include("/root/repo/build/tests/property_sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/soundness_stats_test[1]_include.cmake")
