@@ -35,7 +35,13 @@ int main() {
   // ---- prover side: everything below uses only setup_bytes + the inputs.
   Prg instance_prg(99);
   auto instance = app.make_instance(instance_prg);
-  auto wire_setup = SetupMessage<F>::Deserialize(setup_bytes);
+  auto decoded_setup = SetupMessage<F>::Deserialize(setup_bytes);
+  if (!decoded_setup.ok()) {
+    printf("** setup message failed to decode: %s\n",
+           decoded_setup.status().ToString().c_str());
+    return 1;
+  }
+  const auto& wire_setup = *decoded_setup;
   Prg rederive(wire_setup.query_seed);
   auto queries = ZaatarPcp<F>::GenerateQueries(qap, params, rederive);
 
@@ -55,32 +61,26 @@ int main() {
   printf("P -> V  instance proof: %zu KiB (2 commitments + %zu responses)\n",
          proof_bytes.size() / 1024, queries.TotalQueryCount());
 
-  // ---- verifier side again: decode and decide.
-  auto decoded = InstanceProofMessage<F>::Deserialize(proof_bytes)
-                     .ToProof<ZaatarAdapter<F>>();
-  bool ok = ZaatarArgument<F>::VerifyInstance(
-      setup, decoded, program.BoundValues(instance.inputs, outputs));
-  printf("verifier decision: %s\n", ok ? "ACCEPTED" : "REJECTED");
-  if (!ok) {
+  // ---- verifier side again: the hardened ingest path decodes, validates,
+  // and decides, returning a typed verdict on any input.
+  auto bound = program.BoundValues(instance.inputs, outputs);
+  auto result =
+      VerifyInstanceBytes<F, ZaatarAdapter<F>>(setup, proof_bytes, bound);
+  printf("verifier decision: %s\n", VerifyVerdictName(result.verdict));
+  if (!result.accepted()) {
     return 1;
   }
 
   // A flipped byte anywhere must not survive.
   auto corrupted = proof_bytes;
   corrupted[corrupted.size() / 2] ^= 0x40;
-  bool bad_accepted = false;
-  try {
-    auto bad = InstanceProofMessage<F>::Deserialize(corrupted)
-                   .ToProof<ZaatarAdapter<F>>();
-    bad_accepted = ZaatarArgument<F>::VerifyInstance(
-        setup, bad, program.BoundValues(instance.inputs, outputs));
-  } catch (const std::runtime_error&) {
-    printf("corrupted proof: rejected at decode\n");
-  }
-  if (bad_accepted) {
+  auto bad =
+      VerifyInstanceBytes<F, ZaatarAdapter<F>>(setup, corrupted, bound);
+  if (bad.accepted()) {
     printf("** corrupted proof accepted — bug!\n");
     return 1;
   }
-  printf("corrupted proof: rejected\n");
+  printf("corrupted proof: %s %s\n", VerifyVerdictName(bad.verdict),
+         bad.detail.c_str());
   return 0;
 }

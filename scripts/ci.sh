@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# CI entry point: build + test in the default configuration, then rebuild
+# and re-run the suite under AddressSanitizer and UndefinedBehaviorSanitizer
+# (-DZAATAR_SANITIZE, see the root CMakeLists.txt). The fault-injection
+# suite in particular is only meaningful if "no crash" also means "no silent
+# UB", which the sanitizer passes establish.
+#
+# Usage: scripts/ci.sh [--skip-plain] [--only address|undefined]
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+SKIP_PLAIN=0
+ONLY=""
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --skip-plain) SKIP_PLAIN=1; shift ;;
+    --only)
+      ONLY="${2:-}"
+      if [[ "$ONLY" != "address" && "$ONLY" != "undefined" ]]; then
+        echo "--only expects 'address' or 'undefined', got: $ONLY" >&2
+        exit 2
+      fi
+      shift 2 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+run_config() {
+  local name="$1" build_dir="$2" sanitize="$3"
+  echo "==== [$name] configure + build ===="
+  cmake -B "$build_dir" -S . -DZAATAR_SANITIZE="$sanitize" >/dev/null
+  cmake --build "$build_dir" -j "$JOBS"
+  echo "==== [$name] ctest ===="
+  (cd "$build_dir" && ctest --output-on-failure -j "$JOBS")
+}
+
+if [[ "$SKIP_PLAIN" -eq 0 && -z "$ONLY" ]]; then
+  run_config plain build ""
+fi
+
+# ASan guards the fault-injection suite against out-of-bounds reads on
+# hostile inputs; UBSan against integer/shift/enum UB in the decoders.
+if [[ -z "$ONLY" || "$ONLY" == "address" ]]; then
+  ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=0}" \
+    run_config asan build-asan address
+fi
+if [[ -z "$ONLY" || "$ONLY" == "undefined" ]]; then
+  UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
+    run_config ubsan build-ubsan undefined
+fi
+
+echo "==== CI passed ===="

@@ -11,6 +11,7 @@
 
 #include <array>
 #include <cstddef>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -19,9 +20,52 @@
 #include "src/crypto/prg.h"
 #include "src/pcp/ginger_pcp.h"
 #include "src/pcp/zaatar_pcp.h"
+#include "src/util/status.h"
 #include "src/util/stopwatch.h"
 
 namespace zaatar {
+
+// Typed per-instance verdict. The verifier runs against an arbitrarily
+// malicious prover, so "not accepted" is split by *where* the instance
+// failed: a structurally invalid proof (kMalformed) never reaches the
+// cryptographic checks, a commitment-consistency failure (kRejectCommit) is
+// distinguished from a PCP decision failure (kRejectPcp). A non-accept
+// verdict is an ordinary per-instance outcome: it must never abort the
+// remaining instances of a batch.
+enum class VerifyVerdict {
+  kAccept = 0,
+  kMalformed,      // proof shape disagrees with the setup
+  kRejectCommit,   // responses inconsistent with the commitment
+  kRejectPcp,      // commitment fine, PCP decision procedure rejects
+};
+
+inline const char* VerifyVerdictName(VerifyVerdict v) {
+  switch (v) {
+    case VerifyVerdict::kAccept:
+      return "ACCEPT";
+    case VerifyVerdict::kMalformed:
+      return "MALFORMED";
+    case VerifyVerdict::kRejectCommit:
+      return "REJECT_COMMIT";
+    case VerifyVerdict::kRejectPcp:
+      return "REJECT_PCP";
+  }
+  return "UNKNOWN";
+}
+
+struct VerifyInstanceResult {
+  VerifyVerdict verdict = VerifyVerdict::kMalformed;
+  std::string detail;  // non-empty for kMalformed: which check failed
+
+  bool accepted() const { return verdict == VerifyVerdict::kAccept; }
+
+  static VerifyInstanceResult Accept() {
+    return {VerifyVerdict::kAccept, ""};
+  }
+  static VerifyInstanceResult Reject(VerifyVerdict v, std::string why = "") {
+    return {v, std::move(why)};
+  }
+};
 
 // Prover per-instance cost decomposition (the Figure 5 columns; the first
 // two phases happen in the application layer and are filled in by it).
@@ -57,6 +101,7 @@ struct VerifierSetupCosts {
 //   static size_t OracleLength(const Queries&, size_t oracle);          // 0,1
 //   static const std::vector<std::vector<F>>& OracleQueries(const Queries&,
 //                                                           size_t oracle);
+//   static size_t BoundValueCount(const Queries&);  // expected |inputs|+|outputs|
 //   static bool Decide(const Queries&, resp0, resp1, bound_values);
 template <typename F, typename Adapter>
 class Argument {
@@ -118,25 +163,91 @@ class Argument {
     return p;
   }
 
-  // Verifier, once per instance. `bound_values` are inputs then outputs.
-  static bool VerifyInstance(const VerifierSetup& setup,
-                             const InstanceProof& proof,
-                             const std::vector<F>& bound_values,
-                             double* seconds = nullptr) {
-    Stopwatch timer;
-    bool ok = true;
-    for (size_t o = 0; o < 2 && ok; o++) {
-      ok = LinearCommitment<F>::CheckConsistency(
-          setup.keys.pk, setup.keys.sk, setup.commit[o], proof.parts[o]);
+  // Structural validation of an untrusted proof against the setup: every
+  // vector the cryptographic checks will index must have exactly the shape
+  // the setup prescribes. Runs before any group operation so a malformed
+  // proof cannot trigger out-of-bounds reads in CheckConsistency or Decide.
+  static Status ValidateProofShape(const VerifierSetup& setup,
+                                   const InstanceProof& proof,
+                                   const std::vector<F>& bound_values) {
+    for (size_t o = 0; o < 2; o++) {
+      size_t expected = Adapter::OracleQueries(setup.queries, o).size();
+      if (proof.parts[o].responses.size() != expected) {
+        return MalformedError("oracle " + std::to_string(o) +
+                              " response count mismatch");
+      }
+      if (setup.commit[o].alphas.size() != expected) {
+        return MalformedError("setup alpha count mismatch");
+      }
     }
-    if (ok) {
-      ok = Adapter::Decide(setup.queries, proof.parts[0].responses,
-                           proof.parts[1].responses, bound_values);
+    if (bound_values.size() != Adapter::BoundValueCount(setup.queries)) {
+      return MalformedError("bound value count mismatch");
+    }
+    return Status::Ok();
+  }
+
+  // Verifier, once per instance, with the full verdict taxonomy.
+  // `bound_values` are inputs then outputs.
+  static VerifyInstanceResult VerifyInstanceDetailed(
+      const VerifierSetup& setup, const InstanceProof& proof,
+      const std::vector<F>& bound_values, double* seconds = nullptr) {
+    Stopwatch timer;
+    VerifyInstanceResult result = VerifyInstanceResult::Accept();
+    Status shape = ValidateProofShape(setup, proof, bound_values);
+    if (!shape.ok()) {
+      result = VerifyInstanceResult::Reject(VerifyVerdict::kMalformed,
+                                            shape.message());
+    }
+    for (size_t o = 0; o < 2 && result.accepted(); o++) {
+      if (!LinearCommitment<F>::CheckConsistency(
+              setup.keys.pk, setup.keys.sk, setup.commit[o],
+              proof.parts[o])) {
+        result = VerifyInstanceResult::Reject(
+            VerifyVerdict::kRejectCommit,
+            "oracle " + std::to_string(o) + " commitment inconsistent");
+      }
+    }
+    if (result.accepted() &&
+        !Adapter::Decide(setup.queries, proof.parts[0].responses,
+                         proof.parts[1].responses, bound_values)) {
+      result = VerifyInstanceResult::Reject(VerifyVerdict::kRejectPcp);
     }
     if (seconds != nullptr) {
       *seconds += timer.ElapsedSeconds();
     }
-    return ok;
+    return result;
+  }
+
+  // Boolean convenience wrapper over VerifyInstanceDetailed.
+  static bool VerifyInstance(const VerifierSetup& setup,
+                             const InstanceProof& proof,
+                             const std::vector<F>& bound_values,
+                             double* seconds = nullptr) {
+    return VerifyInstanceDetailed(setup, proof, bound_values, seconds)
+        .accepted();
+  }
+
+  // Verifies every instance of a batch and reports a per-instance verdict:
+  // one malicious or malformed instance is isolated, never aborting the
+  // remaining beta-1 (the batch amortization of §2.2 assumes all instances
+  // are checked regardless of individual outcomes).
+  static std::vector<VerifyInstanceResult> VerifyBatch(
+      const VerifierSetup& setup, const std::vector<InstanceProof>& proofs,
+      const std::vector<std::vector<F>>& bound_values,
+      double* seconds = nullptr) {
+    std::vector<VerifyInstanceResult> results;
+    results.reserve(proofs.size());
+    for (size_t i = 0; i < proofs.size(); i++) {
+      if (i < bound_values.size()) {
+        results.push_back(
+            VerifyInstanceDetailed(setup, proofs[i], bound_values[i],
+                                   seconds));
+      } else {
+        results.push_back(VerifyInstanceResult::Reject(
+            VerifyVerdict::kMalformed, "missing bound values"));
+      }
+    }
+    return results;
   }
 };
 
@@ -149,6 +260,10 @@ struct ZaatarAdapter {
   static const std::vector<std::vector<F>>& OracleQueries(const Queries& q,
                                                           size_t oracle) {
     return oracle == 0 ? q.z_queries : q.h_queries;
+  }
+  static size_t BoundValueCount(const Queries& q) {
+    // Every repetition carries the bound-variable rows (constant row first).
+    return q.reps.empty() ? 0 : q.reps[0].a_bound.size() - 1;
   }
   static bool Decide(const Queries& q, const std::vector<F>& r0,
                      const std::vector<F>& r1,
@@ -166,6 +281,9 @@ struct GingerAdapter {
   static const std::vector<std::vector<F>>& OracleQueries(const Queries& q,
                                                           size_t oracle) {
     return oracle == 0 ? q.pi1_queries : q.pi2_queries;
+  }
+  static size_t BoundValueCount(const Queries& q) {
+    return q.reps.empty() ? 0 : q.reps[0].gamma_bound.size();
   }
   static bool Decide(const Queries& q, const std::vector<F>& r0,
                      const std::vector<F>& r1,

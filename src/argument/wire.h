@@ -2,15 +2,24 @@
 // network-cost structure of Appendix A.1 / the paper's cost discussion:
 // the verifier ships a query *seed* (public coin) plus the encrypted
 // commitment material; the prover ships commitments and responses.
+//
+// Deserialize() is the trust boundary: bytes from the peer are arbitrary.
+// Both decoders return StatusOr instead of throwing, validate every length
+// prefix before allocating (a hostile 0xFFFFFFFF element count fails as
+// LENGTH_OVERFLOW, it cannot OOM the verifier), and range-check every field
+// element and ElGamal ciphertext component against its modulus (OUT_OF_RANGE
+// rather than silent reduction). Trailing bytes are MALFORMED.
 
 #ifndef SRC_ARGUMENT_WIRE_H_
 #define SRC_ARGUMENT_WIRE_H_
 
 #include <array>
+#include <utility>
 #include <vector>
 
 #include "src/argument/argument.h"
 #include "src/util/serialize.h"
+#include "src/util/status.h"
 
 namespace zaatar {
 
@@ -38,7 +47,6 @@ struct SetupMessage {
   }
 
   std::vector<uint8_t> Serialize() const {
-    using Zp = typename ElGamal<F>::Zp;
     ByteWriter w;
     w.PutU64(query_seed);
     for (size_t o = 0; o < 2; o++) {
@@ -49,30 +57,29 @@ struct SetupMessage {
       }
       PutFieldVector(&w, t[o]);
     }
-    (void)sizeof(Zp);
     return w.bytes();
   }
 
-  static SetupMessage Deserialize(const std::vector<uint8_t>& bytes) {
+  static StatusOr<SetupMessage> Deserialize(
+      const std::vector<uint8_t>& bytes) {
     using EG = ElGamal<F>;
     using Zp = typename EG::Zp;
     SetupMessage msg;
     ByteReader r(bytes);
-    msg.query_seed = r.GetU64();
+    ZAATAR_ASSIGN_OR_RETURN(msg.query_seed, r.GetU64());
     for (size_t o = 0; o < 2; o++) {
-      uint32_t n = r.GetU32();
+      // Each ciphertext is two canonical Zp elements.
+      ZAATAR_ASSIGN_OR_RETURN(uint32_t n, r.GetLength(2 * Zp::kLimbs * 8));
       msg.enc_r[o].reserve(n);
       for (uint32_t i = 0; i < n; i++) {
         typename EG::Ciphertext ct;
-        ct.c1 = Zp::FromCanonical(r.template GetBigInt<Zp::kLimbs>());
-        ct.c2 = Zp::FromCanonical(r.template GetBigInt<Zp::kLimbs>());
+        ZAATAR_ASSIGN_OR_RETURN(ct.c1, GetField<Zp>(&r));
+        ZAATAR_ASSIGN_OR_RETURN(ct.c2, GetField<Zp>(&r));
         msg.enc_r[o].push_back(ct);
       }
-      msg.t[o] = GetFieldVector<F>(&r);
+      ZAATAR_ASSIGN_OR_RETURN(msg.t[o], GetFieldVector<F>(&r));
     }
-    if (!r.AtEnd()) {
-      throw std::runtime_error("trailing bytes in SetupMessage");
-    }
+    ZAATAR_RETURN_IF_ERROR(r.ExpectEnd());
     return msg;
   }
 };
@@ -120,25 +127,64 @@ struct InstanceProofMessage {
     return w.bytes();
   }
 
-  static InstanceProofMessage Deserialize(const std::vector<uint8_t>& bytes) {
+  static StatusOr<InstanceProofMessage> Deserialize(
+      const std::vector<uint8_t>& bytes) {
     using EG = ElGamal<F>;
     using Zp = typename EG::Zp;
     InstanceProofMessage msg;
     ByteReader r(bytes);
     for (size_t o = 0; o < 2; o++) {
-      msg.commitments[o].c1 =
-          Zp::FromCanonical(r.template GetBigInt<Zp::kLimbs>());
-      msg.commitments[o].c2 =
-          Zp::FromCanonical(r.template GetBigInt<Zp::kLimbs>());
-      msg.responses[o] = GetFieldVector<F>(&r);
-      msg.t_responses[o] = GetField<F>(&r);
+      ZAATAR_ASSIGN_OR_RETURN(msg.commitments[o].c1, GetField<Zp>(&r));
+      ZAATAR_ASSIGN_OR_RETURN(msg.commitments[o].c2, GetField<Zp>(&r));
+      ZAATAR_ASSIGN_OR_RETURN(msg.responses[o], GetFieldVector<F>(&r));
+      ZAATAR_ASSIGN_OR_RETURN(msg.t_responses[o], GetField<F>(&r));
     }
-    if (!r.AtEnd()) {
-      throw std::runtime_error("trailing bytes in InstanceProofMessage");
-    }
+    ZAATAR_RETURN_IF_ERROR(r.ExpectEnd());
     return msg;
   }
 };
+
+// The full hardened ingest path: untrusted bytes -> typed verdict. Decode
+// failures map to kMalformed (with the decoder's detail); decoded proofs go
+// through shape validation and the cryptographic checks. This is the entry
+// point a network-facing verifier should use — it cannot throw on any input.
+template <typename F, typename Adapter>
+VerifyInstanceResult VerifyInstanceBytes(
+    const typename Argument<F, Adapter>::VerifierSetup& setup,
+    const std::vector<uint8_t>& proof_bytes,
+    const std::vector<F>& bound_values, double* seconds = nullptr) {
+  auto decoded = InstanceProofMessage<F>::Deserialize(proof_bytes);
+  if (!decoded.ok()) {
+    return VerifyInstanceResult::Reject(VerifyVerdict::kMalformed,
+                                        decoded.status().ToString());
+  }
+  auto proof = decoded->template ToProof<Adapter>();
+  return Argument<F, Adapter>::VerifyInstanceDetailed(setup, proof,
+                                                      bound_values, seconds);
+}
+
+// Batch form of VerifyInstanceBytes: each instance's bytes are decoded and
+// verified independently, so one hostile message yields one kMalformed slot
+// and leaves the other beta-1 verdicts intact.
+template <typename F, typename Adapter>
+std::vector<VerifyInstanceResult> VerifyBatchBytes(
+    const typename Argument<F, Adapter>::VerifierSetup& setup,
+    const std::vector<std::vector<uint8_t>>& proof_bytes,
+    const std::vector<std::vector<F>>& bound_values,
+    double* seconds = nullptr) {
+  std::vector<VerifyInstanceResult> results;
+  results.reserve(proof_bytes.size());
+  for (size_t i = 0; i < proof_bytes.size(); i++) {
+    if (i < bound_values.size()) {
+      results.push_back(VerifyInstanceBytes<F, Adapter>(
+          setup, proof_bytes[i], bound_values[i], seconds));
+    } else {
+      results.push_back(VerifyInstanceResult::Reject(
+          VerifyVerdict::kMalformed, "missing bound values"));
+    }
+  }
+  return results;
+}
 
 }  // namespace zaatar
 

@@ -93,7 +93,12 @@ class LinearCommitment {
                                const typename EG::SecretKey& sk,
                                const OracleCommitSetup<F>& setup,
                                const OracleProofPart<F>& part) {
-    assert(part.responses.size() == setup.alphas.size());
+    // A malformed proof part must fail the check, not index out of bounds
+    // (asserts are compiled out in release builds; the argument layer also
+    // screens shape, this is defense in depth).
+    if (part.responses.size() != setup.alphas.size()) {
+      return false;
+    }
     F expected = part.t_response;
     for (size_t i = 0; i < setup.alphas.size(); i++) {
       expected -= setup.alphas[i] * part.responses[i];

@@ -1,0 +1,285 @@
+// Fault-injection harness: systematic corruption of honest protocol
+// transcripts, exercising the verifier's "reject, don't crash" invariant.
+//
+// The threat model (DESIGN.md §8) is an arbitrarily malicious prover: any
+// byte string may arrive where an InstanceProofMessage is expected, and any
+// well-formed message may carry adversarially chosen contents. The Corruptor
+// mutates serialized messages at the byte level (truncation, bit flips,
+// length inflation, non-canonical residues, trailing garbage); the
+// MaliciousProver emits semantically hostile but well-formed messages
+// (swapped commitments, responses inconsistent with the commitment, proofs
+// generated under a replayed setup from another batch). Every emitted fault,
+// driven through the real Argument pipeline via VerifyInstanceBytes, must
+// yield a typed non-accept verdict — never a crash, hang, or accept.
+
+#ifndef SRC_TESTING_FAULT_INJECTION_H_
+#define SRC_TESTING_FAULT_INJECTION_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/argument/argument.h"
+#include "src/argument/wire.h"
+#include "src/crypto/prg.h"
+#include "src/util/serialize.h"
+
+namespace zaatar {
+
+// The corruption taxonomy. Each class models a distinct adversarial
+// capability; the acceptance criterion for all of them is identical (a clean
+// typed reject), but the expected verdict differs per class (see
+// ExpectedVerdicts).
+enum class FaultClass {
+  kTruncation = 0,        // byte stream cut at an arbitrary prefix
+  kBitFlip,               // a single flipped bit anywhere in the message
+  kLengthInflation,       // a length prefix claiming ~2^32 elements
+  kNonCanonicalElement,   // a residue >= its modulus substituted in place
+  kCommitmentSwap,        // the two oracle commitments exchanged
+  kSetupReplay,           // a proof generated under a different batch's setup
+  kInconsistentResponse,  // responses disagreeing with the commitment
+  kTrailingGarbage,       // valid message followed by extra bytes
+};
+
+inline constexpr std::array<FaultClass, 8> kAllFaultClasses = {
+    FaultClass::kTruncation,        FaultClass::kBitFlip,
+    FaultClass::kLengthInflation,   FaultClass::kNonCanonicalElement,
+    FaultClass::kCommitmentSwap,    FaultClass::kSetupReplay,
+    FaultClass::kInconsistentResponse, FaultClass::kTrailingGarbage,
+};
+
+inline const char* FaultClassName(FaultClass c) {
+  switch (c) {
+    case FaultClass::kTruncation:
+      return "truncation";
+    case FaultClass::kBitFlip:
+      return "bit-flip";
+    case FaultClass::kLengthInflation:
+      return "length-inflation";
+    case FaultClass::kNonCanonicalElement:
+      return "non-canonical-element";
+    case FaultClass::kCommitmentSwap:
+      return "commitment-swap";
+    case FaultClass::kSetupReplay:
+      return "setup-replay";
+    case FaultClass::kInconsistentResponse:
+      return "inconsistent-response";
+    case FaultClass::kTrailingGarbage:
+      return "trailing-garbage";
+  }
+  return "unknown";
+}
+
+// Byte-level mutations. All pure: the input transcript is never modified.
+class Corruptor {
+ public:
+  static std::vector<uint8_t> Truncate(const std::vector<uint8_t>& bytes,
+                                       size_t prefix_len) {
+    if (prefix_len > bytes.size()) {
+      prefix_len = bytes.size();
+    }
+    return std::vector<uint8_t>(bytes.begin(), bytes.begin() + prefix_len);
+  }
+
+  static std::vector<uint8_t> FlipBit(const std::vector<uint8_t>& bytes,
+                                      size_t bit_index) {
+    std::vector<uint8_t> out = bytes;
+    out[(bit_index / 8) % out.size()] ^=
+        static_cast<uint8_t>(1u << (bit_index % 8));
+    return out;
+  }
+
+  static std::vector<uint8_t> MutateByte(const std::vector<uint8_t>& bytes,
+                                         size_t pos, uint8_t xor_mask) {
+    std::vector<uint8_t> out = bytes;
+    out[pos % out.size()] ^= xor_mask;
+    return out;
+  }
+
+  static std::vector<uint8_t> PatchU32(const std::vector<uint8_t>& bytes,
+                                       size_t offset, uint32_t v) {
+    std::vector<uint8_t> out = bytes;
+    for (int i = 0; i < 4 && offset + i < out.size(); i++) {
+      out[offset + i] = static_cast<uint8_t>(v >> (8 * i));
+    }
+    return out;
+  }
+
+  template <size_t N>
+  static std::vector<uint8_t> PatchBigInt(const std::vector<uint8_t>& bytes,
+                                          size_t offset, const BigInt<N>& v) {
+    std::vector<uint8_t> out = bytes;
+    for (size_t i = 0; i < N; i++) {
+      for (int b = 0; b < 8; b++) {
+        size_t pos = offset + i * 8 + b;
+        if (pos < out.size()) {
+          out[pos] = static_cast<uint8_t>(v.limbs[i] >> (8 * b));
+        }
+      }
+    }
+    return out;
+  }
+
+  static std::vector<uint8_t> AppendGarbage(const std::vector<uint8_t>& bytes,
+                                            size_t n, Prg& prg) {
+    std::vector<uint8_t> out = bytes;
+    for (size_t i = 0; i < n; i++) {
+      out.push_back(static_cast<uint8_t>(prg.NextBounded(256)));
+    }
+    return out;
+  }
+};
+
+// Byte offsets of the structural landmarks inside a serialized
+// InstanceProofMessage<F>, computed from the honest message shape. Used to
+// aim length-inflation and non-canonical-substitution faults at exactly the
+// fields they target.
+template <typename F>
+struct InstanceWireLayout {
+  static constexpr size_t kGroupBytes = ElGamal<F>::Zp::kLimbs * 8;
+  static constexpr size_t kFieldBytes = F::kLimbs * 8;
+
+  std::array<size_t, 2> commitment_offset;     // start of c1 per oracle
+  std::array<size_t, 2> length_offset;         // response-vector u32 prefix
+  std::array<size_t, 2> response_data_offset;  // first response element
+  std::array<size_t, 2> t_response_offset;
+  size_t total_bytes = 0;
+
+  static InstanceWireLayout Of(const InstanceProofMessage<F>& msg) {
+    InstanceWireLayout layout;
+    size_t off = 0;
+    for (size_t o = 0; o < 2; o++) {
+      layout.commitment_offset[o] = off;
+      off += 2 * kGroupBytes;
+      layout.length_offset[o] = off;
+      off += 4;
+      layout.response_data_offset[o] = off;
+      off += msg.responses[o].size() * kFieldBytes;
+      layout.t_response_offset[o] = off;
+      off += kFieldBytes;
+    }
+    layout.total_bytes = off;
+    return layout;
+  }
+};
+
+// Emits one corrupted transcript per fault class, built from an honest
+// prover run. The decoy setup (for kSetupReplay) must come from a different
+// batch over the same computation — same query structure, fresh keys and
+// commitment secrets.
+template <typename F, typename Adapter>
+class MaliciousProver {
+ public:
+  using Arg = Argument<F, Adapter>;
+  using Setup = typename Arg::VerifierSetup;
+
+  MaliciousProver(const Setup* setup, const Setup* decoy_setup,
+                  std::array<const std::vector<F>*, 2> proof_vectors)
+      : setup_(setup),
+        decoy_setup_(decoy_setup),
+        proof_vectors_(proof_vectors),
+        honest_proof_(Arg::Prove(proof_vectors, *setup)),
+        honest_msg_(
+            InstanceProofMessage<F>::template FromProof<Adapter>(
+                honest_proof_)),
+        honest_bytes_(honest_msg_.Serialize()),
+        layout_(InstanceWireLayout<F>::Of(honest_msg_)) {}
+
+  const std::vector<uint8_t>& HonestBytes() const { return honest_bytes_; }
+  const InstanceWireLayout<F>& Layout() const { return layout_; }
+
+  // A corrupted transcript of the requested class. `prg` picks the fault
+  // site, so repeated calls sample different concrete corruptions.
+  std::vector<uint8_t> Emit(FaultClass c, Prg& prg) const {
+    using Zp = typename ElGamal<F>::Zp;
+    switch (c) {
+      case FaultClass::kTruncation:
+        return Corruptor::Truncate(honest_bytes_,
+                                   prg.NextBounded(honest_bytes_.size()));
+      case FaultClass::kBitFlip:
+        return Corruptor::FlipBit(honest_bytes_,
+                                  prg.NextBounded(honest_bytes_.size() * 8));
+      case FaultClass::kLengthInflation:
+        return Corruptor::PatchU32(
+            honest_bytes_,
+            layout_.length_offset[prg.NextBounded(2)], 0xFFFFFFFFu);
+      case FaultClass::kNonCanonicalElement: {
+        // Either a response slot >= q or a commitment component >= p.
+        if (prg.NextBool()) {
+          size_t o = prg.NextBounded(2);
+          return Corruptor::PatchBigInt(honest_bytes_,
+                                        layout_.response_data_offset[o],
+                                        F::kModulus);
+        }
+        size_t o = prg.NextBounded(2);
+        return Corruptor::PatchBigInt(honest_bytes_,
+                                      layout_.commitment_offset[o],
+                                      Zp::kModulus);
+      }
+      case FaultClass::kCommitmentSwap: {
+        InstanceProofMessage<F> msg = honest_msg_;
+        std::swap(msg.commitments[0], msg.commitments[1]);
+        return msg.Serialize();
+      }
+      case FaultClass::kSetupReplay: {
+        // A proof that is perfectly honest — under the wrong batch's keys
+        // and commitment secrets.
+        auto replayed = Arg::Prove(proof_vectors_, *decoy_setup_);
+        return InstanceProofMessage<F>::template FromProof<Adapter>(replayed)
+            .Serialize();
+      }
+      case FaultClass::kInconsistentResponse: {
+        // Commitment from the honest run, one response perturbed after the
+        // fact: exactly the cheat Commit+Multidecommit exists to catch.
+        InstanceProofMessage<F> msg = honest_msg_;
+        size_t o = prg.NextBounded(2);
+        if (!msg.responses[o].empty()) {
+          msg.responses[o][prg.NextBounded(msg.responses[o].size())] +=
+              F::One();
+        } else {
+          msg.t_responses[o] += F::One();
+        }
+        return msg.Serialize();
+      }
+      case FaultClass::kTrailingGarbage:
+        return Corruptor::AppendGarbage(honest_bytes_,
+                                        1 + prg.NextBounded(64), prg);
+    }
+    return honest_bytes_;
+  }
+
+  // The verdicts a correct verifier may return for each class. kBitFlip can
+  // land anywhere, so any non-accept verdict is in range; structural faults
+  // must be caught at decode (kMalformed) before any crypto runs; the
+  // semantic faults must be caught by the commitment consistency check.
+  static std::vector<VerifyVerdict> ExpectedVerdicts(FaultClass c) {
+    switch (c) {
+      case FaultClass::kTruncation:
+      case FaultClass::kLengthInflation:
+      case FaultClass::kNonCanonicalElement:
+      case FaultClass::kTrailingGarbage:
+        return {VerifyVerdict::kMalformed};
+      case FaultClass::kCommitmentSwap:
+      case FaultClass::kSetupReplay:
+      case FaultClass::kInconsistentResponse:
+        return {VerifyVerdict::kRejectCommit};
+      case FaultClass::kBitFlip:
+        return {VerifyVerdict::kMalformed, VerifyVerdict::kRejectCommit,
+                VerifyVerdict::kRejectPcp};
+    }
+    return {};
+  }
+
+ private:
+  const Setup* setup_;
+  const Setup* decoy_setup_;
+  std::array<const std::vector<F>*, 2> proof_vectors_;
+  typename Arg::InstanceProof honest_proof_;
+  InstanceProofMessage<F> honest_msg_;
+  std::vector<uint8_t> honest_bytes_;
+  InstanceWireLayout<F> layout_;
+};
+
+}  // namespace zaatar
+
+#endif  // SRC_TESTING_FAULT_INJECTION_H_

@@ -11,18 +11,30 @@
 //     seed (they are public coin); r and the alphas stay verifier-secret.
 //   - InstanceProofMessage (P -> V, per instance): the two commitments and
 //     all oracle responses.
+//
+// Decoding is hardened against a malicious peer: every read returns a typed
+// Status instead of throwing, length prefixes are validated against both the
+// bytes actually present and a hard element cap before any allocation, and
+// every field/group element is checked to be in canonical range (< modulus)
+// rather than silently reduced.
 
 #ifndef SRC_UTIL_SERIALIZE_H_
 #define SRC_UTIL_SERIALIZE_H_
 
 #include <cstdint>
 #include <cstring>
-#include <stdexcept>
 #include <vector>
 
 #include "src/field/bigint.h"
+#include "src/util/status.h"
 
 namespace zaatar {
+
+// Hard cap on elements per wire vector, independent of the claimed message
+// size: the largest honest oracle is |u| elements, far below this, while a
+// hostile 0xFFFFFFFF length prefix would otherwise request a multi-GB
+// reserve() before the per-element reads could fail.
+inline constexpr uint32_t kMaxWireVectorElements = 1u << 24;
 
 class ByteWriter {
  public:
@@ -60,8 +72,8 @@ class ByteReader {
  public:
   explicit ByteReader(const std::vector<uint8_t>& bytes) : bytes_(&bytes) {}
 
-  uint32_t GetU32() {
-    Require(4);
+  StatusOr<uint32_t> GetU32() {
+    ZAATAR_RETURN_IF_ERROR(Require(4));
     uint32_t v = 0;
     for (int i = 0; i < 4; i++) {
       v |= static_cast<uint32_t>((*bytes_)[pos_++]) << (8 * i);
@@ -69,8 +81,8 @@ class ByteReader {
     return v;
   }
 
-  uint64_t GetU64() {
-    Require(8);
+  StatusOr<uint64_t> GetU64() {
+    ZAATAR_RETURN_IF_ERROR(Require(8));
     uint64_t v = 0;
     for (int i = 0; i < 8; i++) {
       v |= static_cast<uint64_t>((*bytes_)[pos_++]) << (8 * i);
@@ -79,69 +91,103 @@ class ByteReader {
   }
 
   template <size_t N>
-  BigInt<N> GetBigInt() {
+  StatusOr<BigInt<N>> GetBigInt() {
+    ZAATAR_RETURN_IF_ERROR(Require(N * 8));
     BigInt<N> v;
     for (size_t i = 0; i < N; i++) {
-      v.limbs[i] = GetU64();
+      uint64_t limb = 0;
+      for (int b = 0; b < 8; b++) {
+        limb |= static_cast<uint64_t>((*bytes_)[pos_++]) << (8 * b);
+      }
+      v.limbs[i] = limb;
     }
     return v;
   }
 
-  void GetBytes(uint8_t* out, size_t n) {
-    Require(n);
+  Status GetBytes(uint8_t* out, size_t n) {
+    ZAATAR_RETURN_IF_ERROR(Require(n));
     std::memcpy(out, bytes_->data() + pos_, n);
     pos_ += n;
+    return Status::Ok();
+  }
+
+  // Reads a u32 element count and validates it against the cap and the bytes
+  // actually remaining (`elem_bytes` per element), so a hostile length prefix
+  // fails here — before any allocation proportional to it.
+  StatusOr<uint32_t> GetLength(size_t elem_bytes,
+                               uint32_t max_elements = kMaxWireVectorElements) {
+    ZAATAR_ASSIGN_OR_RETURN(uint32_t n, GetU32());
+    if (n > max_elements) {
+      return LengthOverflowError("vector length exceeds element cap");
+    }
+    if (static_cast<uint64_t>(n) * elem_bytes > remaining()) {
+      return LengthOverflowError("vector length exceeds message size");
+    }
+    return n;
+  }
+
+  // Decoders call this last: trailing bytes mean the peer sent a different
+  // structure than claimed, which is rejected rather than ignored.
+  Status ExpectEnd() const {
+    if (!AtEnd()) {
+      return MalformedError("trailing bytes after message");
+    }
+    return Status::Ok();
   }
 
   bool AtEnd() const { return pos_ == bytes_->size(); }
   size_t remaining() const { return bytes_->size() - pos_; }
+  size_t position() const { return pos_; }
 
  private:
-  void Require(size_t n) const {
-    if (pos_ + n > bytes_->size()) {
-      throw std::runtime_error("serialized message truncated");
+  Status Require(size_t n) const {
+    if (n > remaining()) {
+      return TruncatedError("serialized message truncated");
     }
+    return Status::Ok();
   }
 
   const std::vector<uint8_t>* bytes_;
   size_t pos_ = 0;
 };
 
-// Field elements travel in canonical (non-Montgomery) form and are validated
-// against the modulus on decode — a malformed message cannot smuggle an
-// out-of-range residue into the protocol.
-template <typename F>
-void PutField(ByteWriter* w, const F& v) {
+// Field and group elements travel in canonical (non-Montgomery) form and are
+// validated against the modulus on decode — a malformed message cannot
+// smuggle an out-of-range residue into the protocol, and non-canonical
+// encodings of a valid residue are rejected rather than silently reduced.
+// P is any PrimeField instantiation (a verified-computation field F or an
+// ElGamal group Zp).
+template <typename P>
+void PutField(ByteWriter* w, const P& v) {
   w->PutBigInt(v.ToCanonical());
 }
 
-template <typename F>
-F GetField(ByteReader* r) {
-  auto canonical = r->template GetBigInt<F::kLimbs>();
-  if (!(canonical < F::kModulus)) {
-    throw std::runtime_error("field element out of range");
+template <typename P>
+StatusOr<P> GetField(ByteReader* r) {
+  ZAATAR_ASSIGN_OR_RETURN(typename P::Repr canonical,
+                          r->template GetBigInt<P::kLimbs>());
+  if (!(canonical < P::kModulus)) {
+    return OutOfRangeError("element not in canonical range");
   }
-  return F::FromCanonical(canonical);
+  return P::FromCanonical(canonical);
 }
 
-template <typename F>
-void PutFieldVector(ByteWriter* w, const std::vector<F>& v) {
+template <typename P>
+void PutFieldVector(ByteWriter* w, const std::vector<P>& v) {
   w->PutU32(static_cast<uint32_t>(v.size()));
-  for (const F& x : v) {
+  for (const P& x : v) {
     PutField(w, x);
   }
 }
 
-template <typename F>
-std::vector<F> GetFieldVector(ByteReader* r) {
-  uint32_t n = r->GetU32();
-  if (static_cast<size_t>(n) * F::kLimbs * 8 > r->remaining()) {
-    throw std::runtime_error("field vector length exceeds message");
-  }
-  std::vector<F> v;
+template <typename P>
+StatusOr<std::vector<P>> GetFieldVector(ByteReader* r) {
+  ZAATAR_ASSIGN_OR_RETURN(uint32_t n, r->GetLength(P::kLimbs * 8));
+  std::vector<P> v;
   v.reserve(n);
   for (uint32_t i = 0; i < n; i++) {
-    v.push_back(GetField<F>(r));
+    ZAATAR_ASSIGN_OR_RETURN(P x, GetField<P>(r));
+    v.push_back(x);
   }
   return v;
 }

@@ -1,0 +1,145 @@
+// Lightweight typed error handling for the protocol boundary.
+//
+// The verifier ingests bytes from an untrusted prover, so every decode step
+// must be able to fail cleanly. Exceptions are the wrong tool at this
+// boundary: they cross ParallelFor workers poorly, make "which field was
+// bad" hard to report, and invite catch-all handlers that mask logic bugs.
+// Status/StatusOr make the failure path explicit and cheap — a reject is an
+// expected outcome against a malicious prover, not an exceptional one.
+
+#ifndef SRC_UTIL_STATUS_H_
+#define SRC_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace zaatar {
+
+enum class StatusCode {
+  kOk = 0,
+  // The byte stream ended before the declared structure was complete.
+  kTruncated,
+  // A length prefix claims more data than the message carries (or exceeds
+  // the hard allocation cap).
+  kLengthOverflow,
+  // A field element or group element is outside its canonical range
+  // (>= modulus). Rejected rather than silently reduced.
+  kOutOfRange,
+  // Structure violations: trailing bytes, mismatched vector sizes, a proof
+  // whose shape disagrees with the setup.
+  kMalformed,
+};
+
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kTruncated:
+      return "TRUNCATED";
+    case StatusCode::kLengthOverflow:
+      return "LENGTH_OVERFLOW";
+    case StatusCode::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case StatusCode::kMalformed:
+      return "MALFORMED";
+  }
+  return "UNKNOWN";
+}
+
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) {
+      return "OK";
+    }
+    std::string s = StatusCodeName(code_);
+    if (!message_.empty()) {
+      s += ": ";
+      s += message_;
+    }
+    return s;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status TruncatedError(std::string msg) {
+  return Status(StatusCode::kTruncated, std::move(msg));
+}
+inline Status LengthOverflowError(std::string msg) {
+  return Status(StatusCode::kLengthOverflow, std::move(msg));
+}
+inline Status OutOfRangeError(std::string msg) {
+  return Status(StatusCode::kOutOfRange, std::move(msg));
+}
+inline Status MalformedError(std::string msg) {
+  return Status(StatusCode::kMalformed, std::move(msg));
+}
+
+// A value or a non-OK Status. T must be movable; access to value() on an
+// error StatusOr is a programming error (guarded in debug builds only, so
+// callers must check ok() first — the decode macros below do).
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {}  // NOLINT: implicit
+  StatusOr(T value)                                        // NOLINT: implicit
+      : value_(std::move(value)) {}
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() & { return *value_; }
+  const T& value() const& { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  T& operator*() & { return *value_; }
+  const T& operator*() const& { return *value_; }
+  T* operator->() { return &*value_; }
+  const T* operator->() const { return &*value_; }
+
+ private:
+  Status status_;  // kOk iff value_ holds a value
+  std::optional<T> value_;
+};
+
+// Early-return plumbing for functions returning Status or StatusOr<T>.
+#define ZAATAR_RETURN_IF_ERROR(expr)         \
+  do {                                       \
+    ::zaatar::Status zaatar_status_ = (expr); \
+    if (!zaatar_status_.ok()) {              \
+      return zaatar_status_;                 \
+    }                                        \
+  } while (0)
+
+#define ZAATAR_STATUS_CONCAT_INNER(a, b) a##b
+#define ZAATAR_STATUS_CONCAT(a, b) ZAATAR_STATUS_CONCAT_INNER(a, b)
+
+#define ZAATAR_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) {                                   \
+    return tmp.status();                             \
+  }                                                  \
+  lhs = std::move(tmp).value()
+
+// ZAATAR_ASSIGN_OR_RETURN(uint32_t n, reader.GetU32());
+#define ZAATAR_ASSIGN_OR_RETURN(lhs, expr) \
+  ZAATAR_ASSIGN_OR_RETURN_IMPL(            \
+      ZAATAR_STATUS_CONCAT(zaatar_statusor_, __LINE__), lhs, expr)
+
+}  // namespace zaatar
+
+#endif  // SRC_UTIL_STATUS_H_

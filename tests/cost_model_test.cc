@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <stdexcept>
+#include <string>
+
 #include "src/argument/parallel.h"
 
 namespace zaatar {
@@ -143,6 +147,42 @@ TEST(ParallelForTest, CoversAllIndices) {
   std::vector<int> single(10, 0);
   ParallelFor(single.size(), 1, [&](size_t i) { single[i]++; });
   for (int h : single) {
+    EXPECT_EQ(h, 1);
+  }
+}
+
+// Regression: a throw inside a worker used to escape the thread and call
+// std::terminate. It must instead be rethrown on the joining thread, after
+// all workers have been joined.
+TEST(ParallelForTest, WorkerExceptionIsRethrownOnJoin) {
+  std::atomic<int> ran{0};
+  auto body = [&](size_t i) {
+    ran.fetch_add(1);
+    if (i == 3) {
+      throw std::runtime_error("injected worker fault");
+    }
+  };
+  EXPECT_THROW(ParallelFor(64, 4, body), std::runtime_error);
+  EXPECT_GE(ran.load(), 1);
+
+  // The serial path propagates identically.
+  EXPECT_THROW(ParallelFor(64, 1, body), std::runtime_error);
+
+  // The first exception wins when several workers throw concurrently.
+  try {
+    ParallelFor(32, 8, [](size_t i) {
+      throw std::invalid_argument("fault " + std::to_string(i));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_EQ(std::string(e.what()).rfind("fault ", 0), 0u);
+  }
+
+  // A pool that saw an exception still leaves the process healthy enough to
+  // run another clean pass.
+  std::vector<int> hits(100, 0);
+  ParallelFor(hits.size(), 4, [&](size_t i) { hits[i]++; });
+  for (int h : hits) {
     EXPECT_EQ(h, 1);
   }
 }

@@ -1,0 +1,333 @@
+// The adversarial-robustness suite: every corruption class in
+// src/testing/fault_injection.h is driven through the real Argument
+// pipeline, and every injected fault must produce a clean typed
+// reject/malformed verdict — never a crash, hang, false accept, or
+// exception out of the ingest path. Run under ASan/UBSan via
+// -DZAATAR_SANITIZE (scripts/ci.sh) to also rule out silent UB.
+
+#include "src/testing/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/constraints/qap.h"
+#include "src/constraints/transform.h"
+#include "src/field/fields.h"
+#include "tests/test_util.h"
+
+namespace zaatar {
+namespace {
+
+using F = F128;
+using Adapter = ZaatarAdapter<F>;
+using Arg = ZaatarArgument<F>;
+
+// One honest transcript plus a decoy setup (a second batch over the same
+// computation: same public-coin queries, fresh keys and secrets). Built in
+// place by the constructor: Qap holds a pointer to transform.r1cs, so the
+// fixture must never be copied or moved.
+struct FaultFixture {
+  Prg sys_prg;
+  RandomSystem<F> rs;
+  ZaatarTransform<F> transform;
+  Qap<F> qap;
+  typename Arg::VerifierSetup setup;
+  typename Arg::VerifierSetup decoy_setup;
+  ZaatarProof<F> proof;
+
+  explicit FaultFixture(uint64_t seed)
+      : sys_prg(seed),
+        rs(MakeRandomSatisfiedSystem<F>(sys_prg, 8, 2, 2, 14)),
+        transform(GingerToZaatar(rs.system)),
+        qap(transform.r1cs) {
+    const uint64_t kQuerySeed = seed ^ 0xC0FFEE;
+    Prg q1(kQuerySeed), s1(seed + 1);
+    setup = Arg::Setup(
+        ZaatarPcp<F>::GenerateQueries(qap, PcpParams::Light(), q1), s1);
+    Prg q2(kQuerySeed), s2(seed + 2);
+    decoy_setup = Arg::Setup(
+        ZaatarPcp<F>::GenerateQueries(qap, PcpParams::Light(), q2), s2);
+    proof = BuildZaatarProof(qap, transform.ExtendAssignment(rs.assignment));
+  }
+
+  FaultFixture(const FaultFixture&) = delete;
+  FaultFixture& operator=(const FaultFixture&) = delete;
+
+  MaliciousProver<F, Adapter> Prover() const {
+    return MaliciousProver<F, Adapter>(&setup, &decoy_setup,
+                                       {&proof.z, &proof.h});
+  }
+
+  VerifyInstanceResult Verify(const std::vector<uint8_t>& bytes) const {
+    return VerifyInstanceBytes<F, Adapter>(setup, bytes, rs.BoundValues());
+  }
+};
+
+TEST(FaultInjectionTest, HonestTranscriptAccepts) {
+  FaultFixture f(400);
+  auto mp = f.Prover();
+  auto result = f.Verify(mp.HonestBytes());
+  EXPECT_EQ(result.verdict, VerifyVerdict::kAccept) << result.detail;
+}
+
+// The acceptance criterion of the whole harness: every fault class, many
+// sampled corruptions each, all rejected with a verdict from the class's
+// expected set.
+TEST(FaultInjectionTest, EveryFaultClassYieldsTypedReject) {
+  FaultFixture f(401);
+  auto mp = f.Prover();
+  Prg prg(402);
+  for (FaultClass c : kAllFaultClasses) {
+    auto expected = MaliciousProver<F, Adapter>::ExpectedVerdicts(c);
+    for (int trial = 0; trial < 25; trial++) {
+      auto bytes = mp.Emit(c, prg);
+      auto result = f.Verify(bytes);
+      ASSERT_FALSE(result.accepted())
+          << FaultClassName(c) << " trial " << trial << " was accepted";
+      EXPECT_NE(std::find(expected.begin(), expected.end(), result.verdict),
+                expected.end())
+          << FaultClassName(c) << " trial " << trial << " verdict "
+          << VerifyVerdictName(result.verdict) << " (" << result.detail
+          << ") not in expected set";
+    }
+  }
+}
+
+// Satellite: every truncation point of both protocol messages decodes to a
+// typed error (or, for the degenerate full-length case, round-trips).
+TEST(FaultInjectionTest, EveryTruncationPointIsHandled) {
+  FaultFixture f(403);
+  auto mp = f.Prover();
+  const auto& bytes = mp.HonestBytes();
+  for (size_t len = 0; len < bytes.size(); len++) {
+    auto truncated = Corruptor::Truncate(bytes, len);
+    auto result = f.Verify(truncated);
+    ASSERT_EQ(result.verdict, VerifyVerdict::kMalformed)
+        << "truncation at " << len << "/" << bytes.size();
+  }
+
+  auto setup_bytes = SetupMessage<F>::FromSetup(1, f.setup).Serialize();
+  for (size_t len = 0; len < setup_bytes.size(); len++) {
+    auto decoded =
+        SetupMessage<F>::Deserialize(Corruptor::Truncate(setup_bytes, len));
+    ASSERT_FALSE(decoded.ok()) << "setup truncation at " << len;
+    ASSERT_NE(decoded.status().code(), StatusCode::kOk);
+  }
+}
+
+// Satellite: 1k random single-byte mutations of the instance proof — decode
+// error or verifier reject, never a crash or accept. (Under ASan/UBSan this
+// also proves the absence of silent out-of-bounds reads.)
+TEST(FaultInjectionTest, RandomByteMutationsOfInstanceProofNeverAccept) {
+  FaultFixture f(404);
+  auto mp = f.Prover();
+  const auto& bytes = mp.HonestBytes();
+  Prg prg(405);
+  for (int trial = 0; trial < 1000; trial++) {
+    auto corrupted = Corruptor::MutateByte(
+        bytes, prg.NextBounded(bytes.size()),
+        static_cast<uint8_t>(1 + prg.NextBounded(255)));
+    auto result = f.Verify(corrupted);
+    ASSERT_FALSE(result.accepted()) << "mutation trial " << trial;
+  }
+}
+
+// Satellite: 1k random single-byte mutations of the setup message — the
+// prover-side decoder returns a typed status on every input, and a decode
+// that still succeeds re-serializes canonically (no smuggled non-canonical
+// state survives a round-trip).
+TEST(FaultInjectionTest, RandomByteMutationsOfSetupMessageNeverCrash) {
+  FaultFixture f(406);
+  auto setup_bytes = SetupMessage<F>::FromSetup(1, f.setup).Serialize();
+  Prg prg(407);
+  size_t decoded_ok = 0;
+  for (int trial = 0; trial < 1000; trial++) {
+    auto corrupted = Corruptor::MutateByte(
+        setup_bytes, prg.NextBounded(setup_bytes.size()),
+        static_cast<uint8_t>(1 + prg.NextBounded(255)));
+    auto decoded = SetupMessage<F>::Deserialize(corrupted);
+    if (decoded.ok()) {
+      decoded_ok++;
+      auto reencoded = decoded->Serialize();
+      ASSERT_EQ(reencoded, corrupted) << "non-canonical decode, trial "
+                                      << trial;
+    }
+  }
+  // Most mutations land inside element payloads and keep the structure
+  // decodable; the point is that none of the 1k crashed or mis-decoded.
+  EXPECT_GT(decoded_ok, 0u);
+}
+
+// A mutated-but-decodable setup message must not lead the prover into
+// producing an accepted proof: prove against each corrupted setup and check
+// the real verifier rejects.
+TEST(FaultInjectionTest, ProofsUnderMutatedSetupAreRejected) {
+  FaultFixture f(408);
+  auto setup_bytes = SetupMessage<F>::FromSetup(1, f.setup).Serialize();
+  Prg prg(409);
+  int proved = 0;
+  for (int trial = 0; trial < 40 && proved < 10; trial++) {
+    // Skip the 8-byte query seed: mutating it leaves Enc(r) and t intact,
+    // so the resulting proof would be honest (and rightly accepted).
+    size_t pos = 8 + prg.NextBounded(setup_bytes.size() - 8);
+    auto corrupted = Corruptor::MutateByte(
+        setup_bytes, pos, static_cast<uint8_t>(1 + prg.NextBounded(255)));
+    auto decoded = SetupMessage<F>::Deserialize(corrupted);
+    if (!decoded.ok()) {
+      continue;
+    }
+    if (decoded->enc_r[0].size() != f.setup.commit[0].enc_r.size() ||
+        decoded->enc_r[1].size() != f.setup.commit[1].enc_r.size() ||
+        decoded->t[0].size() != f.setup.commit[0].t.size() ||
+        decoded->t[1].size() != f.setup.commit[1].t.size()) {
+      continue;  // prover would reject a setup of the wrong shape
+    }
+    proved++;
+    typename Arg::InstanceProof ip;
+    const std::vector<F>* vectors[2] = {&f.proof.z, &f.proof.h};
+    for (size_t o = 0; o < 2; o++) {
+      ip.parts[o] = LinearCommitment<F>::Prove(
+          *vectors[o], decoded->enc_r[o],
+          Adapter::OracleQueries(f.setup.queries, o), decoded->t[o]);
+    }
+    auto result =
+        Arg::VerifyInstanceDetailed(f.setup, ip, f.rs.BoundValues());
+    EXPECT_FALSE(result.accepted()) << "mutated-setup trial " << trial;
+  }
+  EXPECT_GT(proved, 0);
+}
+
+// Shape violations are caught before any cryptography: wrong response
+// counts and wrong bound-value counts are kMalformed, not UB.
+TEST(FaultInjectionTest, MalformedProofShapesAreScreened) {
+  FaultFixture f(410);
+  auto ip = Arg::Prove({&f.proof.z, &f.proof.h}, f.setup);
+
+  {
+    auto short_proof = ip;
+    short_proof.parts[0].responses.pop_back();
+    auto r = Arg::VerifyInstanceDetailed(f.setup, short_proof,
+                                         f.rs.BoundValues());
+    EXPECT_EQ(r.verdict, VerifyVerdict::kMalformed) << r.detail;
+  }
+  {
+    auto long_proof = ip;
+    long_proof.parts[1].responses.push_back(F::One());
+    auto r = Arg::VerifyInstanceDetailed(f.setup, long_proof,
+                                         f.rs.BoundValues());
+    EXPECT_EQ(r.verdict, VerifyVerdict::kMalformed) << r.detail;
+  }
+  {
+    auto bound = f.rs.BoundValues();
+    bound.pop_back();
+    auto r = Arg::VerifyInstanceDetailed(f.setup, ip, bound);
+    EXPECT_EQ(r.verdict, VerifyVerdict::kMalformed) << r.detail;
+  }
+  {
+    Arg::InstanceProof empty_proof{};
+    auto r = Arg::VerifyInstanceDetailed(f.setup, empty_proof,
+                                         f.rs.BoundValues());
+    EXPECT_EQ(r.verdict, VerifyVerdict::kMalformed) << r.detail;
+  }
+}
+
+// The verdict taxonomy separates the three reject layers.
+TEST(FaultInjectionTest, VerdictTaxonomyDistinguishesLayers) {
+  FaultFixture f(411);
+  auto ip = Arg::Prove({&f.proof.z, &f.proof.h}, f.setup);
+
+  // Honest: accept.
+  EXPECT_EQ(
+      Arg::VerifyInstanceDetailed(f.setup, ip, f.rs.BoundValues()).verdict,
+      VerifyVerdict::kAccept);
+
+  // Tampered response (commitment now inconsistent): REJECT_COMMIT.
+  auto tampered = ip;
+  tampered.parts[0].responses[0] += F::One();
+  EXPECT_EQ(
+      Arg::VerifyInstanceDetailed(f.setup, tampered, f.rs.BoundValues())
+          .verdict,
+      VerifyVerdict::kRejectCommit);
+
+  // Wrong output claim with a commitment-consistent proof: REJECT_PCP.
+  auto bad_bound = f.rs.BoundValues();
+  bad_bound.back() += F::One();
+  EXPECT_EQ(Arg::VerifyInstanceDetailed(f.setup, ip, bad_bound).verdict,
+            VerifyVerdict::kRejectPcp);
+}
+
+// One hostile instance in a batch is isolated: the other beta-1 verdicts
+// are unaffected and the batch call returns normally.
+TEST(FaultInjectionTest, BatchIsolatesBadInstances) {
+  FaultFixture f(412);
+  const size_t kBeta = 5;
+  std::vector<typename Arg::InstanceProof> proofs;
+  std::vector<std::vector<F>> bounds;
+  for (size_t i = 0; i < kBeta; i++) {
+    proofs.push_back(Arg::Prove({&f.proof.z, &f.proof.h}, f.setup));
+    bounds.push_back(f.rs.BoundValues());
+  }
+  // Instance 1: malformed shape. Instance 3: inconsistent response.
+  proofs[1].parts[0].responses.clear();
+  proofs[3].parts[1].responses[0] += F::One();
+
+  auto results = Arg::VerifyBatch(f.setup, proofs, bounds);
+  ASSERT_EQ(results.size(), kBeta);
+  EXPECT_EQ(results[0].verdict, VerifyVerdict::kAccept);
+  EXPECT_EQ(results[1].verdict, VerifyVerdict::kMalformed);
+  EXPECT_EQ(results[2].verdict, VerifyVerdict::kAccept);
+  EXPECT_EQ(results[3].verdict, VerifyVerdict::kRejectCommit);
+  EXPECT_EQ(results[4].verdict, VerifyVerdict::kAccept);
+
+  // Same isolation at the bytes boundary, with a fully hostile slot.
+  std::vector<std::vector<uint8_t>> wire(kBeta);
+  for (size_t i = 0; i < kBeta; i++) {
+    proofs[i] = Arg::Prove({&f.proof.z, &f.proof.h}, f.setup);
+    wire[i] =
+        InstanceProofMessage<F>::FromProof<Adapter>(proofs[i]).Serialize();
+  }
+  wire[2] = {0xFF, 0x00, 0xBA, 0xAD};
+  auto wire_results = VerifyBatchBytes<F, Adapter>(f.setup, wire, bounds);
+  ASSERT_EQ(wire_results.size(), kBeta);
+  for (size_t i = 0; i < kBeta; i++) {
+    if (i == 2) {
+      EXPECT_EQ(wire_results[i].verdict, VerifyVerdict::kMalformed);
+    } else {
+      EXPECT_EQ(wire_results[i].verdict, VerifyVerdict::kAccept)
+          << "instance " << i << ": " << wire_results[i].detail;
+    }
+  }
+}
+
+// The Ginger baseline pipeline is hardened by the same layer.
+TEST(FaultInjectionTest, GingerArgumentScreensMalformedProofs) {
+  Prg prg(413);
+  auto rs = MakeRandomSatisfiedSystem<F>(prg, 8, 2, 2, 14);
+  auto inst = BuildGingerPcpInstance(rs.system);
+  auto setup = GingerArgument<F>::Setup(
+      GingerPcp<F>::GenerateQueries(inst, PcpParams::Light(), prg), prg);
+  auto proof = BuildGingerProof(inst, rs.assignment);
+  auto ip = GingerArgument<F>::Prove({&proof.z, &proof.tensor}, setup);
+
+  EXPECT_EQ(GingerArgument<F>::VerifyInstanceDetailed(setup, ip,
+                                                      rs.BoundValues())
+                .verdict,
+            VerifyVerdict::kAccept);
+
+  auto short_proof = ip;
+  short_proof.parts[0].responses.pop_back();
+  EXPECT_EQ(GingerArgument<F>::VerifyInstanceDetailed(setup, short_proof,
+                                                      rs.BoundValues())
+                .verdict,
+            VerifyVerdict::kMalformed);
+
+  auto bad_bound = rs.BoundValues();
+  bad_bound.pop_back();
+  EXPECT_EQ(
+      GingerArgument<F>::VerifyInstanceDetailed(setup, ip, bad_bound).verdict,
+      VerifyVerdict::kMalformed);
+}
+
+}  // namespace
+}  // namespace zaatar

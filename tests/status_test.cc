@@ -1,0 +1,88 @@
+// Unit tests for the Status/StatusOr error plumbing at the protocol
+// boundary.
+
+#include "src/util/status.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace zaatar {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = TruncatedError("needed 8 bytes");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kTruncated);
+  EXPECT_EQ(s.message(), "needed 8 bytes");
+  EXPECT_EQ(s.ToString(), "TRUNCATED: needed 8 bytes");
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kTruncated, StatusCode::kLengthOverflow,
+        StatusCode::kOutOfRange, StatusCode::kMalformed}) {
+    EXPECT_STRNE(StatusCodeName(code), "UNKNOWN");
+  }
+}
+
+TEST(StatusOrTest, HoldsValueOrStatus) {
+  StatusOr<int> good = 42;
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 42);
+  EXPECT_TRUE(good.status().ok());
+
+  StatusOr<int> bad = OutOfRangeError("nope");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(StatusOrTest, MoveOnlyValueTypes) {
+  StatusOr<std::vector<int>> v = std::vector<int>{1, 2, 3};
+  ASSERT_TRUE(v.ok());
+  std::vector<int> taken = std::move(v).value();
+  EXPECT_EQ(taken.size(), 3u);
+}
+
+StatusOr<int> ParsePositive(int x) {
+  if (x <= 0) {
+    return MalformedError("not positive");
+  }
+  return x;
+}
+
+StatusOr<int> SumOfParsed(int a, int b) {
+  ZAATAR_ASSIGN_OR_RETURN(int pa, ParsePositive(a));
+  ZAATAR_ASSIGN_OR_RETURN(int pb, ParsePositive(b));
+  return pa + pb;
+}
+
+Status CheckParsed(int a) {
+  ZAATAR_ASSIGN_OR_RETURN(int pa, ParsePositive(a));
+  (void)pa;
+  return Status::Ok();
+}
+
+TEST(StatusOrTest, AssignOrReturnPropagatesErrors) {
+  auto ok = SumOfParsed(2, 3);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 5);
+
+  auto err = SumOfParsed(2, -1);
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kMalformed);
+
+  EXPECT_TRUE(CheckParsed(1).ok());
+  EXPECT_EQ(CheckParsed(0).code(), StatusCode::kMalformed);
+}
+
+}  // namespace
+}  // namespace zaatar

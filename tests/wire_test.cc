@@ -1,5 +1,7 @@
 // Serialization round-trips, validation, and an end-to-end argument run
-// where every message crosses a (simulated) wire.
+// where every message crosses a (simulated) wire. Decode failures are typed
+// Status values, never exceptions: the deserialization path is a trust
+// boundary against a malicious peer.
 
 #include <gtest/gtest.h>
 
@@ -23,18 +25,29 @@ TEST(SerializeTest, PrimitivesRoundTrip) {
   big.limbs = {1, 2, 3};
   w.PutBigInt(big);
   ByteReader r(w.bytes());
-  EXPECT_EQ(r.GetU32(), 0xDEADBEEFu);
-  EXPECT_EQ(r.GetU64(), 0x0123456789ABCDEFull);
-  EXPECT_EQ(r.GetBigInt<3>(), big);
+  auto u32 = r.GetU32();
+  ASSERT_TRUE(u32.ok());
+  EXPECT_EQ(*u32, 0xDEADBEEFu);
+  auto u64 = r.GetU64();
+  ASSERT_TRUE(u64.ok());
+  EXPECT_EQ(*u64, 0x0123456789ABCDEFull);
+  auto b = r.GetBigInt<3>();
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*b, big);
   EXPECT_TRUE(r.AtEnd());
+  EXPECT_TRUE(r.ExpectEnd().ok());
 }
 
-TEST(SerializeTest, TruncatedMessagesThrow) {
+TEST(SerializeTest, TruncatedReadsReturnTruncatedStatus) {
   ByteWriter w;
   w.PutU32(7);
   ByteReader r(w.bytes());
-  EXPECT_EQ(r.GetU32(), 7u);
-  EXPECT_THROW(r.GetU64(), std::runtime_error);
+  ASSERT_TRUE(r.GetU32().ok());
+  auto missing = r.GetU64();
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kTruncated);
+  // A failed read consumes nothing; the reader stays usable.
+  EXPECT_EQ(r.remaining(), 0u);
 }
 
 TEST(SerializeTest, FieldElementsRoundTripAndValidate) {
@@ -43,20 +56,60 @@ TEST(SerializeTest, FieldElementsRoundTripAndValidate) {
   std::vector<F> elems = prg.NextFieldVector<F>(20);
   PutFieldVector(&w, elems);
   ByteReader r(w.bytes());
-  EXPECT_EQ(GetFieldVector<F>(&r), elems);
+  auto decoded = GetFieldVector<F>(&r);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, elems);
 
-  // An out-of-range residue (the modulus itself) must be rejected.
+  // An out-of-range residue (the modulus itself) must be rejected, not
+  // silently reduced.
   ByteWriter bad;
   bad.PutBigInt(F::kModulus);
   ByteReader br(bad.bytes());
-  EXPECT_THROW(GetField<F>(&br), std::runtime_error);
+  auto out_of_range = GetField<F>(&br);
+  ASSERT_FALSE(out_of_range.ok());
+  EXPECT_EQ(out_of_range.status().code(), StatusCode::kOutOfRange);
 }
 
-TEST(SerializeTest, OversizedVectorLengthRejectedEarly) {
+TEST(SerializeTest, ModulusPlusOneRejectedForFieldAndGroup) {
+  // q and q+1 for the computation field; p and p+1 for the ElGamal group.
+  using Zp = typename ElGamal<F>::Zp;
+  {
+    auto non_canonical = F::kModulus;
+    non_canonical.AddInPlace(typename F::Repr(uint64_t{1}));
+    ByteWriter w;
+    w.PutBigInt(non_canonical);
+    ByteReader r(w.bytes());
+    auto got = GetField<F>(&r);
+    ASSERT_FALSE(got.ok());
+    EXPECT_EQ(got.status().code(), StatusCode::kOutOfRange);
+  }
+  {
+    auto non_canonical = Zp::kModulus;
+    non_canonical.AddInPlace(typename Zp::Repr(uint64_t{1}));
+    ByteWriter w;
+    w.PutBigInt(non_canonical);
+    ByteReader r(w.bytes());
+    auto got = GetField<Zp>(&r);
+    ASSERT_FALSE(got.ok());
+    EXPECT_EQ(got.status().code(), StatusCode::kOutOfRange);
+  }
+}
+
+TEST(SerializeTest, OversizedVectorLengthRejectedBeforeAllocation) {
   ByteWriter w;
   w.PutU32(0x7FFFFFFF);  // claims ~2^31 elements but carries none
   ByteReader r(w.bytes());
-  EXPECT_THROW(GetFieldVector<F>(&r), std::runtime_error);
+  auto v = GetFieldVector<F>(&r);
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kLengthOverflow);
+
+  // Even a length under the remaining-bytes bound is capped.
+  ByteWriter w2;
+  w2.PutU32(0xFFFFFFFF);
+  ByteReader r2(w2.bytes());
+  auto n = r2.GetLength(/*elem_bytes=*/0);
+  ASSERT_FALSE(n.ok());
+  EXPECT_EQ(n.status().code(), StatusCode::kLengthOverflow);
 }
 
 struct WireFixture {
@@ -84,27 +137,22 @@ TEST(WireTest, InstanceProofMessageRoundTrips) {
   auto msg = InstanceProofMessage<F>::FromProof<ZaatarAdapter<F>>(ip);
   auto bytes = msg.Serialize();
   auto decoded = InstanceProofMessage<F>::Deserialize(bytes);
-  auto rebuilt = decoded.ToProof<ZaatarAdapter<F>>();
+  ASSERT_TRUE(decoded.ok());
+  auto rebuilt = decoded->ToProof<ZaatarAdapter<F>>();
   EXPECT_TRUE(
       ZaatarArgument<F>::VerifyInstance(setup, rebuilt, f.rs.BoundValues()));
 
   // Bit-flip anywhere in the message: either decode fails or the verifier
-  // rejects — never a silent acceptance of a corrupted proof.
+  // rejects — never a silent acceptance of a corrupted proof, and never an
+  // exception out of the ingest path.
   Prg flip(302);
   for (int trial = 0; trial < 10; trial++) {
     auto corrupted = bytes;
     corrupted[flip.NextBounded(corrupted.size())] ^=
         static_cast<uint8_t>(1 + flip.NextBounded(255));
-    bool accepted = false;
-    try {
-      auto bad = InstanceProofMessage<F>::Deserialize(corrupted)
-                     .ToProof<ZaatarAdapter<F>>();
-      accepted =
-          ZaatarArgument<F>::VerifyInstance(setup, bad, f.rs.BoundValues());
-    } catch (const std::runtime_error&) {
-      // decode-time rejection is fine
-    }
-    EXPECT_FALSE(accepted) << "corruption trial " << trial;
+    auto result = VerifyInstanceBytes<F, ZaatarAdapter<F>>(
+        setup, corrupted, f.rs.BoundValues());
+    EXPECT_FALSE(result.accepted()) << "corruption trial " << trial;
   }
 }
 
@@ -123,7 +171,9 @@ TEST(WireTest, SetupMessageRoundTripsAndSeedRederivesQueries) {
 
   auto msg = SetupMessage<F>::FromSetup(kQuerySeed, setup);
   auto bytes = msg.Serialize();
-  auto decoded = SetupMessage<F>::Deserialize(bytes);
+  auto decoded_or = SetupMessage<F>::Deserialize(bytes);
+  ASSERT_TRUE(decoded_or.ok());
+  const auto& decoded = *decoded_or;
   EXPECT_EQ(decoded.query_seed, kQuerySeed);
   EXPECT_EQ(decoded.t[0], setup.commit[0].t);
   EXPECT_EQ(decoded.enc_r[1].size(), setup.commit[1].enc_r.size());
@@ -150,6 +200,26 @@ TEST(WireTest, SetupMessageRoundTripsAndSeedRederivesQueries) {
   }
   EXPECT_TRUE(
       ZaatarArgument<F>::VerifyInstance(setup, ip, f.rs.BoundValues()));
+}
+
+TEST(WireTest, HostileLengthPrefixFailsWithoutAllocating) {
+  Prg prg(305);
+  auto f = WireFixture::Make(prg);
+  Qap<F> qap(f.transform.r1cs);
+  auto setup = ZaatarArgument<F>::Setup(
+      ZaatarPcp<F>::GenerateQueries(qap, PcpParams::Light(), prg), prg);
+  auto bytes = SetupMessage<F>::FromSetup(1, setup).Serialize();
+
+  // The first enc_r length prefix sits right after the 8-byte seed. Claim
+  // 0xFFFFFFFF ciphertexts: decode must fail with LENGTH_OVERFLOW before
+  // reserving ~2^32 * 256 bytes.
+  bytes[8] = 0xFF;
+  bytes[9] = 0xFF;
+  bytes[10] = 0xFF;
+  bytes[11] = 0xFF;
+  auto decoded = SetupMessage<F>::Deserialize(bytes);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kLengthOverflow);
 }
 
 TEST(WireTest, MeasuredBytesMatchTheCostModel) {
