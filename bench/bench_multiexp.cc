@@ -1,0 +1,210 @@
+// Tracks the commitment-layer multi-exponentiation speedup across PRs: times
+// the prover's homomorphic fold prod_i cts[i]^{u[i]} through the naive
+// per-term loop (InnerProductNaive), the Pippenger bucket kernel
+// (InnerProduct), and the ParallelFor-chunked kernel, plus the fixed-base
+// table against plain square-and-multiply. Emits both a human table and a
+// JSON baseline (default BENCH_multiexp.json) so the numbers are diffable.
+//
+// Every timed configuration is also checked bit-identical against the naive
+// path; a mismatch exits nonzero (the CI smoke step relies on this).
+//
+// Usage: bench_multiexp [--smoke] [--out <path>]
+//   --smoke   small sizes only (CI); default sizes go up to n = 4096.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/crypto/elgamal.h"
+#include "src/crypto/multiexp.h"
+#include "src/crypto/prg.h"
+#include "src/field/fields.h"
+#include "src/util/stopwatch.h"
+
+namespace zaatar {
+namespace {
+
+struct Row {
+  std::string field;
+  size_t n = 0;
+  double naive_s = 0;
+  double multiexp_s = 0;
+  double parallel_s = 0;
+  size_t workers = 1;
+};
+
+struct FixedBaseRow {
+  std::string field;
+  double plain_pow_s = 0;
+  double table_pow_s = 0;
+};
+
+template <typename F>
+FixedBaseRow BenchFixedBase(size_t reps) {
+  using EG = ElGamal<F>;
+  FixedBaseRow row;
+  row.field = F::kName;
+  Prg prg(0xF1BA5E);
+  auto kp = EG::GenerateKeys(prg);
+  auto exps = prg.template NextFieldVector<F>(reps);
+  volatile uint64_t sink = 0;
+
+  Stopwatch sw;
+  for (const F& e : exps) {
+    sink += kp.pk.g.Pow(e.ToCanonical()).ToUint64();
+  }
+  row.plain_pow_s = sw.Lap() / static_cast<double>(reps);
+  for (const F& e : exps) {
+    sink += kp.pk.PowG(e.ToCanonical()).ToUint64();
+  }
+  row.table_pow_s = sw.Lap() / static_cast<double>(reps);
+  (void)sink;
+  return row;
+}
+
+template <typename F>
+bool BenchField(const std::vector<size_t>& sizes, size_t workers,
+                std::vector<Row>* rows) {
+  using EG = ElGamal<F>;
+  Prg prg(0xC0FFEE);
+  auto kp = EG::GenerateKeys(prg);
+
+  size_t max_n = sizes.back();
+  std::vector<typename EG::Ciphertext> cts;
+  cts.reserve(max_n);
+  std::vector<F> plain = prg.template NextFieldVector<F>(max_n);
+  for (size_t i = 0; i < max_n; i++) {
+    cts.push_back(EG::Encrypt(kp.pk, plain[i], prg));
+  }
+  std::vector<F> u = prg.template NextFieldVector<F>(max_n);
+
+  for (size_t n : sizes) {
+    Row row;
+    row.field = F::kName;
+    row.n = n;
+    row.workers = workers;
+    // Small sizes are noisy; repeat and average.
+    size_t reps =
+        n >= 2048 ? 1 : std::min<size_t>(8, 2048 / std::max<size_t>(1, n));
+
+    typename EG::Ciphertext naive{}, fast{}, par{};
+    Stopwatch sw;
+    for (size_t r = 0; r < reps; r++) {
+      naive = EG::InnerProductNaive(cts.data(), u.data(), n);
+    }
+    row.naive_s = sw.Lap() / static_cast<double>(reps);
+    for (size_t r = 0; r < reps; r++) {
+      fast = EG::InnerProduct(cts.data(), u.data(), n);
+    }
+    row.multiexp_s = sw.Lap() / static_cast<double>(reps);
+    for (size_t r = 0; r < reps; r++) {
+      par = EG::InnerProduct(cts.data(), u.data(), n, workers);
+    }
+    row.parallel_s = sw.Lap() / static_cast<double>(reps);
+
+    if (fast.c1 != naive.c1 || fast.c2 != naive.c2 || par.c1 != naive.c1 ||
+        par.c2 != naive.c2) {
+      fprintf(stderr, "FAIL: %s n=%zu multiexp != naive\n", F::kName, n);
+      return false;
+    }
+    rows->push_back(row);
+  }
+  return true;
+}
+
+void PrintRows(const std::vector<Row>& rows,
+               const std::vector<FixedBaseRow>& fb) {
+  printf("%-6s %6s %12s %12s %12s %9s %9s\n", "field", "n", "naive_ms",
+         "multiexp_ms", "parallel_ms", "speedup", "par_spd");
+  for (const Row& r : rows) {
+    printf("%-6s %6zu %12.3f %12.3f %12.3f %8.2fx %8.2fx\n", r.field.c_str(),
+           r.n, r.naive_s * 1e3, r.multiexp_s * 1e3, r.parallel_s * 1e3,
+           r.naive_s / r.multiexp_s, r.naive_s / r.parallel_s);
+  }
+  printf("\n%-6s %14s %14s %9s   (fixed-base g^e)\n", "field", "plain_pow_us",
+         "table_pow_us", "speedup");
+  for (const FixedBaseRow& r : fb) {
+    printf("%-6s %14.1f %14.1f %8.2fx\n", r.field.c_str(),
+           r.plain_pow_s * 1e6, r.table_pow_s * 1e6,
+           r.plain_pow_s / r.table_pow_s);
+  }
+}
+
+bool WriteJson(const std::string& path, const std::vector<Row>& rows,
+               const std::vector<FixedBaseRow>& fb, size_t workers) {
+  FILE* f = fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  fprintf(f, "{\n  \"bench\": \"multiexp\",\n  \"workers\": %zu,\n", workers);
+  fprintf(f, "  \"results\": [\n");
+  for (size_t i = 0; i < rows.size(); i++) {
+    const Row& r = rows[i];
+    fprintf(f,
+            "    {\"field\": \"%s\", \"n\": %zu, \"naive_s\": %.9f, "
+            "\"multiexp_s\": %.9f, \"parallel_s\": %.9f, "
+            "\"speedup\": %.3f, \"parallel_speedup\": %.3f}%s\n",
+            r.field.c_str(), r.n, r.naive_s, r.multiexp_s, r.parallel_s,
+            r.naive_s / r.multiexp_s, r.naive_s / r.parallel_s,
+            i + 1 < rows.size() ? "," : "");
+  }
+  fprintf(f, "  ],\n  \"fixed_base\": [\n");
+  for (size_t i = 0; i < fb.size(); i++) {
+    const FixedBaseRow& r = fb[i];
+    fprintf(f,
+            "    {\"field\": \"%s\", \"plain_pow_s\": %.9f, "
+            "\"table_pow_s\": %.9f, \"speedup\": %.3f}%s\n",
+            r.field.c_str(), r.plain_pow_s, r.table_pow_s,
+            r.plain_pow_s / r.table_pow_s, i + 1 < fb.size() ? "," : "");
+  }
+  fprintf(f, "  ]\n}\n");
+  fclose(f);
+  return true;
+}
+
+}  // namespace
+}  // namespace zaatar
+
+int main(int argc, char** argv) {
+  using namespace zaatar;
+  bool smoke = false;
+  std::string out = "BENCH_multiexp.json";
+  for (int i = 1; i < argc; i++) {
+    if (strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      fprintf(stderr, "usage: %s [--smoke] [--out <path>]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  std::vector<size_t> sizes =
+      smoke ? std::vector<size_t>{16, 64} : std::vector<size_t>{256, 4096};
+  size_t workers = std::thread::hardware_concurrency();
+  if (workers == 0) {
+    workers = 1;
+  }
+  size_t fb_reps = smoke ? 50 : 400;
+
+  std::vector<Row> rows;
+  std::vector<FixedBaseRow> fb;
+  if (!BenchField<F128>(sizes, workers, &rows) ||
+      !BenchField<F220>(sizes, workers, &rows)) {
+    return 1;
+  }
+  fb.push_back(BenchFixedBase<F128>(fb_reps));
+  fb.push_back(BenchFixedBase<F220>(fb_reps));
+
+  PrintRows(rows, fb);
+  if (!WriteJson(out, rows, fb, workers)) {
+    return 1;
+  }
+  printf("\nwrote %s\n", out.c_str());
+  return 0;
+}

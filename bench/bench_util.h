@@ -76,6 +76,20 @@ MicroCosts MeasureMicroCosts(size_t reps = 300) {
     sink += dec.ToUint64();
   }
   m.d = sw.Lap() / static_cast<double>(crypto_reps);
+
+  // Amortized commitment fold: per-element cost of the Pippenger-based
+  // InnerProduct at a representative size. The bucket kernel only cares
+  // about scalars, so one ciphertext replicated n times measures the same
+  // work as n distinct ones without paying n encryptions here.
+  {
+    const size_t n = 512;
+    std::vector<typename EG::Ciphertext> cts(n, ct);
+    auto scalars = prg.template NextFieldVector<F>(n);
+    sw.Restart();
+    auto folded = EG::InnerProduct(cts.data(), scalars.data(), n);
+    m.h_amortized = sw.Lap() / static_cast<double>(n);
+    sink += folded.c1.ToUint64();
+  }
   (void)sink;
   return m;
 }

@@ -38,8 +38,25 @@ run_config() {
   (cd "$build_dir" && ctest --output-on-failure -j "$JOBS")
 }
 
+bench_smoke() {
+  # Build + run the multiexp bench at a small size and check that its JSON
+  # baseline parses: catches both kernel regressions (the bench exits nonzero
+  # on any multiexp/naive mismatch) and malformed emitter output.
+  local build_dir="$1"
+  echo "==== [bench] multiexp smoke ===="
+  local json="$build_dir/BENCH_multiexp_smoke.json"
+  "$build_dir/bench/bench_multiexp" --smoke --out "$json"
+  if command -v python3 >/dev/null 2>&1; then
+    python3 -m json.tool "$json" >/dev/null
+  else
+    grep -q '"results"' "$json"
+  fi
+  echo "bench smoke ok: $json"
+}
+
 if [[ "$SKIP_PLAIN" -eq 0 && -z "$ONLY" ]]; then
   run_config plain build ""
+  bench_smoke build
 fi
 
 # ASan guards the fault-injection suite against out-of-bounds reads on

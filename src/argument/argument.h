@@ -150,15 +150,18 @@ class Argument {
 
   // Prover, once per instance. `proof_vectors` are the two oracle vectors
   // (e.g. z and h); construct-u / solve costs are added by the caller.
+  // `workers` > 1 splits the commitment multi-exponentiations across
+  // threads — the intra-instance counterpart of the across-instance
+  // parallelism in src/argument/parallel.h.
   static InstanceProof Prove(
       const std::array<const std::vector<F>*, 2>& proof_vectors,
-      const VerifierSetup& setup) {
+      const VerifierSetup& setup, size_t workers = 1) {
     InstanceProof p;
     for (size_t o = 0; o < 2; o++) {
       p.parts[o] = LinearCommitment<F>::Prove(
           *proof_vectors[o], setup.commit[o].enc_r,
           Adapter::OracleQueries(setup.queries, o), setup.commit[o].t,
-          &p.costs.crypto_s, &p.costs.answer_queries_s);
+          &p.costs.crypto_s, &p.costs.answer_queries_s, workers);
     }
     return p;
   }

@@ -19,7 +19,7 @@ double CostModel::ZaatarConstructProof(const ComputationStats& s) const {
 
 double CostModel::ZaatarIssueResponses(const ComputationStats& s) const {
   double l_prime = static_cast<double>(params_.ZaatarTotalQueries());
-  return (micro_.h + (params_.rho * l_prime + 1) * micro_.f) *
+  return (micro_.EffectiveH() + (params_.rho * l_prime + 1) * micro_.f) *
          s.ZaatarProofLen();
 }
 
@@ -61,7 +61,8 @@ double CostModel::GingerConstructProof(const ComputationStats& s) const {
 
 double CostModel::GingerIssueResponses(const ComputationStats& s) const {
   double l = static_cast<double>(params_.GingerHighOrderQueries());
-  return (micro_.h + (params_.rho * l + 1) * micro_.f) * s.GingerProofLen();
+  return (micro_.EffectiveH() + (params_.rho * l + 1) * micro_.f) *
+         s.GingerProofLen();
 }
 
 double CostModel::GingerProverPerInstance(const ComputationStats& s) const {

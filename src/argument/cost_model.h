@@ -21,11 +21,23 @@ namespace zaatar {
 struct MicroCosts {
   double e = 0;       // encrypt one field element
   double d = 0;       // decrypt (to group element)
-  double h = 0;       // ciphertext homomorphic fold: one Pow + multiply
+  double h = 0;       // naive ciphertext homomorphic fold: one Pow + multiply
   double f_lazy = 0;  // field multiply without reduction
   double f = 0;       // field multiply
   double f_div = 0;   // field division (inversion + multiply)
   double c = 0;       // pseudorandomly generate one field element
+
+  // Amortized per-element cost of the prover's commitment when the fold runs
+  // through the Pippenger multi-exponentiation kernel instead of independent
+  // Pows (src/crypto/multiexp.h). Measured at a representative batch size by
+  // bench::MeasureMicroCosts; 0 means "not measured", in which case the
+  // model falls back to the naive h (e.g. the paper's published table).
+  double h_amortized = 0;
+
+  // The h constant the Figure 3 prover terms should use: the commitment is
+  // now a multi-exponentiation, so its per-element cost is the amortized one
+  // whenever it was measured.
+  double EffectiveH() const { return h_amortized > 0 ? h_amortized : h; }
 };
 
 // Static facts about one compiled computation, in both encodings.

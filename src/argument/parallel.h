@@ -3,8 +3,9 @@
 // and cryptographic operations can be offloaded to an accelerator.
 //
 // Two pieces:
-//   - ParallelFor: a real thread-pool primitive used to distribute
-//     per-instance proving across hardware threads.
+//   - ParallelFor (src/util/parallel_for.h, re-exported here): a real
+//     thread-pool primitive used to distribute per-instance proving across
+//     hardware threads and to chunk the multi-exponentiation kernels.
 //   - DistributedProverModel: the latency model for the paper's cluster/GPU
 //     configurations (e.g. "30C+30G"). On this reproduction's hardware we
 //     measure single-worker phase costs empirically and model the fleet; the
@@ -15,68 +16,14 @@
 #ifndef SRC_ARGUMENT_PARALLEL_H_
 #define SRC_ARGUMENT_PARALLEL_H_
 
-#include <atomic>
 #include <cmath>
 #include <cstddef>
-#include <exception>
-#include <functional>
-#include <mutex>
-#include <thread>
-#include <vector>
+#include <string>
 
 #include "src/argument/argument.h"
+#include "src/util/parallel_for.h"  // ParallelFor itself lives in util/
 
 namespace zaatar {
-
-// Runs fn(i) for i in [0, n) across `workers` threads. A throw from fn(i)
-// no longer escapes a worker thread (which would std::terminate the whole
-// process — fatal for a verifier whose per-instance work is allowed to
-// fail): the first exception is captured, remaining workers drain without
-// starting new indices, and the exception is rethrown on the joining thread.
-inline void ParallelFor(size_t n, size_t workers,
-                        const std::function<void(size_t)>& fn) {
-  if (workers <= 1 || n <= 1) {
-    for (size_t i = 0; i < n; i++) {
-      fn(i);
-    }
-    return;
-  }
-  std::atomic<size_t> next{0};
-  std::atomic<bool> failed{false};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  std::vector<std::thread> threads;
-  threads.reserve(workers);
-  for (size_t w = 0; w < workers; w++) {
-    threads.emplace_back([&] {
-      for (;;) {
-        if (failed.load(std::memory_order_relaxed)) {
-          return;
-        }
-        size_t i = next.fetch_add(1);
-        if (i >= n) {
-          return;
-        }
-        try {
-          fn(i);
-        } catch (...) {
-          std::lock_guard<std::mutex> lock(error_mutex);
-          if (!first_error) {
-            first_error = std::current_exception();
-          }
-          failed.store(true, std::memory_order_relaxed);
-          return;
-        }
-      }
-    });
-  }
-  for (auto& t : threads) {
-    t.join();
-  }
-  if (first_error) {
-    std::rethrow_exception(first_error);
-  }
-}
 
 struct WorkerConfig {
   size_t cpu_cores = 1;

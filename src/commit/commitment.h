@@ -78,14 +78,17 @@ class LinearCommitment {
 
   // Phases 2 + 4 (prover, per instance): commit homomorphically, then answer
   // every query plus the consistency query. `crypto_seconds` /
-  // `answer_seconds` receive the phase costs when non-null.
+  // `answer_seconds` receive the phase costs when non-null. `workers` > 1
+  // chunks the commitment multi-exponentiation across that many threads
+  // (only useful when instances are not already proved in parallel).
   static OracleProofPart<F> Prove(const std::vector<F>& u,
                                   const std::vector<typename EG::Ciphertext>&
                                       enc_r,
                                   const std::vector<std::vector<F>>& queries,
                                   const std::vector<F>& t,
                                   double* crypto_seconds = nullptr,
-                                  double* answer_seconds = nullptr);
+                                  double* answer_seconds = nullptr,
+                                  size_t workers = 1);
 
   // Per-instance verifier check: are the responses consistent with the
   // committed linear function?
@@ -114,12 +117,13 @@ OracleProofPart<F> LinearCommitment<F>::Prove(
     const std::vector<F>& u,
     const std::vector<typename EG::Ciphertext>& enc_r,
     const std::vector<std::vector<F>>& queries, const std::vector<F>& t,
-    double* crypto_seconds, double* answer_seconds) {
+    double* crypto_seconds, double* answer_seconds, size_t workers) {
   assert(u.size() == enc_r.size());
   OracleProofPart<F> part;
 
   Stopwatch timer;
-  part.commitment = EG::InnerProduct(enc_r.data(), u.data(), u.size());
+  part.commitment =
+      EG::InnerProduct(enc_r.data(), u.data(), u.size(), workers);
   if (crypto_seconds != nullptr) {
     *crypto_seconds += timer.Lap();
   } else {

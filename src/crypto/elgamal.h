@@ -18,8 +18,10 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "src/crypto/multiexp.h"
 #include "src/crypto/prg.h"
 #include "src/field/fields.h"
 #include "src/field/prime_field.h"
@@ -92,6 +94,30 @@ class ElGamal {
   struct PublicKey {
     Zp g;  // generator of the order-q subgroup
     Zp h;  // g^x
+    // Windowed fixed-base tables for g and h, built once per key by
+    // GenerateKeys (or on demand via PrecomputeTables). shared_ptr keeps the
+    // key cheaply copyable; a table-less key (default-constructed, e.g. in
+    // unit fixtures) falls back to plain square-and-multiply everywhere.
+    std::shared_ptr<const FixedBaseTable<Zp>> g_table;
+    std::shared_ptr<const FixedBaseTable<Zp>> h_table;
+
+    void PrecomputeTables() {
+      g_table = (g == Generator())
+                    ? GeneratorTable()
+                    : std::make_shared<const FixedBaseTable<Zp>>(
+                          g, F::kModulusBits);
+      h_table =
+          std::make_shared<const FixedBaseTable<Zp>>(h, F::kModulusBits);
+    }
+
+    // g^e / h^e through the tables when present, plain Pow otherwise. Both
+    // paths are bit-identical (tests/multiexp_test.cc).
+    Zp PowG(const Exponent& e) const {
+      return g_table ? g_table->Pow(e) : g.Pow(e);
+    }
+    Zp PowH(const Exponent& e) const {
+      return h_table ? h_table->Pow(e) : h.Pow(e);
+    }
   };
 
   struct SecretKey {
@@ -111,8 +137,18 @@ class ElGamal {
     Ciphertext operator*(const Ciphertext& o) const {
       return {c1 * o.c1, c2 * o.c2};
     }
-    // Homomorphic multiplication of the plaintext by field scalar s.
+    // Homomorphic multiplication of the plaintext by field scalar s. Weights
+    // 0 and 1 are common in degenerate query vectors (src/apps/degenerate.h)
+    // and must not pay two full 1024-bit square-and-multiply walks: s == 1 is
+    // the identity and s == 0 encrypts zero (deterministically, matching
+    // what the generic walk returns for those exponents bit-for-bit).
     Ciphertext Pow(const F& s) const {
+      if (s.IsZero()) {
+        return {Zp::One(), Zp::One()};
+      }
+      if (s.IsOne()) {
+        return *this;
+      }
       typename F::Repr e = s.ToCanonical();
       return {c1.Pow(e), c2.Pow(e)};
     }
@@ -123,42 +159,80 @@ class ElGamal {
         typename Zp::Repr(Traits::kGenerator));
   }
 
+  // Fixed-base table for the (compile-time) generator, shared process-wide:
+  // every key of a field uses the same g, so its table is built exactly once.
+  static std::shared_ptr<const FixedBaseTable<Zp>> GeneratorTable() {
+    static const std::shared_ptr<const FixedBaseTable<Zp>> table =
+        std::make_shared<const FixedBaseTable<Zp>>(Generator(),
+                                                   F::kModulusBits);
+    return table;
+  }
+
   static KeyPair GenerateKeys(Prg& prg) {
     F x = prg.NextNonzeroField<F>();
-    Zp g = Generator();
     KeyPair kp;
     kp.sk.x = x.ToCanonical();
-    kp.pk.g = g;
-    kp.pk.h = g.Pow(kp.sk.x);
+    kp.pk.g = Generator();
+    kp.pk.g_table = GeneratorTable();
+    kp.pk.h = kp.pk.g_table->Pow(kp.sk.x);
+    kp.pk.h_table = std::make_shared<const FixedBaseTable<Zp>>(
+        kp.pk.h, F::kModulusBits);
     return kp;
   }
 
   static Ciphertext Encrypt(const PublicKey& pk, const F& m, Prg& prg) {
     F r = prg.NextField<F>();
     Exponent re = r.ToCanonical();
-    return {pk.g.Pow(re), pk.h.Pow(re) * pk.g.Pow(m.ToCanonical())};
+    return {pk.PowG(re), pk.PowH(re) * pk.PowG(m.ToCanonical())};
   }
 
   // Returns g^m; full decryption to m would require a discrete log, which the
   // commitment protocol never needs.
   static Zp DecryptToGroup(const SecretKey& sk, const PublicKey& pk,
                            const Ciphertext& ct) {
-    // c2 / c1^x. Inverse via Fermat over Z_p (p - 2 exponent).
-    Zp c1x = ct.c1.Pow(sk.x);
-    typename Zp::Repr pm2 = Zp::kModulus;
-    pm2.SubInPlace(typename Zp::Repr(uint64_t{2}));
-    return ct.c2 * c1x.Pow(pm2);
+    // c2 / c1^x. An honest c1 = g^r lies in the order-q subgroup, so
+    // (c1^x)^{-1} = c1^{q-x}: one |q|-bit exponentiation instead of an
+    // x-walk followed by a full 1024-bit Fermat inversion (the Fermat
+    // exponent itself is now the hoisted Zp::kFermatExponent, used by
+    // Zp::Inverse for general elements). A hostile c1 outside the subgroup
+    // decrypts to garbage under either formula and fails the consistency
+    // check; the protocol never extracts structure from such a value.
+    Exponent neg_x = F::kModulus;
+    neg_x.SubInPlace(sk.x);
+    return ct.c2 * ct.c1.Pow(neg_x);
   }
 
-  // g^m for a field element m (used by the verifier's consistency check).
+  // g^m for a field element m (used by the verifier's consistency check);
+  // fixed-base, so it runs through the key's table.
   static Zp GroupEmbed(const PublicKey& pk, const F& m) {
-    return pk.g.Pow(m.ToCanonical());
+    return pk.PowG(m.ToCanonical());
   }
 
   // Homomorphically evaluates Enc(<u, r>) from Enc(r) and plaintext weights u:
   // prod_i cts[i]^{u[i]}. This is the prover's commitment step; its cost is
-  // the "h" parameter of the Figure 3 cost model, per element.
-  static Ciphertext InnerProduct(const Ciphertext* cts, const F* u, size_t n) {
+  // the "h" parameter of the Figure 3 cost model, per element. Both
+  // ciphertext components run through the Pippenger bucket kernel;
+  // `workers` > 1 additionally chunks each kernel across threads.
+  static Ciphertext InnerProduct(const Ciphertext* cts, const F* u, size_t n,
+                                 size_t workers = 1) {
+    std::vector<Zp> bases(n);
+    for (size_t i = 0; i < n; i++) {
+      bases[i] = cts[i].c1;
+    }
+    Ciphertext acc;
+    acc.c1 = MultiExp(bases.data(), u, n, workers);
+    for (size_t i = 0; i < n; i++) {
+      bases[i] = cts[i].c2;
+    }
+    acc.c2 = MultiExp(bases.data(), u, n, workers);
+    return acc;
+  }
+
+  // The pre-multiexp commitment loop: one independent Pow-and-multiply per
+  // nonzero weight. Kept as the differential-testing and benchmarking
+  // reference for InnerProduct (tests/multiexp_test.cc, bench_multiexp).
+  static Ciphertext InnerProductNaive(const Ciphertext* cts, const F* u,
+                                      size_t n) {
     Ciphertext acc{Zp::One(), Zp::One()};
     for (size_t i = 0; i < n; i++) {
       if (u[i].IsZero()) {

@@ -43,12 +43,20 @@ constexpr BigInt<N> ShiftedMod(BigInt<N> start, size_t bits,
   return r;
 }
 
+// p - 2, the Fermat inversion exponent (p > 2 for every Config here).
+template <size_t N>
+constexpr BigInt<N> MinusTwo(BigInt<N> p) {
+  p.SubInPlace(BigInt<N>(uint64_t{2}));
+  return p;
+}
+
 }  // namespace field_internal
 
 template <typename Config>
 class PrimeField {
  public:
   static constexpr size_t kLimbs = Config::kLimbs;
+  static constexpr const char* kName = Config::kName;
   using Repr = BigInt<kLimbs>;
 
   static constexpr Repr kModulus = Repr(Config::kModulus);
@@ -60,6 +68,9 @@ class PrimeField {
       field_internal::ShiftedMod(Repr::One(), 64 * kLimbs, kModulus);
   static constexpr Repr kMontR2 =
       field_internal::ShiftedMod(kMontR, 64 * kLimbs, kModulus);
+  // Hoisted Fermat exponent p - 2: Inverse() (and the ElGamal decryption
+  // path) used to rebuild this with a SubInPlace on every call.
+  static constexpr Repr kFermatExponent = field_internal::MinusTwo(kModulus);
 
   constexpr PrimeField() = default;
 
@@ -165,11 +176,7 @@ class PrimeField {
   // Multiplicative inverse via Fermat: x^(p-2). Inverse of zero is zero
   // (callers that care must check; this matches the convention used by the
   // constraint gadgets, where 0^{-1} never reaches a constraint unguarded).
-  constexpr PrimeField Inverse() const {
-    Repr e = kModulus;
-    e.SubInPlace(Repr(uint64_t{2}));
-    return Pow(e);
-  }
+  constexpr PrimeField Inverse() const { return Pow(kFermatExponent); }
 
   constexpr PrimeField operator/(const PrimeField& o) const {
     return *this * o.Inverse();

@@ -1,0 +1,84 @@
+// ParallelFor: the thread-pool primitive shared by the distributed prover
+// (src/argument/parallel.h) and the multi-exponentiation kernels
+// (src/crypto/multiexp.h). It lives in util/ so the crypto layer can chunk
+// work across hardware threads without depending on the argument layer.
+
+#ifndef SRC_UTIL_PARALLEL_FOR_H_
+#define SRC_UTIL_PARALLEL_FOR_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace zaatar {
+
+// Runs fn(i) for i in [0, n) across at most `workers` threads. A throw from
+// fn(i) no longer escapes a worker thread (which would std::terminate the
+// whole process — fatal for a verifier whose per-instance work is allowed to
+// fail): the first exception is captured, remaining workers drain without
+// starting new indices, and the exception is rethrown on the joining thread.
+//
+// The pool never spawns more threads than there are indices: with n < workers
+// the surplus threads would only lose the fetch_add race and exit, so the
+// spawn cost (~10-50us each) is pure waste on small batches.
+//
+// `spawned_threads`, when non-null, receives the number of OS threads the
+// call actually created (0 when the loop ran inline on the caller).
+inline void ParallelFor(size_t n, size_t workers,
+                        const std::function<void(size_t)>& fn,
+                        size_t* spawned_threads = nullptr) {
+  workers = std::min(workers, n);
+  if (spawned_threads != nullptr) {
+    *spawned_threads = workers <= 1 ? 0 : workers;
+  }
+  if (workers <= 1 || n <= 1) {
+    for (size_t i = 0; i < n; i++) {
+      fn(i);
+    }
+    return;
+  }
+  std::atomic<size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (size_t w = 0; w < workers; w++) {
+    threads.emplace_back([&] {
+      for (;;) {
+        if (failed.load(std::memory_order_relaxed)) {
+          return;
+        }
+        size_t i = next.fetch_add(1);
+        if (i >= n) {
+          return;
+        }
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) {
+            first_error = std::current_exception();
+          }
+          failed.store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+}
+
+}  // namespace zaatar
+
+#endif  // SRC_UTIL_PARALLEL_FOR_H_

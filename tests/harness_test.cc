@@ -93,6 +93,16 @@ TEST(CostModelValidationTest, ZaatarModelTracksMeasurement) {
       EG::DecryptToGroup(kp.sk, kp.pk, ct);
     }
     micro.d = sw.Lap() / 20;
+    // The prover commits through the Pippenger kernel, so the model must use
+    // the amortized per-element fold cost, not the naive one (mirrors
+    // bench::MeasureMicroCosts).
+    const size_t kFold = 128;
+    std::vector<EG::Ciphertext> cts(kFold, ct);
+    auto scalars = prg.NextFieldVector<F128>(kFold);
+    sw.Restart();
+    auto folded = EG::InnerProduct(cts.data(), scalars.data(), kFold);
+    micro.h_amortized = sw.Lap() / static_cast<double>(kFold);
+    EXPECT_FALSE(folded.c1.IsZero());
   }
 
   CostModel model(micro, params);

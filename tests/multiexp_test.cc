@@ -1,0 +1,209 @@
+// Differential property tests for the multi-exponentiation subsystem: the
+// Pippenger InnerProduct and the fixed-base tables must be *bit-identical*
+// to the naive paths (group arithmetic is exact, so any divergence is a
+// bug, not rounding). Covers both field configurations and the degenerate
+// shapes the commitment layer actually produces.
+
+#include "src/crypto/multiexp.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/crypto/elgamal.h"
+#include "src/crypto/prg.h"
+#include "src/field/fields.h"
+
+namespace zaatar {
+namespace {
+
+template <typename F>
+class MultiExpTest : public ::testing::Test {};
+
+using FieldTypes = ::testing::Types<F128, F220>;
+TYPED_TEST_SUITE(MultiExpTest, FieldTypes);
+
+template <typename F>
+std::vector<typename ElGamal<F>::Ciphertext> EncryptVector(
+    const typename ElGamal<F>::PublicKey& pk, const std::vector<F>& msgs,
+    Prg& prg) {
+  std::vector<typename ElGamal<F>::Ciphertext> cts;
+  cts.reserve(msgs.size());
+  for (const F& m : msgs) {
+    cts.push_back(ElGamal<F>::Encrypt(pk, m, prg));
+  }
+  return cts;
+}
+
+template <typename F>
+void ExpectBitIdentical(const std::vector<typename ElGamal<F>::Ciphertext>&
+                            cts,
+                        const std::vector<F>& u, size_t workers = 1) {
+  using EG = ElGamal<F>;
+  auto naive = EG::InnerProductNaive(cts.data(), u.data(), u.size());
+  auto fast = EG::InnerProduct(cts.data(), u.data(), u.size(), workers);
+  EXPECT_EQ(naive.c1, fast.c1);
+  EXPECT_EQ(naive.c2, fast.c2);
+}
+
+TYPED_TEST(MultiExpTest, RandomVectorsMatchNaive) {
+  using F = TypeParam;
+  using EG = ElGamal<F>;
+  Prg prg(900);
+  auto kp = EG::GenerateKeys(prg);
+  for (size_t n : {2u, 3u, 17u, 64u, 200u}) {
+    auto r = prg.template NextFieldVector<F>(n);
+    auto u = prg.template NextFieldVector<F>(n);
+    auto cts = EncryptVector<F>(kp.pk, r, prg);
+    ExpectBitIdentical<F>(cts, u);
+  }
+}
+
+TYPED_TEST(MultiExpTest, EdgeWeightsMatchNaive) {
+  using F = TypeParam;
+  using EG = ElGamal<F>;
+  Prg prg(901);
+  auto kp = EG::GenerateKeys(prg);
+  const size_t n = 40;
+  auto r = prg.template NextFieldVector<F>(n);
+  auto cts = EncryptVector<F>(kp.pk, r, prg);
+
+  // All-zero weights (fully degenerate query vector).
+  std::vector<F> zeros(n, F::Zero());
+  ExpectBitIdentical<F>(cts, zeros);
+
+  // Weights drawn from {0, 1, q-1} only.
+  std::vector<F> edges(n);
+  F qm1 = -F::One();  // q - 1, the largest canonical exponent
+  for (size_t i = 0; i < n; i++) {
+    edges[i] = i % 3 == 0 ? F::Zero() : (i % 3 == 1 ? F::One() : qm1);
+  }
+  ExpectBitIdentical<F>(cts, edges);
+
+  // A mix of random and edge weights.
+  auto u = prg.template NextFieldVector<F>(n);
+  u[0] = F::Zero();
+  u[1] = F::One();
+  u[n - 1] = qm1;
+  ExpectBitIdentical<F>(cts, u);
+}
+
+TYPED_TEST(MultiExpTest, TinyVectorsMatchNaive) {
+  using F = TypeParam;
+  using EG = ElGamal<F>;
+  Prg prg(902);
+  auto kp = EG::GenerateKeys(prg);
+
+  // n = 0: the empty product is the identity ciphertext on both paths.
+  auto naive = EG::InnerProductNaive(nullptr, nullptr, 0);
+  auto fast = EG::InnerProduct(nullptr, nullptr, 0);
+  EXPECT_EQ(naive.c1, fast.c1);
+  EXPECT_EQ(naive.c2, fast.c2);
+  EXPECT_TRUE(fast.c1.IsOne());
+  EXPECT_TRUE(fast.c2.IsOne());
+
+  // n = 1 with random, zero, one, and q-1 weights.
+  auto r = prg.template NextFieldVector<F>(1);
+  auto cts = EncryptVector<F>(kp.pk, r, prg);
+  for (const F& w : {prg.template NextField<F>(), F::Zero(), F::One(),
+                     -F::One()}) {
+    ExpectBitIdentical<F>(cts, std::vector<F>{w});
+  }
+}
+
+TYPED_TEST(MultiExpTest, ChunkedParallelMatchesNaive) {
+  using F = TypeParam;
+  using EG = ElGamal<F>;
+  Prg prg(903);
+  auto kp = EG::GenerateKeys(prg);
+  const size_t n = 150;
+  auto r = prg.template NextFieldVector<F>(n);
+  auto u = prg.template NextFieldVector<F>(n);
+  auto cts = EncryptVector<F>(kp.pk, r, prg);
+  for (size_t workers : {2u, 3u, 7u}) {
+    ExpectBitIdentical<F>(cts, u, workers);
+  }
+  // More workers than elements must still be correct (chunking degenerates).
+  std::vector<F> tiny_u(u.begin(), u.begin() + 3);
+  std::vector<typename EG::Ciphertext> tiny_cts(cts.begin(), cts.begin() + 3);
+  ExpectBitIdentical<F>(tiny_cts, tiny_u, 16);
+}
+
+TYPED_TEST(MultiExpTest, FixedBaseTableMatchesPlainPow) {
+  using F = TypeParam;
+  using EG = ElGamal<F>;
+  using Zp = typename EG::Zp;
+  Prg prg(904);
+  auto kp = EG::GenerateKeys(prg);
+  ASSERT_NE(kp.pk.g_table, nullptr);
+  ASSERT_NE(kp.pk.h_table, nullptr);
+  for (int i = 0; i < 20; i++) {
+    typename F::Repr e = prg.template NextField<F>().ToCanonical();
+    EXPECT_EQ(kp.pk.PowG(e), kp.pk.g.Pow(e));
+    EXPECT_EQ(kp.pk.PowH(e), kp.pk.h.Pow(e));
+  }
+  // Exponent edge cases: 0, 1, q-1.
+  typename F::Repr zero{}, one = F::One().ToCanonical(),
+                   qm1 = (-F::One()).ToCanonical();
+  for (const auto& e : {zero, one, qm1}) {
+    EXPECT_EQ(kp.pk.PowG(e), kp.pk.g.Pow(e));
+    EXPECT_EQ(kp.pk.PowH(e), kp.pk.h.Pow(e));
+  }
+  // An exponent wider than the table's coverage falls back to plain Pow.
+  typename Zp::Repr wide = Zp::kFermatExponent;
+  FixedBaseTable<Zp> table(kp.pk.g, F::kModulusBits);
+  EXPECT_EQ(table.Pow(wide), kp.pk.g.Pow(wide));
+}
+
+TYPED_TEST(MultiExpTest, TablelessKeyStillEncrypts) {
+  using F = TypeParam;
+  using EG = ElGamal<F>;
+  Prg prg(905);
+  auto kp = EG::GenerateKeys(prg);
+  // Strip the tables: every operation must fall back to plain Pow and
+  // produce byte-identical ciphertexts for the same Prg stream.
+  auto bare = kp.pk;
+  bare.g_table = nullptr;
+  bare.h_table = nullptr;
+  F m = prg.template NextField<F>();
+  Prg stream_a(77), stream_b(77);
+  auto ct_table = EG::Encrypt(kp.pk, m, stream_a);
+  auto ct_plain = EG::Encrypt(bare, m, stream_b);
+  EXPECT_EQ(ct_table.c1, ct_plain.c1);
+  EXPECT_EQ(ct_table.c2, ct_plain.c2);
+  EXPECT_EQ(EG::GroupEmbed(kp.pk, m), EG::GroupEmbed(bare, m));
+}
+
+TYPED_TEST(MultiExpTest, CiphertextPowShortCircuits) {
+  using F = TypeParam;
+  using EG = ElGamal<F>;
+  Prg prg(906);
+  auto kp = EG::GenerateKeys(prg);
+  auto ct = EG::Encrypt(kp.pk, prg.template NextField<F>(), prg);
+  // s == 1 is the identity, s == 0 the deterministic zero encryption — both
+  // must equal what the generic exponent walk produces.
+  auto p1 = ct.Pow(F::One());
+  EXPECT_EQ(p1.c1, ct.c1);
+  EXPECT_EQ(p1.c2, ct.c2);
+  auto p0 = ct.Pow(F::Zero());
+  EXPECT_TRUE(p0.c1.IsOne());
+  EXPECT_TRUE(p0.c2.IsOne());
+  EXPECT_EQ(p0.c1, ct.c1.Pow(F::Zero().ToCanonical()));
+  EXPECT_EQ(p1.c1, ct.c1.Pow(F::One().ToCanonical()));
+}
+
+TYPED_TEST(MultiExpTest, WindowChoiceIsSane) {
+  EXPECT_GE(PippengerWindowBits(0, 0), 1u);
+  EXPECT_GE(PippengerWindowBits(1, 128), 1u);
+  EXPECT_LE(PippengerWindowBits(1u << 20, 256), 16u);
+  // Larger inputs should never pick smaller windows.
+  size_t prev = 1;
+  for (size_t n = 2; n <= (1u << 16); n *= 4) {
+    size_t c = PippengerWindowBits(n, 128);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+}
+
+}  // namespace
+}  // namespace zaatar

@@ -1,0 +1,84 @@
+// ParallelFor thread-accounting tests. The exception-propagation and
+// coverage behavior is exercised in cost_model_test.cc; this file pins the
+// spawn policy: never more OS threads than indices (a pool of 60 workers on
+// a 3-instance batch used to start 60 threads, 57 of which only lost the
+// index race and exited).
+
+#include "src/util/parallel_for.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace zaatar {
+namespace {
+
+TEST(ParallelForSpawnTest, ClampsThreadsToIndexCount) {
+  size_t spawned = ~size_t{0};
+  std::atomic<size_t> calls{0};
+  ParallelFor(3, 16, [&](size_t) { calls.fetch_add(1); }, &spawned);
+  EXPECT_EQ(spawned, 3u);
+  EXPECT_EQ(calls.load(), 3u);
+
+  // n == workers and n > workers keep the requested pool size.
+  ParallelFor(8, 8, [&](size_t) {}, &spawned);
+  EXPECT_EQ(spawned, 8u);
+  ParallelFor(100, 4, [&](size_t) {}, &spawned);
+  EXPECT_EQ(spawned, 4u);
+}
+
+TEST(ParallelForSpawnTest, DegenerateSizesRunInline) {
+  // n <= 1 or workers <= 1 must not start any thread.
+  for (auto [n, workers] : std::vector<std::pair<size_t, size_t>>{
+           {0, 8}, {1, 8}, {10, 1}, {10, 0}, {0, 0}}) {
+    size_t spawned = ~size_t{0};
+    std::atomic<size_t> calls{0};
+    std::set<std::thread::id> ids;
+    std::mutex mu;
+    ParallelFor(
+        n, workers,
+        [&](size_t) {
+          calls.fetch_add(1);
+          std::lock_guard<std::mutex> lock(mu);
+          ids.insert(std::this_thread::get_id());
+        },
+        &spawned);
+    EXPECT_EQ(spawned, 0u) << "n=" << n << " workers=" << workers;
+    EXPECT_EQ(calls.load(), n);
+    // The inline path runs on the calling thread only.
+    for (const auto& id : ids) {
+      EXPECT_EQ(id, std::this_thread::get_id());
+    }
+  }
+}
+
+TEST(ParallelForSpawnTest, ClampedPoolStillCoversAllIndices) {
+  // The regression scenario: far more workers than indices. Every index runs
+  // exactly once, and the set of distinct executing threads never exceeds
+  // the clamp.
+  const size_t n = 5;
+  std::vector<std::atomic<int>> hits(n);
+  std::set<std::thread::id> ids;
+  std::mutex mu;
+  size_t spawned = 0;
+  ParallelFor(
+      n, 64,
+      [&](size_t i) {
+        hits[i].fetch_add(1);
+        std::lock_guard<std::mutex> lock(mu);
+        ids.insert(std::this_thread::get_id());
+      },
+      &spawned);
+  EXPECT_EQ(spawned, n);
+  EXPECT_LE(ids.size(), n);
+  for (size_t i = 0; i < n; i++) {
+    EXPECT_EQ(hits[i].load(), 1);
+  }
+}
+
+}  // namespace
+}  // namespace zaatar
