@@ -1,0 +1,81 @@
+// Analyzer throughput: zaatar-lint runs in CI on every build, so its cost
+// must stay a small fraction of the build itself. Benchmarks the individual
+// passes (determinism fixpoint, structural rules, pipeline rules) and the
+// full AnalyzeProgram composition over the largest suite instances the CI
+// gate uses, plus a scaling series on PAM (the constraint-heaviest app).
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <utility>
+
+#include "src/analysis/analyzer.h"
+#include "src/apps/suite.h"
+#include "src/compiler/compile.h"
+#include "src/field/fields.h"
+
+namespace zaatar {
+namespace {
+
+const CompiledProgram<F128>& PamProgram(size_t m, size_t d) {
+  // One compiled copy per size, reused across benchmark iterations.
+  static std::map<std::pair<size_t, size_t>, CompiledProgram<F128>> cache;
+  auto key = std::make_pair(m, d);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    auto app = MakePamApp(m, d);
+    it = cache.emplace(key, CompileZlang<F128>(app.source)).first;
+  }
+  return it->second;
+}
+
+void BM_AnalyzeProgramFull(benchmark::State& state) {
+  const auto& program =
+      PamProgram(static_cast<size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    AnalysisReport report = AnalyzeProgram(program);
+    benchmark::DoNotOptimize(report.NumErrors());
+  }
+  state.counters["constraints"] = static_cast<double>(
+      program.zaatar.r1cs.NumConstraints());
+}
+BENCHMARK(BM_AnalyzeProgramFull)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_DeterminismPassGinger(benchmark::State& state) {
+  const auto& program = PamProgram(8, 3);
+  for (auto _ : state) {
+    AnalysisReport report;
+    DeterminismAnalysis<F128> det(LowerToIr(program.ginger),
+                                  program.ginger.layout,
+                                  AnalysisLayer::kGinger);
+    det.Run(&report);
+    benchmark::DoNotOptimize(report.NumErrors());
+  }
+}
+BENCHMARK(BM_DeterminismPassGinger);
+
+void BM_StructurePassR1cs(benchmark::State& state) {
+  const auto& program = PamProgram(8, 3);
+  for (auto _ : state) {
+    AnalysisReport report;
+    CheckStructure(program.zaatar.r1cs, &report);
+    benchmark::DoNotOptimize(report.NumWarnings());
+  }
+}
+BENCHMARK(BM_StructurePassR1cs);
+
+void BM_QapShapePass(benchmark::State& state) {
+  const auto& program = PamProgram(8, 3);
+  for (auto _ : state) {
+    AnalysisReport report;
+    Qap<F128> qap(program.zaatar.r1cs);
+    CheckQapShape(qap, &report);
+    benchmark::DoNotOptimize(report.NumErrors());
+  }
+}
+BENCHMARK(BM_QapShapePass);
+
+}  // namespace
+}  // namespace zaatar
+
+BENCHMARK_MAIN();

@@ -54,11 +54,11 @@ FixedBaseRow BenchFixedBase(size_t reps) {
 
   Stopwatch sw;
   for (const F& e : exps) {
-    sink += kp.pk.g.Pow(e.ToCanonical()).ToUint64();
+    sink = sink + kp.pk.g.Pow(e.ToCanonical()).ToUint64();
   }
   row.plain_pow_s = sw.Lap() / static_cast<double>(reps);
   for (const F& e : exps) {
-    sink += kp.pk.PowG(e.ToCanonical()).ToUint64();
+    sink = sink + kp.pk.PowG(e.ToCanonical()).ToUint64();
   }
   row.table_pow_s = sw.Lap() / static_cast<double>(reps);
   (void)sink;

@@ -35,7 +35,7 @@ MicroCosts MeasureMicroCosts(size_t reps = 300) {
     auto ct = EG::Encrypt(kp.pk, x, prg);
     for (int i = 0; i < 8; i++) {
       ct = ct * EG::Encrypt(kp.pk, x, prg).Pow(y);
-      sink += EG::DecryptToGroup(kp.sk, kp.pk, ct).ToUint64();
+      sink = sink + EG::DecryptToGroup(kp.sk, kp.pk, ct).ToUint64();
       x = x.Inverse() + F::One();
     }
   }
@@ -73,7 +73,7 @@ MicroCosts MeasureMicroCosts(size_t reps = 300) {
 
   for (size_t i = 0; i < crypto_reps; i++) {
     auto dec = EG::DecryptToGroup(kp.sk, kp.pk, ct);
-    sink += dec.ToUint64();
+    sink = sink + dec.ToUint64();
   }
   m.d = sw.Lap() / static_cast<double>(crypto_reps);
 
@@ -88,7 +88,7 @@ MicroCosts MeasureMicroCosts(size_t reps = 300) {
     sw.Restart();
     auto folded = EG::InnerProduct(cts.data(), scalars.data(), n);
     m.h_amortized = sw.Lap() / static_cast<double>(n);
-    sink += folded.c1.ToUint64();
+    sink = sink + folded.c1.ToUint64();
   }
   (void)sink;
   return m;

@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
-# CI entry point: build + test in the default configuration, then rebuild
-# and re-run the suite under AddressSanitizer and UndefinedBehaviorSanitizer
-# (-DZAATAR_SANITIZE, see the root CMakeLists.txt). The fault-injection
-# suite in particular is only meaningful if "no crash" also means "no silent
-# UB", which the sanitizer passes establish.
+# CI entry point: build + test in the default configuration, gate on the
+# zaatar-lint static analyzer and (when available) clang-tidy, then rebuild
+# and re-run the suite under AddressSanitizer and UndefinedBehaviorSanitizer,
+# plus the concurrency-heavy tests under ThreadSanitizer (-DZAATAR_SANITIZE,
+# see the root CMakeLists.txt). The fault-injection suite in particular is
+# only meaningful if "no crash" also means "no silent UB", which the
+# sanitizer passes establish.
 #
-# Usage: scripts/ci.sh [--skip-plain] [--only address|undefined]
+# Usage: scripts/ci.sh [--skip-plain] [--only address|undefined|thread]
 
 set -euo pipefail
 
@@ -20,8 +22,9 @@ while [[ $# -gt 0 ]]; do
     --skip-plain) SKIP_PLAIN=1; shift ;;
     --only)
       ONLY="${2:-}"
-      if [[ "$ONLY" != "address" && "$ONLY" != "undefined" ]]; then
-        echo "--only expects 'address' or 'undefined', got: $ONLY" >&2
+      if [[ "$ONLY" != "address" && "$ONLY" != "undefined" \
+            && "$ONLY" != "thread" ]]; then
+        echo "--only expects 'address', 'undefined', or 'thread', got: $ONLY" >&2
         exit 2
       fi
       shift 2 ;;
@@ -54,8 +57,44 @@ bench_smoke() {
   echo "bench smoke ok: $json"
 }
 
+lint_gate() {
+  # Static analysis of every compiled constraint system: the built-in suite
+  # plus the example zlang programs. Exits nonzero on any ERROR finding
+  # (underconstrained witness variables, broken transform bookkeeping, ...).
+  local build_dir="$1"
+  echo "==== [lint] zaatar-lint ===="
+  "$build_dir/src/apps/zaatar-lint" --suite --dir examples/zlang --werror
+}
+
+clang_tidy_gate() {
+  # clang-tidy over the checked-in sources via compile_commands.json. The
+  # container image may not ship clang tooling; skip loudly rather than fail
+  # so the gate is effective wherever the tool exists.
+  local build_dir="$1"
+  local tidy=""
+  for cand in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+              clang-tidy-15 clang-tidy-14; do
+    if command -v "$cand" >/dev/null 2>&1; then
+      tidy="$cand"
+      break
+    fi
+  done
+  if [[ -z "$tidy" ]]; then
+    echo "==== [lint] clang-tidy: SKIPPED (no clang-tidy binary on PATH) ===="
+    return 0
+  fi
+  echo "==== [lint] $tidy ===="
+  local files
+  files="$(git ls-files 'src/**/*.cc' 'src/**/*.h' 'tests/*.cc' \
+                        'bench/*.cc' 'bench/*.h' 'examples/*.cpp')"
+  # shellcheck disable=SC2086
+  "$tidy" -p "$build_dir" --warnings-as-errors='*' --quiet $files
+}
+
 if [[ "$SKIP_PLAIN" -eq 0 && -z "$ONLY" ]]; then
   run_config plain build ""
+  lint_gate build
+  clang_tidy_gate build
   bench_smoke build
 fi
 
@@ -68,6 +107,24 @@ fi
 if [[ -z "$ONLY" || "$ONLY" == "undefined" ]]; then
   UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
     run_config ubsan build-ubsan undefined
+fi
+
+# TSan covers the worker-pool code paths (ParallelFor and the multiexp
+# engine's parallel folds). Only the concurrency-heavy tests run: TSan's
+# ~10x slowdown makes the full suite impractical, and the remaining tests
+# are single-threaded.
+tsan_config() {
+  echo "==== [tsan] configure + build ===="
+  cmake -B build-tsan -S . -DZAATAR_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "$JOBS" --target parallel_test multiexp_test
+  echo "==== [tsan] parallel_test + multiexp_test ===="
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+    ./build-tsan/tests/parallel_test
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+    ./build-tsan/tests/multiexp_test
+}
+if [[ -z "$ONLY" || "$ONLY" == "thread" ]]; then
+  tsan_config
 fi
 
 echo "==== CI passed ===="

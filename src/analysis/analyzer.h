@@ -1,0 +1,79 @@
+// Top-level analysis entry points: run every zaatar-lint rule over a single
+// constraint system, or over a whole compiled program (Ginger constraints,
+// the Ginger->Zaatar transform, the R1CS, and the QAP encoding).
+//
+// The determinism analysis runs on BOTH constraint layers: the Ginger layer
+// carries source-line attribution (findings point at program text), while
+// the R1CS layer additionally covers the transform output — an
+// underconstrained auxiliary product variable introduced by a buggy
+// transform is only visible there.
+
+#ifndef SRC_ANALYSIS_ANALYZER_H_
+#define SRC_ANALYSIS_ANALYZER_H_
+
+#include <utility>
+
+#include "src/analysis/determinism.h"
+#include "src/analysis/finding.h"
+#include "src/analysis/pipeline_rules.h"
+#include "src/analysis/structure.h"
+#include "src/compiler/compile.h"
+#include "src/constraints/ginger.h"
+#include "src/constraints/qap.h"
+#include "src/constraints/r1cs.h"
+
+namespace zaatar {
+
+struct AnalyzeOptions {
+  bool determinism = true;  // ZL001 / ZL002
+  bool structure = true;    // ZL003..ZL006, ZL010
+  bool qap_shape = true;    // ZL020 (program analysis only)
+  bool qap_tau_probe = true;
+};
+
+template <typename F>
+AnalysisReport AnalyzeSystem(const GingerSystem<F>& g,
+                             const AnalyzeOptions& options = {}) {
+  AnalysisReport report;
+  if (options.structure) {
+    CheckStructure(g, &report);
+  }
+  if (options.determinism) {
+    DeterminismAnalysis<F> det(LowerToIr(g), g.layout,
+                               AnalysisLayer::kGinger);
+    det.Run(&report);
+  }
+  return report;
+}
+
+template <typename F>
+AnalysisReport AnalyzeR1cs(const R1cs<F>& r,
+                           const AnalyzeOptions& options = {}) {
+  AnalysisReport report;
+  if (options.structure) {
+    CheckStructure(r, &report);
+  }
+  if (options.determinism) {
+    DeterminismAnalysis<F> det(LowerToIr(r), r.layout, AnalysisLayer::kR1cs);
+    det.Run(&report);
+  }
+  return report;
+}
+
+// Analyzes every layer of a compiled program.
+template <typename F>
+AnalysisReport AnalyzeProgram(const CompiledProgram<F>& program,
+                              const AnalyzeOptions& options = {}) {
+  AnalysisReport report = AnalyzeSystem(program.ginger, options);
+  CheckTransform(program.ginger, program.zaatar, &report);
+  report.Merge(AnalyzeR1cs(program.zaatar.r1cs, options));
+  if (options.qap_shape) {
+    Qap<F> qap(program.zaatar.r1cs);
+    CheckQapShape(qap, &report, options.qap_tau_probe);
+  }
+  return report;
+}
+
+}  // namespace zaatar
+
+#endif  // SRC_ANALYSIS_ANALYZER_H_

@@ -1,0 +1,570 @@
+// Determinism (underconstrained-variable) analysis.
+//
+// Soundness of the whole pipeline rests on the compiled constraint set
+// admitting exactly one witness per input: if some non-input variable can
+// take two values under the same inputs, a prover can often steer an output
+// to a wrong value and the verifier will still ACCEPT. This analysis
+// propagates a "uniquely determined from the inputs" fact to a fixpoint and
+// flags every non-input variable it cannot reach.
+//
+// Both constraint formats are lowered to a common quadratic-equation IR
+// (linear part + explicit degree-2 terms = 0); the engine then applies four
+// inference rules (DESIGN.md §10 gives the full statement and limits):
+//
+//   R1 linear solve      one undetermined variable, appearing only linearly
+//   R2 bit decomposition all undetermined variables boolean-constrained,
+//                        coefficients forming a doubling chain (unique
+//                        subset sums in F)
+//   R3 is-zero gadget    the compiler's inverse-witness pattern
+//                        {v·m + b = 1, v·b = 0}: b is forced by v, m is a
+//                        free-but-harmless auxiliary (exempted)
+//   R4 guarded division  dividend = q·d + r with range decompositions
+//                        pinning q and r
+//
+// The analysis is sound-for-reporting in one direction only: everything it
+// marks determined really is uniquely determined (R4 additionally assumes
+// the compiler's r < d comparison guard, see DESIGN.md); a clean report does
+// NOT prove the system fully constrained.
+
+#ifndef SRC_ANALYSIS_DETERMINISM_H_
+#define SRC_ANALYSIS_DETERMINISM_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/analysis/finding.h"
+#include "src/analysis/rules.h"
+#include "src/constraints/ginger.h"
+#include "src/constraints/r1cs.h"
+
+namespace zaatar {
+
+// One equation of the unified IR: linear(W) + sum_k coeff_k·W_a·W_b = 0.
+template <typename F>
+struct QuadEq {
+  LinearCombination<F> linear;    // compacted: one entry per variable
+  std::vector<QuadTerm<F>> quad;  // canonical (a <= b), merged, no zeros
+  long source_constraint = -1;
+  uint32_t source_line = 0;
+  // Set when the R1CS row was too dense to expand into the IR; the
+  // equation's variables are tracked for liveness but no rule fires on it.
+  bool opaque = false;
+};
+
+namespace analysis_internal {
+
+// Bilinear R1CS rows expand into at most this many degree-2 terms; denser
+// rows become opaque equations. Compiler output never comes close (the
+// transform emits rows with <= 2-term A/B sides), so the cap only guards
+// adversarial hand-built systems against quadratic blowup.
+inline constexpr size_t kMaxQuadExpansion = 256;
+
+template <typename F>
+void CanonicalizeQuad(std::vector<QuadTerm<F>>* quad) {
+  for (auto& t : *quad) {
+    if (t.a > t.b) {
+      std::swap(t.a, t.b);
+    }
+  }
+  std::sort(quad->begin(), quad->end(),
+            [](const QuadTerm<F>& x, const QuadTerm<F>& y) {
+              return std::make_pair(x.a, x.b) < std::make_pair(y.a, y.b);
+            });
+  std::vector<QuadTerm<F>> merged;
+  merged.reserve(quad->size());
+  for (const auto& t : *quad) {
+    if (!merged.empty() && merged.back().a == t.a && merged.back().b == t.b) {
+      merged.back().coeff += t.coeff;
+    } else {
+      merged.push_back(t);
+    }
+  }
+  merged.erase(std::remove_if(
+                   merged.begin(), merged.end(),
+                   [](const QuadTerm<F>& t) { return t.coeff.IsZero(); }),
+               merged.end());
+  *quad = std::move(merged);
+}
+
+}  // namespace analysis_internal
+
+template <typename F>
+QuadEq<F> ToQuadEq(const GingerConstraint<F>& c, long index, uint32_t line) {
+  QuadEq<F> eq;
+  eq.linear = c.linear;
+  eq.linear.Compact();
+  eq.quad = c.quad;
+  analysis_internal::CanonicalizeQuad(&eq.quad);
+  eq.source_constraint = index;
+  eq.source_line = line;
+  return eq;
+}
+
+// Expands a quadratic-form constraint pA·pB = pC into the IR. When either
+// side is constant the product stays linear; otherwise the cross terms are
+// expanded (bounded by kMaxQuadExpansion).
+template <typename F>
+QuadEq<F> ToQuadEq(const R1csConstraint<F>& c, long index, uint32_t line) {
+  QuadEq<F> eq;
+  eq.source_constraint = index;
+  eq.source_line = line;
+  if (c.a.IsConstant() || c.b.IsConstant()) {
+    const LinearCombination<F>& lin = c.a.IsConstant() ? c.b : c.a;
+    const F& k = c.a.IsConstant() ? c.a.constant() : c.b.constant();
+    eq.linear = lin * k + c.c * (-F::One());
+    eq.linear.Compact();
+    return eq;
+  }
+  if (c.a.TermCount() * c.b.TermCount() >
+      analysis_internal::kMaxQuadExpansion) {
+    eq.opaque = true;
+    // Record occurrences only: a zero-coefficient-free union of the sides.
+    eq.linear = c.a + c.b + c.c;
+    eq.linear.Compact();
+    return eq;
+  }
+  // (ka + sum ai·wi)(kb + sum bj·wj) - (kc + sum ci·wi) = 0
+  eq.linear = c.b * c.a.constant() + c.a * c.b.constant() +
+              c.c * (-F::One());
+  eq.linear.AddConstant(-(c.a.constant() * c.b.constant()));  // added twice
+  eq.linear.Compact();
+  for (const auto& ta : c.a.terms()) {
+    for (const auto& tb : c.b.terms()) {
+      eq.quad.push_back({ta.first, tb.first, ta.second * tb.second});
+    }
+  }
+  analysis_internal::CanonicalizeQuad(&eq.quad);
+  return eq;
+}
+
+template <typename F>
+std::vector<QuadEq<F>> LowerToIr(const GingerSystem<F>& g) {
+  std::vector<QuadEq<F>> eqs;
+  eqs.reserve(g.constraints.size());
+  for (size_t j = 0; j < g.constraints.size(); j++) {
+    eqs.push_back(ToQuadEq(g.constraints[j], static_cast<long>(j),
+                           g.SourceLineOf(j)));
+  }
+  return eqs;
+}
+
+template <typename F>
+std::vector<QuadEq<F>> LowerToIr(const R1cs<F>& r) {
+  std::vector<QuadEq<F>> eqs;
+  eqs.reserve(r.constraints.size());
+  for (size_t j = 0; j < r.constraints.size(); j++) {
+    eqs.push_back(ToQuadEq(r.constraints[j], static_cast<long>(j),
+                           r.SourceLineOf(j)));
+  }
+  return eqs;
+}
+
+template <typename F>
+class DeterminismAnalysis {
+ public:
+  DeterminismAnalysis(std::vector<QuadEq<F>> eqs, VariableLayout layout,
+                      AnalysisLayer layer)
+      : eqs_(std::move(eqs)), layout_(layout), layer_(layer) {}
+
+  // Runs the fixpoint and reports ZL001/ZL002 findings.
+  void Run(AnalysisReport* report) {
+    const size_t n = layout_.Total();
+    determined_.assign(n, false);
+    exempt_.assign(n, false);
+    occurrences_.assign(n, {});
+    BuildOccurrences();
+    FindBooleanConstrained();
+    FindIsZeroPatterns();
+    FindRangeDecompositions();
+
+    for (size_t v = 0; v < n; v++) {
+      if (layout_.IsInput(static_cast<uint32_t>(v))) {
+        determined_[v] = true;
+      }
+    }
+    // Seed: every equation once, plus patterns keyed on already-known vars.
+    for (size_t j = 0; j < eqs_.size(); j++) {
+      worklist_.push_back(j);
+    }
+    for (size_t v = 0; v < n; v++) {
+      if (determined_[v]) {
+        FirePatterns(static_cast<uint32_t>(v));
+      }
+    }
+    while (!worklist_.empty()) {
+      size_t j = worklist_.front();
+      worklist_.pop_front();
+      in_worklist_[j] = false;
+      ProcessEquation(j);
+    }
+    Report(report);
+  }
+
+  const std::vector<char>& determined() const { return determined_; }
+  const std::vector<char>& exempt() const { return exempt_; }
+  size_t NumExempt() const {
+    size_t k = 0;
+    for (char e : exempt_) {
+      k += e ? 1 : 0;
+    }
+    return k;
+  }
+
+ private:
+  using LC = LinearCombination<F>;
+
+  void BuildOccurrences() {
+    in_worklist_.assign(eqs_.size(), false);
+    for (size_t j = 0; j < eqs_.size(); j++) {
+      std::vector<uint32_t> vars = VariablesOf(eqs_[j]);
+      for (uint32_t v : vars) {
+        if (v < occurrences_.size()) {
+          occurrences_[v].push_back(j);
+        }
+      }
+    }
+  }
+
+  static std::vector<uint32_t> VariablesOf(const QuadEq<F>& eq) {
+    std::vector<uint32_t> vars;
+    for (const auto& t : eq.linear.terms()) {
+      vars.push_back(t.first);
+    }
+    for (const auto& t : eq.quad) {
+      vars.push_back(t.a);
+      vars.push_back(t.b);
+    }
+    std::sort(vars.begin(), vars.end());
+    vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+    return vars;
+  }
+
+  // A variable b is boolean-constrained when some equation reads
+  // s·b² − s·b = 0 for a nonzero scalar s.
+  void FindBooleanConstrained() {
+    boolean_.assign(layout_.Total(), false);
+    for (const auto& eq : eqs_) {
+      if (eq.opaque || eq.quad.size() != 1 ||
+          eq.linear.TermCount() != 1 || !eq.linear.constant().IsZero()) {
+        continue;
+      }
+      const QuadTerm<F>& q = eq.quad[0];
+      if (q.a != q.b || eq.linear.terms()[0].first != q.a) {
+        continue;
+      }
+      if (eq.linear.terms()[0].second == -q.coeff &&
+          q.a < boolean_.size()) {
+        boolean_[q.a] = true;
+      }
+    }
+  }
+
+  // The IsZero gadget emits the pair (scaled by arbitrary s, s'):
+  //   eq1:  s·v·m + s·b − s   = 0
+  //   eq2:  s'·v·b            = 0
+  // Given v, b is forced (v≠0 ⇒ b=0 via eq2 & m=1/v; v=0 ⇒ b=1 via eq1)
+  // while m is free exactly when v = 0 — harmless because no other equation
+  // reads m. Pattern instances are indexed by v and fired on determination.
+  struct IsZeroPattern {
+    uint32_t v, m, b;
+  };
+
+  void FindIsZeroPatterns() {
+    // Pure products s'·x·y = 0, keyed by the (x, y) pair.
+    std::map<std::pair<uint32_t, uint32_t>, size_t> pure_products;
+    for (size_t j = 0; j < eqs_.size(); j++) {
+      const auto& eq = eqs_[j];
+      if (!eq.opaque && eq.quad.size() == 1 && eq.linear.TermCount() == 0 &&
+          eq.linear.constant().IsZero()) {
+        pure_products.emplace(std::minmax(eq.quad[0].a, eq.quad[0].b), j);
+      }
+    }
+    for (const auto& eq : eqs_) {
+      if (eq.opaque || eq.quad.size() != 1 || eq.linear.TermCount() != 1) {
+        continue;
+      }
+      const QuadTerm<F>& q = eq.quad[0];
+      uint32_t b = eq.linear.terms()[0].first;
+      const F& s = q.coeff;
+      if (eq.linear.terms()[0].second != s || eq.linear.constant() != -s) {
+        continue;
+      }
+      if (b == q.a || b == q.b) {
+        continue;  // that is the booleanity shape, not is-zero
+      }
+      // eq2 must tie b to one side of the product; the shared side is v.
+      for (int side = 0; side < 2; side++) {
+        uint32_t v = side == 0 ? q.a : q.b;
+        uint32_t m = side == 0 ? q.b : q.a;
+        if (pure_products.count(std::minmax(v, b)) != 0) {
+          // m must be private to this gadget (eq1 only), otherwise its
+          // freedom could leak into other equations.
+          if (m < occurrences_.size() && occurrences_[m].size() == 1) {
+            iszero_by_v_[v].push_back({v, m, b});
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  // Marks x range-decomposed when some pure-linear equation expresses x as
+  // an (injective) weighted sum of boolean-constrained variables:
+  //   c·x + sum_i c_i·b_i + k = 0,  {c_i/(−c)} a doubling chain.
+  void FindRangeDecompositions() {
+    range_decomposed_.assign(layout_.Total(), false);
+    for (const auto& eq : eqs_) {
+      if (eq.opaque || !eq.quad.empty() || eq.linear.TermCount() < 2) {
+        continue;
+      }
+      uint32_t x = 0;
+      F cx = F::Zero();
+      size_t non_bool = 0;
+      for (const auto& t : eq.linear.terms()) {
+        if (t.first >= boolean_.size() || !boolean_[t.first]) {
+          non_bool++;
+          x = t.first;
+          cx = t.second;
+        }
+      }
+      if (non_bool != 1) {
+        continue;
+      }
+      std::vector<F> coeffs;
+      coeffs.reserve(eq.linear.TermCount() - 1);
+      F scale = -cx.Inverse();
+      for (const auto& t : eq.linear.terms()) {
+        if (t.first != x) {
+          coeffs.push_back(t.second * scale);
+        }
+      }
+      if (IsDoublingChain(coeffs) && x < range_decomposed_.size()) {
+        range_decomposed_[x] = true;
+      }
+    }
+  }
+
+  // True when the multiset equals {s·2^i : i = 0..k−1} for some s ≠ 0 with
+  // k < kModulusBits: then all 2^k boolean weightings give distinct field
+  // elements (differences are s·d with |d| < 2^k < p).
+  static bool IsDoublingChain(const std::vector<F>& coeffs) {
+    if (coeffs.empty() || coeffs.size() >= F::kModulusBits) {
+      return false;
+    }
+    std::map<typename F::Repr, int> set;
+    for (const auto& c : coeffs) {
+      if (c.IsZero()) {
+        return false;
+      }
+      if (++set[c.ToCanonical()] > 1) {
+        return false;  // duplicate weight: subset sums collide
+      }
+    }
+    // Find the unique start: an element whose half is not in the set.
+    const F half = F::FromUint(2).Inverse();
+    F start = F::Zero();
+    size_t starts = 0;
+    for (const auto& c : coeffs) {
+      if (set.find((c * half).ToCanonical()) == set.end()) {
+        start = c;
+        starts++;
+      }
+    }
+    if (starts != 1) {
+      return false;
+    }
+    F cur = start;
+    for (size_t i = 1; i < coeffs.size(); i++) {
+      cur = cur.Double();
+      if (set.find(cur.ToCanonical()) == set.end()) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool IsDetermined(uint32_t v) const {
+    return v < determined_.size() && determined_[v];
+  }
+
+  void Determine(uint32_t v) {
+    if (v >= determined_.size() || determined_[v]) {
+      return;
+    }
+    determined_[v] = true;
+    for (size_t j : occurrences_[v]) {
+      if (!in_worklist_[j]) {
+        in_worklist_[j] = true;
+        worklist_.push_back(j);
+      }
+    }
+    FirePatterns(v);
+  }
+
+  void FirePatterns(uint32_t v) {
+    auto it = iszero_by_v_.find(v);
+    if (it == iszero_by_v_.end()) {
+      return;
+    }
+    for (const IsZeroPattern& p : it->second) {
+      if (p.m < exempt_.size()) {
+        exempt_[p.m] = true;
+      }
+      Determine(p.b);
+    }
+  }
+
+  void ProcessEquation(size_t j) {
+    const QuadEq<F>& eq = eqs_[j];
+    if (eq.opaque) {
+      return;
+    }
+    // Undetermined variables and how they occur in this equation.
+    std::vector<uint32_t> undet;
+    for (uint32_t v : VariablesOf(eq)) {
+      if (!IsDetermined(v)) {
+        undet.push_back(v);
+      }
+    }
+    if (undet.empty()) {
+      return;
+    }
+    auto in_quad = [&](uint32_t v) {
+      for (const auto& t : eq.quad) {
+        if (t.a == v || t.b == v) {
+          return true;
+        }
+      }
+      return false;
+    };
+
+    // R1: single unknown, linear-only occurrence.
+    if (undet.size() == 1) {
+      if (!in_quad(undet[0])) {
+        Determine(undet[0]);
+      }
+      return;
+    }
+
+    // R2: every unknown is a boolean appearing linearly, with weights
+    // forming a doubling chain (unique subset sums).
+    bool all_bool_linear = true;
+    for (uint32_t v : undet) {
+      if (v >= boolean_.size() || !boolean_[v] || in_quad(v)) {
+        all_bool_linear = false;
+        break;
+      }
+    }
+    if (all_bool_linear) {
+      std::vector<F> coeffs;
+      coeffs.reserve(undet.size());
+      for (const auto& t : eq.linear.terms()) {
+        if (!IsDetermined(t.first)) {
+          coeffs.push_back(t.second);
+        }
+      }
+      if (IsDoublingChain(coeffs)) {
+        for (uint32_t v : undet) {
+          Determine(v);
+        }
+      }
+      return;
+    }
+
+    // R4: guarded division — dividend = q·d + r, both q and r pinned by
+    // range decompositions elsewhere. (The r < d comparison guard is
+    // assumed from the compiler gadget; see DESIGN.md §10.)
+    if (undet.size() == 2) {
+      TryDivisionPattern(eq, undet);
+    }
+  }
+
+  void TryDivisionPattern(const QuadEq<F>& eq,
+                          const std::vector<uint32_t>& undet) {
+    // Each unknown must occur exactly once: either as one linear term (the
+    // remainder, or the quotient when the divisor is a constant) or in one
+    // degree-2 term whose partner is already determined (quotient times a
+    // runtime divisor). Both must be pinned by range decompositions.
+    for (uint32_t v : undet) {
+      size_t linear_occ = 0;
+      size_t quad_occ = 0;
+      bool partner_ok = true;
+      for (const auto& t : eq.linear.terms()) {
+        if (t.first == v) {
+          linear_occ++;
+        }
+      }
+      for (const auto& t : eq.quad) {
+        if (t.a == v || t.b == v) {
+          quad_occ++;
+          uint32_t partner = t.a == v ? t.b : t.a;
+          partner_ok = partner != v && IsDetermined(partner);
+        }
+      }
+      bool single_occurrence = (linear_occ == 1 && quad_occ == 0) ||
+                               (linear_occ == 0 && quad_occ == 1 && partner_ok);
+      if (!single_occurrence || v >= range_decomposed_.size() ||
+          !range_decomposed_[v]) {
+        return;
+      }
+    }
+    for (uint32_t v : undet) {
+      Determine(v);
+    }
+  }
+
+  void Report(AnalysisReport* report) const {
+    for (size_t v = 0; v < layout_.Total(); v++) {
+      uint32_t vv = static_cast<uint32_t>(v);
+      if (layout_.IsInput(vv)) {
+        continue;
+      }
+      AnalysisLocation loc;
+      loc.layer = layer_;
+      loc.variable = static_cast<long>(v);
+      if (occurrences_[v].empty()) {
+        if (layout_.IsOutput(vv)) {
+          report->Add(Severity::kError, kRuleUnderconstrained, loc,
+                      "output variable appears in no constraint; any claimed "
+                      "output value is accepted");
+        } else {
+          report->Add(Severity::kWarning, kRuleDeadVariable, loc,
+                      "witness variable is allocated but appears in no "
+                      "constraint");
+        }
+        continue;
+      }
+      if (!determined_[v] && !exempt_[v]) {
+        size_t j = occurrences_[v].front();
+        loc.constraint = eqs_[j].source_constraint;
+        loc.source_line = eqs_[j].source_line;
+        std::string role = layout_.IsOutput(vv) ? "output" : "witness";
+        report->Add(Severity::kError, kRuleUnderconstrained, loc,
+                    role + " variable is not uniquely determined from the "
+                           "inputs by the constraint set");
+      }
+    }
+  }
+
+  std::vector<QuadEq<F>> eqs_;
+  VariableLayout layout_;
+  AnalysisLayer layer_;
+
+  std::vector<char> determined_;
+  std::vector<char> exempt_;
+  std::vector<char> boolean_;
+  std::vector<char> range_decomposed_;
+  std::vector<std::vector<size_t>> occurrences_;
+  std::map<uint32_t, std::vector<IsZeroPattern>> iszero_by_v_;
+  std::deque<size_t> worklist_;
+  std::vector<char> in_worklist_;
+};
+
+}  // namespace zaatar
+
+#endif  // SRC_ANALYSIS_DETERMINISM_H_

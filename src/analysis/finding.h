@@ -1,0 +1,170 @@
+// Diagnostic stream for the constraint-system static analyzer
+// (zaatar-lint). Every rule reports structured Findings into an
+// AnalysisReport; the CLI renders them and gates CI on ERROR severity.
+//
+// A Finding pinpoints a layer of the compiled pipeline (Ginger constraints,
+// the Ginger->Zaatar transform, the R1CS, or the QAP encoding) plus a
+// constraint and/or variable index and — when the compiler plumbed source
+// locations through — the zlang source line the constraint came from.
+
+#ifndef SRC_ANALYSIS_FINDING_H_
+#define SRC_ANALYSIS_FINDING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace zaatar {
+
+enum class Severity {
+  kInfo = 0,
+  kWarning,
+  kError,
+};
+
+inline const char* SeverityName(Severity s) {
+  switch (s) {
+    case Severity::kInfo:
+      return "info";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+// Which stage of the compiled pipeline a finding is anchored in.
+enum class AnalysisLayer {
+  kGinger = 0,
+  kTransform,
+  kR1cs,
+  kQap,
+};
+
+inline const char* LayerName(AnalysisLayer l) {
+  switch (l) {
+    case AnalysisLayer::kGinger:
+      return "ginger";
+    case AnalysisLayer::kTransform:
+      return "transform";
+    case AnalysisLayer::kR1cs:
+      return "r1cs";
+    case AnalysisLayer::kQap:
+      return "qap";
+  }
+  return "unknown";
+}
+
+struct AnalysisLocation {
+  AnalysisLayer layer = AnalysisLayer::kGinger;
+  long constraint = -1;      // constraint index, -1 = not constraint-scoped
+  long variable = -1;        // variable index, -1 = not variable-scoped
+  uint32_t source_line = 0;  // zlang line (0 = unknown / hand-built system)
+
+  std::string ToString() const {
+    std::string s = LayerName(layer);
+    if (constraint >= 0) {
+      s += ":c" + std::to_string(constraint);
+    }
+    if (variable >= 0) {
+      s += ":w" + std::to_string(variable);
+    }
+    if (source_line != 0) {
+      s += " (line " + std::to_string(source_line) + ")";
+    }
+    return s;
+  }
+};
+
+struct Finding {
+  Severity severity = Severity::kWarning;
+  std::string rule_id;  // "ZL001" etc., see src/analysis/rules.h
+  AnalysisLocation location;
+  std::string message;
+
+  std::string Render() const {
+    return std::string(SeverityName(severity)) + " [" + rule_id + "] " +
+           location.ToString() + ": " + message;
+  }
+};
+
+// Accumulates findings across rules and pipeline layers. Rules append;
+// callers query counts / presence per rule id and render the stream.
+class AnalysisReport {
+ public:
+  void Add(Finding f) { findings_.push_back(std::move(f)); }
+
+  void Add(Severity severity, const char* rule_id, AnalysisLocation loc,
+           std::string message) {
+    Finding f;
+    f.severity = severity;
+    f.rule_id = rule_id;
+    f.location = loc;
+    f.message = std::move(message);
+    findings_.push_back(std::move(f));
+  }
+
+  const std::vector<Finding>& findings() const { return findings_; }
+  bool Empty() const { return findings_.empty(); }
+
+  size_t CountSeverity(Severity s) const {
+    size_t n = 0;
+    for (const auto& f : findings_) {
+      n += f.severity == s ? 1 : 0;
+    }
+    return n;
+  }
+
+  size_t NumErrors() const { return CountSeverity(Severity::kError); }
+  size_t NumWarnings() const { return CountSeverity(Severity::kWarning); }
+  bool HasErrors() const { return NumErrors() > 0; }
+
+  size_t CountRule(const std::string& rule_id) const {
+    size_t n = 0;
+    for (const auto& f : findings_) {
+      n += f.rule_id == rule_id ? 1 : 0;
+    }
+    return n;
+  }
+
+  bool HasRule(const std::string& rule_id) const {
+    return CountRule(rule_id) > 0;
+  }
+
+  // Findings from another report, e.g. a per-layer sub-analysis.
+  void Merge(const AnalysisReport& other) {
+    findings_.insert(findings_.end(), other.findings_.begin(),
+                     other.findings_.end());
+  }
+
+  // Renders up to max_findings findings (0 = all) plus a summary line.
+  void Print(FILE* out, size_t max_findings = 0) const {
+    size_t shown = 0;
+    for (const auto& f : findings_) {
+      if (max_findings != 0 && shown >= max_findings) {
+        std::fprintf(out, "  ... %zu more finding(s) suppressed\n",
+                     findings_.size() - shown);
+        break;
+      }
+      std::fprintf(out, "  %s\n", f.Render().c_str());
+      shown++;
+    }
+  }
+
+  std::string Summary() const {
+    return std::to_string(NumErrors()) + " error(s), " +
+           std::to_string(NumWarnings()) + " warning(s), " +
+           std::to_string(CountSeverity(Severity::kInfo)) + " note(s)";
+  }
+
+ private:
+  std::vector<Finding> findings_;
+};
+
+}  // namespace zaatar
+
+#endif  // SRC_ANALYSIS_FINDING_H_

@@ -1,0 +1,163 @@
+// Cross-layer pipeline rules: Ginger->Zaatar transform bookkeeping (ZL012)
+// and QAP shape invariants (ZL020).
+//
+// These rules re-derive the invariants the downstream protocol silently
+// relies on instead of trusting the producing code: the transform's
+// |Z'| = |Z| + K2 / |C'| = |C| + K2 accounting and the structural shape of
+// its product rows, and — at the QAP layer — that the divisor polynomial
+// D(t) = prod_{j=1..|C|} (t - j) really is the degree-|C| monic polynomial
+// the divisibility argument (paper Appendix A.1) assumes, and that the
+// verifier-side evaluation produces one row per variable plus the constant
+// row.
+
+#ifndef SRC_ANALYSIS_PIPELINE_RULES_H_
+#define SRC_ANALYSIS_PIPELINE_RULES_H_
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/finding.h"
+#include "src/analysis/rules.h"
+#include "src/constraints/ginger.h"
+#include "src/constraints/qap.h"
+#include "src/constraints/transform.h"
+
+namespace zaatar {
+
+// Checks a transform result against the Ginger system it came from.
+template <typename F>
+void CheckTransform(const GingerSystem<F>& g, const ZaatarTransform<F>& t,
+                    AnalysisReport* report) {
+  AnalysisLocation loc;
+  loc.layer = AnalysisLayer::kTransform;
+  const size_t k2 = t.products.size();
+
+  if (t.ginger_num_unbound != g.layout.num_unbound) {
+    report->Add(Severity::kError, kRuleTransformMismatch, loc,
+                "transform recorded |Z_ginger| = " +
+                    std::to_string(t.ginger_num_unbound) + " but the source "
+                    "system has " + std::to_string(g.layout.num_unbound));
+  }
+  if (t.r1cs.layout.num_unbound != g.layout.num_unbound + k2) {
+    report->Add(Severity::kError, kRuleTransformMismatch, loc,
+                "layout bookkeeping broken: |Z_zaatar| = " +
+                    std::to_string(t.r1cs.layout.num_unbound) +
+                    " != |Z_ginger| + K2 = " +
+                    std::to_string(g.layout.num_unbound + k2));
+  }
+  if (t.r1cs.layout.num_inputs != g.layout.num_inputs ||
+      t.r1cs.layout.num_outputs != g.layout.num_outputs) {
+    report->Add(Severity::kError, kRuleTransformMismatch, loc,
+                "transform changed the input/output counts");
+  }
+  if (t.r1cs.NumConstraints() != g.NumConstraints() + k2) {
+    report->Add(Severity::kError, kRuleTransformMismatch, loc,
+                "|C_zaatar| = " + std::to_string(t.r1cs.NumConstraints()) +
+                    " != |C_ginger| + K2 = " +
+                    std::to_string(g.NumConstraints() + k2));
+    return;  // product-row positions below assume the count invariant
+  }
+  if (!t.r1cs.source_lines.empty() &&
+      t.r1cs.source_lines.size() != t.r1cs.NumConstraints()) {
+    report->Add(Severity::kError, kRuleTransformMismatch, loc,
+                "source-line table length does not match the constraint "
+                "count");
+  }
+
+  // Product rows: constraint |C_ginger| + i must read
+  //   (w_{remap(a_i)}) · (w_{remap(b_i)}) = w_aux_i
+  // with aux_i landing inside the appended auxiliary region of Z.
+  auto is_bare_var = [](const LinearCombination<F>& lc, uint32_t v) {
+    return lc.TermCount() == 1 && lc.constant().IsZero() &&
+           lc.terms()[0].first == v && lc.terms()[0].second.IsOne();
+  };
+  for (size_t i = 0; i < k2; i++) {
+    const size_t j = g.NumConstraints() + i;
+    const R1csConstraint<F>& rc = t.r1cs.constraints[j];
+    AnalysisLocation ploc = loc;
+    ploc.constraint = static_cast<long>(j);
+    const uint32_t aux = static_cast<uint32_t>(g.layout.num_unbound + i);
+    if (t.products[i].first >= g.layout.Total() ||
+        t.products[i].second >= g.layout.Total()) {
+      report->Add(Severity::kError, kRuleTransformMismatch, ploc,
+                  "product table entry references a variable outside the "
+                  "Ginger layout");
+      continue;
+    }
+    if (!is_bare_var(rc.a, t.Remap(t.products[i].first)) ||
+        !is_bare_var(rc.b, t.Remap(t.products[i].second)) ||
+        !is_bare_var(rc.c, aux)) {
+      report->Add(Severity::kError, kRuleTransformMismatch, ploc,
+                  "product row #" + std::to_string(i) +
+                      " does not have the shape w_a · w_b = aux_i");
+    }
+  }
+}
+
+// QAP shape invariants, checked against the constraint system the QAP wraps.
+// `tau_probe` controls whether EvaluateAtTau is exercised (it materializes
+// O(|variables|) rows; cheap, but callers analyzing many programs may skip
+// it).
+template <typename F>
+void CheckQapShape(const Qap<F>& qap, AnalysisReport* report,
+                   bool tau_probe = true) {
+  AnalysisLocation loc;
+  loc.layer = AnalysisLayer::kQap;
+  const R1cs<F>& cs = qap.constraint_system();
+  const size_t m = cs.NumConstraints();
+
+  if (qap.Degree() != m) {
+    report->Add(Severity::kError, kRuleQapShape, loc,
+                "QAP degree " + std::to_string(qap.Degree()) +
+                    " does not match the constraint count " +
+                    std::to_string(m));
+  }
+
+  // D(t) = prod_{j=1..m} (t - j): monic of degree m, vanishing at each
+  // interpolation point and equal to (-1)^m · m! at zero.
+  Polynomial<F> d = qap.Divisor();
+  if (d.Degree() != static_cast<long>(m)) {
+    report->Add(Severity::kError, kRuleQapShape, loc,
+                "divisor polynomial has degree " + std::to_string(d.Degree()) +
+                    ", expected |C| = " + std::to_string(m));
+  } else if (!d.LeadingCoefficient().IsOne()) {
+    report->Add(Severity::kError, kRuleQapShape, loc,
+                "divisor polynomial is not monic");
+  } else {
+    F expect_at_zero = F::One();
+    for (size_t j = 1; j <= m; j++) {
+      expect_at_zero *= -F::FromUint(j);
+    }
+    if (d.Evaluate(F::Zero()) != expect_at_zero) {
+      report->Add(Severity::kError, kRuleQapShape, loc,
+                  "divisor polynomial disagrees with prod (t - j) at t = 0");
+    }
+  }
+
+  if (tau_probe && m > 0) {
+    // Any point outside {0..m} is a valid probe; m+1 is deterministic.
+    const F tau = F::FromUint(m + 1);
+    auto ev = qap.EvaluateAtTau(tau);
+    const size_t rows = cs.NumVariables() + 1;
+    if (ev.a_rows.size() != rows || ev.b_rows.size() != rows ||
+        ev.c_rows.size() != rows) {
+      report->Add(Severity::kError, kRuleQapShape, loc,
+                  "EvaluateAtTau produced " + std::to_string(ev.a_rows.size()) +
+                      " rows, expected |variables| + 1 = " +
+                      std::to_string(rows));
+    }
+    if (ev.d_tau.IsZero()) {
+      report->Add(Severity::kError, kRuleQapShape, loc,
+                  "D(tau) = 0 at a point outside the interpolation set");
+    } else if (d.Degree() == static_cast<long>(m) &&
+               d.Evaluate(tau) != ev.d_tau) {
+      report->Add(Severity::kError, kRuleQapShape, loc,
+                  "barycentric D(tau) disagrees with the materialized "
+                  "divisor polynomial");
+    }
+  }
+}
+
+}  // namespace zaatar
+
+#endif  // SRC_ANALYSIS_PIPELINE_RULES_H_

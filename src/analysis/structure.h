@@ -1,0 +1,189 @@
+// Structural lint rules: trivial / constant-only / unsatisfiable
+// constraints (ZL003/ZL005/ZL006), duplicate constraints up to scaling
+// (ZL004), and variable-index bound checks (ZL010), over both constraint
+// formats.
+//
+// Duplicate detection normalizes each constraint to a canonical form before
+// hashing: Ginger constraints are scaled so the leading coefficient is 1;
+// R1CS constraints use the wider equivalence (a, b, c) ~ (αa, βb, αβc) plus
+// the a·b = b·a side symmetry, so scalar multiples and side-swapped copies
+// of a row are recognized as duplicates. Redundant rows are not a soundness
+// problem — they are wasted prover work and usually a compiler bug, hence
+// WARNING severity.
+
+#ifndef SRC_ANALYSIS_STRUCTURE_H_
+#define SRC_ANALYSIS_STRUCTURE_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/analysis/determinism.h"  // analysis_internal::CanonicalizeQuad
+#include "src/analysis/finding.h"
+#include "src/analysis/rules.h"
+#include "src/constraints/ginger.h"
+#include "src/constraints/r1cs.h"
+
+namespace zaatar {
+
+namespace analysis_internal {
+
+template <typename F>
+std::string SerializeLc(const LinearCombination<F>& lc) {
+  std::string s;
+  for (const auto& t : lc.terms()) {
+    s += "v" + std::to_string(t.first) + "*" + t.second.ToCanonical().ToHex();
+  }
+  s += "+" + lc.constant().ToCanonical().ToHex();
+  return s;
+}
+
+// Canonical serialization of a Ginger constraint: quad terms canonicalized,
+// linear compacted, everything scaled so the leading coefficient (first quad
+// coefficient, else first linear coefficient) is 1. Scaling a constraint
+// ... = 0 by any nonzero field element preserves its solution set.
+template <typename F>
+std::string CanonicalKey(const GingerConstraint<F>& c) {
+  LinearCombination<F> lin = c.linear;
+  lin.Compact();
+  std::vector<QuadTerm<F>> quad = c.quad;
+  CanonicalizeQuad(&quad);
+  F lead = F::One();
+  if (!quad.empty()) {
+    lead = quad[0].coeff;
+  } else if (lin.TermCount() > 0) {
+    lead = lin.terms()[0].second;
+  }
+  F scale = lead.Inverse();
+  std::string s;
+  for (const auto& t : quad) {
+    s += "q" + std::to_string(t.a) + "," + std::to_string(t.b) + "*" +
+         (t.coeff * scale).ToCanonical().ToHex();
+  }
+  s += "|";
+  LinearCombination<F> scaled = lin * scale;
+  s += SerializeLc(scaled);
+  return s;
+}
+
+// Canonical serialization of an R1CS row. Each side is scaled to a leading
+// coefficient of 1 (constraints (a,b,c) and (αa, βb, αβc) accept the same
+// witnesses), and the two product sides are ordered so a·b = b·a collapses.
+template <typename F>
+std::string CanonicalKey(const R1csConstraint<F>& c) {
+  auto lead_of = [](const LinearCombination<F>& lc) {
+    if (lc.TermCount() > 0) {
+      return lc.terms()[0].second;
+    }
+    return lc.constant().IsZero() ? F::One() : lc.constant();
+  };
+  LinearCombination<F> a = c.a;
+  LinearCombination<F> b = c.b;
+  LinearCombination<F> cc = c.c;
+  a.Compact();
+  b.Compact();
+  cc.Compact();
+  F la = lead_of(a);
+  F lb = lead_of(b);
+  std::string sa = SerializeLc(a * la.Inverse());
+  std::string sb = SerializeLc(b * lb.Inverse());
+  std::string sc = SerializeLc(cc * (la * lb).Inverse());
+  if (sb < sa) {
+    std::swap(sa, sb);
+  }
+  return sa + "|" + sb + "|" + sc;
+}
+
+}  // namespace analysis_internal
+
+template <typename F>
+void CheckStructure(const GingerSystem<F>& g, AnalysisReport* report) {
+  const long total = static_cast<long>(g.layout.Total());
+  std::map<std::string, size_t> seen;
+  for (size_t j = 0; j < g.constraints.size(); j++) {
+    const GingerConstraint<F>& c = g.constraints[j];
+    AnalysisLocation loc;
+    loc.layer = AnalysisLayer::kGinger;
+    loc.constraint = static_cast<long>(j);
+    loc.source_line = g.SourceLineOf(j);
+
+    if (c.MaxVariable() >= total) {
+      report->Add(Severity::kError, kRuleIndexOutOfBounds, loc,
+                  "constraint references variable " +
+                      std::to_string(c.MaxVariable()) +
+                      " but the layout declares only " +
+                      std::to_string(total) + " variables");
+      continue;  // out-of-range rows are excluded from the duplicate map
+    }
+    if (c.IsEmpty()) {
+      if (c.linear.constant().IsZero()) {
+        report->Add(Severity::kWarning, kRuleTrivialConstraint, loc,
+                    "constraint is identically zero (0 = 0)");
+      } else {
+        report->Add(Severity::kError, kRuleUnsatisfiableConstraint, loc,
+                    "constraint references no variables and its constant "
+                    "term is nonzero: no witness can satisfy the system");
+      }
+      continue;
+    }
+    std::string key = analysis_internal::CanonicalKey(c);
+    auto [it, inserted] = seen.emplace(std::move(key), j);
+    if (!inserted) {
+      report->Add(Severity::kWarning, kRuleDuplicateConstraint, loc,
+                  "constraint is a scalar multiple of constraint #" +
+                      std::to_string(it->second));
+    }
+  }
+}
+
+template <typename F>
+void CheckStructure(const R1cs<F>& r, AnalysisReport* report) {
+  const long total = static_cast<long>(r.layout.Total());
+  std::map<std::string, size_t> seen;
+  for (size_t j = 0; j < r.constraints.size(); j++) {
+    const R1csConstraint<F>& c = r.constraints[j];
+    AnalysisLocation loc;
+    loc.layer = AnalysisLayer::kR1cs;
+    loc.constraint = static_cast<long>(j);
+    loc.source_line = r.SourceLineOf(j);
+
+    if (c.MaxVariable() >= total) {
+      report->Add(Severity::kError, kRuleIndexOutOfBounds, loc,
+                  "constraint references variable " +
+                      std::to_string(c.MaxVariable()) +
+                      " but the layout declares only " +
+                      std::to_string(total) + " variables");
+      continue;
+    }
+    if (c.a.IsConstant() && c.b.IsConstant() && c.c.IsConstant()) {
+      const F residue =
+          c.a.constant() * c.b.constant() - c.c.constant();
+      if (!residue.IsZero()) {
+        report->Add(Severity::kError, kRuleUnsatisfiableConstraint, loc,
+                    "constant-only constraint never holds: no witness can "
+                    "satisfy the system");
+      } else if (c.IsEmpty()) {
+        report->Add(Severity::kWarning, kRuleTrivialConstraint, loc,
+                    "constraint is identically zero (0·0 = 0)");
+      } else {
+        report->Add(Severity::kWarning, kRuleConstantConstraint, loc,
+                    "constraint references no variables and holds "
+                    "identically: it constrains nothing");
+      }
+      continue;
+    }
+    std::string key = analysis_internal::CanonicalKey(c);
+    auto [it, inserted] = seen.emplace(std::move(key), j);
+    if (!inserted) {
+      report->Add(Severity::kWarning, kRuleDuplicateConstraint, loc,
+                  "constraint is equivalent (up to per-side scaling and "
+                  "side order) to constraint #" +
+                      std::to_string(it->second));
+    }
+  }
+}
+
+}  // namespace zaatar
+
+#endif  // SRC_ANALYSIS_STRUCTURE_H_

@@ -1,0 +1,201 @@
+// zaatar-lint: static analyzer for compiled constraint systems.
+//
+// Loads zlang programs (from files, a directory scan, and/or the built-in
+// benchmark suite), compiles each one, and runs every analysis rule over the
+// full pipeline: Ginger constraints, the Ginger->Zaatar transform, the R1CS,
+// and the QAP encoding. Exits non-zero when any ERROR finding is reported,
+// so CI can gate on it (scripts/ci.sh runs it after the plain build).
+//
+//   zaatar-lint                         # built-in suite (default)
+//   zaatar-lint --suite --dir examples/zlang
+//   zaatar-lint --field=220 prog.zl
+//   zaatar-lint --werror --max-findings=50 ...
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/analysis/analyzer.h"
+#include "src/apps/degenerate.h"
+#include "src/apps/suite.h"
+#include "src/compiler/compile.h"
+#include "src/crypto/prg.h"
+#include "src/field/fields.h"
+
+namespace {
+
+struct Options {
+  bool suite = false;
+  bool werror = false;
+  size_t max_findings = 25;
+  int field_bits = 128;
+  std::vector<std::string> dirs;
+  std::vector<std::string> files;
+};
+
+struct Totals {
+  size_t programs = 0;
+  size_t errors = 0;
+  size_t warnings = 0;
+};
+
+void Report(const std::string& name, const zaatar::AnalysisReport& report,
+            const Options& options, Totals* totals) {
+  totals->programs++;
+  totals->errors += report.NumErrors();
+  totals->warnings += report.NumWarnings();
+  if (report.Empty()) {
+    std::printf("%-48s clean\n", name.c_str());
+    return;
+  }
+  std::printf("%-48s %s\n", name.c_str(), report.Summary().c_str());
+  report.Print(stdout, options.max_findings);
+}
+
+template <typename F>
+void LintSource(const std::string& name, const std::string& source,
+                const Options& options, Totals* totals) {
+  zaatar::CompiledProgram<F> program;
+  try {
+    program = zaatar::CompileZlang<F>(source);
+  } catch (const std::exception& e) {
+    std::printf("%-48s COMPILE ERROR: %s\n", name.c_str(), e.what());
+    totals->programs++;
+    totals->errors++;
+    return;
+  }
+  Report(name, zaatar::AnalyzeProgram(program), options, totals);
+}
+
+// The hand-built degenerate quadratic form (src/apps/degenerate.h) has no
+// CompiledProgram wrapper; run the per-layer entry points directly.
+void LintDegenerate(size_t m, const Options& options, Totals* totals) {
+  zaatar::Prg prg(0xD0D0);
+  auto d = zaatar::BuildDegenerateQuadForm<zaatar::F128>(m, prg);
+  zaatar::AnalysisReport report = zaatar::AnalyzeSystem(d.ginger);
+  auto t = zaatar::GingerToZaatar(d.ginger);
+  zaatar::CheckTransform(d.ginger, t, &report);
+  report.Merge(zaatar::AnalyzeR1cs(t.r1cs));
+  zaatar::Qap<zaatar::F128> qap(t.r1cs);
+  zaatar::CheckQapShape(qap, &report);
+  Report("degenerate_quadform(m=" + std::to_string(m) + ")", report, options,
+         totals);
+}
+
+void LintSuite(const Options& options, Totals* totals) {
+  // Small instances: the analyses scale with the constraint count and the
+  // rule set is size-independent, so CI stays fast.
+  auto pam = zaatar::MakePamApp(4, 3);
+  auto apsp = zaatar::MakeApspApp(3);
+  auto fannkuch = zaatar::MakeFannkuchApp(3, 4, 8);
+  auto lcs = zaatar::MakeLcsApp(6);
+  auto matmul = zaatar::MakeMatMulApp(3);
+  auto rootfind = zaatar::MakeRootFindApp(2, 4);
+  LintSource<zaatar::F128>(pam.name, pam.source, options, totals);
+  LintSource<zaatar::F128>(apsp.name, apsp.source, options, totals);
+  LintSource<zaatar::F128>(fannkuch.name, fannkuch.source, options, totals);
+  LintSource<zaatar::F128>(lcs.name, lcs.source, options, totals);
+  LintSource<zaatar::F128>(matmul.name, matmul.source, options, totals);
+  LintSource<zaatar::F220>(rootfind.name, rootfind.source, options, totals);
+  LintDegenerate(4, options, totals);
+}
+
+bool LintFile(const std::string& path, const Options& options,
+              Totals* totals) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "zaatar-lint: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (options.field_bits == 220) {
+    LintSource<zaatar::F220>(path, buf.str(), options, totals);
+  } else {
+    LintSource<zaatar::F128>(path, buf.str(), options, totals);
+  }
+  return true;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: zaatar-lint [--suite] [--dir <path>] [--field=128|220]\n"
+      "                   [--werror] [--max-findings=N] [file.zl ...]\n"
+      "With no targets, the built-in benchmark suite is analyzed.\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; i++) {
+    std::string arg = argv[i];
+    if (arg == "--suite") {
+      options.suite = true;
+    } else if (arg == "--werror") {
+      options.werror = true;
+    } else if (arg == "--dir") {
+      if (i + 1 >= argc) {
+        return Usage();
+      }
+      options.dirs.push_back(argv[++i]);
+    } else if (arg.rfind("--field=", 0) == 0) {
+      options.field_bits = std::atoi(arg.c_str() + 8);
+      if (options.field_bits != 128 && options.field_bits != 220) {
+        return Usage();
+      }
+    } else if (arg.rfind("--max-findings=", 0) == 0) {
+      options.max_findings =
+          static_cast<size_t>(std::atol(arg.c_str() + 15));
+    } else if (arg.rfind("--", 0) == 0) {
+      return Usage();
+    } else {
+      options.files.push_back(arg);
+    }
+  }
+  if (options.files.empty() && options.dirs.empty()) {
+    options.suite = true;
+  }
+
+  Totals totals;
+  if (options.suite) {
+    LintSuite(options, &totals);
+  }
+  for (const std::string& dir : options.dirs) {
+    std::error_code ec;
+    std::vector<std::string> found;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(dir, ec)) {
+      if (entry.path().extension() == ".zl") {
+        found.push_back(entry.path().string());
+      }
+    }
+    if (ec) {
+      std::fprintf(stderr, "zaatar-lint: cannot scan %s: %s\n", dir.c_str(),
+                   ec.message().c_str());
+      return 2;
+    }
+    std::sort(found.begin(), found.end());
+    for (const std::string& path : found) {
+      if (!LintFile(path, options, &totals)) {
+        return 2;
+      }
+    }
+  }
+  for (const std::string& path : options.files) {
+    if (!LintFile(path, options, &totals)) {
+      return 2;
+    }
+  }
+
+  std::printf("zaatar-lint: %zu program(s), %zu error(s), %zu warning(s)\n",
+              totals.programs, totals.errors, totals.warnings);
+  bool fail = totals.errors > 0 || (options.werror && totals.warnings > 0);
+  return fail ? 1 : 0;
+}

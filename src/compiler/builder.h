@@ -43,6 +43,14 @@ class CircuitBuilder {
   uint32_t NewInput() { return kInputTag | num_inputs_++; }
   uint32_t NewOutput() { return kOutputTag | num_outputs_++; }
 
+  // Source-location plumbing: the evaluator announces the zlang line it is
+  // currently lowering; every constraint emitted until the next call is
+  // attributed to that line (0 = unknown). zaatar-lint findings use the
+  // attribution to point at program text instead of bare constraint indices.
+  void SetSourceLine(size_t line) {
+    current_line_ = static_cast<uint32_t>(line);
+  }
+
   size_t num_inputs() const { return num_inputs_; }
   size_t num_outputs() const { return num_outputs_; }
   size_t num_constraints() const { return constraints_.size(); }
@@ -62,7 +70,7 @@ class CircuitBuilder {
     c.linear = lc * (-F::One());
     c.linear.AddTerm(v, F::One());
     c.linear.Compact();
-    constraints_.push_back(std::move(c));
+    PushConstraint(std::move(c));
     PushAffine(v, lc);
     return LC::Variable(v);
   }
@@ -93,7 +101,7 @@ class CircuitBuilder {
         c.quad.push_back({va, vb, ca * cb});
       }
     }
-    constraints_.push_back(std::move(c));
+    PushConstraint(std::move(c));
 
     SolverOp<F> op;
     op.kind = SolverOp<F>::Kind::kProduct;
@@ -118,13 +126,13 @@ class CircuitBuilder {
       c.quad.push_back({vv, m, F::One()});
       c.linear.AddTerm(b, F::One());
       c.linear.AddConstant(-F::One());
-      constraints_.push_back(std::move(c));
+      PushConstraint(std::move(c));
     }
     // v·b = 0
     {
       GingerConstraint<F> c;
       c.quad.push_back({vv, b, F::One()});
-      constraints_.push_back(std::move(c));
+      PushConstraint(std::move(c));
     }
     {
       SolverOp<F> op;
@@ -168,13 +176,13 @@ class CircuitBuilder {
       GingerConstraint<F> bc;
       bc.quad.push_back({bits[i], bits[i], F::One()});
       bc.linear.AddTerm(bits[i], -F::One());
-      constraints_.push_back(std::move(bc));
+      PushConstraint(std::move(bc));
       sum.linear.AddTerm(bits[i], pow);
       pow = pow.Double();
       out.push_back(LC::Variable(bits[i]));
     }
     sum.linear.Compact();
-    constraints_.push_back(std::move(sum));
+    PushConstraint(std::move(sum));
     solver_.push_back(std::move(op));
     return out;
   }
@@ -206,7 +214,7 @@ class CircuitBuilder {
       c.quad.push_back({q, d.terms()[0].first, -F::One()});
     }
     c.linear.Compact();
-    constraints_.push_back(std::move(c));
+    PushConstraint(std::move(c));
     return {LC::Variable(q), LC::Variable(r)};
   }
 
@@ -233,7 +241,7 @@ class CircuitBuilder {
       }
       return;
     }
-    constraints_.push_back(std::move(c));
+    PushConstraint(std::move(c));
   }
 
   // Pins an output variable to a computed value: one linear constraint plus
@@ -243,7 +251,7 @@ class CircuitBuilder {
     c.linear = value * (-F::One());
     c.linear.AddTerm(output_var, F::One());
     c.linear.Compact();
-    constraints_.push_back(std::move(c));
+    PushConstraint(std::move(c));
     PushAffine(output_var, value);
   }
 
@@ -272,6 +280,7 @@ class CircuitBuilder {
     r.system.layout.num_inputs = num_inputs_;
     r.system.layout.num_outputs = num_outputs_;
     r.system.constraints = std::move(constraints_);
+    r.system.source_lines = std::move(lines_);
     for (auto& c : r.system.constraints) {
       c.linear.RemapVariables(remap);
       for (auto& q : c.quad) {
@@ -294,6 +303,11 @@ class CircuitBuilder {
  private:
   uint32_t NewUnbound() { return kUnboundTag | num_unbound_++; }
 
+  void PushConstraint(GingerConstraint<F>&& c) {
+    constraints_.push_back(std::move(c));
+    lines_.push_back(current_line_);
+  }
+
   void PushAffine(uint32_t dst, const LC& lc) {
     SolverOp<F> op;
     op.kind = SolverOp<F>::Kind::kAffine;
@@ -305,7 +319,9 @@ class CircuitBuilder {
   uint32_t num_unbound_ = 0;
   uint32_t num_inputs_ = 0;
   uint32_t num_outputs_ = 0;
+  uint32_t current_line_ = 0;
   std::vector<GingerConstraint<F>> constraints_;
+  std::vector<uint32_t> lines_;
   std::vector<SolverOp<F>> solver_;
 };
 

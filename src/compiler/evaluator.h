@@ -118,7 +118,7 @@ class Evaluator {
 
     switch (d.kind) {
       case Declaration::Kind::kInput:
-        env_.emplace(d.name, MakeIoValue(d.name, type, /*is_input=*/true));
+        env_.emplace(d.name, MakeIoValue(d.name, type));
         decl_types_.emplace(d.name, type);
         break;
       case Declaration::Kind::kOutput: {
@@ -150,7 +150,7 @@ class Evaluator {
     }
   }
 
-  V MakeIoValue(const std::string& name, const TypeNode& type, bool is_input) {
+  V MakeIoValue(const std::string& name, const TypeNode& type) {
     AppendIoSlots(name, type, &input_slots_);
     if (!type.IsArray()) {
       return MakeScalarInput(type);
@@ -251,6 +251,7 @@ class Evaluator {
   // ----- statements -----
 
   void Exec(const Stmt& s) {
+    builder_.SetSourceLine(s.line);
     switch (s.kind) {
       case Stmt::Kind::kBlock:
         for (const auto& child : s.body) {
@@ -522,6 +523,9 @@ class Evaluator {
   // ----- expressions -----
 
   V Eval(const Expr& e) {
+    if (e.line != 0) {
+      builder_.SetSourceLine(e.line);
+    }
     switch (e.kind) {
       case Expr::Kind::kIntLit:
         return V(IV::Constant(e.int_value));
@@ -834,7 +838,9 @@ class Evaluator {
     return r;
   }
 
-  BV IntEq(const IV& a, const IV& b, size_t line = 0) {
+  // `line` kept for signature uniformity with the other gadgets; IsZero is
+  // width-free so nothing here can overflow-report against it.
+  BV IntEq(const IV& a, const IV& b, size_t /*line*/ = 0) {
     if (a.IsStatic() && b.IsStatic()) {
       return BV::Constant(*a.static_value == *b.static_value);
     }

@@ -37,6 +37,29 @@ struct GingerConstraint {
     }
     return acc;
   }
+
+  // Calls fn(var) for every variable occurrence (linear terms first, then
+  // both slots of each degree-2 term). Occurrences are not deduplicated.
+  template <typename Fn>
+  void ForEachVariable(Fn&& fn) const {
+    for (const auto& t : linear.terms()) {
+      fn(t.first);
+    }
+    for (const auto& t : quad) {
+      fn(t.a);
+      fn(t.b);
+    }
+  }
+
+  long MaxVariable() const {
+    long m = linear.MaxVariable();
+    for (const auto& t : quad) {
+      m = std::max(m, static_cast<long>(std::max(t.a, t.b)));
+    }
+    return m;
+  }
+
+  bool IsEmpty() const { return linear.IsConstant() && quad.empty(); }
 };
 
 template <typename F>
@@ -44,9 +67,17 @@ class GingerSystem {
  public:
   VariableLayout layout;
   std::vector<GingerConstraint<F>> constraints;
+  // Parallel to `constraints` when non-empty: the zlang source line each
+  // constraint was emitted for (0 = unknown). Hand-built systems may leave
+  // this empty; SourceLineOf handles both shapes.
+  std::vector<uint32_t> source_lines;
 
   size_t NumConstraints() const { return constraints.size(); }
   size_t NumVariables() const { return layout.Total(); }
+
+  uint32_t SourceLineOf(size_t j) const {
+    return j < source_lines.size() ? source_lines[j] : 0;
+  }
 
   // Checks every constraint against a full assignment (Z then X then Y).
   bool IsSatisfied(const std::vector<F>& assignment) const {

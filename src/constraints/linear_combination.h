@@ -122,6 +122,16 @@ class LinearCombination {
     }
   }
 
+  // Largest variable index referenced, or -1 when constant-only. Static
+  // analysis uses this for index-bound checks without walking terms twice.
+  long MaxVariable() const {
+    long m = -1;
+    for (const auto& t : terms_) {
+      m = std::max(m, static_cast<long>(t.first));
+    }
+    return m;
+  }
+
  private:
   std::vector<std::pair<uint32_t, F>> terms_;
   F constant_;

@@ -34,6 +34,11 @@ class Qap {
   const R1cs<F>& constraint_system() const { return *cs_; }
   size_t Degree() const { return cs_->NumConstraints(); }
 
+  // The divisor polynomial D(t) = prod_{j=1..|C|} (t - j), materialized from
+  // the subproduct tree. Static analysis checks deg D == |C| against the
+  // constraint system instead of trusting the Degree() definition.
+  Polynomial<F> Divisor() const { return Tree().Root().ShiftDown(1); }
+
   // ----- Prover -----
 
   struct HResult {

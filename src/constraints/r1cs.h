@@ -6,6 +6,7 @@
 #ifndef SRC_CONSTRAINTS_R1CS_H_
 #define SRC_CONSTRAINTS_R1CS_H_
 
+#include <algorithm>
 #include <vector>
 
 #include "src/constraints/linear_combination.h"
@@ -22,6 +23,26 @@ struct R1csConstraint {
     return a.Evaluate(assignment) * b.Evaluate(assignment) ==
            c.Evaluate(assignment);
   }
+
+  // Calls fn(var) for every variable occurrence across the three sides.
+  template <typename Fn>
+  void ForEachVariable(Fn&& fn) const {
+    for (const auto* side : {&a, &b, &c}) {
+      for (const auto& t : side->terms()) {
+        fn(t.first);
+      }
+    }
+  }
+
+  long MaxVariable() const {
+    return std::max({a.MaxVariable(), b.MaxVariable(), c.MaxVariable()});
+  }
+
+  // True when every side is the zero combination (the 0·0 = 0 tautology).
+  bool IsEmpty() const {
+    return a.IsConstant() && a.constant().IsZero() && b.IsConstant() &&
+           b.constant().IsZero() && c.IsConstant() && c.constant().IsZero();
+  }
 };
 
 template <typename F>
@@ -29,9 +50,16 @@ class R1cs {
  public:
   VariableLayout layout;
   std::vector<R1csConstraint<F>> constraints;
+  // Parallel to `constraints` when non-empty (0 = unknown); see
+  // GingerSystem::source_lines.
+  std::vector<uint32_t> source_lines;
 
   size_t NumConstraints() const { return constraints.size(); }
   size_t NumVariables() const { return layout.Total(); }
+
+  uint32_t SourceLineOf(size_t j) const {
+    return j < source_lines.size() ? source_lines[j] : 0;
+  }
 
   bool IsSatisfied(const std::vector<F>& assignment) const {
     for (const auto& c : constraints) {

@@ -69,9 +69,12 @@ ZaatarTransform<F> GingerToZaatar(const GingerSystem<F>& g,
   t.ginger_num_unbound = g.layout.num_unbound;
 
   // First pass: allocate auxiliary variables for distinct degree-2 terms that
-  // are not folded away.
+  // are not folded away. Each product remembers the source line of the first
+  // constraint that needed it, so its R1CS product row stays attributable.
   std::map<std::pair<uint32_t, uint32_t>, uint32_t> aux;  // pair -> aux index
-  for (const auto& c : g.constraints) {
+  std::vector<uint32_t> product_lines;
+  for (size_t j = 0; j < g.constraints.size(); j++) {
+    const auto& c = g.constraints[j];
     if (options.fold_single_quad && c.quad.size() == 1) {
       continue;
     }
@@ -81,6 +84,7 @@ ZaatarTransform<F> GingerToZaatar(const GingerSystem<F>& g,
         uint32_t idx = static_cast<uint32_t>(t.products.size());
         aux.emplace(key, idx);
         t.products.emplace_back(key.first, key.second);
+        product_lines.push_back(g.SourceLineOf(j));
       }
     }
   }
@@ -89,11 +93,18 @@ ZaatarTransform<F> GingerToZaatar(const GingerSystem<F>& g,
   t.r1cs.layout = g.layout;
   t.r1cs.layout.num_unbound += k2;
   t.r1cs.constraints.reserve(g.constraints.size() + k2);
+  if (!g.source_lines.empty()) {
+    t.r1cs.source_lines.reserve(g.constraints.size() + k2);
+  }
 
   auto remap = [&](uint32_t v) { return t.Remap(v); };
 
   // Second pass: rewrite each constraint.
-  for (const auto& c : g.constraints) {
+  for (size_t j = 0; j < g.constraints.size(); j++) {
+    const auto& c = g.constraints[j];
+    if (!g.source_lines.empty()) {
+      t.r1cs.source_lines.push_back(g.SourceLineOf(j));
+    }
     R1csConstraint<F> rc;
     if (options.fold_single_quad && c.quad.size() == 1) {
       // linear + k·a·b = 0  ->  (w_a)·(k·w_b) = -linear
@@ -120,6 +131,9 @@ ZaatarTransform<F> GingerToZaatar(const GingerSystem<F>& g,
 
   // Product constraints: w_a · w_b = aux.
   for (size_t i = 0; i < t.products.size(); i++) {
+    if (!g.source_lines.empty()) {
+      t.r1cs.source_lines.push_back(product_lines[i]);
+    }
     R1csConstraint<F> rc;
     rc.a = LinearCombination<F>::Variable(remap(t.products[i].first));
     rc.b = LinearCombination<F>::Variable(remap(t.products[i].second));

@@ -188,7 +188,7 @@ class ElGamal {
 
   // Returns g^m; full decryption to m would require a discrete log, which the
   // commitment protocol never needs.
-  static Zp DecryptToGroup(const SecretKey& sk, const PublicKey& pk,
+  static Zp DecryptToGroup(const SecretKey& sk, const PublicKey& /*pk*/,
                            const Ciphertext& ct) {
     // c2 / c1^x. An honest c1 = g^r lies in the order-q subgroup, so
     // (c1^x)^{-1} = c1^{q-x}: one |q|-bit exponentiation instead of an

@@ -44,7 +44,7 @@ class Prg {
     if (bound <= 1) {
       return 0;
     }
-    uint64_t mask = ~uint64_t{0} >> __builtin_clzll(bound - 1 | 1);
+    uint64_t mask = ~uint64_t{0} >> __builtin_clzll((bound - 1) | 1);
     for (;;) {
       uint64_t v = NextU64() & mask;
       if (v < bound) {

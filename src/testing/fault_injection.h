@@ -21,6 +21,8 @@
 
 #include "src/argument/argument.h"
 #include "src/argument/wire.h"
+#include "src/constraints/ginger.h"
+#include "src/constraints/r1cs.h"
 #include "src/crypto/prg.h"
 #include "src/util/serialize.h"
 
@@ -68,6 +70,41 @@ inline const char* FaultClassName(FaultClass c) {
       return "trailing-garbage";
   }
   return "unknown";
+}
+
+// ----- compile-pipeline corruption (pre-protocol) -----
+//
+// Deleting a constraint from a compiled system models a compiler or
+// transform bug that silently loses an equation. The protocol itself cannot
+// notice — every remaining constraint still holds for honest witnesses, so
+// proofs keep verifying — but the witness space widens and a malicious
+// prover may now claim wrong outputs. This is exactly the failure class the
+// static analyzer (src/analysis) exists to catch; the fault-injection tests
+// assert that every single-constraint drop in a pipeline-covered program
+// produces an ERROR finding.
+
+template <typename F>
+GingerSystem<F> DropConstraint(const GingerSystem<F>& g, size_t j) {
+  GingerSystem<F> out = g;
+  if (j < out.constraints.size()) {
+    out.constraints.erase(out.constraints.begin() + j);
+    if (j < out.source_lines.size()) {
+      out.source_lines.erase(out.source_lines.begin() + j);
+    }
+  }
+  return out;
+}
+
+template <typename F>
+R1cs<F> DropConstraint(const R1cs<F>& r, size_t j) {
+  R1cs<F> out = r;
+  if (j < out.constraints.size()) {
+    out.constraints.erase(out.constraints.begin() + j);
+    if (j < out.source_lines.size()) {
+      out.source_lines.erase(out.source_lines.begin() + j);
+    }
+  }
+  return out;
 }
 
 // Byte-level mutations. All pure: the input transcript is never modified.

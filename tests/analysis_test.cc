@@ -1,0 +1,333 @@
+// Tests for the constraint-system static analyzer (src/analysis):
+// seeded-defect fixtures must produce exactly the expected rule IDs, and
+// clean compiler output must analyze clean at every pipeline layer.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/analyzer.h"
+#include "src/apps/degenerate.h"
+#include "src/apps/suite.h"
+#include "src/compiler/compile.h"
+#include "src/constraints/transform.h"
+#include "src/crypto/prg.h"
+#include "src/field/fields.h"
+
+namespace zaatar {
+namespace {
+
+using F = F128;
+using LC = LinearCombination<F>;
+
+LC Var(uint32_t v) { return LC::Variable(v); }
+
+// ----- seeded-defect fixtures -----
+
+// x·x = w0 pins w0; w1² = x admits two roots, so w1 is underconstrained.
+TEST(AnalysisTest, UnderconstrainedR1csProducesZl001) {
+  R1cs<F> r;
+  r.layout = {2, 1, 0};  // w0, w1, then input x = var 2
+  {
+    R1csConstraint<F> c;
+    c.a = Var(2);
+    c.b = Var(2);
+    c.c = Var(0);
+    r.constraints.push_back(c);
+  }
+  {
+    R1csConstraint<F> c;
+    c.a = Var(1);
+    c.b = Var(1);
+    c.c = Var(2);
+    r.constraints.push_back(c);
+  }
+  AnalysisReport report = AnalyzeR1cs(r);
+  EXPECT_EQ(report.CountRule(kRuleUnderconstrained), 1u);
+  EXPECT_EQ(report.NumErrors(), 1u);
+  EXPECT_EQ(report.NumWarnings(), 0u);
+  ASSERT_EQ(report.findings().size(), 1u);
+  EXPECT_EQ(report.findings()[0].location.variable, 1);
+}
+
+// A row that is a per-side scalar multiple of an earlier row is flagged.
+TEST(AnalysisTest, DuplicateConstraintProducesZl004) {
+  R1cs<F> r;
+  r.layout = {1, 1, 0};  // w0, then input x = var 1
+  {
+    R1csConstraint<F> c;
+    c.a = Var(1);
+    c.b = Var(1);
+    c.c = Var(0);
+    r.constraints.push_back(c);
+  }
+  {
+    R1csConstraint<F> c;  // (2x)·(3x) = 6·w0 — same constraint, rescaled
+    c.a = Var(1) * F::FromUint(2);
+    c.b = Var(1) * F::FromUint(3);
+    c.c = Var(0) * F::FromUint(6);
+    r.constraints.push_back(c);
+  }
+  AnalysisReport report = AnalyzeR1cs(r);
+  EXPECT_EQ(report.CountRule(kRuleDuplicateConstraint), 1u);
+  EXPECT_EQ(report.NumErrors(), 0u);
+  EXPECT_EQ(report.NumWarnings(), 1u);
+  EXPECT_EQ(report.findings()[0].location.constraint, 1);
+}
+
+// A variable allocated in Z but absent from every constraint is dead.
+TEST(AnalysisTest, DeadVariableProducesZl002) {
+  R1cs<F> r;
+  r.layout = {2, 1, 0};  // w1 never referenced
+  {
+    R1csConstraint<F> c;
+    c.a = Var(2);
+    c.b = Var(2);
+    c.c = Var(0);
+    r.constraints.push_back(c);
+  }
+  AnalysisReport report = AnalyzeR1cs(r);
+  EXPECT_EQ(report.CountRule(kRuleDeadVariable), 1u);
+  EXPECT_EQ(report.NumErrors(), 0u);
+  EXPECT_EQ(report.NumWarnings(), 1u);
+  EXPECT_EQ(report.findings()[0].location.variable, 1);
+}
+
+TEST(AnalysisTest, TrivialUnsatisfiableAndOutOfBoundsRows) {
+  GingerSystem<F> g;
+  g.layout = {1, 1, 0};
+  g.constraints.emplace_back();  // 0 = 0
+  {
+    GingerConstraint<F> c;  // 5 = 0
+    c.linear.AddConstant(F::FromUint(5));
+    g.constraints.push_back(c);
+  }
+  {
+    GingerConstraint<F> c;  // references variable 9 in a 2-variable layout
+    c.linear.AddTerm(9, F::One());
+    g.constraints.push_back(c);
+  }
+  {
+    GingerConstraint<F> c;  // x - w0 = 0, keeps w0 determined
+    c.linear.AddTerm(0, F::One());
+    c.linear.AddTerm(1, -F::One());
+    g.constraints.push_back(c);
+  }
+  AnalysisReport report = AnalyzeSystem(g);
+  EXPECT_EQ(report.CountRule(kRuleTrivialConstraint), 1u);
+  EXPECT_EQ(report.CountRule(kRuleUnsatisfiableConstraint), 1u);
+  EXPECT_EQ(report.CountRule(kRuleIndexOutOfBounds), 1u);
+}
+
+// Removing a product row from the transform output breaks the |C| = |C_g| +
+// K2 bookkeeping.
+TEST(AnalysisTest, TransformMismatchProducesZl012) {
+  GingerSystem<F> g;
+  g.layout = {1, 2, 0};  // w0, inputs x1 x2
+  {
+    GingerConstraint<F> c;  // x1·x2 + x1·x1 - w0 = 0 (two quads: no folding)
+    c.quad.push_back({1, 2, F::One()});
+    c.quad.push_back({1, 1, F::One()});
+    c.linear.AddTerm(0, -F::One());
+    g.constraints.push_back(c);
+  }
+  ZaatarTransform<F> t = GingerToZaatar(g);
+  AnalysisReport clean;
+  CheckTransform(g, t, &clean);
+  EXPECT_TRUE(clean.Empty());
+
+  ZaatarTransform<F> broken = t;
+  broken.r1cs.constraints.pop_back();
+  AnalysisReport report;
+  CheckTransform(g, broken, &report);
+  EXPECT_TRUE(report.HasRule(kRuleTransformMismatch));
+  EXPECT_TRUE(report.HasErrors());
+}
+
+// ----- determinism rules on hand-built systems -----
+
+// Bit decomposition: booleanity per bit plus a doubling-chain sum uniquely
+// determines the bits; a repeated weight does not (1+1: subset sums collide).
+TEST(AnalysisTest, DecompositionChainDeterminesBits) {
+  auto build = [](const std::vector<uint64_t>& weights) {
+    GingerSystem<F> g;
+    g.layout = {weights.size(), 1, 0};
+    for (uint32_t i = 0; i < weights.size(); i++) {
+      GingerConstraint<F> bc;  // b·b - b = 0
+      bc.quad.push_back({i, i, F::One()});
+      bc.linear.AddTerm(i, -F::One());
+      g.constraints.push_back(bc);
+    }
+    GingerConstraint<F> sum;  // sum w_i b_i - x = 0
+    for (uint32_t i = 0; i < weights.size(); i++) {
+      sum.linear.AddTerm(i, F::FromUint(weights[i]));
+    }
+    sum.linear.AddTerm(static_cast<uint32_t>(weights.size()), -F::One());
+    g.constraints.push_back(sum);
+    return g;
+  };
+  EXPECT_FALSE(AnalyzeSystem(build({1, 2, 4, 8})).HasErrors());
+  AnalysisReport bad = AnalyzeSystem(build({1, 2, 2, 8}));
+  EXPECT_TRUE(bad.HasRule(kRuleUnderconstrained));
+}
+
+// The is-zero gadget: with both equations present, b is determined and the
+// inverse witness m is exempt; without v·b = 0, b is underconstrained.
+TEST(AnalysisTest, IsZeroGadgetRequiresBothEquations) {
+  auto build = [](bool with_product) {
+    GingerSystem<F> g;
+    g.layout = {2, 1, 0};  // m = w0, b = w1, v = input var 2
+    GingerConstraint<F> c1;  // v·m + b - 1 = 0
+    c1.quad.push_back({2, 0, F::One()});
+    c1.linear.AddTerm(1, F::One());
+    c1.linear.AddConstant(-F::One());
+    g.constraints.push_back(c1);
+    if (with_product) {
+      GingerConstraint<F> c2;  // v·b = 0
+      c2.quad.push_back({2, 1, F::One()});
+      g.constraints.push_back(c2);
+    }
+    return g;
+  };
+  EXPECT_FALSE(AnalyzeSystem(build(true)).HasErrors());
+  AnalysisReport bad = AnalyzeSystem(build(false));
+  EXPECT_TRUE(bad.HasRule(kRuleUnderconstrained));
+}
+
+// ----- compiled programs analyze clean at every layer -----
+
+void ExpectClean(const std::string& name, const std::string& source) {
+  SCOPED_TRACE(name);
+  auto program = CompileZlang<F>(source);
+  AnalysisReport report = AnalyzeProgram(program);
+  for (const auto& f : report.findings()) {
+    ADD_FAILURE() << f.Render();
+  }
+}
+
+TEST(AnalysisTest, ExampleProgramsAnalyzeClean) {
+  ExpectClean("quickstart", R"(
+program quickstart;
+const N = 4;
+input int32 x[N];
+output int<70> best;
+var int<70> v;
+var int<70> b;
+b = x[0] * x[0] + 3 * x[0];
+for i in 1..N-1 {
+  v = x[i] * x[i] + 3 * x[i];
+  if (v > b) { b = v; }
+}
+best = b;
+)");
+  ExpectClean("division", R"(
+program division;
+input int32 a;
+input int32 b;
+output int32 q;
+output int32 r;
+output int32 halves;
+q = idiv(a, b);
+r = imod(a, b);
+halves = idiv(a, 2);
+)");
+  ExpectClean("bitops", R"(
+program bitops;
+input int32 a;
+input int32 b;
+output int32 mixed;
+output int<40> scaled;
+var int32 t;
+t = a & b;
+mixed = t ^ (a | b);
+scaled = (a >> 3) + (b << 2);
+)");
+  ExpectClean("equality", R"(
+program equality;
+input int32 a;
+input int32 b;
+output bool same;
+output int32 pick;
+same = a == b;
+pick = a == 7 ? b : a;
+)");
+}
+
+TEST(AnalysisTest, SuiteProgramsAnalyzeClean) {
+  {
+    auto app = MakeLcsApp(4);
+    SCOPED_TRACE(app.name);
+    EXPECT_TRUE(AnalyzeProgram(CompileZlang<F128>(app.source)).Empty());
+  }
+  {
+    auto app = MakeMatMulApp(2);
+    SCOPED_TRACE(app.name);
+    EXPECT_TRUE(AnalyzeProgram(CompileZlang<F128>(app.source)).Empty());
+  }
+  {
+    auto app = MakeApspApp(2);
+    SCOPED_TRACE(app.name);
+    EXPECT_TRUE(AnalyzeProgram(CompileZlang<F128>(app.source)).Empty());
+  }
+  {
+    auto app = MakeRootFindApp(2, 3);
+    SCOPED_TRACE(app.name);
+    EXPECT_TRUE(AnalyzeProgram(CompileZlang<F220>(app.source)).Empty());
+  }
+}
+
+TEST(AnalysisTest, DegenerateQuadFormAnalyzesClean) {
+  Prg prg(0x1234);
+  auto d = BuildDegenerateQuadForm<F>(5, prg);
+  AnalysisReport report = AnalyzeSystem(d.ginger);
+  ZaatarTransform<F> t = GingerToZaatar(d.ginger);
+  CheckTransform(d.ginger, t, &report);
+  report.Merge(AnalyzeR1cs(t.r1cs));
+  Qap<F> qap(t.r1cs);
+  CheckQapShape(qap, &report);
+  for (const auto& f : report.findings()) {
+    ADD_FAILURE() << f.Render();
+  }
+}
+
+// Findings carry the zlang source line the constraint was lowered from.
+TEST(AnalysisTest, FindingsCarrySourceLines) {
+  auto program = CompileZlang<F>(R"(
+program located;
+input int32 a;
+output int32 y;
+y = a * a;
+)");
+  ASSERT_EQ(program.ginger.source_lines.size(),
+            program.ginger.NumConstraints());
+  // The product constraint comes from line 5 (y = a * a).
+  bool saw_line5 = false;
+  for (uint32_t line : program.ginger.source_lines) {
+    if (line == 5) {
+      saw_line5 = true;
+    }
+  }
+  EXPECT_TRUE(saw_line5);
+  // Transform output keeps the attribution.
+  ASSERT_EQ(program.zaatar.r1cs.source_lines.size(),
+            program.zaatar.r1cs.NumConstraints());
+}
+
+TEST(AnalysisTest, ReportRenderingIncludesRuleAndLocation) {
+  Finding f;
+  f.severity = Severity::kError;
+  f.rule_id = kRuleUnderconstrained;
+  f.location.layer = AnalysisLayer::kR1cs;
+  f.location.constraint = 3;
+  f.location.variable = 7;
+  f.location.source_line = 42;
+  f.message = "test";
+  std::string rendered = f.Render();
+  EXPECT_NE(rendered.find("ZL001"), std::string::npos);
+  EXPECT_NE(rendered.find("r1cs:c3:w7"), std::string::npos);
+  EXPECT_NE(rendered.find("line 42"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace zaatar

@@ -11,6 +11,8 @@
 
 #include <algorithm>
 
+#include "src/analysis/analyzer.h"
+#include "src/compiler/compile.h"
 #include "src/constraints/qap.h"
 #include "src/constraints/transform.h"
 #include "src/field/fields.h"
@@ -327,6 +329,44 @@ TEST(FaultInjectionTest, GingerArgumentScreensMalformedProofs) {
   EXPECT_EQ(
       GingerArgument<F>::VerifyInstanceDetailed(setup, ip, bad_bound).verdict,
       VerifyVerdict::kMalformed);
+}
+
+// A dropped constraint is invisible to the protocol (honest witnesses still
+// satisfy every remaining equation), but the static analyzer must flag the
+// widened witness space. Swept over every single-constraint drop of a
+// program whose constraints are all load-bearing for determinism.
+TEST(FaultInjectionTest, DroppedConstraintIsFlaggedByAnalyzer) {
+  auto program = CompileZlang<F>(R"(
+program droptest;
+input int32 a;
+input int32 b;
+output int<70> y;
+y = a * b + a * a;
+)");
+  ASSERT_TRUE(AnalyzeProgram(program).Empty());
+
+  for (size_t j = 0; j < program.ginger.NumConstraints(); j++) {
+    SCOPED_TRACE("ginger drop " + std::to_string(j));
+    GingerSystem<F> corrupted = DropConstraint(program.ginger, j);
+    AnalysisReport report = AnalyzeSystem(corrupted);
+    EXPECT_TRUE(report.HasRule(kRuleUnderconstrained));
+    EXPECT_TRUE(report.HasErrors());
+  }
+
+  const R1cs<F>& r1cs = program.zaatar.r1cs;
+  for (size_t j = 0; j < r1cs.NumConstraints(); j++) {
+    SCOPED_TRACE("r1cs drop " + std::to_string(j));
+    R1cs<F> corrupted = DropConstraint(r1cs, j);
+    AnalysisReport report = AnalyzeR1cs(corrupted);
+    // The drop also breaks the transform bookkeeping against the source
+    // Ginger system.
+    ZaatarTransform<F> broken = program.zaatar;
+    broken.r1cs = corrupted;
+    CheckTransform(program.ginger, broken, &report);
+    EXPECT_TRUE(report.HasRule(kRuleUnderconstrained));
+    EXPECT_TRUE(report.HasRule(kRuleTransformMismatch));
+    EXPECT_TRUE(report.HasErrors());
+  }
 }
 
 }  // namespace
