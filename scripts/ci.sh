@@ -55,6 +55,19 @@ bench_smoke() {
     grep -q '"results"' "$json"
   fi
   echo "bench smoke ok: $json"
+
+  # Same for the session/transport overhead bench: it exits nonzero if the
+  # serialized paths (loopback, socketpair) diverge from the in-process
+  # verdicts, so this doubles as a cheap cross-path equivalence check.
+  echo "==== [bench] protocol smoke ===="
+  local pjson="$build_dir/BENCH_protocol_smoke.json"
+  "$build_dir/bench/bench_protocol" --smoke --out "$pjson"
+  if command -v python3 >/dev/null 2>&1; then
+    python3 -m json.tool "$pjson" >/dev/null
+  else
+    grep -q '"results"' "$pjson"
+  fi
+  echo "bench smoke ok: $pjson"
 }
 
 lint_gate() {
@@ -110,18 +123,23 @@ if [[ -z "$ONLY" || "$ONLY" == "undefined" ]]; then
 fi
 
 # TSan covers the worker-pool code paths (ParallelFor and the multiexp
-# engine's parallel folds). Only the concurrency-heavy tests run: TSan's
+# engine's parallel folds) and the two-threaded session exchanges in
+# protocol_test (prover and verifier driving a shared loopback/socketpair
+# from separate threads). Only the concurrency-heavy tests run: TSan's
 # ~10x slowdown makes the full suite impractical, and the remaining tests
 # are single-threaded.
 tsan_config() {
   echo "==== [tsan] configure + build ===="
   cmake -B build-tsan -S . -DZAATAR_SANITIZE=thread >/dev/null
-  cmake --build build-tsan -j "$JOBS" --target parallel_test multiexp_test
-  echo "==== [tsan] parallel_test + multiexp_test ===="
+  cmake --build build-tsan -j "$JOBS" \
+    --target parallel_test multiexp_test protocol_test
+  echo "==== [tsan] parallel_test + multiexp_test + protocol_test ===="
   TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
     ./build-tsan/tests/parallel_test
   TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
     ./build-tsan/tests/multiexp_test
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+    ./build-tsan/tests/protocol_test
 }
 if [[ -z "$ONLY" || "$ONLY" == "thread" ]]; then
   tsan_config

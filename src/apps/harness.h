@@ -1,12 +1,25 @@
 // End-to-end measurement harness: compiles an App, runs a full batched
-// argument (verifier setup, per-instance prove + verify), and reports the
-// per-phase costs the evaluation figures need. Used by bench/ and examples/.
+// argument, and reports the per-phase costs the evaluation figures need.
+// Used by bench/ and examples/.
+//
+// The batch runs as a REAL two-party exchange: the verifier session lives on
+// the calling thread, the prover session on a dedicated thread, and the only
+// thing that crosses between them is serialized protocol messages over a
+// Transport (in-memory loopback by default, a socketpair via `links`). Every
+// benchmark and test therefore exercises the same byte-level boundary a
+// networked deployment would. The Prg consumption order (queries -> keys ->
+// commitment setup -> instances) matches the old in-process harness exactly,
+// so accept/reject outcomes are bit-identical to it at equal seeds.
 
 #ifndef SRC_APPS_HARNESS_H_
 #define SRC_APPS_HARNESS_H_
 
+#include <array>
+#include <cstddef>
+#include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -16,6 +29,7 @@
 #include "src/constraints/qap.h"
 #include "src/pcp/ginger_pcp.h"
 #include "src/pcp/zaatar_pcp.h"
+#include "src/protocol/session.h"
 
 namespace zaatar {
 
@@ -27,8 +41,32 @@ struct BatchMeasurement {
   double verifier_per_instance_s = 0;
   size_t proof_len = 0;
   size_t total_queries = 0;
+
+  // Per-instance verdicts (the PR-1 taxonomy), not just their conjunction:
+  // instance i's result is instance_results[i], verdict_counts is indexed by
+  // VerifyVerdict, first_failing_index is -1 when every instance accepted.
+  std::vector<VerifyInstanceResult> instance_results;
+  std::array<size_t, kNumVerifyVerdicts> verdict_counts{};
+  ptrdiff_t first_failing_index = -1;
   bool all_accepted = true;
+
+  // Bytes actually moved across the transport.
+  size_t setup_message_bytes = 0;
+  size_t proof_message_bytes = 0;  // sum over the batch
 };
+
+// Folds one verdict into the measurement's taxonomy bookkeeping.
+inline void RecordVerdict(BatchMeasurement* out, size_t index,
+                          VerifyInstanceResult result) {
+  out->verdict_counts[static_cast<size_t>(result.verdict)]++;
+  if (!result.accepted()) {
+    out->all_accepted = false;
+    if (out->first_failing_index < 0) {
+      out->first_failing_index = static_cast<ptrdiff_t>(index);
+    }
+  }
+  out->instance_results.push_back(std::move(result));
+}
 
 // Fills the encoding statistics (Figure 9 quantities) without running
 // anything.
@@ -48,57 +86,226 @@ ComputationStats ComputeStats(const CompiledProgram<F>& program,
   return s;
 }
 
-// Runs a batch of `beta` instances through the full Zaatar argument.
+// Backend requirements for MeasureBatch:
+//   using Adapter = ...;                       // the Argument adapter
+//   struct Prepared { explicit Prepared(const CompiledProgram<F>&); ... };
+//   static Queries GenerateQueries(const Prepared&, const PcpParams&, Prg&);
+//   static size_t ProofLen(const Queries&);
+//   static ProofVectors BuildProofVectors(const Prepared&,
+//       const CompiledProgram<F>&, const std::vector<F>& ginger_assignment,
+//       ProverCosts*);                         // times solve/construct
+// ProofVectors exposes `first` and `second`, the two oracle vectors.
+
+// Zaatar backend: oracles are z and the QAP quotient h.
 template <typename F>
-BatchMeasurement MeasureZaatarBatch(const App<F>& app,
-                                    const CompiledProgram<F>& program,
-                                    size_t beta, const PcpParams& params,
-                                    uint64_t seed,
-                                    bool measure_native = true) {
+struct ZaatarHarnessBackend {
+  using Adapter = ZaatarAdapter<F>;
+  using Queries = typename ZaatarPcp<F>::Queries;
+
+  struct Prepared {
+    explicit Prepared(const CompiledProgram<F>& program)
+        : qap(program.zaatar.r1cs) {}
+    Qap<F> qap;  // holds a pointer into the program's R1CS; do not copy
+  };
+
+  struct ProofVectors {
+    std::vector<F> first;   // z
+    std::vector<F> second;  // h
+  };
+
+  static Queries GenerateQueries(const Prepared& prep, const PcpParams& params,
+                                 Prg& prg) {
+    return ZaatarPcp<F>::GenerateQueries(prep.qap, params, prg);
+  }
+
+  static size_t ProofLen(const Queries& q) { return q.z_len + q.h_len; }
+
+  static ProofVectors BuildProofVectors(const Prepared& prep,
+                                        const CompiledProgram<F>& program,
+                                        const std::vector<F>& ginger_assignment,
+                                        ProverCosts* costs) {
+    Stopwatch phase;
+    std::vector<F> w = program.SolveZaatar(ginger_assignment);
+    costs->solve_constraints_s += phase.Lap();
+    ZaatarProof<F> proof = BuildZaatarProof(prep.qap, w);
+    costs->construct_proof_s += phase.Lap();
+    return {std::move(proof.z), std::move(proof.h)};
+  }
+};
+
+// Ginger baseline backend: oracles are z and the tensor z ⊗ z. Only feasible
+// at small sizes (the proof is |Z| + |Z|^2 long); larger sizes use the
+// Figure 3 cost model, as the paper itself does.
+template <typename F>
+struct GingerHarnessBackend {
+  using Adapter = GingerAdapter<F>;
+  using Queries = typename GingerPcp<F>::Queries;
+
+  struct Prepared {
+    explicit Prepared(const CompiledProgram<F>& program)
+        : pcp(BuildGingerPcpInstance(program.ginger)) {}
+    GingerPcpInstance<F> pcp;
+  };
+
+  struct ProofVectors {
+    std::vector<F> first;   // z
+    std::vector<F> second;  // z ⊗ z
+  };
+
+  static Queries GenerateQueries(const Prepared& prep, const PcpParams& params,
+                                 Prg& prg) {
+    return GingerPcp<F>::GenerateQueries(prep.pcp, params, prg);
+  }
+
+  static size_t ProofLen(const Queries& q) { return q.n + q.n * q.n; }
+
+  static ProofVectors BuildProofVectors(const Prepared& prep,
+                                        const CompiledProgram<F>& /*program*/,
+                                        const std::vector<F>& ginger_assignment,
+                                        ProverCosts* costs) {
+    Stopwatch phase;
+    GingerProof<F> proof = BuildGingerProof(prep.pcp, ginger_assignment);
+    costs->construct_proof_s += phase.Lap();
+    return {std::move(proof.z), std::move(proof.tensor)};
+  }
+};
+
+// Runs a batch of `beta` instances of `app` through the full argument, with
+// the prover and verifier as message-driven sessions on separate threads.
+// `links` optionally supplies the transport pair (left = verifier side,
+// right = prover side); the default is an in-memory loopback.
+template <typename F, typename Backend>
+BatchMeasurement MeasureBatch(const App<F>& app,
+                              const CompiledProgram<F>& program, size_t beta,
+                              const PcpParams& params, uint64_t seed,
+                              bool measure_native = true,
+                              protocol::TransportPair* links = nullptr) {
+  using Adapter = typename Backend::Adapter;
+
   BatchMeasurement out;
   out.stats = ComputeStats(
       program, measure_native ? app.measure_native_seconds() : 0.0);
 
   Prg prg(seed);
-  Qap<F> qap(program.zaatar.r1cs);
+  typename Backend::Prepared prep(program);
 
   Stopwatch sw;
-  auto queries = ZaatarPcp<F>::GenerateQueries(qap, params, prg);
+  auto queries = Backend::GenerateQueries(prep, params, prg);
   out.query_generation_s = sw.Lap();
   out.total_queries = queries.TotalQueryCount();
-  out.proof_len = queries.z_len + queries.h_len;
+  out.proof_len = Backend::ProofLen(queries);
 
-  auto setup = ZaatarArgument<F>::Setup(std::move(queries), prg,
-                                        out.query_generation_s);
-  out.commit_setup_s = setup.costs.commit_setup_s;
+  protocol::VerifierSession<F, Adapter> verifier(std::move(queries), prg,
+                                                 out.query_generation_s);
+  out.commit_setup_s = verifier.setup().costs.commit_setup_s;
 
+  // Instances are drawn before the exchange starts so the Prg consumption
+  // order matches the old in-process harness (proving and verifying never
+  // touch the Prg, so the streams are identical either way) and the prover
+  // thread shares them read-only.
+  std::vector<AppInstance<F>> instances;
+  instances.reserve(beta);
   for (size_t i = 0; i < beta; i++) {
-    AppInstance<F> inst = app.make_instance(prg);
-
-    Stopwatch phase;
-    std::vector<F> gw = program.SolveGinger(inst.inputs);
-    std::vector<F> w = program.SolveZaatar(gw);
-    out.prover.solve_constraints_s += phase.Lap();
-
-    ZaatarProof<F> proof = BuildZaatarProof(qap, w);
-    out.prover.construct_proof_s += phase.Lap();
-
-    auto instance_proof =
-        ZaatarArgument<F>::Prove({&proof.z, &proof.h}, setup);
-    out.prover.crypto_s += instance_proof.costs.crypto_s;
-    out.prover.answer_queries_s += instance_proof.costs.answer_queries_s;
-
-    std::vector<F> outputs = program.ExtractOutputs(gw);
-    if (outputs != inst.expected_outputs) {
-      throw std::runtime_error(app.name +
-                               ": compiled outputs disagree with the native "
-                               "reference");
-    }
-    std::vector<F> bound = program.BoundValues(inst.inputs, outputs);
-    bool ok = ZaatarArgument<F>::VerifyInstance(
-        setup, instance_proof, bound, &out.verifier_per_instance_s);
-    out.all_accepted = out.all_accepted && ok;
+    instances.push_back(app.make_instance(prg));
   }
+
+  protocol::TransportPair local;
+  if (links == nullptr) {
+    local = protocol::MakeLoopbackPair();
+    links = &local;
+  }
+  protocol::Transport& verifier_link = *links->left;
+  protocol::Transport& prover_link = *links->right;
+
+  // The prover side: a real session fed only by transport bytes. Failures
+  // are stashed and rethrown on the calling thread after join.
+  ProverCosts prover_costs;
+  std::string prover_error;
+  std::thread prover_thread([&] {
+    try {
+      protocol::ProverSession<F> session;
+      Status st = session.ReceiveSetup(prover_link);
+      if (!st.ok()) {
+        throw std::runtime_error("prover setup: " + st.ToString());
+      }
+      for (size_t i = 0; i < beta; i++) {
+        Stopwatch phase;
+        std::vector<F> gw = program.SolveGinger(instances[i].inputs);
+        prover_costs.solve_constraints_s += phase.Lap();
+
+        typename Backend::ProofVectors vectors =
+            Backend::BuildProofVectors(prep, program, gw, &prover_costs);
+
+        std::vector<F> outputs = program.ExtractOutputs(gw);
+        if (outputs != instances[i].expected_outputs) {
+          throw std::runtime_error(app.name +
+                                   ": compiled outputs disagree with the "
+                                   "native reference");
+        }
+        Status shape = Adapter::ValidateProverVectors(
+            session.context(), {&vectors.first, &vectors.second});
+        if (!shape.ok()) {
+          throw std::runtime_error("prover vectors: " + shape.ToString());
+        }
+        auto sent = session.ProveInstance(prover_link,
+                                          {&vectors.first, &vectors.second});
+        if (!sent.ok()) {
+          throw std::runtime_error("prover instance " + std::to_string(i) +
+                                   ": " + sent.status().ToString());
+        }
+        auto verdict = session.ReceiveVerdict(prover_link);
+        if (!verdict.ok()) {
+          throw std::runtime_error("prover verdict " + std::to_string(i) +
+                                   ": " + verdict.status().ToString());
+        }
+      }
+      prover_costs.crypto_s += session.costs().crypto_s;
+      prover_costs.answer_queries_s += session.costs().answer_queries_s;
+    } catch (const std::exception& e) {
+      prover_error = e.what();
+      // Unblock a verifier waiting on the next proof frame.
+      prover_link.Close();
+    }
+  });
+
+  // The verifier side drives the calling thread.
+  try {
+    auto setup_sent = verifier.SendSetup(verifier_link);
+    if (!setup_sent.ok()) {
+      throw std::runtime_error("verifier setup: " +
+                               setup_sent.status().ToString());
+    }
+    out.setup_message_bytes = *setup_sent;
+    for (size_t i = 0; i < beta; i++) {
+      std::vector<F> bound = program.BoundValues(
+          instances[i].inputs, instances[i].expected_outputs);
+      auto result = verifier.DecideNext(verifier_link, bound);
+      if (!result.ok()) {
+        throw std::runtime_error("verifier instance " + std::to_string(i) +
+                                 ": " + result.status().ToString());
+      }
+      RecordVerdict(&out, i, *result);
+    }
+  } catch (...) {
+    // Unblock the prover (it may be waiting for a verdict), reap it, and
+    // prefer its error — a transport failure seen here is usually the
+    // symptom of the prover dying first.
+    verifier_link.Close();
+    prover_thread.join();
+    if (!prover_error.empty()) {
+      throw std::runtime_error(prover_error);
+    }
+    throw;
+  }
+  prover_thread.join();
+  if (!prover_error.empty()) {
+    throw std::runtime_error(prover_error);
+  }
+
+  out.prover = prover_costs;
+  out.verifier_per_instance_s = verifier.verify_seconds();
+  out.proof_message_bytes = verifier.proof_bytes_received();
+
   double b = static_cast<double>(beta);
   out.prover.solve_constraints_s /= b;
   out.prover.construct_proof_s /= b;
@@ -108,65 +315,26 @@ BatchMeasurement MeasureZaatarBatch(const App<F>& app,
   return out;
 }
 
-// Same for the Ginger baseline. Only feasible at small sizes (the proof is
-// |Z| + |Z|^2 long); larger sizes use the Figure 3 cost model, as the paper
-// itself does.
+// Runs a batch of `beta` instances through the full Zaatar argument.
+template <typename F>
+BatchMeasurement MeasureZaatarBatch(const App<F>& app,
+                                    const CompiledProgram<F>& program,
+                                    size_t beta, const PcpParams& params,
+                                    uint64_t seed,
+                                    bool measure_native = true) {
+  return MeasureBatch<F, ZaatarHarnessBackend<F>>(app, program, beta, params,
+                                                  seed, measure_native);
+}
+
+// Same for the Ginger baseline.
 template <typename F>
 BatchMeasurement MeasureGingerBatch(const App<F>& app,
                                     const CompiledProgram<F>& program,
                                     size_t beta, const PcpParams& params,
                                     uint64_t seed,
                                     bool measure_native = true) {
-  BatchMeasurement out;
-  out.stats = ComputeStats(
-      program, measure_native ? app.measure_native_seconds() : 0.0);
-
-  Prg prg(seed);
-  GingerPcpInstance<F> pcp_instance = BuildGingerPcpInstance(program.ginger);
-
-  Stopwatch sw;
-  auto queries = GingerPcp<F>::GenerateQueries(pcp_instance, params, prg);
-  out.query_generation_s = sw.Lap();
-  out.total_queries = queries.TotalQueryCount();
-  out.proof_len = queries.n + queries.n * queries.n;
-
-  auto setup = GingerArgument<F>::Setup(std::move(queries), prg,
-                                        out.query_generation_s);
-  out.commit_setup_s = setup.costs.commit_setup_s;
-
-  for (size_t i = 0; i < beta; i++) {
-    AppInstance<F> inst = app.make_instance(prg);
-
-    Stopwatch phase;
-    std::vector<F> gw = program.SolveGinger(inst.inputs);
-    out.prover.solve_constraints_s += phase.Lap();
-
-    GingerProof<F> proof = BuildGingerProof(pcp_instance, gw);
-    out.prover.construct_proof_s += phase.Lap();
-
-    auto instance_proof =
-        GingerArgument<F>::Prove({&proof.z, &proof.tensor}, setup);
-    out.prover.crypto_s += instance_proof.costs.crypto_s;
-    out.prover.answer_queries_s += instance_proof.costs.answer_queries_s;
-
-    std::vector<F> outputs = program.ExtractOutputs(gw);
-    if (outputs != inst.expected_outputs) {
-      throw std::runtime_error(app.name +
-                               ": compiled outputs disagree with the native "
-                               "reference");
-    }
-    std::vector<F> bound = program.BoundValues(inst.inputs, outputs);
-    bool ok = GingerArgument<F>::VerifyInstance(
-        setup, instance_proof, bound, &out.verifier_per_instance_s);
-    out.all_accepted = out.all_accepted && ok;
-  }
-  double b = static_cast<double>(beta);
-  out.prover.solve_constraints_s /= b;
-  out.prover.construct_proof_s /= b;
-  out.prover.crypto_s /= b;
-  out.prover.answer_queries_s /= b;
-  out.verifier_per_instance_s /= b;
-  return out;
+  return MeasureBatch<F, GingerHarnessBackend<F>>(app, program, beta, params,
+                                                  seed, measure_native);
 }
 
 }  // namespace zaatar

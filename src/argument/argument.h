@@ -5,96 +5,37 @@
 // Batch model (§2.2): the verifier's query generation, encryption of r, and
 // consistency vectors t are produced once per (computation, batch) in
 // Setup(); each of the beta instances then runs Prove()/VerifyInstance().
+//
+// The setup state is split along the trust boundary: VerifierSecrets (the
+// ElGamal secret key, the plaintext r vectors, the alphas) never leaves the
+// verifier's side, while the shared halves (Enc(r), t) plus the plaintext
+// queries are exactly what a protocol::SetupMessage ships to the prover. The
+// prover-facing entry points consume a ProverContext — reconstructable
+// purely from SetupMessage bytes — so prover code cannot even name the
+// secrets (src/protocol/prover_session.h, tests/protocol_isolation_test.cc).
 
 #ifndef SRC_ARGUMENT_ARGUMENT_H_
 #define SRC_ARGUMENT_ARGUMENT_H_
 
+#include <algorithm>
 #include <array>
 #include <cstddef>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "src/argument/verdict.h"
 #include "src/commit/commitment.h"
 #include "src/crypto/elgamal.h"
 #include "src/crypto/prg.h"
 #include "src/pcp/ginger_pcp.h"
 #include "src/pcp/zaatar_pcp.h"
+#include "src/protocol/messages.h"
+#include "src/protocol/prover_context.h"
 #include "src/util/status.h"
 #include "src/util/stopwatch.h"
 
 namespace zaatar {
-
-// Typed per-instance verdict. The verifier runs against an arbitrarily
-// malicious prover, so "not accepted" is split by *where* the instance
-// failed: a structurally invalid proof (kMalformed) never reaches the
-// cryptographic checks, a commitment-consistency failure (kRejectCommit) is
-// distinguished from a PCP decision failure (kRejectPcp). A non-accept
-// verdict is an ordinary per-instance outcome: it must never abort the
-// remaining instances of a batch.
-enum class VerifyVerdict {
-  kAccept = 0,
-  kMalformed,      // proof shape disagrees with the setup
-  kRejectCommit,   // responses inconsistent with the commitment
-  kRejectPcp,      // commitment fine, PCP decision procedure rejects
-};
-
-inline const char* VerifyVerdictName(VerifyVerdict v) {
-  switch (v) {
-    case VerifyVerdict::kAccept:
-      return "ACCEPT";
-    case VerifyVerdict::kMalformed:
-      return "MALFORMED";
-    case VerifyVerdict::kRejectCommit:
-      return "REJECT_COMMIT";
-    case VerifyVerdict::kRejectPcp:
-      return "REJECT_PCP";
-  }
-  return "UNKNOWN";
-}
-
-struct VerifyInstanceResult {
-  VerifyVerdict verdict = VerifyVerdict::kMalformed;
-  std::string detail;  // non-empty for kMalformed: which check failed
-
-  bool accepted() const { return verdict == VerifyVerdict::kAccept; }
-
-  static VerifyInstanceResult Accept() {
-    return {VerifyVerdict::kAccept, ""};
-  }
-  static VerifyInstanceResult Reject(VerifyVerdict v, std::string why = "") {
-    return {v, std::move(why)};
-  }
-};
-
-// Prover per-instance cost decomposition (the Figure 5 columns; the first
-// two phases happen in the application layer and are filled in by it).
-struct ProverCosts {
-  double solve_constraints_s = 0;
-  double construct_proof_s = 0;
-  double crypto_s = 0;
-  double answer_queries_s = 0;
-
-  double Total() const {
-    return solve_constraints_s + construct_proof_s + crypto_s +
-           answer_queries_s;
-  }
-
-  ProverCosts& operator+=(const ProverCosts& o) {
-    solve_constraints_s += o.solve_constraints_s;
-    construct_proof_s += o.construct_proof_s;
-    crypto_s += o.crypto_s;
-    answer_queries_s += o.answer_queries_s;
-    return *this;
-  }
-};
-
-struct VerifierSetupCosts {
-  double query_generation_s = 0;  // computation-specific + oblivious queries
-  double commit_setup_s = 0;      // Enc(r) and t vectors
-
-  double Total() const { return query_generation_s + commit_setup_s; }
-};
 
 // Adapter requirements (see ZaatarAdapter / GingerAdapter below):
 //   using Queries = ...;
@@ -103,15 +44,27 @@ struct VerifierSetupCosts {
 //                                                           size_t oracle);
 //   static size_t BoundValueCount(const Queries&);  // expected |inputs|+|outputs|
 //   static bool Decide(const Queries&, resp0, resp1, bound_values);
+//   static Status ValidateProverVectors(const ProverContext<F>&,
+//                                       const std::array<const
+//                                       std::vector<F>*, 2>&);
 template <typename F, typename Adapter>
 class Argument {
  public:
   using EG = ElGamal<F>;
 
+  // Everything that must stay on the verifier's side of the transport:
+  // serializing any of these toward the prover breaks hiding (r), the
+  // consistency check (alphas), or the whole commitment (sk).
+  struct VerifierSecrets {
+    typename EG::SecretKey sk;
+    std::array<OracleCommitSecrets<F>, 2> commit;
+  };
+
   struct VerifierSetup {
-    typename EG::KeyPair keys;
+    typename EG::PublicKey pk;
     typename Adapter::Queries queries;
-    std::array<OracleCommitSetup<F>, 2> commit;
+    VerifierSecrets secrets;
+    std::array<OracleCommitShared<F>, 2> shared;
     VerifierSetupCosts costs;
 
     size_t TotalQueryElements() const {
@@ -121,6 +74,33 @@ class Argument {
              Adapter::OracleLength(queries, o);
       }
       return n;
+    }
+
+    // The message the prover receives: public key, Enc(r), plaintext
+    // queries, t. Everything in VerifierSecrets stays out by construction.
+    protocol::SetupMessage<F> ToSetupMessage() const {
+      protocol::SetupMessage<F> msg;
+      msg.pk = pk;
+      for (size_t o = 0; o < 2; o++) {
+        msg.oracles[o].enc_r = shared[o].enc_r;
+        msg.oracles[o].queries = Adapter::OracleQueries(queries, o);
+        msg.oracles[o].t = shared[o].t;
+      }
+      return msg;
+    }
+
+    // The honest prover's in-process view — identical content to decoding
+    // ToSetupMessage().Serialize(), without the byte round trip (tests pin
+    // the equivalence).
+    ProverContext<F> ProverView() const {
+      ProverContext<F> ctx;
+      ctx.pk = pk;
+      for (size_t o = 0; o < 2; o++) {
+        ctx.oracles[o].enc_r = shared[o].enc_r;
+        ctx.oracles[o].queries = Adapter::OracleQueries(queries, o);
+        ctx.oracles[o].t = shared[o].t;
+      }
+      return ctx;
     }
   };
 
@@ -137,30 +117,50 @@ class Argument {
     VerifierSetup s;
     s.costs.query_generation_s = query_generation_seconds;
     Stopwatch timer;
-    s.keys = EG::GenerateKeys(prg);
+    typename EG::KeyPair keys = EG::GenerateKeys(prg);
+    s.pk = keys.pk;
+    s.secrets.sk = keys.sk;
     s.queries = std::move(queries);
     for (size_t o = 0; o < 2; o++) {
-      s.commit[o] = LinearCommitment<F>::CreateSetup(
-          s.keys.pk, Adapter::OracleLength(s.queries, o),
+      OracleCommitSetup<F> commit = LinearCommitment<F>::CreateSetup(
+          s.pk, Adapter::OracleLength(s.queries, o),
           Adapter::OracleQueries(s.queries, o), prg);
+      s.secrets.commit[o] = std::move(commit.secrets);
+      s.shared[o] = std::move(commit.shared);
     }
     s.costs.commit_setup_s = timer.ElapsedSeconds();
     return s;
   }
 
-  // Prover, once per instance. `proof_vectors` are the two oracle vectors
-  // (e.g. z and h); construct-u / solve costs are added by the caller.
-  // `workers` > 1 splits the commitment multi-exponentiations across
-  // threads — the intra-instance counterpart of the across-instance
-  // parallelism in src/argument/parallel.h.
+  // Prover, once per instance, against the prover's own view of the batch
+  // (reconstructed from SetupMessage bytes by the session layer).
+  // `proof_vectors` are the two oracle vectors (e.g. z and h); construct-u /
+  // solve costs are added by the caller. `workers` > 1 splits the commitment
+  // multi-exponentiations across threads — the intra-instance counterpart of
+  // the across-instance parallelism in src/argument/parallel.h.
+  static InstanceProof Prove(
+      const std::array<const std::vector<F>*, 2>& proof_vectors,
+      const ProverContext<F>& ctx, size_t workers = 1) {
+    InstanceProof p;
+    for (size_t o = 0; o < 2; o++) {
+      p.parts[o] = LinearCommitment<F>::Prove(
+          *proof_vectors[o], ctx.oracles[o], &p.costs.crypto_s,
+          &p.costs.answer_queries_s, workers);
+    }
+    return p;
+  }
+
+  // In-process convenience for tests, examples, and benches: prove directly
+  // against the shared half of the verifier's setup without materializing a
+  // ProverContext (no copies — bench_fig6 calls this in a loop).
   static InstanceProof Prove(
       const std::array<const std::vector<F>*, 2>& proof_vectors,
       const VerifierSetup& setup, size_t workers = 1) {
     InstanceProof p;
     for (size_t o = 0; o < 2; o++) {
       p.parts[o] = LinearCommitment<F>::Prove(
-          *proof_vectors[o], setup.commit[o].enc_r,
-          Adapter::OracleQueries(setup.queries, o), setup.commit[o].t,
+          *proof_vectors[o], setup.shared[o].enc_r,
+          Adapter::OracleQueries(setup.queries, o), setup.shared[o].t,
           &p.costs.crypto_s, &p.costs.answer_queries_s, workers);
     }
     return p;
@@ -179,7 +179,7 @@ class Argument {
         return MalformedError("oracle " + std::to_string(o) +
                               " response count mismatch");
       }
-      if (setup.commit[o].alphas.size() != expected) {
+      if (setup.secrets.commit[o].alphas.size() != expected) {
         return MalformedError("setup alpha count mismatch");
       }
     }
@@ -203,7 +203,7 @@ class Argument {
     }
     for (size_t o = 0; o < 2 && result.accepted(); o++) {
       if (!LinearCommitment<F>::CheckConsistency(
-              setup.keys.pk, setup.keys.sk, setup.commit[o],
+              setup.pk, setup.secrets.sk, setup.secrets.commit[o],
               proof.parts[o])) {
         result = VerifyInstanceResult::Reject(
             VerifyVerdict::kRejectCommit,
@@ -233,22 +233,27 @@ class Argument {
   // Verifies every instance of a batch and reports a per-instance verdict:
   // one malicious or malformed instance is isolated, never aborting the
   // remaining beta-1 (the batch amortization of §2.2 assumes all instances
-  // are checked regardless of individual outcomes).
-  static std::vector<VerifyInstanceResult> VerifyBatch(
+  // are checked regardless of individual outcomes). A proofs/bound-values
+  // count mismatch is a caller-side batch assembly bug, not a per-instance
+  // outcome, and is rejected up front with a typed error naming the first
+  // instance that would be missing its bound values.
+  static StatusOr<std::vector<VerifyInstanceResult>> VerifyBatch(
       const VerifierSetup& setup, const std::vector<InstanceProof>& proofs,
       const std::vector<std::vector<F>>& bound_values,
       double* seconds = nullptr) {
+    if (proofs.size() != bound_values.size()) {
+      const size_t first_bad = std::min(proofs.size(), bound_values.size());
+      return MalformedError(
+          "batch shape mismatch: " + std::to_string(proofs.size()) +
+          " proofs vs " + std::to_string(bound_values.size()) +
+          " bound value vectors (first unmatched instance: " +
+          std::to_string(first_bad) + ")");
+    }
     std::vector<VerifyInstanceResult> results;
     results.reserve(proofs.size());
     for (size_t i = 0; i < proofs.size(); i++) {
-      if (i < bound_values.size()) {
-        results.push_back(
-            VerifyInstanceDetailed(setup, proofs[i], bound_values[i],
-                                   seconds));
-      } else {
-        results.push_back(VerifyInstanceResult::Reject(
-            VerifyVerdict::kMalformed, "missing bound values"));
-      }
+      results.push_back(
+          VerifyInstanceDetailed(setup, proofs[i], bound_values[i], seconds));
     }
     return results;
   }
@@ -273,6 +278,13 @@ struct ZaatarAdapter {
                      const std::vector<F>& bound_values) {
     return ZaatarPcp<F>::Decide(q, r0, r1, bound_values);
   }
+  // The z and h oracles are independent vectors; the generic per-oracle
+  // length check is the whole shape contract.
+  static Status ValidateProverVectors(
+      const ProverContext<F>& ctx,
+      const std::array<const std::vector<F>*, 2>& vectors) {
+    return ctx.ValidateVectors(vectors);
+  }
 };
 
 template <typename F>
@@ -292,6 +304,18 @@ struct GingerAdapter {
                      const std::vector<F>& r1,
                      const std::vector<F>& bound_values) {
     return GingerPcp<F>::Decide(q, r0, r1, bound_values);
+  }
+  // Ginger's second oracle is the tensor z ⊗ z: besides the generic length
+  // check, the context itself must relate the two oracle lengths
+  // quadratically or the setup cannot have come from an honest verifier.
+  static Status ValidateProverVectors(
+      const ProverContext<F>& ctx,
+      const std::array<const std::vector<F>*, 2>& vectors) {
+    const size_t n = ctx.oracles[0].oracle_length();
+    if (ctx.oracles[1].oracle_length() != n * n) {
+      return MalformedError("tensor oracle length is not |z|^2");
+    }
+    return ctx.ValidateVectors(vectors);
   }
 };
 

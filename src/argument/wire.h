@@ -14,6 +14,7 @@
 #define SRC_ARGUMENT_WIRE_H_
 
 #include <array>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -40,8 +41,8 @@ struct SetupMessage {
     SetupMessage msg;
     msg.query_seed = seed;
     for (size_t o = 0; o < 2; o++) {
-      msg.enc_r[o] = setup.commit[o].enc_r;
-      msg.t[o] = setup.commit[o].t;
+      msg.enc_r[o] = setup.shared[o].enc_r;
+      msg.t[o] = setup.shared[o].t;
     }
     return msg;
   }
@@ -180,7 +181,10 @@ std::vector<VerifyInstanceResult> VerifyBatchBytes(
           setup, proof_bytes[i], bound_values[i], seconds));
     } else {
       results.push_back(VerifyInstanceResult::Reject(
-          VerifyVerdict::kMalformed, "missing bound values"));
+          VerifyVerdict::kMalformed,
+          "instance " + std::to_string(i) + ": missing bound values (batch " +
+              "carries " + std::to_string(bound_values.size()) +
+              " bound value vectors)"));
     }
   }
   return results;

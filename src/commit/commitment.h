@@ -13,6 +13,11 @@
 //      g^(pi(t) - sum_i alpha_i pi(q_i)) == Dec(e)  (checked in the group).
 // Binding holds because plaintext arithmetic is exactly F (the ElGamal
 // subgroup order equals the field modulus).
+//
+// The per-oracle state is split along the trust boundary: OracleCommitSecrets
+// (r, alphas) never leaves the verifier, OracleCommitShared (Enc(r), t) is
+// exactly what a SetupMessage carries, and ProverOracleContext is the
+// prover's reconstruction of the shared half plus the plaintext queries.
 
 #ifndef SRC_COMMIT_COMMITMENT_H_
 #define SRC_COMMIT_COMMITMENT_H_
@@ -29,15 +34,42 @@
 
 namespace zaatar {
 
-// Verifier-side per-oracle, per-batch state.
+// Verifier-only per-oracle, per-batch state. Nothing in this struct may ever
+// be serialized toward the prover: r breaks hiding, the alphas break the
+// consistency check's soundness.
+template <typename F>
+struct OracleCommitSecrets {
+  std::vector<F> r;       // plaintext commitment vector
+  std::vector<F> alphas;  // consistency coefficients, one per query
+};
+
+// The per-oracle material the prover is allowed to see; exactly what crosses
+// the wire in a SetupMessage (alongside the plaintext queries, which live in
+// the adapter's Queries).
+template <typename F>
+struct OracleCommitShared {
+  std::vector<typename ElGamal<F>::Ciphertext> enc_r;
+  std::vector<F> t;
+};
+
+// Verifier-side per-oracle, per-batch state: both halves.
 template <typename F>
 struct OracleCommitSetup {
-  using EG = ElGamal<F>;
+  OracleCommitSecrets<F> secrets;
+  OracleCommitShared<F> shared;
+};
 
-  std::vector<F> r;                                // secret
-  std::vector<typename EG::Ciphertext> enc_r;      // sent to the prover
-  std::vector<F> alphas;                           // secret, one per query
-  std::vector<F> t;                                // sent with the queries
+// The prover's per-oracle view of a batch, reconstructed purely from
+// SetupMessage bytes: encrypted r, plaintext multidecommit queries, and the
+// consistency vector t. By construction it cannot contain r, the alphas, or
+// the ElGamal secret key — the types for those never appear on this side.
+template <typename F>
+struct ProverOracleContext {
+  std::vector<typename ElGamal<F>::Ciphertext> enc_r;
+  std::vector<std::vector<F>> queries;
+  std::vector<F> t;
+
+  size_t oracle_length() const { return enc_r.size(); }
 };
 
 // Prover-side per-oracle, per-instance message.
@@ -58,29 +90,55 @@ class LinearCommitment {
       const typename EG::PublicKey& pk, size_t oracle_len,
       const std::vector<std::vector<F>>& queries, Prg& prg) {
     OracleCommitSetup<F> s;
-    s.r = prg.NextFieldVector<F>(oracle_len);
-    s.enc_r.reserve(oracle_len);
-    for (const F& ri : s.r) {
-      s.enc_r.push_back(EG::Encrypt(pk, ri, prg));
+    s.secrets.r = prg.NextFieldVector<F>(oracle_len);
+    s.shared.enc_r.reserve(oracle_len);
+    for (const F& ri : s.secrets.r) {
+      s.shared.enc_r.push_back(EG::Encrypt(pk, ri, prg));
     }
-    s.alphas.reserve(queries.size());
-    s.t = s.r;
+    s.secrets.alphas.reserve(queries.size());
+    s.shared.t = s.secrets.r;
     for (const auto& q : queries) {
       assert(q.size() == oracle_len);
       F alpha = prg.NextField<F>();
-      s.alphas.push_back(alpha);
+      s.secrets.alphas.push_back(alpha);
       for (size_t i = 0; i < oracle_len; i++) {
-        s.t[i] += alpha * q[i];
+        s.shared.t[i] += alpha * q[i];
       }
     }
     return s;
   }
 
-  // Phases 2 + 4 (prover, per instance): commit homomorphically, then answer
-  // every query plus the consistency query. `crypto_seconds` /
-  // `answer_seconds` receive the phase costs when non-null. `workers` > 1
-  // chunks the commitment multi-exponentiation across that many threads
-  // (only useful when instances are not already proved in parallel).
+  // Phase 2 (prover, per instance): the homomorphic commitment
+  // e = Enc(<u, r>) from Enc(r) and the plaintext proof vector u. `workers`
+  // > 1 chunks the multi-exponentiation across that many threads (only
+  // useful when instances are not already proved in parallel).
+  static typename EG::Ciphertext Commit(
+      const std::vector<F>& u,
+      const std::vector<typename EG::Ciphertext>& enc_r, size_t workers = 1) {
+    assert(u.size() == enc_r.size());
+    return EG::InnerProduct(enc_r.data(), u.data(), u.size(), workers);
+  }
+
+  // Phase 4 (prover, per instance): answer every multidecommit query plus
+  // the consistency query in the clear. Fills `responses` / `t_response` of
+  // an already-committed proof part.
+  static void Answer(const std::vector<F>& u,
+                     const std::vector<std::vector<F>>& queries,
+                     const std::vector<F>& t, OracleProofPart<F>* part) {
+    part->responses.clear();
+    part->responses.reserve(queries.size());
+    for (const auto& q : queries) {
+      assert(q.size() == u.size());
+      part->responses.push_back(
+          VectorOracle<F>::InnerProduct(q.data(), u.data(), u.size()));
+    }
+    assert(t.size() == u.size());
+    part->t_response =
+        VectorOracle<F>::InnerProduct(t.data(), u.data(), u.size());
+  }
+
+  // Phases 2 + 4 together. `crypto_seconds` / `answer_seconds` receive the
+  // phase costs when non-null.
   static OracleProofPart<F> Prove(const std::vector<F>& u,
                                   const std::vector<typename EG::Ciphertext>&
                                       enc_r,
@@ -90,21 +148,33 @@ class LinearCommitment {
                                   double* answer_seconds = nullptr,
                                   size_t workers = 1);
 
+  // Prove against the prover's reconstructed per-oracle context — the form
+  // the session layer uses once the SetupMessage has been decoded.
+  static OracleProofPart<F> Prove(const std::vector<F>& u,
+                                  const ProverOracleContext<F>& ctx,
+                                  double* crypto_seconds = nullptr,
+                                  double* answer_seconds = nullptr,
+                                  size_t workers = 1) {
+    return Prove(u, ctx.enc_r, ctx.queries, ctx.t, crypto_seconds,
+                 answer_seconds, workers);
+  }
+
   // Per-instance verifier check: are the responses consistent with the
-  // committed linear function?
+  // committed linear function? Needs only the secret half of the setup —
+  // the check is g^(pi(t) - sum_i alpha_i pi(q_i)) == Dec(e).
   static bool CheckConsistency(const typename EG::PublicKey& pk,
                                const typename EG::SecretKey& sk,
-                               const OracleCommitSetup<F>& setup,
+                               const OracleCommitSecrets<F>& secrets,
                                const OracleProofPart<F>& part) {
     // A malformed proof part must fail the check, not index out of bounds
     // (asserts are compiled out in release builds; the argument layer also
     // screens shape, this is defense in depth).
-    if (part.responses.size() != setup.alphas.size()) {
+    if (part.responses.size() != secrets.alphas.size()) {
       return false;
     }
     F expected = part.t_response;
-    for (size_t i = 0; i < setup.alphas.size(); i++) {
-      expected -= setup.alphas[i] * part.responses[i];
+    for (size_t i = 0; i < secrets.alphas.size(); i++) {
+      expected -= secrets.alphas[i] * part.responses[i];
     }
     typename EG::Zp decrypted =
         EG::DecryptToGroup(sk, pk, part.commitment);
@@ -118,24 +188,17 @@ OracleProofPart<F> LinearCommitment<F>::Prove(
     const std::vector<typename EG::Ciphertext>& enc_r,
     const std::vector<std::vector<F>>& queries, const std::vector<F>& t,
     double* crypto_seconds, double* answer_seconds, size_t workers) {
-  assert(u.size() == enc_r.size());
   OracleProofPart<F> part;
 
   Stopwatch timer;
-  part.commitment =
-      EG::InnerProduct(enc_r.data(), u.data(), u.size(), workers);
+  part.commitment = Commit(u, enc_r, workers);
   if (crypto_seconds != nullptr) {
     *crypto_seconds += timer.Lap();
   } else {
     timer.Restart();
   }
 
-  part.responses.reserve(queries.size());
-  for (const auto& q : queries) {
-    part.responses.push_back(
-        VectorOracle<F>::InnerProduct(q.data(), u.data(), u.size()));
-  }
-  part.t_response = VectorOracle<F>::InnerProduct(t.data(), u.data(), u.size());
+  Answer(u, queries, t, &part);
   if (answer_seconds != nullptr) {
     *answer_seconds += timer.Lap();
   }

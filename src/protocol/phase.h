@@ -1,0 +1,55 @@
+// The session phase lattice shared by ProverSession and VerifierSession:
+//
+//   Setup ──► Commit ──► Decommit ──► Decide ──┐
+//               ▲                              │
+//               └──────── next instance ◄──────┘
+//
+// Setup happens once per batch; Commit/Decommit/Decide cycle once per
+// instance. Each session method checks the current phase first and returns a
+// typed kPhaseViolation Status when driven out of order — a wrong-phase call
+// is a sequencing bug (or a peer violating the protocol), never a verdict,
+// so it must not be confusable with a reject.
+
+#ifndef SRC_PROTOCOL_PHASE_H_
+#define SRC_PROTOCOL_PHASE_H_
+
+#include <string>
+
+#include "src/util/status.h"
+
+namespace zaatar {
+namespace protocol {
+
+enum class SessionPhase {
+  kSetup = 0,  // batch setup not yet exchanged
+  kCommit,     // awaiting/producing the instance commitment
+  kDecommit,   // awaiting/producing the query responses
+  kDecide,     // awaiting/producing the verdict
+};
+
+inline const char* SessionPhaseName(SessionPhase p) {
+  switch (p) {
+    case SessionPhase::kSetup:
+      return "SETUP";
+    case SessionPhase::kCommit:
+      return "COMMIT";
+    case SessionPhase::kDecommit:
+      return "DECOMMIT";
+    case SessionPhase::kDecide:
+      return "DECIDE";
+  }
+  return "UNKNOWN";
+}
+
+// Typed error for an operation invoked outside its phase.
+inline Status WrongPhase(const char* op, SessionPhase required,
+                         SessionPhase actual) {
+  return PhaseViolationError(std::string(op) + " requires phase " +
+                             SessionPhaseName(required) + ", session is in " +
+                             SessionPhaseName(actual));
+}
+
+}  // namespace protocol
+}  // namespace zaatar
+
+#endif  // SRC_PROTOCOL_PHASE_H_

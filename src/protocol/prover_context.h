@@ -1,0 +1,90 @@
+// ProverContext: everything the prover knows about a batch, reconstructed
+// purely from SetupMessage bytes. This is the prover's half of the old
+// monolithic VerifierSetup — the ElGamal public key plus, per oracle, the
+// encrypted commitment vector, the plaintext multidecommit queries, and the
+// consistency vector t.
+//
+// The verifier's secrets (secret key, plaintext r, alphas) are not fields of
+// this struct and no constructor accepts them; a prover built on top of
+// ProverContext is incapable of holding them by construction
+// (tests/protocol_isolation_test.cc pins this down).
+
+#ifndef SRC_PROTOCOL_PROVER_CONTEXT_H_
+#define SRC_PROTOCOL_PROVER_CONTEXT_H_
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/commit/commitment.h"
+#include "src/crypto/elgamal.h"
+#include "src/protocol/messages.h"
+#include "src/util/status.h"
+
+namespace zaatar {
+
+template <typename F>
+struct ProverContext {
+  using EG = ElGamal<F>;
+
+  typename EG::PublicKey pk;
+  std::array<ProverOracleContext<F>, 2> oracles;
+
+  // Builds the context from a decoded SetupMessage, validating the
+  // cross-field invariants the decoder cannot check structurally: every
+  // query row and the t vector must match the oracle length.
+  static StatusOr<ProverContext> FromMessage(protocol::SetupMessage<F> msg) {
+    ProverContext ctx;
+    ctx.pk = msg.pk;
+    for (size_t o = 0; o < 2; o++) {
+      auto& oracle = msg.oracles[o];
+      const size_t len = oracle.enc_r.size();
+      for (const auto& q : oracle.queries) {
+        if (q.size() != len) {
+          return MalformedError("oracle " + std::to_string(o) +
+                                " query length disagrees with Enc(r) length");
+        }
+      }
+      if (oracle.t.size() != len) {
+        return MalformedError("oracle " + std::to_string(o) +
+                              " consistency vector length mismatch");
+      }
+      ctx.oracles[o].enc_r = std::move(oracle.enc_r);
+      ctx.oracles[o].queries = std::move(oracle.queries);
+      ctx.oracles[o].t = std::move(oracle.t);
+    }
+    return ctx;
+  }
+
+  // The full untrusted ingest path: raw bytes -> validated context.
+  static StatusOr<ProverContext> FromBytes(const std::vector<uint8_t>& bytes) {
+    ZAATAR_ASSIGN_OR_RETURN(protocol::SetupMessage<F> msg,
+                            protocol::SetupMessage<F>::Deserialize(bytes));
+    return FromMessage(std::move(msg));
+  }
+
+  // Shape check for a pair of proof vectors against this context. Generic
+  // (adapter-independent): each vector must match its oracle length.
+  Status ValidateVectors(
+      const std::array<const std::vector<F>*, 2>& vectors) const {
+    for (size_t o = 0; o < 2; o++) {
+      if (vectors[o] == nullptr) {
+        return MalformedError("oracle " + std::to_string(o) +
+                              " proof vector missing");
+      }
+      if (vectors[o]->size() != oracles[o].oracle_length()) {
+        return MalformedError(
+            "oracle " + std::to_string(o) + " proof vector length " +
+            std::to_string(vectors[o]->size()) + " != oracle length " +
+            std::to_string(oracles[o].oracle_length()));
+      }
+    }
+    return Status::Ok();
+  }
+};
+
+}  // namespace zaatar
+
+#endif  // SRC_PROTOCOL_PROVER_CONTEXT_H_

@@ -1,0 +1,176 @@
+// ProverSession: the prover's side of the batched argument as a message-
+// driven state machine.
+//
+//   Setup:    ReceiveSetup/IngestSetup — decode the SetupMessage, build the
+//             ProverContext.                                  -> Commit
+//   Commit:   Commit(vectors) — homomorphic commitments for the next
+//             instance.                                       -> Decommit
+//   Decommit: Decommit() — answer the multidecommit + consistency queries,
+//             frame the ProofMessage.                         -> Decide
+//   Decide:   ReceiveVerdict/IngestVerdict — the verifier's typed verdict
+//             for this instance.                              -> Commit
+//
+// Driving the machine out of order yields a typed kPhaseViolation Status.
+//
+// TRUST BOUNDARY INVARIANT: this header must not include (directly or
+// transitively) src/argument/argument.h or anything else defining the
+// verifier's secrets — the session is reconstructed purely from SetupMessage
+// bytes and is incapable of holding the ElGamal secret key, the plaintext r,
+// or the alphas. tests/protocol_isolation_test.cc enforces this.
+
+#ifndef SRC_PROTOCOL_PROVER_SESSION_H_
+#define SRC_PROTOCOL_PROVER_SESSION_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/argument/verdict.h"
+#include "src/commit/commitment.h"
+#include "src/protocol/messages.h"
+#include "src/protocol/phase.h"
+#include "src/protocol/prover_context.h"
+#include "src/protocol/transport.h"
+#include "src/util/status.h"
+#include "src/util/stopwatch.h"
+
+namespace zaatar {
+namespace protocol {
+
+template <typename F>
+class ProverSession {
+ public:
+  // ----- Setup phase -----
+
+  Status IngestSetup(const std::vector<uint8_t>& bytes) {
+    if (phase_ != SessionPhase::kSetup) {
+      return WrongPhase("IngestSetup", SessionPhase::kSetup, phase_);
+    }
+    ZAATAR_ASSIGN_OR_RETURN(ctx_, ProverContext<F>::FromBytes(bytes));
+    phase_ = SessionPhase::kCommit;
+    return Status::Ok();
+  }
+
+  Status ReceiveSetup(Transport& transport) {
+    if (phase_ != SessionPhase::kSetup) {
+      return WrongPhase("ReceiveSetup", SessionPhase::kSetup, phase_);
+    }
+    ZAATAR_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, transport.Receive());
+    return IngestSetup(bytes);
+  }
+
+  // ----- Commit phase -----
+
+  // Computes the homomorphic commitments for the next instance. The pointed-
+  // to vectors must stay alive until Decommit() — the responses are computed
+  // from the same vectors.
+  Status Commit(const std::array<const std::vector<F>*, 2>& vectors,
+                size_t workers = 1) {
+    if (phase_ != SessionPhase::kCommit) {
+      return WrongPhase("Commit", SessionPhase::kCommit, phase_);
+    }
+    ZAATAR_RETURN_IF_ERROR(ctx_.ValidateVectors(vectors));
+    Stopwatch timer;
+    pending_ = ProofMessage<F>{};
+    pending_.instance_index = next_instance_;
+    for (size_t o = 0; o < 2; o++) {
+      pending_.commitments[o] = LinearCommitment<F>::Commit(
+          *vectors[o], ctx_.oracles[o].enc_r, workers);
+    }
+    costs_.crypto_s += timer.Lap();
+    pending_vectors_ = vectors;
+    phase_ = SessionPhase::kDecommit;
+    return Status::Ok();
+  }
+
+  // ----- Decommit phase -----
+
+  // Answers the queries for the committed instance and returns the framed
+  // ProofMessage bytes.
+  StatusOr<std::vector<uint8_t>> Decommit() {
+    if (phase_ != SessionPhase::kDecommit) {
+      return WrongPhase("Decommit", SessionPhase::kDecommit, phase_);
+    }
+    Stopwatch timer;
+    for (size_t o = 0; o < 2; o++) {
+      OracleProofPart<F> part;
+      part.commitment = pending_.commitments[o];
+      LinearCommitment<F>::Answer(*pending_vectors_[o],
+                                  ctx_.oracles[o].queries, ctx_.oracles[o].t,
+                                  &part);
+      pending_.responses[o] = std::move(part.responses);
+      pending_.t_responses[o] = part.t_response;
+    }
+    costs_.answer_queries_s += timer.Lap();
+    phase_ = SessionPhase::kDecide;
+    return pending_.Serialize();
+  }
+
+  // Commit + Decommit + send in one step; returns the proof frame size.
+  StatusOr<size_t> ProveInstance(
+      Transport& transport,
+      const std::array<const std::vector<F>*, 2>& vectors,
+      size_t workers = 1) {
+    ZAATAR_RETURN_IF_ERROR(Commit(vectors, workers));
+    ZAATAR_ASSIGN_OR_RETURN(std::vector<uint8_t> frame, Decommit());
+    ZAATAR_RETURN_IF_ERROR(transport.Send(frame));
+    return frame.size();
+  }
+
+  // ----- Decide phase -----
+
+  // Ingests the verifier's verdict for the in-flight instance and advances
+  // to the next instance's Commit phase.
+  StatusOr<VerifyInstanceResult> IngestVerdict(
+      const std::vector<uint8_t>& bytes) {
+    if (phase_ != SessionPhase::kDecide) {
+      return WrongPhase("IngestVerdict", SessionPhase::kDecide, phase_);
+    }
+    ZAATAR_ASSIGN_OR_RETURN(VerdictMessage msg,
+                            VerdictMessage::Deserialize(bytes));
+    if (msg.instance_index != next_instance_) {
+      return MalformedError(
+          "verdict for instance " + std::to_string(msg.instance_index) +
+          ", expected " + std::to_string(next_instance_));
+    }
+    next_instance_++;
+    pending_vectors_ = {};
+    phase_ = SessionPhase::kCommit;
+    verdicts_.push_back(msg.ToResult());
+    return verdicts_.back();
+  }
+
+  StatusOr<VerifyInstanceResult> ReceiveVerdict(Transport& transport) {
+    if (phase_ != SessionPhase::kDecide) {
+      return WrongPhase("ReceiveVerdict", SessionPhase::kDecide, phase_);
+    }
+    ZAATAR_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, transport.Receive());
+    return IngestVerdict(bytes);
+  }
+
+  // ----- Accessors -----
+
+  SessionPhase phase() const { return phase_; }
+  const ProverContext<F>& context() const { return ctx_; }
+  const ProverCosts& costs() const { return costs_; }
+  uint32_t next_instance() const { return next_instance_; }
+  const std::vector<VerifyInstanceResult>& verdicts() const {
+    return verdicts_;
+  }
+
+ private:
+  SessionPhase phase_ = SessionPhase::kSetup;
+  ProverContext<F> ctx_;
+  ProofMessage<F> pending_;
+  std::array<const std::vector<F>*, 2> pending_vectors_{};
+  uint32_t next_instance_ = 0;
+  ProverCosts costs_;
+  std::vector<VerifyInstanceResult> verdicts_;
+};
+
+}  // namespace protocol
+}  // namespace zaatar
+
+#endif  // SRC_PROTOCOL_PROVER_SESSION_H_

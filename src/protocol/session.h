@@ -1,0 +1,13 @@
+// Umbrella header for the two-party session layer: both state machines plus
+// the transports they run over. Verifier-side code includes this; prover-only
+// code should include prover_session.h directly to stay on its side of the
+// trust boundary (see protocol_isolation_test.cc).
+
+#ifndef SRC_PROTOCOL_SESSION_H_
+#define SRC_PROTOCOL_SESSION_H_
+
+#include "src/protocol/prover_session.h"
+#include "src/protocol/transport.h"
+#include "src/protocol/verifier_session.h"
+
+#endif  // SRC_PROTOCOL_SESSION_H_

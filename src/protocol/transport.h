@@ -1,0 +1,284 @@
+// Message transports for the two-party protocol. A Transport moves opaque
+// frames (serialized messages) between the prover and verifier sessions;
+// the sessions never see anything but bytes, so swapping the in-memory
+// loopback for a real socket changes no protocol code.
+//
+// Two implementations:
+//   - LoopbackTransport: a pair of mutex/condvar frame queues. Thread-safe,
+//     so a prover thread and a verifier thread can drive a real two-party
+//     exchange in one process (the TSan CI stage does exactly that).
+//   - PipeTransport: length-prefixed frames over a socketpair(2). The frame
+//     length is read as an untrusted u32 and validated against a hard cap
+//     before any allocation, and the body is read in bounded chunks — the
+//     same hostile-length discipline as ByteReader::GetLength.
+//
+// Receive() blocking on a closed/empty transport returns a typed kTruncated
+// error ("connection closed"), which sessions surface instead of hanging.
+
+#ifndef SRC_PROTOCOL_TRANSPORT_H_
+#define SRC_PROTOCOL_TRANSPORT_H_
+
+#include <unistd.h>
+
+#include <sys/socket.h>
+#include <sys/types.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <condition_variable>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace zaatar {
+namespace protocol {
+
+// Hard cap on a single frame. The largest honest frame is a SetupMessage
+// (query matrices dominate); 1 GiB leaves orders of magnitude of headroom
+// while bounding what a hostile length prefix can make the receiver buffer.
+inline constexpr uint64_t kMaxFrameBytes = 1ull << 30;
+
+// Frames are read and written in bounded chunks so a large (but in-cap)
+// frame never turns into one giant syscall, and a hostile length prefix on
+// the read side fails fast once the sender stops producing bytes.
+inline constexpr size_t kTransportChunkBytes = 1u << 20;
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  // Delivers one frame to the peer, preserving message boundaries.
+  virtual Status Send(const std::vector<uint8_t>& frame) = 0;
+
+  // Blocks until a frame arrives or the peer closes; kTruncated on close.
+  virtual StatusOr<std::vector<uint8_t>> Receive() = 0;
+
+  // Closes both directions. Any blocked or future Receive() on either side
+  // fails with kTruncated; used to unwind a two-threaded exchange when one
+  // side dies.
+  virtual void Close() = 0;
+};
+
+// A matched pair of endpoints: left talks to right and vice versa.
+struct TransportPair {
+  std::unique_ptr<Transport> left;
+  std::unique_ptr<Transport> right;
+};
+
+namespace internal {
+
+// One direction of a loopback link.
+class FrameQueue {
+ public:
+  Status Push(std::vector<uint8_t> frame) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) {
+        return TruncatedError("transport closed");
+      }
+      frames_.push_back(std::move(frame));
+    }
+    cv_.notify_one();
+    return Status::Ok();
+  }
+
+  StatusOr<std::vector<uint8_t>> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return !frames_.empty() || closed_; });
+    if (frames_.empty()) {
+      return TruncatedError("transport closed");
+    }
+    std::vector<uint8_t> frame = std::move(frames_.front());
+    frames_.pop_front();
+    return frame;
+  }
+
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::vector<uint8_t>> frames_;
+  bool closed_ = false;
+};
+
+}  // namespace internal
+
+// In-memory, thread-safe message transport.
+class LoopbackTransport final : public Transport {
+ public:
+  LoopbackTransport(std::shared_ptr<internal::FrameQueue> tx,
+                    std::shared_ptr<internal::FrameQueue> rx)
+      : tx_(std::move(tx)), rx_(std::move(rx)) {}
+
+  ~LoopbackTransport() override { Close(); }
+
+  Status Send(const std::vector<uint8_t>& frame) override {
+    if (frame.size() > kMaxFrameBytes) {
+      return LengthOverflowError("frame exceeds transport cap");
+    }
+    return tx_->Push(frame);
+  }
+
+  StatusOr<std::vector<uint8_t>> Receive() override { return rx_->Pop(); }
+
+  void Close() override {
+    tx_->Close();
+    rx_->Close();
+  }
+
+ private:
+  std::shared_ptr<internal::FrameQueue> tx_;
+  std::shared_ptr<internal::FrameQueue> rx_;
+};
+
+inline TransportPair MakeLoopbackPair() {
+  auto a = std::make_shared<internal::FrameQueue>();
+  auto b = std::make_shared<internal::FrameQueue>();
+  TransportPair pair;
+  pair.left = std::make_unique<LoopbackTransport>(a, b);
+  pair.right = std::make_unique<LoopbackTransport>(b, a);
+  return pair;
+}
+
+// Length-prefixed frames over a full-duplex file descriptor (socketpair).
+// This is the shape a networked deployment would use; the harness drives it
+// from two threads to exercise real kernel buffering and partial reads.
+class PipeTransport final : public Transport {
+ public:
+  explicit PipeTransport(int fd) : fd_(fd) {}
+
+  PipeTransport(const PipeTransport&) = delete;
+  PipeTransport& operator=(const PipeTransport&) = delete;
+
+  ~PipeTransport() override { Close(); }
+
+  Status Send(const std::vector<uint8_t>& frame) override {
+    if (frame.size() > kMaxFrameBytes) {
+      return LengthOverflowError("frame exceeds transport cap");
+    }
+    uint8_t prefix[4];
+    const uint32_t len = static_cast<uint32_t>(frame.size());
+    for (int i = 0; i < 4; i++) {
+      prefix[i] = static_cast<uint8_t>(len >> (8 * i));
+    }
+    ZAATAR_RETURN_IF_ERROR(WriteAll(prefix, 4));
+    return WriteAll(frame.data(), frame.size());
+  }
+
+  StatusOr<std::vector<uint8_t>> Receive() override {
+    uint8_t prefix[4];
+    ZAATAR_RETURN_IF_ERROR(ReadAll(prefix, 4, /*eof_ok_at_start=*/true));
+    uint32_t len = 0;
+    for (int i = 0; i < 4; i++) {
+      len |= static_cast<uint32_t>(prefix[i]) << (8 * i);
+    }
+    // The length prefix is untrusted: cap it before allocating, then read
+    // the body in bounded chunks so a liar that never delivers the promised
+    // bytes blocks on the descriptor, not on a multi-GB allocation.
+    if (len > kMaxFrameBytes) {
+      return LengthOverflowError("frame length prefix exceeds transport cap");
+    }
+    std::vector<uint8_t> frame;
+    size_t received = 0;
+    while (received < len) {
+      const size_t chunk =
+          std::min<size_t>(kTransportChunkBytes, len - received);
+      frame.resize(received + chunk);
+      ZAATAR_RETURN_IF_ERROR(
+          ReadAll(frame.data() + received, chunk, /*eof_ok_at_start=*/false));
+      received += chunk;
+    }
+    return frame;
+  }
+
+  void Close() override {
+    if (fd_ >= 0) {
+      // Shutdown first so a peer blocked in read() on the other endpoint of
+      // a socketpair wakes up even while it still holds its own fd open.
+      ::shutdown(fd_, SHUT_RDWR);
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  // Creates a connected socketpair; left and right are the two endpoints.
+  static StatusOr<TransportPair> CreatePair() {
+    int fds[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+      return MalformedError(std::string("socketpair failed: ") +
+                            std::strerror(errno));
+    }
+    TransportPair pair;
+    pair.left = std::make_unique<PipeTransport>(fds[0]);
+    pair.right = std::make_unique<PipeTransport>(fds[1]);
+    return pair;
+  }
+
+ private:
+  Status WriteAll(const uint8_t* data, size_t n) {
+    if (fd_ < 0) {
+      return TruncatedError("transport closed");
+    }
+    size_t sent = 0;
+    while (sent < n) {
+      const size_t chunk = std::min<size_t>(kTransportChunkBytes, n - sent);
+      // MSG_NOSIGNAL: a peer that closed mid-frame yields EPIPE (a typed
+      // error below), not a process-killing SIGPIPE.
+      ssize_t w = ::send(fd_, data + sent, chunk, MSG_NOSIGNAL);
+      if (w < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        return TruncatedError(std::string("transport write failed: ") +
+                              std::strerror(errno));
+      }
+      sent += static_cast<size_t>(w);
+    }
+    return Status::Ok();
+  }
+
+  Status ReadAll(uint8_t* data, size_t n, bool eof_ok_at_start) {
+    if (fd_ < 0) {
+      return TruncatedError("transport closed");
+    }
+    size_t got = 0;
+    while (got < n) {
+      ssize_t r = ::read(fd_, data + got, n - got);
+      if (r < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        return TruncatedError(std::string("transport read failed: ") +
+                              std::strerror(errno));
+      }
+      if (r == 0) {
+        return TruncatedError(got == 0 && eof_ok_at_start
+                                  ? "transport closed"
+                                  : "transport closed mid-frame");
+      }
+      got += static_cast<size_t>(r);
+    }
+    return Status::Ok();
+  }
+
+  int fd_;
+};
+
+}  // namespace protocol
+}  // namespace zaatar
+
+#endif  // SRC_PROTOCOL_TRANSPORT_H_

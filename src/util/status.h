@@ -29,6 +29,10 @@ enum class StatusCode {
   // Structure violations: trailing bytes, mismatched vector sizes, a proof
   // whose shape disagrees with the setup.
   kMalformed,
+  // A session operation was invoked in the wrong protocol phase (e.g.
+  // committing before the setup message arrived). Always a local sequencing
+  // bug or a peer driving the state machine out of order — never a verdict.
+  kPhaseViolation,
 };
 
 inline const char* StatusCodeName(StatusCode code) {
@@ -43,6 +47,8 @@ inline const char* StatusCodeName(StatusCode code) {
       return "OUT_OF_RANGE";
     case StatusCode::kMalformed:
       return "MALFORMED";
+    case StatusCode::kPhaseViolation:
+      return "PHASE_VIOLATION";
   }
   return "UNKNOWN";
 }
@@ -87,6 +93,9 @@ inline Status OutOfRangeError(std::string msg) {
 }
 inline Status MalformedError(std::string msg) {
   return Status(StatusCode::kMalformed, std::move(msg));
+}
+inline Status PhaseViolationError(std::string msg) {
+  return Status(StatusCode::kPhaseViolation, std::move(msg));
 }
 
 // A value or a non-OK Status. T must be movable; access to value() on an

@@ -136,10 +136,10 @@ TEST(ArgumentTest, SetupSizesMatchAdapters) {
   size_t zq = queries.z_queries.size(), hq = queries.h_queries.size();
   size_t zl = queries.z_len, hl = queries.h_len;
   auto setup = ZaatarArgument<F>::Setup(std::move(queries), prg);
-  EXPECT_EQ(setup.commit[0].enc_r.size(), zl);
-  EXPECT_EQ(setup.commit[1].enc_r.size(), hl);
-  EXPECT_EQ(setup.commit[0].alphas.size(), zq);
-  EXPECT_EQ(setup.commit[1].alphas.size(), hq);
+  EXPECT_EQ(setup.shared[0].enc_r.size(), zl);
+  EXPECT_EQ(setup.shared[1].enc_r.size(), hl);
+  EXPECT_EQ(setup.secrets.commit[0].alphas.size(), zq);
+  EXPECT_EQ(setup.secrets.commit[1].alphas.size(), hq);
   EXPECT_EQ(setup.TotalQueryElements(), zq * zl + hq * hl);
 }
 

@@ -26,7 +26,7 @@ struct Fixture {
       f.queries.push_back(prg.NextFieldVector<F>(len));
     }
     f.setup = Commit::CreateSetup(f.keys.pk, len, f.queries, prg);
-    f.part = Commit::Prove(f.u, f.setup.enc_r, f.queries, f.setup.t);
+    f.part = Commit::Prove(f.u, f.setup.shared.enc_r, f.queries, f.setup.shared.t);
     return f;
   }
 };
@@ -34,7 +34,7 @@ struct Fixture {
 TEST(CommitmentTest, HonestProverPassesConsistency) {
   Prg prg(100);
   auto f = Fixture::Make(prg);
-  EXPECT_TRUE(Commit::CheckConsistency(f.keys.pk, f.keys.sk, f.setup, f.part));
+  EXPECT_TRUE(Commit::CheckConsistency(f.keys.pk, f.keys.sk, f.setup.secrets, f.part));
 }
 
 TEST(CommitmentTest, ResponsesAreTrueInnerProducts) {
@@ -51,11 +51,11 @@ TEST(CommitmentTest, TVectorIsRPlusAlphaCombination) {
   Prg prg(102);
   auto f = Fixture::Make(prg);
   for (size_t i = 0; i < f.u.size(); i++) {
-    F expect = f.setup.r[i];
+    F expect = f.setup.secrets.r[i];
     for (size_t k = 0; k < f.queries.size(); k++) {
-      expect += f.setup.alphas[k] * f.queries[k][i];
+      expect += f.setup.secrets.alphas[k] * f.queries[k][i];
     }
-    EXPECT_EQ(f.setup.t[i], expect);
+    EXPECT_EQ(f.setup.shared.t[i], expect);
   }
 }
 
@@ -66,7 +66,7 @@ TEST(CommitmentTest, RejectsTamperedResponse) {
     auto tampered = f.part;
     tampered.responses[i] += F::One();
     EXPECT_FALSE(
-        Commit::CheckConsistency(f.keys.pk, f.keys.sk, f.setup, tampered))
+        Commit::CheckConsistency(f.keys.pk, f.keys.sk, f.setup.secrets, tampered))
         << "response " << i;
   }
 }
@@ -77,7 +77,7 @@ TEST(CommitmentTest, RejectsTamperedTResponse) {
   auto tampered = f.part;
   tampered.t_response += F::One();
   EXPECT_FALSE(
-      Commit::CheckConsistency(f.keys.pk, f.keys.sk, f.setup, tampered));
+      Commit::CheckConsistency(f.keys.pk, f.keys.sk, f.setup.secrets, tampered));
 }
 
 TEST(CommitmentTest, RejectsCommitmentToDifferentVector) {
@@ -86,11 +86,11 @@ TEST(CommitmentTest, RejectsCommitmentToDifferentVector) {
   Prg prg(105);
   auto f = Fixture::Make(prg);
   auto u2 = prg.NextFieldVector<F>(f.u.size());
-  auto part2 = Commit::Prove(u2, f.setup.enc_r, f.queries, f.setup.t);
+  auto part2 = Commit::Prove(u2, f.setup.shared.enc_r, f.queries, f.setup.shared.t);
   auto frankenstein = f.part;           // responses from u ...
   frankenstein.commitment = part2.commitment;  // ... commitment to u2
   EXPECT_FALSE(
-      Commit::CheckConsistency(f.keys.pk, f.keys.sk, f.setup, frankenstein));
+      Commit::CheckConsistency(f.keys.pk, f.keys.sk, f.setup.secrets, frankenstein));
 }
 
 TEST(CommitmentTest, ConsistentCheatIsAcceptedButIsLinear) {
@@ -100,9 +100,9 @@ TEST(CommitmentTest, ConsistentCheatIsAcceptedButIsLinear) {
   Prg prg(106);
   auto f = Fixture::Make(prg);
   auto u2 = prg.NextFieldVector<F>(f.u.size());
-  auto part2 = Commit::Prove(u2, f.setup.enc_r, f.queries, f.setup.t);
+  auto part2 = Commit::Prove(u2, f.setup.shared.enc_r, f.queries, f.setup.shared.t);
   EXPECT_TRUE(
-      Commit::CheckConsistency(f.keys.pk, f.keys.sk, f.setup, part2));
+      Commit::CheckConsistency(f.keys.pk, f.keys.sk, f.setup.secrets, part2));
 }
 
 TEST(CommitmentTest, ZeroLengthQueriesStillBind) {
@@ -111,10 +111,10 @@ TEST(CommitmentTest, ZeroLengthQueriesStillBind) {
   auto u = prg.NextFieldVector<F>(4);
   std::vector<std::vector<F>> no_queries;
   auto setup = Commit::CreateSetup(keys.pk, 4, no_queries, prg);
-  auto part = Commit::Prove(u, setup.enc_r, no_queries, setup.t);
-  EXPECT_TRUE(Commit::CheckConsistency(keys.pk, keys.sk, setup, part));
+  auto part = Commit::Prove(u, setup.shared.enc_r, no_queries, setup.shared.t);
+  EXPECT_TRUE(Commit::CheckConsistency(keys.pk, keys.sk, setup.secrets, part));
   part.t_response += F::One();
-  EXPECT_FALSE(Commit::CheckConsistency(keys.pk, keys.sk, setup, part));
+  EXPECT_FALSE(Commit::CheckConsistency(keys.pk, keys.sk, setup.secrets, part));
 }
 
 TEST(CommitmentTest, PhaseTimersAccumulate) {
@@ -124,7 +124,7 @@ TEST(CommitmentTest, PhaseTimersAccumulate) {
   std::vector<std::vector<F>> queries = {prg.NextFieldVector<F>(8)};
   auto setup = Commit::CreateSetup(keys.pk, 8, queries, prg);
   double crypto = 0, answer = 0;
-  Commit::Prove(u, setup.enc_r, queries, setup.t, &crypto, &answer);
+  Commit::Prove(u, setup.shared.enc_r, queries, setup.shared.t, &crypto, &answer);
   EXPECT_GT(crypto, 0.0);
   EXPECT_GT(answer, 0.0);
 }

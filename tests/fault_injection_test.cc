@@ -179,10 +179,10 @@ TEST(FaultInjectionTest, ProofsUnderMutatedSetupAreRejected) {
     if (!decoded.ok()) {
       continue;
     }
-    if (decoded->enc_r[0].size() != f.setup.commit[0].enc_r.size() ||
-        decoded->enc_r[1].size() != f.setup.commit[1].enc_r.size() ||
-        decoded->t[0].size() != f.setup.commit[0].t.size() ||
-        decoded->t[1].size() != f.setup.commit[1].t.size()) {
+    if (decoded->enc_r[0].size() != f.setup.shared[0].enc_r.size() ||
+        decoded->enc_r[1].size() != f.setup.shared[1].enc_r.size() ||
+        decoded->t[0].size() != f.setup.shared[0].t.size() ||
+        decoded->t[1].size() != f.setup.shared[1].t.size()) {
       continue;  // prover would reject a setup of the wrong shape
     }
     proved++;
@@ -274,7 +274,9 @@ TEST(FaultInjectionTest, BatchIsolatesBadInstances) {
   proofs[1].parts[0].responses.clear();
   proofs[3].parts[1].responses[0] += F::One();
 
-  auto results = Arg::VerifyBatch(f.setup, proofs, bounds);
+  auto results_or = Arg::VerifyBatch(f.setup, proofs, bounds);
+  ASSERT_TRUE(results_or.ok()) << results_or.status().ToString();
+  auto& results = *results_or;
   ASSERT_EQ(results.size(), kBeta);
   EXPECT_EQ(results[0].verdict, VerifyVerdict::kAccept);
   EXPECT_EQ(results[1].verdict, VerifyVerdict::kMalformed);
@@ -300,6 +302,43 @@ TEST(FaultInjectionTest, BatchIsolatesBadInstances) {
           << "instance " << i << ": " << wire_results[i].detail;
     }
   }
+}
+
+// A proofs/bound-values count mismatch is a batch-assembly bug on the
+// caller's side, not a per-instance outcome: VerifyBatch rejects it up front
+// with a typed error naming the first unmatched instance, and the bytes-level
+// batch keeps its per-instance isolation semantics with the index named in
+// the malformed slot's detail.
+TEST(FaultInjectionTest, BatchShapeMismatchIsTypedError) {
+  FaultFixture f(414);
+  std::vector<typename Arg::InstanceProof> proofs;
+  std::vector<std::vector<F>> bounds;
+  for (size_t i = 0; i < 3; i++) {
+    proofs.push_back(Arg::Prove({&f.proof.z, &f.proof.h}, f.setup));
+    if (i < 2) {
+      bounds.push_back(f.rs.BoundValues());
+    }
+  }
+
+  auto results = Arg::VerifyBatch(f.setup, proofs, bounds);
+  ASSERT_FALSE(results.ok());
+  EXPECT_EQ(results.status().code(), StatusCode::kMalformed);
+  EXPECT_NE(results.status().message().find("first unmatched instance: 2"),
+            std::string::npos)
+      << results.status().message();
+
+  std::vector<std::vector<uint8_t>> wire;
+  for (const auto& proof : proofs) {
+    wire.push_back(
+        InstanceProofMessage<F>::FromProof<Adapter>(proof).Serialize());
+  }
+  auto wire_results = VerifyBatchBytes<F, Adapter>(f.setup, wire, bounds);
+  ASSERT_EQ(wire_results.size(), 3u);
+  EXPECT_TRUE(wire_results[0].accepted());
+  EXPECT_TRUE(wire_results[1].accepted());
+  EXPECT_EQ(wire_results[2].verdict, VerifyVerdict::kMalformed);
+  EXPECT_NE(wire_results[2].detail.find("instance 2"), std::string::npos)
+      << wire_results[2].detail;
 }
 
 // The Ginger baseline pipeline is hardened by the same layer.

@@ -18,6 +18,20 @@ TEST(HarnessTest, ZaatarBatchOverLcsAccepts) {
   EXPECT_GT(m.prover.crypto_s, 0.0);
   EXPECT_GT(m.verifier_per_instance_s, 0.0);
   EXPECT_EQ(m.proof_len, program.UZaatar());
+
+  // Per-instance verdicts, not just the conjunction.
+  ASSERT_EQ(m.instance_results.size(), 2u);
+  for (const auto& r : m.instance_results) {
+    EXPECT_TRUE(r.accepted()) << r.detail;
+  }
+  EXPECT_EQ(m.verdict_counts[static_cast<size_t>(VerifyVerdict::kAccept)], 2u);
+  EXPECT_EQ(m.verdict_counts[static_cast<size_t>(VerifyVerdict::kMalformed)],
+            0u);
+  EXPECT_EQ(m.first_failing_index, -1);
+
+  // The batch really crossed a serialized transport.
+  EXPECT_GT(m.setup_message_bytes, 0u);
+  EXPECT_GT(m.proof_message_bytes, 0u);
 }
 
 TEST(HarnessTest, ZaatarBatchOverRootFindAccepts) {
@@ -36,6 +50,86 @@ TEST(HarnessTest, GingerBatchOverSmallLcsAccepts) {
   EXPECT_TRUE(m.all_accepted);
   size_t n = program.ginger.layout.Total();
   EXPECT_EQ(m.proof_len, n + n * n);
+  ASSERT_EQ(m.instance_results.size(), 1u);
+  EXPECT_EQ(m.verdict_counts[static_cast<size_t>(VerifyVerdict::kAccept)], 1u);
+  EXPECT_EQ(m.first_failing_index, -1);
+}
+
+TEST(HarnessTest, RecordVerdictTracksTaxonomy) {
+  BatchMeasurement m;
+  RecordVerdict(&m, 0, VerifyInstanceResult::Accept());
+  RecordVerdict(&m, 1,
+                VerifyInstanceResult::Reject(VerifyVerdict::kRejectPcp,
+                                             "decision polynomial nonzero"));
+  RecordVerdict(&m, 2, VerifyInstanceResult::Accept());
+  RecordVerdict(&m, 3,
+                VerifyInstanceResult::Reject(VerifyVerdict::kMalformed,
+                                             "bad shape"));
+
+  ASSERT_EQ(m.instance_results.size(), 4u);
+  EXPECT_FALSE(m.all_accepted);
+  EXPECT_EQ(m.first_failing_index, 1);  // the first reject, not the last
+  EXPECT_EQ(m.verdict_counts[static_cast<size_t>(VerifyVerdict::kAccept)], 2u);
+  EXPECT_EQ(m.verdict_counts[static_cast<size_t>(VerifyVerdict::kRejectPcp)],
+            1u);
+  EXPECT_EQ(m.verdict_counts[static_cast<size_t>(VerifyVerdict::kMalformed)],
+            1u);
+  EXPECT_EQ(
+      m.verdict_counts[static_cast<size_t>(VerifyVerdict::kRejectCommit)], 0u);
+  EXPECT_EQ(m.instance_results[1].detail, "decision polynomial nonzero");
+}
+
+// The session-and-transport harness must produce the same verdicts as the
+// pre-refactor in-process path: same seed, same Prg consumption order
+// (queries -> keys -> commit setup -> instances), proving and verifying
+// drawing no randomness. The reference below IS that old path, hand-rolled
+// against the Argument API directly.
+TEST(HarnessTest, SessionOutcomesMatchInProcessReference) {
+  auto app = MakeLcsApp(4);
+  auto program = CompileZlang<F128>(app.source);
+  const size_t beta = 3;
+  const uint64_t seed = 21;
+  PcpParams params = PcpParams::Light();
+
+  auto m = MeasureZaatarBatch(app, program, beta, params, seed,
+                              /*measure_native=*/false);
+  ASSERT_EQ(m.instance_results.size(), beta);
+
+  using Backend = ZaatarHarnessBackend<F128>;
+  using Arg = Argument<F128, Backend::Adapter>;
+  Prg prg(seed);
+  Backend::Prepared prep(program);
+  auto queries = Backend::GenerateQueries(prep, params, prg);
+  auto setup = Arg::Setup(std::move(queries), prg);
+  std::vector<AppInstance<F128>> instances;
+  for (size_t i = 0; i < beta; i++) {
+    instances.push_back(app.make_instance(prg));
+  }
+  for (size_t i = 0; i < beta; i++) {
+    ProverCosts costs;
+    std::vector<F128> gw = program.SolveGinger(instances[i].inputs);
+    auto vectors = Backend::BuildProofVectors(prep, program, gw, &costs);
+    auto proof = Arg::Prove({&vectors.first, &vectors.second}, setup);
+    std::vector<F128> bound = program.BoundValues(
+        instances[i].inputs, instances[i].expected_outputs);
+    auto ref = Arg::VerifyInstanceDetailed(setup, proof, bound);
+    EXPECT_EQ(ref.verdict, m.instance_results[i].verdict)
+        << "instance " << i << " diverged from the in-process path";
+    EXPECT_TRUE(ref.accepted()) << ref.detail;
+  }
+}
+
+// The same batch driven over a real socketpair instead of the loopback.
+TEST(HarnessTest, ZaatarBatchOverSocketpairAccepts) {
+  auto app = MakeLcsApp(3);
+  auto program = CompileZlang<F128>(app.source);
+  auto links = protocol::PipeTransport::CreatePair();
+  ASSERT_TRUE(links.ok()) << links.status().ToString();
+  auto m = MeasureBatch<F128, ZaatarHarnessBackend<F128>>(
+      app, program, /*beta=*/2, PcpParams::Light(), /*seed=*/17,
+      /*measure_native=*/false, &*links);
+  EXPECT_TRUE(m.all_accepted);
+  EXPECT_EQ(m.verdict_counts[static_cast<size_t>(VerifyVerdict::kAccept)], 2u);
 }
 
 TEST(HarnessTest, ZaatarProofIsShorterThanGingerAtEqualSize) {

@@ -29,9 +29,18 @@ TEST(StatusTest, ErrorCarriesCodeAndMessage) {
 TEST(StatusTest, EveryCodeHasAName) {
   for (StatusCode code :
        {StatusCode::kOk, StatusCode::kTruncated, StatusCode::kLengthOverflow,
-        StatusCode::kOutOfRange, StatusCode::kMalformed}) {
+        StatusCode::kOutOfRange, StatusCode::kMalformed,
+        StatusCode::kPhaseViolation}) {
     EXPECT_STRNE(StatusCodeName(code), "UNKNOWN");
   }
+}
+
+TEST(StatusTest, PhaseViolationIsTyped) {
+  Status s = PhaseViolationError("Commit requires phase COMMIT, in SETUP");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kPhaseViolation);
+  EXPECT_EQ(s.ToString(),
+            "PHASE_VIOLATION: Commit requires phase COMMIT, in SETUP");
 }
 
 TEST(StatusOrTest, HoldsValueOrStatus) {

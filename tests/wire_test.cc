@@ -175,8 +175,8 @@ TEST(WireTest, SetupMessageRoundTripsAndSeedRederivesQueries) {
   ASSERT_TRUE(decoded_or.ok());
   const auto& decoded = *decoded_or;
   EXPECT_EQ(decoded.query_seed, kQuerySeed);
-  EXPECT_EQ(decoded.t[0], setup.commit[0].t);
-  EXPECT_EQ(decoded.enc_r[1].size(), setup.commit[1].enc_r.size());
+  EXPECT_EQ(decoded.t[0], setup.shared[0].t);
+  EXPECT_EQ(decoded.enc_r[1].size(), setup.shared[1].enc_r.size());
 
   // The prover re-derives identical queries from the seed alone.
   Prg rederive(decoded.query_seed);
