@@ -22,6 +22,7 @@
 #include "src/crypto/multiexp.h"
 #include "src/crypto/prg.h"
 #include "src/field/fields.h"
+#include "src/obs/metrics.h"
 #include "src/util/stopwatch.h"
 
 namespace zaatar {
@@ -192,6 +193,11 @@ int main(int argc, char** argv) {
   }
   size_t fb_reps = smoke ? 50 : 400;
 
+  // Collect the kernel's own metrics alongside the timings: every
+  // InnerProduct call below records multiexp.calls / .terms / .window_bits.
+  obs::Metrics metrics;
+  obs::ScopedThreadMetrics install_metrics(&metrics);
+
   std::vector<Row> rows;
   std::vector<FixedBaseRow> fb;
   if (!BenchField<F128>(sizes, workers, &rows) ||
@@ -202,6 +208,16 @@ int main(int argc, char** argv) {
   fb.push_back(BenchFixedBase<F220>(fb_reps));
 
   PrintRows(rows, fb);
+  auto window_bits = metrics.HistogramValue("multiexp.window_bits");
+  printf("\nkernel metrics: calls=%llu, terms(sum)=%llu, "
+         "mean window bits=%.1f\n",
+         static_cast<unsigned long long>(metrics.CounterValue("multiexp.calls")),
+         static_cast<unsigned long long>(
+             metrics.HistogramValue("multiexp.terms").sum),
+         window_bits.count == 0
+             ? 0.0
+             : static_cast<double>(window_bits.sum) /
+                   static_cast<double>(window_bits.count));
   if (!WriteJson(out, rows, fb, workers)) {
     return 1;
   }

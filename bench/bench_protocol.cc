@@ -17,12 +17,14 @@
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "src/apps/harness.h"
 #include "src/apps/suite.h"
 #include "src/compiler/compile.h"
+#include "src/obs/export.h"
 #include "src/util/stopwatch.h"
 
 namespace zaatar {
@@ -37,6 +39,15 @@ struct Row {
   double socketpair_s = 0;
   size_t setup_bytes = 0;
   size_t proof_bytes = 0;  // sum over the batch
+
+  // Per-phase breakdown of the loopback run, derived from its span tree
+  // (all 0.0 under cmake -DZAATAR_TRACE=OFF).
+  double query_gen_s = 0;
+  double solve_s = 0;      // per instance
+  double construct_s = 0;  // per instance
+  double commit_s = 0;     // per instance
+  double answer_s = 0;     // per instance
+  double verify_s = 0;     // per instance
 
   double LoopbackOverhead() const { return loopback_s / in_process_s - 1.0; }
   double SocketpairOverhead() const {
@@ -69,9 +80,8 @@ std::vector<VerifyInstanceResult> RunInProcess(
   std::vector<VerifyInstanceResult> results;
   results.reserve(beta);
   for (size_t i = 0; i < beta; i++) {
-    ProverCosts costs;
     std::vector<F> gw = program.SolveGinger(instances[i].inputs);
-    auto vectors = Backend::BuildProofVectors(prep, program, gw, &costs);
+    auto vectors = Backend::BuildProofVectors(prep, program, gw);
     auto proof = Arg::Prove({&vectors.first, &vectors.second}, setup);
     std::vector<F> bound = program.BoundValues(
         instances[i].inputs, instances[i].expected_outputs);
@@ -100,7 +110,7 @@ bool VerdictsMatch(const std::vector<VerifyInstanceResult>& a,
 }
 
 bool BenchConfig(size_t lcs_size, size_t beta, uint64_t seed,
-                 std::vector<Row>* rows) {
+                 const std::string& trace_path, std::vector<Row>* rows) {
   auto app = MakeLcsApp(lcs_size);
   auto program = CompileZlang<F128>(app.source);
   PcpParams params = PcpParams::Light();
@@ -119,6 +129,21 @@ bool BenchConfig(size_t lcs_size, size_t beta, uint64_t seed,
   row.proof_len = loopback.proof_len;
   row.setup_bytes = loopback.setup_message_bytes;
   row.proof_bytes = loopback.proof_message_bytes;
+  row.query_gen_s = loopback.query_generation_s;
+  row.solve_s = loopback.prover.solve_constraints_s;
+  row.construct_s = loopback.prover.construct_proof_s;
+  row.commit_s = loopback.prover.crypto_s;
+  row.answer_s = loopback.prover.answer_queries_s;
+  row.verify_s = loopback.verifier_per_instance_s;
+  if (!trace_path.empty()) {
+    std::ofstream trace_out(trace_path, std::ios::binary);
+    if (!trace_out) {
+      fprintf(stderr, "cannot open %s for writing\n", trace_path.c_str());
+      return false;
+    }
+    trace_out << obs::ExportJson(loopback.trace.get(),
+                                 loopback.metrics.get());
+  }
 
   auto links = protocol::PipeTransport::CreatePair();
   if (!links.ok()) {
@@ -173,10 +198,14 @@ bool WriteJson(const std::string& path, const std::vector<Row>& rows) {
             "\"in_process_s\": %.9f, \"loopback_s\": %.9f, "
             "\"socketpair_s\": %.9f, \"loopback_overhead\": %.4f, "
             "\"socketpair_overhead\": %.4f, \"setup_bytes\": %zu, "
-            "\"proof_bytes\": %zu}%s\n",
+            "\"proof_bytes\": %zu, \"query_gen_s\": %.9f, "
+            "\"solve_s\": %.9f, \"construct_s\": %.9f, \"commit_s\": %.9f, "
+            "\"answer_s\": %.9f, \"verify_s\": %.9f}%s\n",
             r.app.c_str(), r.beta, r.proof_len, r.in_process_s, r.loopback_s,
             r.socketpair_s, r.LoopbackOverhead(), r.SocketpairOverhead(),
-            r.setup_bytes, r.proof_bytes, i + 1 < rows.size() ? "," : "");
+            r.setup_bytes, r.proof_bytes, r.query_gen_s, r.solve_s,
+            r.construct_s, r.commit_s, r.answer_s, r.verify_s,
+            i + 1 < rows.size() ? "," : "");
   }
   fprintf(f, "  ]\n}\n");
   fclose(f);
@@ -190,13 +219,17 @@ int main(int argc, char** argv) {
   using namespace zaatar;
   bool smoke = false;
   std::string out = "BENCH_protocol.json";
+  std::string trace;
   for (int i = 1; i < argc; i++) {
     if (strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else if (strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out = argv[++i];
+    } else if (strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace = argv[++i];
     } else {
-      fprintf(stderr, "usage: %s [--smoke] [--out <path>]\n", argv[0]);
+      fprintf(stderr, "usage: %s [--smoke] [--out <path>] [--trace <path>]\n",
+              argv[0]);
       return 2;
     }
   }
@@ -204,10 +237,10 @@ int main(int argc, char** argv) {
   std::vector<Row> rows;
   bool ok;
   if (smoke) {
-    ok = BenchConfig(/*lcs_size=*/3, /*beta=*/2, /*seed=*/31, &rows);
+    ok = BenchConfig(/*lcs_size=*/3, /*beta=*/2, /*seed=*/31, trace, &rows);
   } else {
-    ok = BenchConfig(/*lcs_size=*/4, /*beta=*/4, /*seed=*/31, &rows) &&
-         BenchConfig(/*lcs_size=*/8, /*beta=*/4, /*seed=*/32, &rows);
+    ok = BenchConfig(/*lcs_size=*/4, /*beta=*/4, /*seed=*/31, trace, &rows) &&
+         BenchConfig(/*lcs_size=*/8, /*beta=*/4, /*seed=*/32, trace, &rows);
   }
   if (!ok) {
     return 1;

@@ -52,9 +52,15 @@ int main() {
   typename ZaatarArgument<F>::InstanceProof ip;
   const std::vector<F>* vectors[2] = {&proof.z, &proof.h};
   for (size_t o = 0; o < 2; o++) {
-    ip.parts[o] = LinearCommitment<F>::Prove(
+    auto part = LinearCommitment<F>::Prove(
         *vectors[o], wire_setup.enc_r[o],
         ZaatarAdapter<F>::OracleQueries(queries, o), wire_setup.t[o]);
+    if (!part.ok()) {
+      printf("** prover rejected the setup shape: %s\n",
+             part.status().ToString().c_str());
+      return 1;
+    }
+    ip.parts[o] = std::move(part).value();
   }
   std::vector<uint8_t> proof_bytes =
       InstanceProofMessage<F>::FromProof<ZaatarAdapter<F>>(ip).Serialize();

@@ -58,16 +58,71 @@ bench_smoke() {
 
   # Same for the session/transport overhead bench: it exits nonzero if the
   # serialized paths (loopback, socketpair) diverge from the in-process
-  # verdicts, so this doubles as a cheap cross-path equivalence check.
+  # verdicts, so this doubles as a cheap cross-path equivalence check. The
+  # --trace export is validated as JSON too, and the baseline schema is
+  # checked for the per-phase keys derived from the span tree.
   echo "==== [bench] protocol smoke ===="
   local pjson="$build_dir/BENCH_protocol_smoke.json"
-  "$build_dir/bench/bench_protocol" --smoke --out "$pjson"
+  local ptrace="$build_dir/TRACE_protocol_smoke.json"
+  "$build_dir/bench/bench_protocol" --smoke --out "$pjson" --trace "$ptrace"
   if command -v python3 >/dev/null 2>&1; then
     python3 -m json.tool "$pjson" >/dev/null
+    python3 -m json.tool "$ptrace" >/dev/null
+    python3 - "$pjson" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+rows = doc["results"]
+assert rows, "protocol bench emitted no rows"
+phase_keys = ["query_gen_s", "solve_s", "construct_s", "commit_s",
+              "answer_s", "verify_s"]
+for row in rows:
+    for key in phase_keys + ["in_process_s", "loopback_s", "socketpair_s",
+                             "setup_bytes", "proof_bytes"]:
+        assert key in row, f"missing key {key} in {row['app']}"
+        assert row[key] >= 0, f"negative {key} in {row['app']}"
+print("protocol bench schema ok:", ", ".join(phase_keys))
+EOF
   else
     grep -q '"results"' "$pjson"
+    grep -q '"solve_s"' "$pjson"
+    grep -q '"spans"' "$ptrace"
   fi
   echo "bench smoke ok: $pjson"
+}
+
+trace_smoke() {
+  # End-to-end observability check: run the batch harness with --trace and
+  # validate the exported span/metric JSON. Catches export regressions and
+  # a tracer that silently records nothing.
+  local build_dir="$1"
+  echo "==== [obs] zaatar-run --trace smoke ===="
+  local tjson="$build_dir/TRACE_run_smoke.json"
+  "$build_dir/src/apps/zaatar-run" --app lcs --size 4 --beta 2 \
+    --trace "$tjson" >/dev/null
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "$tjson" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+spans = doc["spans"]
+names = set()
+def walk(node):
+    names.add(node["name"])
+    for child in node.get("children", []):
+        walk(child)
+for root in spans:
+    walk(root)
+for expected in ["harness.batch", "verifier.query_gen", "prover.commit",
+                 "prover.answer", "verifier.verify", "transport.send"]:
+    assert expected in names, f"span {expected} missing from trace"
+assert doc["counters"].get("verdict.ACCEPT", 0) >= 1, "no accepting verdicts"
+assert "transport.frame_bytes" in doc["histograms"], "frame histogram missing"
+print(f"trace smoke ok: {len(names)} distinct span names")
+EOF
+  else
+    grep -q '"harness.batch"' "$tjson"
+  fi
 }
 
 lint_gate() {
@@ -109,6 +164,7 @@ if [[ "$SKIP_PLAIN" -eq 0 && -z "$ONLY" ]]; then
   lint_gate build
   clang_tidy_gate build
   bench_smoke build
+  trace_smoke build
 fi
 
 # ASan guards the fault-injection suite against out-of-bounds reads on
@@ -123,23 +179,27 @@ if [[ -z "$ONLY" || "$ONLY" == "undefined" ]]; then
 fi
 
 # TSan covers the worker-pool code paths (ParallelFor and the multiexp
-# engine's parallel folds) and the two-threaded session exchanges in
+# engine's parallel folds), the two-threaded session exchanges in
 # protocol_test (prover and verifier driving a shared loopback/socketpair
-# from separate threads). Only the concurrency-heavy tests run: TSan's
-# ~10x slowdown makes the full suite impractical, and the remaining tests
-# are single-threaded.
+# from separate threads), and the shared tracer/metrics collectors in
+# obs_test (many threads recording spans and counters concurrently, plus
+# the cross-thread-stitched harness batch). Only the concurrency-heavy
+# tests run: TSan's ~10x slowdown makes the full suite impractical, and
+# the remaining tests are single-threaded.
 tsan_config() {
   echo "==== [tsan] configure + build ===="
   cmake -B build-tsan -S . -DZAATAR_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$JOBS" \
-    --target parallel_test multiexp_test protocol_test
-  echo "==== [tsan] parallel_test + multiexp_test + protocol_test ===="
+    --target parallel_test multiexp_test protocol_test obs_test
+  echo "==== [tsan] parallel_test + multiexp_test + protocol_test + obs_test ===="
   TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
     ./build-tsan/tests/parallel_test
   TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
     ./build-tsan/tests/multiexp_test
   TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
     ./build-tsan/tests/protocol_test
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+    ./build-tsan/tests/obs_test
 }
 if [[ -z "$ONLY" || "$ONLY" == "thread" ]]; then
   tsan_config

@@ -137,7 +137,15 @@ void CheckQapShape(const Qap<F>& qap, AnalysisReport* report,
   if (tau_probe && m > 0) {
     // Any point outside {0..m} is a valid probe; m+1 is deterministic.
     const F tau = F::FromUint(m + 1);
-    auto ev = qap.EvaluateAtTau(tau);
+    auto ev_or = qap.EvaluateAtTau(tau);
+    if (!ev_or.ok()) {
+      report->Add(Severity::kError, kRuleQapShape, loc,
+                  "EvaluateAtTau rejected a probe point outside the "
+                  "interpolation set: " +
+                      ev_or.status().ToString());
+      return;
+    }
+    const auto& ev = *ev_or;
     const size_t rows = cs.NumVariables() + 1;
     if (ev.a_rows.size() != rows || ev.b_rows.size() != rows ||
         ev.c_rows.size() != rows) {

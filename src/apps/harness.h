@@ -17,6 +17,7 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -27,6 +28,8 @@
 #include "src/argument/argument.h"
 #include "src/argument/cost_model.h"
 #include "src/constraints/qap.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/pcp/ginger_pcp.h"
 #include "src/pcp/zaatar_pcp.h"
 #include "src/protocol/session.h"
@@ -35,12 +38,23 @@ namespace zaatar {
 
 struct BatchMeasurement {
   ComputationStats stats;          // includes measured t_local
-  double query_generation_s = 0;   // verifier, amortized over the batch
+  // The per-phase cost fields below are views over the span tree in `trace`:
+  // each is the summed duration of the correspondingly named spans (divided
+  // by beta for the per-instance ones). Under cmake -DZAATAR_TRACE=OFF the
+  // spans compile away and these read 0.0 — only commit_setup_s survives,
+  // since Argument::Setup keeps its own Stopwatch.
+  double query_generation_s = 0;   // "verifier.query_gen" (per batch)
   double commit_setup_s = 0;       // verifier, amortized over the batch
-  ProverCosts prover;              // mean per instance
-  double verifier_per_instance_s = 0;
+  ProverCosts prover;              // mean per instance, from prover.* spans
+  double verifier_per_instance_s = 0;  // "verifier.verify" / beta
   size_t proof_len = 0;
   size_t total_queries = 0;
+
+  // The full span tree and metrics registry of the run (always populated;
+  // export with obs::ExportJson). The root span is "harness.batch"; the
+  // prover thread's spans are stitched under it.
+  std::shared_ptr<obs::Tracer> trace;
+  std::shared_ptr<obs::Metrics> metrics;
 
   // Per-instance verdicts (the PR-1 taxonomy), not just their conjunction:
   // instance i's result is instance_results[i], verdict_counts is indexed by
@@ -92,9 +106,10 @@ ComputationStats ComputeStats(const CompiledProgram<F>& program,
 //   static Queries GenerateQueries(const Prepared&, const PcpParams&, Prg&);
 //   static size_t ProofLen(const Queries&);
 //   static ProofVectors BuildProofVectors(const Prepared&,
-//       const CompiledProgram<F>&, const std::vector<F>& ginger_assignment,
-//       ProverCosts*);                         // times solve/construct
+//       const CompiledProgram<F>&, const std::vector<F>& ginger_assignment);
 // ProofVectors exposes `first` and `second`, the two oracle vectors.
+// BuildProofVectors records its phases as "prover.solve" /
+// "prover.construct_proof" spans on the ambient tracer.
 
 // Zaatar backend: oracles are z and the QAP quotient h.
 template <typename F>
@@ -120,15 +135,16 @@ struct ZaatarHarnessBackend {
 
   static size_t ProofLen(const Queries& q) { return q.z_len + q.h_len; }
 
-  static ProofVectors BuildProofVectors(const Prepared& prep,
-                                        const CompiledProgram<F>& program,
-                                        const std::vector<F>& ginger_assignment,
-                                        ProverCosts* costs) {
-    Stopwatch phase;
-    std::vector<F> w = program.SolveZaatar(ginger_assignment);
-    costs->solve_constraints_s += phase.Lap();
+  static ProofVectors BuildProofVectors(
+      const Prepared& prep, const CompiledProgram<F>& program,
+      const std::vector<F>& ginger_assignment) {
+    std::vector<F> w;
+    {
+      obs::Span solve("prover.solve");
+      w = program.SolveZaatar(ginger_assignment);
+    }
+    obs::Span construct("prover.construct_proof");
     ZaatarProof<F> proof = BuildZaatarProof(prep.qap, w);
-    costs->construct_proof_s += phase.Lap();
     return {std::move(proof.z), std::move(proof.h)};
   }
 };
@@ -159,13 +175,11 @@ struct GingerHarnessBackend {
 
   static size_t ProofLen(const Queries& q) { return q.n + q.n * q.n; }
 
-  static ProofVectors BuildProofVectors(const Prepared& prep,
-                                        const CompiledProgram<F>& /*program*/,
-                                        const std::vector<F>& ginger_assignment,
-                                        ProverCosts* costs) {
-    Stopwatch phase;
+  static ProofVectors BuildProofVectors(
+      const Prepared& prep, const CompiledProgram<F>& /*program*/,
+      const std::vector<F>& ginger_assignment) {
+    obs::Span construct("prover.construct_proof");
     GingerProof<F> proof = BuildGingerProof(prep.pcp, ginger_assignment);
-    costs->construct_proof_s += phase.Lap();
     return {std::move(proof.z), std::move(proof.tensor)};
   }
 };
@@ -183,135 +197,168 @@ BatchMeasurement MeasureBatch(const App<F>& app,
   using Adapter = typename Backend::Adapter;
 
   BatchMeasurement out;
-  out.stats = ComputeStats(
-      program, measure_native ? app.measure_native_seconds() : 0.0);
+  out.trace = std::make_shared<obs::Tracer>();
+  out.metrics = std::make_shared<obs::Metrics>();
+  obs::ScopedThreadTracer install_tracer(out.trace.get());
+  obs::ScopedThreadMetrics install_metrics(out.metrics.get());
 
-  Prg prg(seed);
-  typename Backend::Prepared prep(program);
+  {
+    // The root span covers the whole batch; every verifier-thread span below
+    // is its child, and the prover thread stitches its subtree under it via
+    // the default-parent mechanism.
+    obs::Span root("harness.batch");
+    const uint32_t root_id = root.id();
 
-  Stopwatch sw;
-  auto queries = Backend::GenerateQueries(prep, params, prg);
-  out.query_generation_s = sw.Lap();
-  out.total_queries = queries.TotalQueryCount();
-  out.proof_len = Backend::ProofLen(queries);
+    {
+      obs::Span prepare("harness.prepare");
+      out.stats = ComputeStats(
+          program, measure_native ? app.measure_native_seconds() : 0.0);
+    }
 
-  protocol::VerifierSession<F, Adapter> verifier(std::move(queries), prg,
-                                                 out.query_generation_s);
-  out.commit_setup_s = verifier.setup().costs.commit_setup_s;
+    Prg prg(seed);
+    typename Backend::Prepared prep(program);
 
-  // Instances are drawn before the exchange starts so the Prg consumption
-  // order matches the old in-process harness (proving and verifying never
-  // touch the Prg, so the streams are identical either way) and the prover
-  // thread shares them read-only.
-  std::vector<AppInstance<F>> instances;
-  instances.reserve(beta);
-  for (size_t i = 0; i < beta; i++) {
-    instances.push_back(app.make_instance(prg));
-  }
+    Stopwatch sw;
+    typename Backend::Queries queries = [&] {
+      obs::Span span("verifier.query_gen");
+      return Backend::GenerateQueries(prep, params, prg);
+    }();
+    const double query_generation_s = sw.Lap();
+    out.total_queries = queries.TotalQueryCount();
+    out.proof_len = Backend::ProofLen(queries);
 
-  protocol::TransportPair local;
-  if (links == nullptr) {
-    local = protocol::MakeLoopbackPair();
-    links = &local;
-  }
-  protocol::Transport& verifier_link = *links->left;
-  protocol::Transport& prover_link = *links->right;
+    auto verifier = [&] {
+      obs::Span span("verifier.commit_setup");
+      return protocol::VerifierSession<F, Adapter>(std::move(queries), prg,
+                                                   query_generation_s);
+    }();
+    out.commit_setup_s = verifier.setup().costs.commit_setup_s;
 
-  // The prover side: a real session fed only by transport bytes. Failures
-  // are stashed and rethrown on the calling thread after join.
-  ProverCosts prover_costs;
-  std::string prover_error;
-  std::thread prover_thread([&] {
-    try {
-      protocol::ProverSession<F> session;
-      Status st = session.ReceiveSetup(prover_link);
-      if (!st.ok()) {
-        throw std::runtime_error("prover setup: " + st.ToString());
-      }
+    // Instances are drawn before the exchange starts so the Prg consumption
+    // order matches the old in-process harness (proving and verifying never
+    // touch the Prg, so the streams are identical either way) and the prover
+    // thread shares them read-only.
+    std::vector<AppInstance<F>> instances;
+    instances.reserve(beta);
+    {
+      obs::Span draw("harness.draw_instances");
       for (size_t i = 0; i < beta; i++) {
-        Stopwatch phase;
-        std::vector<F> gw = program.SolveGinger(instances[i].inputs);
-        prover_costs.solve_constraints_s += phase.Lap();
-
-        typename Backend::ProofVectors vectors =
-            Backend::BuildProofVectors(prep, program, gw, &prover_costs);
-
-        std::vector<F> outputs = program.ExtractOutputs(gw);
-        if (outputs != instances[i].expected_outputs) {
-          throw std::runtime_error(app.name +
-                                   ": compiled outputs disagree with the "
-                                   "native reference");
-        }
-        Status shape = Adapter::ValidateProverVectors(
-            session.context(), {&vectors.first, &vectors.second});
-        if (!shape.ok()) {
-          throw std::runtime_error("prover vectors: " + shape.ToString());
-        }
-        auto sent = session.ProveInstance(prover_link,
-                                          {&vectors.first, &vectors.second});
-        if (!sent.ok()) {
-          throw std::runtime_error("prover instance " + std::to_string(i) +
-                                   ": " + sent.status().ToString());
-        }
-        auto verdict = session.ReceiveVerdict(prover_link);
-        if (!verdict.ok()) {
-          throw std::runtime_error("prover verdict " + std::to_string(i) +
-                                   ": " + verdict.status().ToString());
-        }
+        instances.push_back(app.make_instance(prg));
       }
-      prover_costs.crypto_s += session.costs().crypto_s;
-      prover_costs.answer_queries_s += session.costs().answer_queries_s;
-    } catch (const std::exception& e) {
-      prover_error = e.what();
-      // Unblock a verifier waiting on the next proof frame.
-      prover_link.Close();
     }
-  });
 
-  // The verifier side drives the calling thread.
-  try {
-    auto setup_sent = verifier.SendSetup(verifier_link);
-    if (!setup_sent.ok()) {
-      throw std::runtime_error("verifier setup: " +
-                               setup_sent.status().ToString());
+    protocol::TransportPair local;
+    if (links == nullptr) {
+      local = protocol::MakeLoopbackPair();
+      links = &local;
     }
-    out.setup_message_bytes = *setup_sent;
-    for (size_t i = 0; i < beta; i++) {
-      std::vector<F> bound = program.BoundValues(
-          instances[i].inputs, instances[i].expected_outputs);
-      auto result = verifier.DecideNext(verifier_link, bound);
-      if (!result.ok()) {
-        throw std::runtime_error("verifier instance " + std::to_string(i) +
-                                 ": " + result.status().ToString());
+    protocol::Transport& verifier_link = *links->left;
+    protocol::Transport& prover_link = *links->right;
+
+    // The prover side: a real session fed only by transport bytes. Failures
+    // are stashed and rethrown on the calling thread after join. Its spans
+    // ("prover.solve", "prover.construct_proof", and the session's
+    // "prover.commit"/"prover.answer") land in the same tracer, parented
+    // under the batch root.
+    std::string prover_error;
+    std::thread prover_thread([&] {
+      obs::ScopedThreadTracer stitch(out.trace.get(), root_id);
+      obs::ScopedThreadMetrics prover_metrics(out.metrics.get());
+      try {
+        protocol::ProverSession<F> session;
+        Status st = session.ReceiveSetup(prover_link);
+        if (!st.ok()) {
+          throw std::runtime_error("prover setup: " + st.ToString());
+        }
+        for (size_t i = 0; i < beta; i++) {
+          std::vector<F> gw;
+          {
+            obs::Span solve("prover.solve");
+            gw = program.SolveGinger(instances[i].inputs);
+          }
+
+          typename Backend::ProofVectors vectors =
+              Backend::BuildProofVectors(prep, program, gw);
+
+          std::vector<F> outputs = program.ExtractOutputs(gw);
+          if (outputs != instances[i].expected_outputs) {
+            throw std::runtime_error(app.name +
+                                     ": compiled outputs disagree with the "
+                                     "native reference");
+          }
+          Status shape = Adapter::ValidateProverVectors(
+              session.context(), {&vectors.first, &vectors.second});
+          if (!shape.ok()) {
+            throw std::runtime_error("prover vectors: " + shape.ToString());
+          }
+          auto sent = session.ProveInstance(
+              prover_link, {&vectors.first, &vectors.second});
+          if (!sent.ok()) {
+            throw std::runtime_error("prover instance " + std::to_string(i) +
+                                     ": " + sent.status().ToString());
+          }
+          auto verdict = session.ReceiveVerdict(prover_link);
+          if (!verdict.ok()) {
+            throw std::runtime_error("prover verdict " + std::to_string(i) +
+                                     ": " + verdict.status().ToString());
+          }
+        }
+      } catch (const std::exception& e) {
+        prover_error = e.what();
+        // Unblock a verifier waiting on the next proof frame.
+        prover_link.Close();
       }
-      RecordVerdict(&out, i, *result);
+    });
+
+    // The verifier side drives the calling thread.
+    try {
+      auto setup_sent = [&] {
+        obs::Span span("harness.send_setup");
+        return verifier.SendSetup(verifier_link);
+      }();
+      if (!setup_sent.ok()) {
+        throw std::runtime_error("verifier setup: " +
+                                 setup_sent.status().ToString());
+      }
+      out.setup_message_bytes = *setup_sent;
+      for (size_t i = 0; i < beta; i++) {
+        std::vector<F> bound = program.BoundValues(
+            instances[i].inputs, instances[i].expected_outputs);
+        auto result = verifier.DecideNext(verifier_link, bound);
+        if (!result.ok()) {
+          throw std::runtime_error("verifier instance " + std::to_string(i) +
+                                   ": " + result.status().ToString());
+        }
+        RecordVerdict(&out, i, *result);
+      }
+    } catch (...) {
+      // Unblock the prover (it may be waiting for a verdict), reap it, and
+      // prefer its error — a transport failure seen here is usually the
+      // symptom of the prover dying first.
+      verifier_link.Close();
+      prover_thread.join();
+      if (!prover_error.empty()) {
+        throw std::runtime_error(prover_error);
+      }
+      throw;
     }
-  } catch (...) {
-    // Unblock the prover (it may be waiting for a verdict), reap it, and
-    // prefer its error — a transport failure seen here is usually the
-    // symptom of the prover dying first.
-    verifier_link.Close();
     prover_thread.join();
     if (!prover_error.empty()) {
       throw std::runtime_error(prover_error);
     }
-    throw;
-  }
-  prover_thread.join();
-  if (!prover_error.empty()) {
-    throw std::runtime_error(prover_error);
-  }
 
-  out.prover = prover_costs;
-  out.verifier_per_instance_s = verifier.verify_seconds();
-  out.proof_message_bytes = verifier.proof_bytes_received();
+    out.proof_message_bytes = verifier.proof_bytes_received();
+  }  // closes the "harness.batch" root span
 
-  double b = static_cast<double>(beta);
-  out.prover.solve_constraints_s /= b;
-  out.prover.construct_proof_s /= b;
-  out.prover.crypto_s /= b;
-  out.prover.answer_queries_s /= b;
-  out.verifier_per_instance_s /= b;
+  // Cost fields are views over the span tree (0.0 under ZAATAR_TRACE=0).
+  const obs::Tracer& t = *out.trace;
+  const double b = static_cast<double>(beta);
+  out.query_generation_s = t.SumSeconds("verifier.query_gen");
+  out.prover.solve_constraints_s = t.SumSeconds("prover.solve") / b;
+  out.prover.construct_proof_s = t.SumSeconds("prover.construct_proof") / b;
+  out.prover.crypto_s = t.SumSeconds("prover.commit") / b;
+  out.prover.answer_queries_s = t.SumSeconds("prover.answer") / b;
+  out.verifier_per_instance_s = t.SumSeconds("verifier.verify") / b;
   return out;
 }
 

@@ -20,6 +20,7 @@
 #include <algorithm>
 #include <array>
 #include <cstddef>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -143,9 +144,17 @@ class Argument {
       const ProverContext<F>& ctx, size_t workers = 1) {
     InstanceProof p;
     for (size_t o = 0; o < 2; o++) {
-      p.parts[o] = LinearCommitment<F>::Prove(
+      auto part = LinearCommitment<F>::Prove(
           *proof_vectors[o], ctx.oracles[o], &p.costs.crypto_s,
           &p.costs.answer_queries_s, workers);
+      if (!part.ok()) {
+        // Callers screen shapes (ValidateProverVectors) before proving, so
+        // reaching this is a caller bug, not a protocol outcome.
+        throw std::invalid_argument("Argument::Prove oracle " +
+                                    std::to_string(o) + ": " +
+                                    part.status().ToString());
+      }
+      p.parts[o] = std::move(part).value();
     }
     return p;
   }
@@ -158,10 +167,16 @@ class Argument {
       const VerifierSetup& setup, size_t workers = 1) {
     InstanceProof p;
     for (size_t o = 0; o < 2; o++) {
-      p.parts[o] = LinearCommitment<F>::Prove(
+      auto part = LinearCommitment<F>::Prove(
           *proof_vectors[o], setup.shared[o].enc_r,
           Adapter::OracleQueries(setup.queries, o), setup.shared[o].t,
           &p.costs.crypto_s, &p.costs.answer_queries_s, workers);
+      if (!part.ok()) {
+        throw std::invalid_argument("Argument::Prove oracle " +
+                                    std::to_string(o) + ": " +
+                                    part.status().ToString());
+      }
+      p.parts[o] = std::move(part).value();
     }
     return p;
   }
@@ -176,15 +191,15 @@ class Argument {
     for (size_t o = 0; o < 2; o++) {
       size_t expected = Adapter::OracleQueries(setup.queries, o).size();
       if (proof.parts[o].responses.size() != expected) {
-        return MalformedError("oracle " + std::to_string(o) +
-                              " response count mismatch");
+        return ShapeMismatchError("oracle " + std::to_string(o) +
+                                  " response count mismatch");
       }
       if (setup.secrets.commit[o].alphas.size() != expected) {
         return MalformedError("setup alpha count mismatch");
       }
     }
     if (bound_values.size() != Adapter::BoundValueCount(setup.queries)) {
-      return MalformedError("bound value count mismatch");
+      return ShapeMismatchError("bound value count mismatch");
     }
     return Status::Ok();
   }

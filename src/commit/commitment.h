@@ -24,12 +24,14 @@
 
 #include <cassert>
 #include <cstddef>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "src/crypto/elgamal.h"
 #include "src/crypto/prg.h"
 #include "src/pcp/linear_oracle.h"
+#include "src/util/status.h"
 #include "src/util/stopwatch.h"
 
 namespace zaatar {
@@ -111,50 +113,67 @@ class LinearCommitment {
   // Phase 2 (prover, per instance): the homomorphic commitment
   // e = Enc(<u, r>) from Enc(r) and the plaintext proof vector u. `workers`
   // > 1 chunks the multi-exponentiation across that many threads (only
-  // useful when instances are not already proved in parallel).
-  static typename EG::Ciphertext Commit(
+  // useful when instances are not already proved in parallel). Enc(r) comes
+  // off the wire on the session path, so a length mismatch is a typed error,
+  // not an assert.
+  static StatusOr<typename EG::Ciphertext> Commit(
       const std::vector<F>& u,
       const std::vector<typename EG::Ciphertext>& enc_r, size_t workers = 1) {
-    assert(u.size() == enc_r.size());
+    if (u.size() != enc_r.size()) {
+      return ShapeMismatchError("proof vector length " +
+                                std::to_string(u.size()) + " != Enc(r) length " +
+                                std::to_string(enc_r.size()));
+    }
     return EG::InnerProduct(enc_r.data(), u.data(), u.size(), workers);
   }
 
   // Phase 4 (prover, per instance): answer every multidecommit query plus
   // the consistency query in the clear. Fills `responses` / `t_response` of
-  // an already-committed proof part.
-  static void Answer(const std::vector<F>& u,
-                     const std::vector<std::vector<F>>& queries,
-                     const std::vector<F>& t, OracleProofPart<F>* part) {
+  // an already-committed proof part. Queries and t are wire-decoded on the
+  // session path, so length mismatches are typed errors.
+  static Status Answer(const std::vector<F>& u,
+                       const std::vector<std::vector<F>>& queries,
+                       const std::vector<F>& t, OracleProofPart<F>* part) {
     part->responses.clear();
     part->responses.reserve(queries.size());
-    for (const auto& q : queries) {
-      assert(q.size() == u.size());
+    for (size_t k = 0; k < queries.size(); k++) {
+      const auto& q = queries[k];
+      if (q.size() != u.size()) {
+        return ShapeMismatchError("query " + std::to_string(k) + " length " +
+                                  std::to_string(q.size()) +
+                                  " != oracle length " +
+                                  std::to_string(u.size()));
+      }
       part->responses.push_back(
           VectorOracle<F>::InnerProduct(q.data(), u.data(), u.size()));
     }
-    assert(t.size() == u.size());
+    if (t.size() != u.size()) {
+      return ShapeMismatchError("consistency query length " +
+                                std::to_string(t.size()) +
+                                " != oracle length " +
+                                std::to_string(u.size()));
+    }
     part->t_response =
         VectorOracle<F>::InnerProduct(t.data(), u.data(), u.size());
+    return Status::Ok();
   }
 
   // Phases 2 + 4 together. `crypto_seconds` / `answer_seconds` receive the
   // phase costs when non-null.
-  static OracleProofPart<F> Prove(const std::vector<F>& u,
-                                  const std::vector<typename EG::Ciphertext>&
-                                      enc_r,
-                                  const std::vector<std::vector<F>>& queries,
-                                  const std::vector<F>& t,
-                                  double* crypto_seconds = nullptr,
-                                  double* answer_seconds = nullptr,
-                                  size_t workers = 1);
+  static StatusOr<OracleProofPart<F>> Prove(
+      const std::vector<F>& u,
+      const std::vector<typename EG::Ciphertext>& enc_r,
+      const std::vector<std::vector<F>>& queries, const std::vector<F>& t,
+      double* crypto_seconds = nullptr, double* answer_seconds = nullptr,
+      size_t workers = 1);
 
   // Prove against the prover's reconstructed per-oracle context — the form
   // the session layer uses once the SetupMessage has been decoded.
-  static OracleProofPart<F> Prove(const std::vector<F>& u,
-                                  const ProverOracleContext<F>& ctx,
-                                  double* crypto_seconds = nullptr,
-                                  double* answer_seconds = nullptr,
-                                  size_t workers = 1) {
+  static StatusOr<OracleProofPart<F>> Prove(const std::vector<F>& u,
+                                            const ProverOracleContext<F>& ctx,
+                                            double* crypto_seconds = nullptr,
+                                            double* answer_seconds = nullptr,
+                                            size_t workers = 1) {
     return Prove(u, ctx.enc_r, ctx.queries, ctx.t, crypto_seconds,
                  answer_seconds, workers);
   }
@@ -183,7 +202,7 @@ class LinearCommitment {
 };
 
 template <typename F>
-OracleProofPart<F> LinearCommitment<F>::Prove(
+StatusOr<OracleProofPart<F>> LinearCommitment<F>::Prove(
     const std::vector<F>& u,
     const std::vector<typename EG::Ciphertext>& enc_r,
     const std::vector<std::vector<F>>& queries, const std::vector<F>& t,
@@ -191,14 +210,14 @@ OracleProofPart<F> LinearCommitment<F>::Prove(
   OracleProofPart<F> part;
 
   Stopwatch timer;
-  part.commitment = Commit(u, enc_r, workers);
+  ZAATAR_ASSIGN_OR_RETURN(part.commitment, Commit(u, enc_r, workers));
   if (crypto_seconds != nullptr) {
     *crypto_seconds += timer.Lap();
   } else {
     timer.Restart();
   }
 
-  Answer(u, queries, t, &part);
+  ZAATAR_RETURN_IF_ERROR(Answer(u, queries, t, &part));
   if (answer_seconds != nullptr) {
     *answer_seconds += timer.Lap();
   }

@@ -11,6 +11,7 @@
 #include "src/compiler/evaluator.h"
 #include "src/compiler/parser.h"
 #include "src/constraints/transform.h"
+#include "src/obs/trace.h"
 
 namespace zaatar {
 
@@ -94,16 +95,26 @@ int64_t DecodeSignedInt(const F& v) {
 template <typename F>
 CompiledProgram<F> CompileZlang(const std::string& source,
                                 const TransformOptions& options = {}) {
-  ProgramAst ast = Parse(source);
-  Evaluator<F> evaluator(ast);
-  EvaluationResult<F> result = evaluator.Run();
+  obs::Span span("compiler.compile");
+  ProgramAst ast = [&] {
+    obs::Span parse("compiler.parse");
+    return Parse(source);
+  }();
   CompiledProgram<F> p;
-  p.name = ast.name;
-  p.ginger = std::move(result.system);
-  p.solver = std::move(result.solver);
-  p.inputs = std::move(result.inputs);
-  p.outputs = std::move(result.outputs);
-  p.zaatar = GingerToZaatar(p.ginger, options);
+  {
+    obs::Span lower("compiler.lower");
+    Evaluator<F> evaluator(ast);
+    EvaluationResult<F> result = evaluator.Run();
+    p.name = ast.name;
+    p.ginger = std::move(result.system);
+    p.solver = std::move(result.solver);
+    p.inputs = std::move(result.inputs);
+    p.outputs = std::move(result.outputs);
+  }
+  {
+    obs::Span transform("compiler.to_zaatar");
+    p.zaatar = GingerToZaatar(p.ginger, options);
+  }
   return p;
 }
 

@@ -17,12 +17,14 @@
 #ifndef SRC_CONSTRAINTS_QAP_H_
 #define SRC_CONSTRAINTS_QAP_H_
 
-#include <cassert>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/constraints/r1cs.h"
+#include "src/obs/trace.h"
 #include "src/poly/algorithms.h"
+#include "src/util/status.h"
 
 namespace zaatar {
 
@@ -51,6 +53,7 @@ class Qap {
   // assignment. For an unsatisfying assignment `exact` is false and `h` is
   // the polynomial quotient (useful for building cheating provers in tests).
   HResult ComputeH(const std::vector<F>& assignment) const {
+    obs::Span span("qap.compute_h");
     const size_t m = Degree();
     const SubproductTree<F>& tree = Tree();
 
@@ -90,9 +93,12 @@ class Qap {
     F d_tau;
   };
 
-  // Requires tau outside {0, 1, ..., |C|} (callers resample; the collision
-  // probability is |C|+1 / |F|).
-  Evaluation EvaluateAtTau(const F& tau) const {
+  // Requires tau outside the interpolation set {0, 1, ..., |C|}: a
+  // colliding tau would batch-invert a zero and poison every barycentric
+  // weight, so it is rejected with a typed error instead (callers resample;
+  // the collision probability for a uniform tau is (|C|+1)/|F|).
+  StatusOr<Evaluation> EvaluateAtTau(const F& tau) const {
+    obs::Span span("qap.evaluate_at_tau");
     const size_t m = Degree();
     const size_t rows = cs_->NumVariables() + 1;
 
@@ -107,7 +113,11 @@ class Qap {
     F ell = F::One();
     for (size_t k = 0; k <= m; k++) {
       diff[k] = tau - F::FromUint(k);
-      assert(!diff[k].IsZero() && "tau collides with interpolation point");
+      if (diff[k].IsZero()) {
+        return OutOfRangeError(
+            "tau collides with interpolation point " + std::to_string(k) +
+            " of the QAP point set {0.." + std::to_string(m) + "}");
+      }
       ell *= diff[k];
     }
 

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "src/field/bigint.h"
+#include "src/obs/metrics.h"
 #include "src/util/parallel_for.h"
 
 namespace zaatar {
@@ -206,6 +207,12 @@ G MultiExpBigInt(const G* bases, const BigInt<M>* exps, size_t n) {
 template <typename G, typename F>
 G MultiExp(const G* bases, const F* scalars, size_t n, size_t workers = 1) {
   using Exp = typename F::Repr;
+  // Metrics are recorded at the front end only: ParallelFor workers have no
+  // ambient metrics installed, so the kernel stays hook-free.
+  obs::MetricAdd("multiexp.calls");
+  obs::MetricObserve("multiexp.terms", n);
+  obs::MetricObserve("multiexp.window_bits",
+                     PippengerWindowBits(n, Exp::kBits));
   std::vector<Exp> exps(n);
   for (size_t i = 0; i < n; i++) {
     exps[i] = scalars[i].ToCanonical();

@@ -20,11 +20,28 @@ namespace zaatar {
 
 class Prg {
  public:
-  explicit Prg(uint64_t seed) {
+  // Expands a 64-bit convenience seed into a full 256-bit ChaCha key using
+  // four rounds of splitmix64. Copying the raw seed into the low 8 bytes
+  // (the previous behavior) left 24 of the 32 key bytes zero, so the entire
+  // keyspace reachable from this constructor was 2^64 keys that all shared a
+  // 192-bit all-zero suffix — trivially distinguishable, and adjacent seeds
+  // produced nearly identical key schedules. splitmix64's finalizer
+  // decorrelates the four words from each other and from the seed.
+  static std::array<uint8_t, ChaCha20::kKeyBytes> ExpandSeed(uint64_t seed) {
     std::array<uint8_t, ChaCha20::kKeyBytes> key{};
-    std::memcpy(key.data(), &seed, sizeof(seed));
-    cipher_ = ChaCha20(key, /*nonce=*/{}, /*initial_counter=*/0);
+    uint64_t state = seed;
+    for (size_t i = 0; i < ChaCha20::kKeyBytes / 8; i++) {
+      state += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = state;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      z ^= z >> 31;
+      std::memcpy(key.data() + i * 8, &z, 8);
+    }
+    return key;
   }
+
+  explicit Prg(uint64_t seed) : Prg(ExpandSeed(seed)) {}
 
   explicit Prg(const std::array<uint8_t, ChaCha20::kKeyBytes>& key)
       : cipher_(key, /*nonce=*/{}, /*initial_counter=*/0) {}

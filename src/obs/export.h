@@ -1,0 +1,189 @@
+// Deterministic JSON export of a span tree + metrics registry.
+//
+// The output is a pure function of the collected data: spans are emitted as
+// a nested tree with children ordered by (start_ns, id), counters and
+// histograms in name order (std::map), and histogram buckets keyed by their
+// upper bound 2^k with zero buckets omitted. Times are steady-clock
+// nanoseconds relative to the Tracer epoch — no wall-clock timestamps, so
+// two exports of the same trace are byte-identical.
+
+#ifndef SRC_OBS_EXPORT_H_
+#define SRC_OBS_EXPORT_H_
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace zaatar {
+namespace obs {
+
+namespace internal {
+
+inline void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+inline void AppendU64(uint64_t v, std::string* out) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  *out += buf;
+}
+
+inline void AppendSpanSubtree(
+    const std::vector<Tracer::Node>& nodes,
+    const std::vector<std::vector<uint32_t>>& children, uint32_t id,
+    int indent, std::string* out) {
+  const Tracer::Node& n = nodes[id];
+  const std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  *out += pad + "{\"name\": ";
+  AppendJsonString(n.name, out);
+  *out += ", \"start_ns\": ";
+  AppendU64(n.start_ns, out);
+  *out += ", \"dur_ns\": ";
+  AppendU64(n.end_ns >= n.start_ns ? n.end_ns - n.start_ns : 0, out);
+  if (children[id].empty()) {
+    *out += "}";
+    return;
+  }
+  *out += ", \"children\": [\n";
+  for (size_t i = 0; i < children[id].size(); i++) {
+    AppendSpanSubtree(nodes, children, children[id][i], indent + 1, out);
+    if (i + 1 < children[id].size()) {
+      *out += ",";
+    }
+    *out += "\n";
+  }
+  *out += pad + "]}";
+}
+
+}  // namespace internal
+
+// The span tree alone (the "trace" object of ExportJson).
+inline std::string ExportSpanTreeJson(const Tracer& tracer, int indent = 1) {
+  std::vector<Tracer::Node> nodes = tracer.Snapshot();
+  std::vector<std::vector<uint32_t>> children(nodes.size());
+  std::vector<uint32_t> roots;
+  for (uint32_t id = 0; id < nodes.size(); id++) {
+    if (nodes[id].parent == kNoSpan || nodes[id].parent >= nodes.size()) {
+      roots.push_back(id);
+    } else {
+      children[nodes[id].parent].push_back(id);
+    }
+  }
+  // Children arrive in OpenSpan order, which two threads can interleave;
+  // order deterministically by start time (ties by id).
+  auto by_start = [&](uint32_t a, uint32_t b) {
+    return nodes[a].start_ns != nodes[b].start_ns
+               ? nodes[a].start_ns < nodes[b].start_ns
+               : a < b;
+  };
+  for (auto& c : children) {
+    std::sort(c.begin(), c.end(), by_start);
+  }
+  std::sort(roots.begin(), roots.end(), by_start);
+
+  std::string out = "[\n";
+  for (size_t i = 0; i < roots.size(); i++) {
+    internal::AppendSpanSubtree(nodes, children, roots[i], indent, &out);
+    if (i + 1 < roots.size()) {
+      out += ",";
+    }
+    out += "\n";
+  }
+  out += std::string(static_cast<size_t>(indent > 0 ? indent - 1 : 0) * 2, ' ');
+  out += "]";
+  return out;
+}
+
+// Full export: {"spans": [...], "counters": {...}, "histograms": {...}}.
+// Either argument may be null (emitted as an empty collection).
+inline std::string ExportJson(const Tracer* tracer, const Metrics* metrics) {
+  std::string out = "{\n  \"spans\": ";
+  out += tracer != nullptr ? ExportSpanTreeJson(*tracer, 2) : "[]";
+  out += ",\n  \"counters\": {";
+  if (metrics != nullptr) {
+    bool first = true;
+    for (const auto& [name, value] : metrics->Counters()) {
+      out += first ? "\n    " : ",\n    ";
+      first = false;
+      internal::AppendJsonString(name, &out);
+      out += ": ";
+      internal::AppendU64(value, &out);
+    }
+    if (!first) {
+      out += "\n  ";
+    }
+  }
+  out += "},\n  \"histograms\": {";
+  if (metrics != nullptr) {
+    bool first = true;
+    for (const auto& [name, h] : metrics->Histograms()) {
+      out += first ? "\n    " : ",\n    ";
+      first = false;
+      internal::AppendJsonString(name, &out);
+      out += ": {\"count\": ";
+      internal::AppendU64(h.count, &out);
+      out += ", \"sum\": ";
+      internal::AppendU64(h.sum, &out);
+      out += ", \"buckets\": {";
+      bool first_bucket = true;
+      for (size_t k = 0; k < h.buckets.size(); k++) {
+        if (h.buckets[k] == 0) {
+          continue;
+        }
+        if (!first_bucket) {
+          out += ", ";
+        }
+        first_bucket = false;
+        // Key: the bucket's exclusive upper bound 2^k (0 for the zero
+        // bucket, whose only member is the value 0).
+        internal::AppendJsonString(
+            k == 0 ? "0" : std::to_string(uint64_t{1} << k), &out);
+        out += ": ";
+        internal::AppendU64(h.buckets[k], &out);
+      }
+      out += "}}";
+    }
+    if (!first) {
+      out += "\n  ";
+    }
+  }
+  out += "}\n}\n";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace zaatar
+
+#endif  // SRC_OBS_EXPORT_H_

@@ -24,6 +24,7 @@
 
 #include <cassert>
 #include <cstddef>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -31,6 +32,7 @@
 #include "src/crypto/prg.h"
 #include "src/pcp/linear_oracle.h"
 #include "src/pcp/params.h"
+#include "src/util/status.h"
 
 namespace zaatar {
 
@@ -174,11 +176,31 @@ class GingerPcp {
     return out;
   }
 
+  // Same contract as ZaatarPcp: response vectors may be wire-decoded, so
+  // their shape is screened with a typed error (and re-checked in Decide in
+  // release builds) instead of assert-only validation.
+  static Status ValidateResponseShape(const Queries& queries,
+                                      const std::vector<F>& resp1,
+                                      const std::vector<F>& resp2) {
+    if (resp1.size() != queries.pi1_queries.size()) {
+      return ShapeMismatchError(
+          "pi1 response count " + std::to_string(resp1.size()) +
+          " != query count " + std::to_string(queries.pi1_queries.size()));
+    }
+    if (resp2.size() != queries.pi2_queries.size()) {
+      return ShapeMismatchError(
+          "pi2 response count " + std::to_string(resp2.size()) +
+          " != query count " + std::to_string(queries.pi2_queries.size()));
+    }
+    return Status::Ok();
+  }
+
   static bool Decide(const Queries& queries, const std::vector<F>& resp1,
                      const std::vector<F>& resp2,
                      const std::vector<F>& bound_values) {
-    assert(resp1.size() == queries.pi1_queries.size());
-    assert(resp2.size() == queries.pi2_queries.size());
+    if (!ValidateResponseShape(queries, resp1, resp2).ok()) {
+      return false;
+    }
     for (const auto& rep : queries.reps) {
       for (const auto& t : rep.lin1) {
         if (resp1[t.i0] + resp1[t.i1] != resp1[t.i2]) {
@@ -195,8 +217,12 @@ class GingerPcp {
           resp2[rep.quad_main] - resp2[rep.quad_blind]) {
         return false;
       }
-      // Circuit test.
-      assert(rep.gamma_bound.size() == bound_values.size());
+      // Circuit test. The bound values are caller-supplied per instance, so
+      // a count mismatch is a reject, not an assert (compiled out in
+      // release) — indexing past gamma_bound would be UB.
+      if (rep.gamma_bound.size() != bound_values.size()) {
+        return false;
+      }
       F gamma0 = rep.gamma0_fixed;
       for (size_t k = 0; k < bound_values.size(); k++) {
         gamma0 -= rep.gamma_bound[k] * bound_values[k];

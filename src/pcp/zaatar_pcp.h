@@ -16,6 +16,7 @@
 
 #include <cassert>
 #include <cstddef>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -23,6 +24,7 @@
 #include "src/crypto/prg.h"
 #include "src/pcp/linear_oracle.h"
 #include "src/pcp/params.h"
+#include "src/util/status.h"
 
 namespace zaatar {
 
@@ -105,8 +107,16 @@ class ZaatarPcp {
       r.blind_h = r.lin_h[0].i0;
 
       // Divisibility-correction queries at a fresh tau outside {0..m}.
+      // SampleTau already rejects the interpolation set, but EvaluateAtTau
+      // reports a collision as a typed error, so resample on it rather than
+      // trusting the two range conventions to stay in sync.
       F tau = SampleTau(m, prg);
-      auto ev = qap.EvaluateAtTau(tau);
+      auto ev_or = qap.EvaluateAtTau(tau);
+      while (!ev_or.ok()) {
+        tau = SampleTau(m, prg);
+        ev_or = qap.EvaluateAtTau(tau);
+      }
+      const auto& ev = *ev_or;
       r.tau = tau;
       r.d_tau = ev.d_tau;
 
@@ -148,12 +158,38 @@ class ZaatarPcp {
 
   // Verifier decision. `bound_values` are the instance's inputs followed by
   // outputs (layout order); responses are aligned with the query lists.
+  // Response vectors can originate from wire-decoded bytes, so shape is
+  // re-checked here in release builds too (a mismatch is a reject, never an
+  // out-of-bounds read); ValidateResponseShape exposes the same check as a
+  // typed Status for callers that want the error, not just `false`.
+  static Status ValidateResponseShape(const Queries& queries,
+                                      const std::vector<F>& z_resp,
+                                      const std::vector<F>& h_resp) {
+    if (z_resp.size() != queries.z_queries.size()) {
+      return ShapeMismatchError(
+          "z-oracle response count " + std::to_string(z_resp.size()) +
+          " != query count " + std::to_string(queries.z_queries.size()));
+    }
+    if (h_resp.size() != queries.h_queries.size()) {
+      return ShapeMismatchError(
+          "h-oracle response count " + std::to_string(h_resp.size()) +
+          " != query count " + std::to_string(queries.h_queries.size()));
+    }
+    return Status::Ok();
+  }
+
   static bool Decide(const Queries& queries, const std::vector<F>& z_resp,
                      const std::vector<F>& h_resp,
                      const std::vector<F>& bound_values) {
-    assert(z_resp.size() == queries.z_queries.size());
-    assert(h_resp.size() == queries.h_queries.size());
+    if (!ValidateResponseShape(queries, z_resp, h_resp).ok()) {
+      return false;
+    }
     for (const auto& rep : queries.reps) {
+      if (rep.a_bound.size() != bound_values.size() + 1 ||
+          rep.b_bound.size() != bound_values.size() + 1 ||
+          rep.c_bound.size() != bound_values.size() + 1) {
+        return false;
+      }
       for (const auto& t : rep.lin_z) {
         if (z_resp[t.i0] + z_resp[t.i1] != z_resp[t.i2]) {
           return false;
@@ -218,9 +254,12 @@ class ZaatarPcp {
     }
   }
 
+  // Size precondition (rows.size() == bound_values.size() + 1) is checked
+  // by Decide before any call, explicitly rather than by assert: the rows
+  // come from the verifier's own setup but the bound values are
+  // caller-supplied per instance.
   static F BoundContribution(const std::vector<F>& rows,
                              const std::vector<F>& bound_values) {
-    assert(rows.size() == bound_values.size() + 1);
     F acc = rows[0];
     for (size_t k = 0; k < bound_values.size(); k++) {
       acc += rows[1 + k] * bound_values[k];

@@ -29,12 +29,12 @@
 
 #include "src/argument/verdict.h"
 #include "src/commit/commitment.h"
+#include "src/obs/trace.h"
 #include "src/protocol/messages.h"
 #include "src/protocol/phase.h"
 #include "src/protocol/prover_context.h"
 #include "src/protocol/transport.h"
 #include "src/util/status.h"
-#include "src/util/stopwatch.h"
 
 namespace zaatar {
 namespace protocol {
@@ -48,6 +48,9 @@ class ProverSession {
     if (phase_ != SessionPhase::kSetup) {
       return WrongPhase("IngestSetup", SessionPhase::kSetup, phase_);
     }
+    // Decoding the SetupMessage is the prover's largest non-crypto cost for
+    // big batches; give it its own span so the wall-time partition holds.
+    obs::Span span("prover.ingest_setup");
     ZAATAR_ASSIGN_OR_RETURN(ctx_, ProverContext<F>::FromBytes(bytes));
     phase_ = SessionPhase::kCommit;
     return Status::Ok();
@@ -72,14 +75,15 @@ class ProverSession {
       return WrongPhase("Commit", SessionPhase::kCommit, phase_);
     }
     ZAATAR_RETURN_IF_ERROR(ctx_.ValidateVectors(vectors));
-    Stopwatch timer;
+    obs::Span span("prover.commit");
     pending_ = ProofMessage<F>{};
     pending_.instance_index = next_instance_;
     for (size_t o = 0; o < 2; o++) {
-      pending_.commitments[o] = LinearCommitment<F>::Commit(
-          *vectors[o], ctx_.oracles[o].enc_r, workers);
+      ZAATAR_ASSIGN_OR_RETURN(
+          pending_.commitments[o],
+          LinearCommitment<F>::Commit(*vectors[o], ctx_.oracles[o].enc_r,
+                                      workers));
     }
-    costs_.crypto_s += timer.Lap();
     pending_vectors_ = vectors;
     phase_ = SessionPhase::kDecommit;
     return Status::Ok();
@@ -93,17 +97,17 @@ class ProverSession {
     if (phase_ != SessionPhase::kDecommit) {
       return WrongPhase("Decommit", SessionPhase::kDecommit, phase_);
     }
-    Stopwatch timer;
+    obs::Span span("prover.answer");
     for (size_t o = 0; o < 2; o++) {
       OracleProofPart<F> part;
       part.commitment = pending_.commitments[o];
-      LinearCommitment<F>::Answer(*pending_vectors_[o],
-                                  ctx_.oracles[o].queries, ctx_.oracles[o].t,
-                                  &part);
+      ZAATAR_RETURN_IF_ERROR(
+          LinearCommitment<F>::Answer(*pending_vectors_[o],
+                                      ctx_.oracles[o].queries,
+                                      ctx_.oracles[o].t, &part));
       pending_.responses[o] = std::move(part.responses);
       pending_.t_responses[o] = part.t_response;
     }
-    costs_.answer_queries_s += timer.Lap();
     phase_ = SessionPhase::kDecide;
     return pending_.Serialize();
   }
@@ -154,7 +158,6 @@ class ProverSession {
 
   SessionPhase phase() const { return phase_; }
   const ProverContext<F>& context() const { return ctx_; }
-  const ProverCosts& costs() const { return costs_; }
   uint32_t next_instance() const { return next_instance_; }
   const std::vector<VerifyInstanceResult>& verdicts() const {
     return verdicts_;
@@ -166,7 +169,6 @@ class ProverSession {
   ProofMessage<F> pending_;
   std::array<const std::vector<F>*, 2> pending_vectors_{};
   uint32_t next_instance_ = 0;
-  ProverCosts costs_;
   std::vector<VerifyInstanceResult> verdicts_;
 };
 

@@ -35,6 +35,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/status.h"
 
 namespace zaatar {
@@ -49,6 +51,23 @@ inline constexpr uint64_t kMaxFrameBytes = 1ull << 30;
 // frame never turns into one giant syscall, and a hostile length prefix on
 // the read side fails fast once the sender stops producing bytes.
 inline constexpr size_t kTransportChunkBytes = 1u << 20;
+
+namespace internal {
+
+// Shared per-frame accounting for every Transport implementation. Counters
+// and the byte histogram land in whatever Metrics registry is installed on
+// the calling thread (no-ops otherwise).
+inline void RecordFrameSent(size_t bytes) {
+  obs::MetricAdd("transport.frames_sent");
+  obs::MetricObserve("transport.frame_bytes", bytes);
+}
+
+inline void RecordFrameReceived(size_t bytes) {
+  obs::MetricAdd("transport.frames_received");
+  obs::MetricObserve("transport.frame_bytes", bytes);
+}
+
+}  // namespace internal
 
 class Transport {
  public:
@@ -127,13 +146,27 @@ class LoopbackTransport final : public Transport {
   ~LoopbackTransport() override { Close(); }
 
   Status Send(const std::vector<uint8_t>& frame) override {
+    obs::Span span("transport.send");
     if (frame.size() > kMaxFrameBytes) {
       return LengthOverflowError("frame exceeds transport cap");
     }
-    return tx_->Push(frame);
+    Status s = tx_->Push(frame);
+    if (s.ok()) {
+      internal::RecordFrameSent(frame.size());
+    }
+    return s;
   }
 
-  StatusOr<std::vector<uint8_t>> Receive() override { return rx_->Pop(); }
+  StatusOr<std::vector<uint8_t>> Receive() override {
+    // "transport.recv" spans include the blocking wait for the peer, so the
+    // harness's wall-time partition treats them as idle time, not compute.
+    obs::Span span("transport.recv");
+    auto frame = rx_->Pop();
+    if (frame.ok()) {
+      internal::RecordFrameReceived(frame->size());
+    }
+    return frame;
+  }
 
   void Close() override {
     tx_->Close();
@@ -167,6 +200,7 @@ class PipeTransport final : public Transport {
   ~PipeTransport() override { Close(); }
 
   Status Send(const std::vector<uint8_t>& frame) override {
+    obs::Span span("transport.send");
     if (frame.size() > kMaxFrameBytes) {
       return LengthOverflowError("frame exceeds transport cap");
     }
@@ -176,10 +210,13 @@ class PipeTransport final : public Transport {
       prefix[i] = static_cast<uint8_t>(len >> (8 * i));
     }
     ZAATAR_RETURN_IF_ERROR(WriteAll(prefix, 4));
-    return WriteAll(frame.data(), frame.size());
+    ZAATAR_RETURN_IF_ERROR(WriteAll(frame.data(), frame.size()));
+    internal::RecordFrameSent(frame.size());
+    return Status::Ok();
   }
 
   StatusOr<std::vector<uint8_t>> Receive() override {
+    obs::Span span("transport.recv");
     uint8_t prefix[4];
     ZAATAR_RETURN_IF_ERROR(ReadAll(prefix, 4, /*eof_ok_at_start=*/true));
     uint32_t len = 0;
@@ -202,6 +239,7 @@ class PipeTransport final : public Transport {
           ReadAll(frame.data() + received, chunk, /*eof_ok_at_start=*/false));
       received += chunk;
     }
+    internal::RecordFrameReceived(frame.size());
     return frame;
   }
 

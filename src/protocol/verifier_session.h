@@ -31,11 +31,12 @@
 #include "src/argument/argument.h"
 #include "src/argument/verdict.h"
 #include "src/crypto/prg.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/protocol/messages.h"
 #include "src/protocol/phase.h"
 #include "src/protocol/transport.h"
 #include "src/util/status.h"
-#include "src/util/stopwatch.h"
 
 namespace zaatar {
 namespace protocol {
@@ -83,7 +84,7 @@ class VerifierSession {
     if (phase_ != SessionPhase::kCommit) {
       return WrongPhase("HandleProof", SessionPhase::kCommit, phase_);
     }
-    Stopwatch timer;
+    obs::Span span("verifier.verify");
     VerifyInstanceResult result;
     auto decoded = ProofMessage<F>::Deserialize(proof_bytes);
     if (!decoded.ok()) {
@@ -106,7 +107,9 @@ class VerifierSession {
       }
       result = Arg::VerifyInstanceDetailed(setup_, proof, bound_values);
     }
-    verify_seconds_ += timer.ElapsedSeconds();
+    if (obs::Metrics* m = obs::ThreadMetrics()) {
+      m->Add(std::string("verdict.") + VerifyVerdictName(result.verdict));
+    }
     proof_bytes_ += proof_bytes.size();
     results_.push_back(result);
     phase_ = SessionPhase::kDecide;
@@ -150,7 +153,6 @@ class VerifierSession {
   const std::vector<VerifyInstanceResult>& results() const {
     return results_;
   }
-  double verify_seconds() const { return verify_seconds_; }
   size_t setup_bytes_sent() const { return setup_bytes_; }
   size_t proof_bytes_received() const { return proof_bytes_; }
 
@@ -158,7 +160,6 @@ class VerifierSession {
   typename Arg::VerifierSetup setup_;
   SessionPhase phase_ = SessionPhase::kSetup;
   std::vector<VerifyInstanceResult> results_;
-  double verify_seconds_ = 0;
   size_t setup_bytes_ = 0;
   size_t proof_bytes_ = 0;
 };

@@ -41,13 +41,15 @@ enum class FaultClass {
   kSetupReplay,           // a proof generated under a different batch's setup
   kInconsistentResponse,  // responses disagreeing with the commitment
   kTrailingGarbage,       // valid message followed by extra bytes
+  kResponseCountMismatch, // well-formed frame, wrong response-vector shape
 };
 
-inline constexpr std::array<FaultClass, 8> kAllFaultClasses = {
+inline constexpr std::array<FaultClass, 9> kAllFaultClasses = {
     FaultClass::kTruncation,        FaultClass::kBitFlip,
     FaultClass::kLengthInflation,   FaultClass::kNonCanonicalElement,
     FaultClass::kCommitmentSwap,    FaultClass::kSetupReplay,
     FaultClass::kInconsistentResponse, FaultClass::kTrailingGarbage,
+    FaultClass::kResponseCountMismatch,
 };
 
 inline const char* FaultClassName(FaultClass c) {
@@ -68,6 +70,8 @@ inline const char* FaultClassName(FaultClass c) {
       return "inconsistent-response";
     case FaultClass::kTrailingGarbage:
       return "trailing-garbage";
+    case FaultClass::kResponseCountMismatch:
+      return "response-count-mismatch";
   }
   return "unknown";
 }
@@ -281,6 +285,20 @@ class MaliciousProver {
       case FaultClass::kTrailingGarbage:
         return Corruptor::AppendGarbage(honest_bytes_,
                                         1 + prg.NextBounded(64), prg);
+      case FaultClass::kResponseCountMismatch: {
+        // Every byte decodes fine and every element is canonical — only the
+        // response count disagrees with the setup's query count. This is the
+        // corruption that asserts-only shape validation would let straight
+        // through to an out-of-bounds read in an NDEBUG build.
+        InstanceProofMessage<F> msg = honest_msg_;
+        size_t o = prg.NextBounded(2);
+        if (msg.responses[o].empty() || prg.NextBool()) {
+          msg.responses[o].push_back(F::One());  // one response too many
+        } else {
+          msg.responses[o].pop_back();  // one response too few
+        }
+        return msg.Serialize();
+      }
     }
     return honest_bytes_;
   }
@@ -295,6 +313,7 @@ class MaliciousProver {
       case FaultClass::kLengthInflation:
       case FaultClass::kNonCanonicalElement:
       case FaultClass::kTrailingGarbage:
+      case FaultClass::kResponseCountMismatch:
         return {VerifyVerdict::kMalformed};
       case FaultClass::kCommitmentSwap:
       case FaultClass::kSetupReplay:

@@ -33,6 +33,12 @@ enum class StatusCode {
   // committing before the setup message arrived). Always a local sequencing
   // bug or a peer driving the state machine out of order — never a verdict.
   kPhaseViolation,
+  // Decoded-but-wrong geometry: a structurally valid message whose vector
+  // sizes disagree with what the setup prescribes (response count vs. query
+  // count, proof vector vs. oracle length). Split from kMalformed so the
+  // shape screens that replaced assert()-only validation are distinguishable
+  // from byte-level decode failures.
+  kShapeMismatch,
 };
 
 inline const char* StatusCodeName(StatusCode code) {
@@ -49,6 +55,8 @@ inline const char* StatusCodeName(StatusCode code) {
       return "MALFORMED";
     case StatusCode::kPhaseViolation:
       return "PHASE_VIOLATION";
+    case StatusCode::kShapeMismatch:
+      return "SHAPE_MISMATCH";
   }
   return "UNKNOWN";
 }
@@ -96,6 +104,9 @@ inline Status MalformedError(std::string msg) {
 }
 inline Status PhaseViolationError(std::string msg) {
   return Status(StatusCode::kPhaseViolation, std::move(msg));
+}
+inline Status ShapeMismatchError(std::string msg) {
+  return Status(StatusCode::kShapeMismatch, std::move(msg));
 }
 
 // A value or a non-OK Status. T must be movable; access to value() on an

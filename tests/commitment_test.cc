@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+
 #include "src/field/fields.h"
 
 namespace zaatar {
@@ -26,7 +28,10 @@ struct Fixture {
       f.queries.push_back(prg.NextFieldVector<F>(len));
     }
     f.setup = Commit::CreateSetup(f.keys.pk, len, f.queries, prg);
-    f.part = Commit::Prove(f.u, f.setup.shared.enc_r, f.queries, f.setup.shared.t);
+    auto part = Commit::Prove(f.u, f.setup.shared.enc_r, f.queries,
+                              f.setup.shared.t);
+    EXPECT_TRUE(part.ok()) << part.status().ToString();
+    f.part = std::move(part).value();
     return f;
   }
 };
@@ -86,9 +91,11 @@ TEST(CommitmentTest, RejectsCommitmentToDifferentVector) {
   Prg prg(105);
   auto f = Fixture::Make(prg);
   auto u2 = prg.NextFieldVector<F>(f.u.size());
-  auto part2 = Commit::Prove(u2, f.setup.shared.enc_r, f.queries, f.setup.shared.t);
-  auto frankenstein = f.part;           // responses from u ...
-  frankenstein.commitment = part2.commitment;  // ... commitment to u2
+  auto part2 = Commit::Prove(u2, f.setup.shared.enc_r, f.queries,
+                             f.setup.shared.t);
+  ASSERT_TRUE(part2.ok()) << part2.status().ToString();
+  auto frankenstein = f.part;            // responses from u ...
+  frankenstein.commitment = part2->commitment;  // ... commitment to u2
   EXPECT_FALSE(
       Commit::CheckConsistency(f.keys.pk, f.keys.sk, f.setup.secrets, frankenstein));
 }
@@ -100,9 +107,11 @@ TEST(CommitmentTest, ConsistentCheatIsAcceptedButIsLinear) {
   Prg prg(106);
   auto f = Fixture::Make(prg);
   auto u2 = prg.NextFieldVector<F>(f.u.size());
-  auto part2 = Commit::Prove(u2, f.setup.shared.enc_r, f.queries, f.setup.shared.t);
+  auto part2 = Commit::Prove(u2, f.setup.shared.enc_r, f.queries,
+                             f.setup.shared.t);
+  ASSERT_TRUE(part2.ok()) << part2.status().ToString();
   EXPECT_TRUE(
-      Commit::CheckConsistency(f.keys.pk, f.keys.sk, f.setup.secrets, part2));
+      Commit::CheckConsistency(f.keys.pk, f.keys.sk, f.setup.secrets, *part2));
 }
 
 TEST(CommitmentTest, ZeroLengthQueriesStillBind) {
@@ -111,7 +120,10 @@ TEST(CommitmentTest, ZeroLengthQueriesStillBind) {
   auto u = prg.NextFieldVector<F>(4);
   std::vector<std::vector<F>> no_queries;
   auto setup = Commit::CreateSetup(keys.pk, 4, no_queries, prg);
-  auto part = Commit::Prove(u, setup.shared.enc_r, no_queries, setup.shared.t);
+  auto part_or =
+      Commit::Prove(u, setup.shared.enc_r, no_queries, setup.shared.t);
+  ASSERT_TRUE(part_or.ok()) << part_or.status().ToString();
+  auto part = std::move(part_or).value();
   EXPECT_TRUE(Commit::CheckConsistency(keys.pk, keys.sk, setup.secrets, part));
   part.t_response += F::One();
   EXPECT_FALSE(Commit::CheckConsistency(keys.pk, keys.sk, setup.secrets, part));
@@ -124,9 +136,57 @@ TEST(CommitmentTest, PhaseTimersAccumulate) {
   std::vector<std::vector<F>> queries = {prg.NextFieldVector<F>(8)};
   auto setup = Commit::CreateSetup(keys.pk, 8, queries, prg);
   double crypto = 0, answer = 0;
-  Commit::Prove(u, setup.shared.enc_r, queries, setup.shared.t, &crypto, &answer);
+  auto part = Commit::Prove(u, setup.shared.enc_r, queries, setup.shared.t,
+                            &crypto, &answer);
+  ASSERT_TRUE(part.ok()) << part.status().ToString();
   EXPECT_GT(crypto, 0.0);
   EXPECT_GT(answer, 0.0);
+}
+
+// The shape screens that replaced assert()-only validation: mismatched
+// lengths on the wire-derived inputs come back as typed kShapeMismatch
+// errors in every build mode, never as out-of-bounds reads.
+TEST(CommitmentTest, CommitRejectsWrongOracleLength) {
+  Prg prg(109);
+  auto f = Fixture::Make(prg);
+  auto short_u = f.u;
+  short_u.pop_back();
+  auto e = Commit::Commit(short_u, f.setup.shared.enc_r);
+  ASSERT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), StatusCode::kShapeMismatch);
+}
+
+TEST(CommitmentTest, AnswerRejectsWrongQueryOrTLength) {
+  Prg prg(110);
+  auto f = Fixture::Make(prg);
+  OracleProofPart<F> part;
+
+  auto bad_queries = f.queries;
+  bad_queries[2].push_back(F::One());
+  Status s =
+      Commit::Answer(f.u, bad_queries, f.setup.shared.t, &part);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kShapeMismatch);
+
+  auto bad_t = f.setup.shared.t;
+  bad_t.pop_back();
+  s = Commit::Answer(f.u, f.queries, bad_t, &part);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kShapeMismatch);
+
+  EXPECT_TRUE(Commit::Answer(f.u, f.queries, f.setup.shared.t, &part).ok());
+  EXPECT_EQ(part.responses.size(), f.queries.size());
+}
+
+TEST(CommitmentTest, ProvePropagatesShapeErrors) {
+  Prg prg(111);
+  auto f = Fixture::Make(prg);
+  auto enc_r_short = f.setup.shared.enc_r;
+  enc_r_short.pop_back();
+  auto bad =
+      Commit::Prove(f.u, enc_r_short, f.queries, f.setup.shared.t);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kShapeMismatch);
 }
 
 }  // namespace

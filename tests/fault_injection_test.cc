@@ -189,9 +189,11 @@ TEST(FaultInjectionTest, ProofsUnderMutatedSetupAreRejected) {
     typename Arg::InstanceProof ip;
     const std::vector<F>* vectors[2] = {&f.proof.z, &f.proof.h};
     for (size_t o = 0; o < 2; o++) {
-      ip.parts[o] = LinearCommitment<F>::Prove(
+      auto part = LinearCommitment<F>::Prove(
           *vectors[o], decoded->enc_r[o],
           Adapter::OracleQueries(f.setup.queries, o), decoded->t[o]);
+      ASSERT_TRUE(part.ok()) << part.status().ToString();
+      ip.parts[o] = std::move(part).value();
     }
     auto result =
         Arg::VerifyInstanceDetailed(f.setup, ip, f.rs.BoundValues());
@@ -232,6 +234,58 @@ TEST(FaultInjectionTest, MalformedProofShapesAreScreened) {
                                          f.rs.BoundValues());
     EXPECT_EQ(r.verdict, VerifyVerdict::kMalformed) << r.detail;
   }
+}
+
+// The PCP decision procedures screen response-vector shape themselves (the
+// checks that used to be assert()-only): a short or long response vector is
+// a clean reject in every build mode, and the underlying validators report
+// typed kShapeMismatch. This is the layer below Argument's own screening —
+// exercised directly so a future caller that skips Argument stays safe.
+TEST(FaultInjectionTest, PcpDecideRejectsWrongResponseCounts) {
+  FaultFixture f(415);
+  VectorOracle<F> z(f.proof.z), h(f.proof.h);
+  std::vector<F> z_resp = z.QueryAll(f.setup.queries.z_queries);
+  std::vector<F> h_resp = h.QueryAll(f.setup.queries.h_queries);
+  ASSERT_TRUE(ZaatarPcp<F>::Decide(f.setup.queries, z_resp, h_resp,
+                                   f.rs.BoundValues()));
+
+  auto short_z = z_resp;
+  short_z.pop_back();
+  EXPECT_FALSE(ZaatarPcp<F>::Decide(f.setup.queries, short_z, h_resp,
+                                    f.rs.BoundValues()));
+  auto long_h = h_resp;
+  long_h.push_back(F::One());
+  EXPECT_FALSE(ZaatarPcp<F>::Decide(f.setup.queries, z_resp, long_h,
+                                    f.rs.BoundValues()));
+
+  Status s = ZaatarPcp<F>::ValidateResponseShape(f.setup.queries, short_z,
+                                                 h_resp);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kShapeMismatch);
+  EXPECT_TRUE(
+      ZaatarPcp<F>::ValidateResponseShape(f.setup.queries, z_resp, h_resp)
+          .ok());
+}
+
+TEST(FaultInjectionTest, GingerPcpDecideRejectsWrongResponseCounts) {
+  Prg prg(416);
+  auto rs = MakeRandomSatisfiedSystem<F>(prg, 8, 2, 2, 14);
+  auto inst = BuildGingerPcpInstance(rs.system);
+  auto queries = GingerPcp<F>::GenerateQueries(inst, PcpParams::Light(), prg);
+  auto proof = BuildGingerProof(inst, rs.assignment);
+  VectorOracle<F> z(proof.z), tensor(proof.tensor);
+  std::vector<F> resp1 = z.QueryAll(queries.pi1_queries);
+  std::vector<F> resp2 = tensor.QueryAll(queries.pi2_queries);
+  ASSERT_TRUE(
+      GingerPcp<F>::Decide(queries, resp1, resp2, rs.BoundValues()));
+
+  auto short1 = resp1;
+  short1.pop_back();
+  EXPECT_FALSE(GingerPcp<F>::Decide(queries, short1, resp2, rs.BoundValues()));
+
+  Status s = GingerPcp<F>::ValidateResponseShape(queries, short1, resp2);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kShapeMismatch);
 }
 
 // The verdict taxonomy separates the three reject layers.

@@ -106,9 +106,8 @@ TEST(HarnessTest, SessionOutcomesMatchInProcessReference) {
     instances.push_back(app.make_instance(prg));
   }
   for (size_t i = 0; i < beta; i++) {
-    ProverCosts costs;
     std::vector<F128> gw = program.SolveGinger(instances[i].inputs);
-    auto vectors = Backend::BuildProofVectors(prep, program, gw, &costs);
+    auto vectors = Backend::BuildProofVectors(prep, program, gw);
     auto proof = Arg::Prove({&vectors.first, &vectors.second}, setup);
     std::vector<F128> bound = program.BoundValues(
         instances[i].inputs, instances[i].expected_outputs);

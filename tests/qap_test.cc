@@ -62,7 +62,9 @@ TEST(QapTest, DivisibilityIdentityAtRandomPoints) {
   auto hr = qap.ComputeH(f.witness);
   for (int trial = 0; trial < 5; trial++) {
     F tau = prg.NextField<F>();
-    auto ev = qap.EvaluateAtTau(tau);
+    auto ev_or = qap.EvaluateAtTau(tau);
+    ASSERT_TRUE(ev_or.ok()) << ev_or.status().ToString();
+    const auto& ev = *ev_or;
     F h_tau = F::Zero();
     F pw = F::One();
     for (const F& hc : hr.h) {
@@ -88,7 +90,9 @@ TEST(QapTest, EvaluationRowsMatchDirectInterpolation) {
   const auto& cs = f.transform.r1cs;
   size_t m = cs.NumConstraints();
   F tau = prg.NextField<F>();
-  auto ev = qap.EvaluateAtTau(tau);
+  auto ev_or = qap.EvaluateAtTau(tau);
+  ASSERT_TRUE(ev_or.ok()) << ev_or.status().ToString();
+  const auto& ev = *ev_or;
 
   // Build A_i(t) for every row by naive interpolation through
   // (0,0),(j, a_{i,j}).
@@ -121,7 +125,9 @@ TEST(QapTest, DTauMatchesExplicitProduct) {
   auto f = QapFixture::Make(prg, 4, 7);
   Qap<F> qap(f.transform.r1cs);
   F tau = prg.NextField<F>();
-  auto ev = qap.EvaluateAtTau(tau);
+  auto ev_or = qap.EvaluateAtTau(tau);
+  ASSERT_TRUE(ev_or.ok()) << ev_or.status().ToString();
+  const auto& ev = *ev_or;
   F expect = F::One();
   for (size_t j = 1; j <= qap.Degree(); j++) {
     expect *= tau - F::FromUint(j);
@@ -143,6 +149,23 @@ TEST(QapTest, SingleConstraintSystem) {
   EXPECT_TRUE(qap.ComputeH(w).exact);
   w[2] = F::FromUint(41);
   EXPECT_FALSE(qap.ComputeH(w).exact);
+}
+
+// Regression for the NDEBUG-unsafe assert this used to be: evaluating at a
+// point inside the interpolation set {0..m} must come back as a typed
+// kOutOfRange error, not a release-mode division by zero in the barycentric
+// weights. (GenerateQueries resamples tau on this error.)
+TEST(QapTest, EvaluateAtTauRejectsInterpolationPoints) {
+  Prg prg(76);
+  auto f = QapFixture::Make(prg, 4, 7);
+  Qap<F> qap(f.transform.r1cs);
+  for (size_t k = 0; k <= qap.Degree(); k++) {
+    auto ev_or = qap.EvaluateAtTau(F::FromUint(k));
+    ASSERT_FALSE(ev_or.ok()) << "tau = " << k << " is an interpolation point";
+    EXPECT_EQ(ev_or.status().code(), StatusCode::kOutOfRange);
+  }
+  // The first point outside the set is fine.
+  EXPECT_TRUE(qap.EvaluateAtTau(F::FromUint(qap.Degree() + 1)).ok());
 }
 
 TEST(QapTest, ProofVectorLengthIsLinear) {

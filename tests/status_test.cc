@@ -30,9 +30,17 @@ TEST(StatusTest, EveryCodeHasAName) {
   for (StatusCode code :
        {StatusCode::kOk, StatusCode::kTruncated, StatusCode::kLengthOverflow,
         StatusCode::kOutOfRange, StatusCode::kMalformed,
-        StatusCode::kPhaseViolation}) {
+        StatusCode::kPhaseViolation, StatusCode::kShapeMismatch}) {
     EXPECT_STRNE(StatusCodeName(code), "UNKNOWN");
   }
+}
+
+TEST(StatusTest, ShapeMismatchIsTyped) {
+  Status s = ShapeMismatchError("oracle 1: 3 responses for 4 queries");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kShapeMismatch);
+  EXPECT_EQ(s.ToString(),
+            "SHAPE_MISMATCH: oracle 1: 3 responses for 4 queries");
 }
 
 TEST(StatusTest, PhaseViolationIsTyped) {

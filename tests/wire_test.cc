@@ -194,9 +194,11 @@ TEST(WireTest, SetupMessageRoundTripsAndSeedRederivesQueries) {
   typename ZaatarArgument<F>::InstanceProof ip;
   const std::vector<F>* vectors[2] = {&proof.z, &proof.h};
   for (size_t o = 0; o < 2; o++) {
-    ip.parts[o] = LinearCommitment<F>::Prove(
+    auto part = LinearCommitment<F>::Prove(
         *vectors[o], decoded.enc_r[o],
         ZaatarAdapter<F>::OracleQueries(queries2, o), decoded.t[o]);
+    ASSERT_TRUE(part.ok()) << part.status().ToString();
+    ip.parts[o] = std::move(part).value();
   }
   EXPECT_TRUE(
       ZaatarArgument<F>::VerifyInstance(setup, ip, f.rs.BoundValues()));
