@@ -14,7 +14,15 @@
 // the bytes moved per batch.
 //
 // Usage: bench_protocol [--smoke] [--out <path>]
+//        [--recv-timeout-ms N] [--max-retries N]
+//
+// The hardening flags wire through to TransportOptions/BackoffPolicy (0 =
+// wait forever / never retry); the JSON carries the recovery counters
+// (transport_retries, transport_connections, deadline_exceeded) so a soak
+// driver can assert a healthy channel stayed healthy.
 
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -48,6 +56,12 @@ struct Row {
   double commit_s = 0;     // per instance
   double answer_s = 0;     // per instance
   double verify_s = 0;     // per instance
+
+  // Recovery counters summed over the loopback + socketpair runs; all zero
+  // on a healthy local channel.
+  size_t transport_retries = 0;
+  size_t transport_connections = 0;
+  uint64_t deadline_exceeded = 0;
 
   double LoopbackOverhead() const { return loopback_s / in_process_s - 1.0; }
   double SocketpairOverhead() const {
@@ -110,7 +124,8 @@ bool VerdictsMatch(const std::vector<VerifyInstanceResult>& a,
 }
 
 bool BenchConfig(size_t lcs_size, size_t beta, uint64_t seed,
-                 const std::string& trace_path, std::vector<Row>* rows) {
+                 const std::string& trace_path, const MeasureOptions& base_opt,
+                 std::vector<Row>* rows) {
   auto app = MakeLcsApp(lcs_size);
   auto program = CompileZlang<F128>(app.source);
   PcpParams params = PcpParams::Light();
@@ -123,8 +138,10 @@ bool BenchConfig(size_t lcs_size, size_t beta, uint64_t seed,
                                 &row.in_process_s);
 
   Stopwatch sw;
+  MeasureOptions loopback_opt = base_opt;
+  loopback_opt.link = MeasureOptions::Link::kLoopback;
   auto loopback = MeasureBatch<F128, ZaatarHarnessBackend<F128>>(
-      app, program, beta, params, seed, /*measure_native=*/false);
+      app, program, beta, params, seed, loopback_opt);
   row.loopback_s = sw.Lap();
   row.proof_len = loopback.proof_len;
   row.setup_bytes = loopback.setup_message_bytes;
@@ -145,16 +162,19 @@ bool BenchConfig(size_t lcs_size, size_t beta, uint64_t seed,
                                  loopback.metrics.get());
   }
 
-  auto links = protocol::PipeTransport::CreatePair();
-  if (!links.ok()) {
-    fprintf(stderr, "FAIL: socketpair: %s\n",
-            links.status().ToString().c_str());
-    return false;
-  }
+  MeasureOptions pipe_opt = base_opt;
+  pipe_opt.link = MeasureOptions::Link::kSocketpair;
   sw.Restart();
   auto pipe = MeasureBatch<F128, ZaatarHarnessBackend<F128>>(
-      app, program, beta, params, seed, /*measure_native=*/false, &*links);
+      app, program, beta, params, seed, pipe_opt);
   row.socketpair_s = sw.Lap();
+
+  row.transport_retries = loopback.transport_retries + pipe.transport_retries;
+  row.transport_connections =
+      loopback.transport_connections + pipe.transport_connections;
+  row.deadline_exceeded =
+      loopback.metrics->CounterValue("transport.deadline_exceeded") +
+      pipe.metrics->CounterValue("transport.deadline_exceeded");
 
   for (const auto& r : reference) {
     if (!r.accepted()) {
@@ -200,11 +220,15 @@ bool WriteJson(const std::string& path, const std::vector<Row>& rows) {
             "\"socketpair_overhead\": %.4f, \"setup_bytes\": %zu, "
             "\"proof_bytes\": %zu, \"query_gen_s\": %.9f, "
             "\"solve_s\": %.9f, \"construct_s\": %.9f, \"commit_s\": %.9f, "
-            "\"answer_s\": %.9f, \"verify_s\": %.9f}%s\n",
+            "\"answer_s\": %.9f, \"verify_s\": %.9f, "
+            "\"transport_retries\": %zu, \"transport_connections\": %zu, "
+            "\"deadline_exceeded\": %llu}%s\n",
             r.app.c_str(), r.beta, r.proof_len, r.in_process_s, r.loopback_s,
             r.socketpair_s, r.LoopbackOverhead(), r.SocketpairOverhead(),
             r.setup_bytes, r.proof_bytes, r.query_gen_s, r.solve_s,
             r.construct_s, r.commit_s, r.answer_s, r.verify_s,
+            r.transport_retries, r.transport_connections,
+            static_cast<unsigned long long>(r.deadline_exceeded),
             i + 1 < rows.size() ? "," : "");
   }
   fprintf(f, "  ]\n}\n");
@@ -220,6 +244,8 @@ int main(int argc, char** argv) {
   bool smoke = false;
   std::string out = "BENCH_protocol.json";
   std::string trace;
+  uint64_t recv_timeout_ms = 0;
+  uint32_t max_retries = 0;
   for (int i = 1; i < argc; i++) {
     if (strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
@@ -227,20 +253,36 @@ int main(int argc, char** argv) {
       out = argv[++i];
     } else if (strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace = argv[++i];
+    } else if (strcmp(argv[i], "--recv-timeout-ms") == 0 && i + 1 < argc) {
+      recv_timeout_ms = strtoull(argv[++i], nullptr, 10);
+    } else if (strcmp(argv[i], "--max-retries") == 0 && i + 1 < argc) {
+      max_retries = static_cast<uint32_t>(strtoull(argv[++i], nullptr, 10));
     } else {
-      fprintf(stderr, "usage: %s [--smoke] [--out <path>] [--trace <path>]\n",
+      fprintf(stderr,
+              "usage: %s [--smoke] [--out <path>] [--trace <path>]\n"
+              "       [--recv-timeout-ms N] [--max-retries N]\n",
               argv[0]);
       return 2;
     }
   }
 
+  MeasureOptions base_opt;
+  base_opt.measure_native = false;
+  base_opt.transport.recv_deadline = std::chrono::milliseconds(recv_timeout_ms);
+  base_opt.transport.handshake_deadline =
+      std::chrono::milliseconds(recv_timeout_ms);
+  base_opt.backoff.max_retries = max_retries;
+
   std::vector<Row> rows;
   bool ok;
   if (smoke) {
-    ok = BenchConfig(/*lcs_size=*/3, /*beta=*/2, /*seed=*/31, trace, &rows);
+    ok = BenchConfig(/*lcs_size=*/3, /*beta=*/2, /*seed=*/31, trace, base_opt,
+                     &rows);
   } else {
-    ok = BenchConfig(/*lcs_size=*/4, /*beta=*/4, /*seed=*/31, trace, &rows) &&
-         BenchConfig(/*lcs_size=*/8, /*beta=*/4, /*seed=*/32, trace, &rows);
+    ok = BenchConfig(/*lcs_size=*/4, /*beta=*/4, /*seed=*/31, trace, base_opt,
+                     &rows) &&
+         BenchConfig(/*lcs_size=*/8, /*beta=*/4, /*seed=*/32, trace, base_opt,
+                     &rows);
   }
   if (!ok) {
     return 1;

@@ -17,6 +17,19 @@ JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 SKIP_PLAIN=0
 ONLY=""
 
+# Hang watchdog: the failure-hardening contract is "typed error, never a
+# wedged thread", so a hung test IS a test failure. Every ctest invocation
+# (and the chaos soak) runs under timeout(1); a stage that overruns is
+# killed and fails the build instead of wedging CI.
+WATCHDOG_SECS="${ZAATAR_CI_WATCHDOG_SECS:-2400}"
+watchdog() {
+  if command -v timeout >/dev/null 2>&1; then
+    timeout --signal=TERM --kill-after=30 "$WATCHDOG_SECS" "$@"
+  else
+    "$@"
+  fi
+}
+
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --skip-plain) SKIP_PLAIN=1; shift ;;
@@ -38,7 +51,7 @@ run_config() {
   cmake -B "$build_dir" -S . -DZAATAR_SANITIZE="$sanitize" >/dev/null
   cmake --build "$build_dir" -j "$JOBS"
   echo "==== [$name] ctest ===="
-  (cd "$build_dir" && ctest --output-on-failure -j "$JOBS")
+  (cd "$build_dir" && watchdog ctest --output-on-failure -j "$JOBS")
 }
 
 bench_smoke() {
@@ -76,12 +89,19 @@ rows = doc["results"]
 assert rows, "protocol bench emitted no rows"
 phase_keys = ["query_gen_s", "solve_s", "construct_s", "commit_s",
               "answer_s", "verify_s"]
+recovery_keys = ["transport_retries", "transport_connections",
+                 "deadline_exceeded"]
 for row in rows:
-    for key in phase_keys + ["in_process_s", "loopback_s", "socketpair_s",
-                             "setup_bytes", "proof_bytes"]:
+    for key in phase_keys + recovery_keys + [
+            "in_process_s", "loopback_s", "socketpair_s",
+            "setup_bytes", "proof_bytes"]:
         assert key in row, f"missing key {key} in {row['app']}"
         assert row[key] >= 0, f"negative {key} in {row['app']}"
-print("protocol bench schema ok:", ", ".join(phase_keys))
+    # A healthy local channel must not consume the retry budget.
+    assert row["transport_retries"] == 0, f"retries on clean run: {row}"
+    assert row["transport_connections"] == 2, \
+        f"expected one connection per run: {row}"
+print("protocol bench schema ok:", ", ".join(phase_keys + recovery_keys))
 EOF
   else
     grep -q '"results"' "$pjson"
@@ -190,19 +210,38 @@ tsan_config() {
   echo "==== [tsan] configure + build ===="
   cmake -B build-tsan -S . -DZAATAR_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$JOBS" \
-    --target parallel_test multiexp_test protocol_test obs_test
-  echo "==== [tsan] parallel_test + multiexp_test + protocol_test + obs_test ===="
-  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
-    ./build-tsan/tests/parallel_test
-  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
-    ./build-tsan/tests/multiexp_test
-  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
-    ./build-tsan/tests/protocol_test
-  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
-    ./build-tsan/tests/obs_test
+    --target parallel_test multiexp_test protocol_test obs_test \
+             transport_robustness_test chaos_test
+  echo "==== [tsan] concurrency-heavy tests ===="
+  for t in parallel_test multiexp_test protocol_test obs_test \
+           transport_robustness_test; do
+    TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+      watchdog "./build-tsan/tests/$t"
+  done
 }
 if [[ -z "$ONLY" || "$ONLY" == "thread" ]]; then
   tsan_config
+fi
+
+# Chaos stage: the seeded fault-schedule soak (tests/chaos_test.cc) under
+# both ASan and TSan. ZAATAR_CHAOS_SEEDS is schedules per (transport x
+# backend) combo; 50 x 4 combos = 200 schedules under ASan satisfies the
+# "200+ seeded schedules, every run ends in a typed verdict" gate, and a
+# smaller TSan sweep proves the recovery machinery (reconnects, reaps,
+# bounded queues) is race-free. Fixed base seed — a failure reproduces from
+# the seed printed in the assertion message.
+chaos_stage() {
+  echo "==== [chaos] soak under ASan (200 schedules) ===="
+  cmake -B build-asan -S . -DZAATAR_SANITIZE=address >/dev/null
+  cmake --build build-asan -j "$JOBS" --target chaos_test
+  ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=0}" ZAATAR_CHAOS_SEEDS=50 \
+    watchdog ./build-asan/tests/chaos_test
+  echo "==== [chaos] soak under TSan ===="
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" ZAATAR_CHAOS_SEEDS=8 \
+    watchdog ./build-tsan/tests/chaos_test
+}
+if [[ -z "$ONLY" || "$ONLY" == "thread" ]]; then
+  chaos_stage
 fi
 
 echo "==== CI passed ===="

@@ -17,6 +17,7 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -67,6 +68,12 @@ struct BatchMeasurement {
   // Bytes actually moved across the transport.
   size_t setup_message_bytes = 0;
   size_t proof_message_bytes = 0;  // sum over the batch
+
+  // Recovery accounting: how many times an instance was re-attempted after a
+  // transport failure, and how many connections (initial + reconnects) the
+  // batch consumed. 0 and 1 respectively on a healthy channel.
+  size_t transport_retries = 0;
+  size_t transport_connections = 0;
 };
 
 // Folds one verdict into the measurement's taxonomy bookkeeping.
@@ -184,16 +191,55 @@ struct GingerHarnessBackend {
   }
 };
 
+// Knobs for the two-party exchange inside MeasureBatch. The defaults are the
+// historical behavior: in-memory loopback, infinite deadlines, and a small
+// retry budget that never fires on a healthy channel.
+struct MeasureOptions {
+  bool measure_native = true;
+
+  // Which kind of channel the harness builds when it (re)connects.
+  enum class Link { kLoopback, kSocketpair };
+  Link link = Link::kLoopback;
+
+  // Deadlines and queue bounds for every connection the harness makes.
+  protocol::TransportOptions transport;
+
+  // Reconnect-and-replay policy for the verifier (see src/protocol/retry.h).
+  // On an exhausted budget the in-flight instance degrades to a
+  // TRANSPORT_FAILED verdict and the batch continues.
+  protocol::BackoffPolicy backoff;
+
+  // Optional decorator applied to both endpoints of every fresh connection —
+  // this is where tests splice in chaos (see src/testing/chaos_transport.h)
+  // without src/apps depending on src/testing. `verifier_side` says which
+  // end is being wrapped; `connection` is the 0-based connection ordinal.
+  std::function<std::unique_ptr<protocol::Transport>(
+      std::unique_ptr<protocol::Transport>, bool verifier_side,
+      uint32_t connection)>
+      wrap_transport;
+
+  // Legacy escape hatch: run over caller-owned, already-connected endpoints
+  // (left = verifier, right = prover). Reconnection is impossible on such a
+  // channel, so a transport failure consumes the retry budget immediately;
+  // both endpoints are closed when the batch ends.
+  protocol::TransportPair* preconnected = nullptr;
+};
+
 // Runs a batch of `beta` instances of `app` through the full argument, with
 // the prover and verifier as message-driven sessions on separate threads.
-// `links` optionally supplies the transport pair (left = verifier side,
-// right = prover side); the default is an in-memory loopback.
+//
+// Failure semantics (DESIGN.md §13): a transport failure on the verifier
+// side tears the channel down and reconnects — a fresh prover thread is
+// spawned, re-fed the batch setup, and resumed at the first undecided
+// instance. When the retry budget runs out, that one instance is recorded
+// as TRANSPORT_FAILED and the batch moves on; the channel never decides a
+// proof. Genuine prover-side bugs (output mismatch with the native
+// reference, phase violations) are still fatal and rethrown here.
 template <typename F, typename Backend>
 BatchMeasurement MeasureBatch(const App<F>& app,
                               const CompiledProgram<F>& program, size_t beta,
                               const PcpParams& params, uint64_t seed,
-                              bool measure_native = true,
-                              protocol::TransportPair* links = nullptr) {
+                              const MeasureOptions& opt) {
   using Adapter = typename Backend::Adapter;
 
   BatchMeasurement out;
@@ -212,7 +258,7 @@ BatchMeasurement MeasureBatch(const App<F>& app,
     {
       obs::Span prepare("harness.prepare");
       out.stats = ComputeStats(
-          program, measure_native ? app.measure_native_seconds() : 0.0);
+          program, opt.measure_native ? app.measure_native_seconds() : 0.0);
     }
 
     Prg prg(seed);
@@ -247,30 +293,41 @@ BatchMeasurement MeasureBatch(const App<F>& app,
       }
     }
 
-    protocol::TransportPair local;
-    if (links == nullptr) {
-      local = protocol::MakeLoopbackPair();
-      links = &local;
-    }
-    protocol::Transport& verifier_link = *links->left;
-    protocol::Transport& prover_link = *links->right;
-
-    // The prover side: a real session fed only by transport bytes. Failures
-    // are stashed and rethrown on the calling thread after join. Its spans
-    // ("prover.solve", "prover.construct_proof", and the session's
-    // "prover.commit"/"prover.answer") land in the same tracer, parented
-    // under the batch root.
-    std::string prover_error;
-    std::thread prover_thread([&] {
+    // The prover side: a real session fed only by transport bytes, spawned
+    // (and respawned after a reconnect) by the verifier's transport factory
+    // below. Channel-class trouble — a deadline, a closed pipe, a frame that
+    // no longer decodes — makes the prover exit QUIETLY: the verifier owns
+    // recovery, and a replacement prover resumes at the first undecided
+    // instance. Only genuine local bugs (output mismatch with the native
+    // reference, phase violations) are stashed in `prover_error` and
+    // rethrown on the calling thread. Its spans ("prover.solve",
+    // "prover.construct_proof", and the session's "prover.commit"/
+    // "prover.answer") land in the same tracer, parented under the batch
+    // root.
+    std::string prover_error;  // written by the prover thread, read after join
+    auto prover_main = [&](uint32_t resume, protocol::Transport* link) {
       obs::ScopedThreadTracer stitch(out.trace.get(), root_id);
       obs::ScopedThreadMetrics prover_metrics(out.metrics.get());
+      auto fatal = [&](const std::string& msg) {
+        if (prover_error.empty()) {
+          prover_error = msg;
+        }
+        // Unblock a verifier waiting on the next proof frame.
+        link->Close();
+      };
       try {
         protocol::ProverSession<F> session;
-        Status st = session.ReceiveSetup(prover_link);
-        if (!st.ok()) {
-          throw std::runtime_error("prover setup: " + st.ToString());
+        if (Status st = session.StartAtInstance(resume); !st.ok()) {
+          fatal("prover resume: " + st.ToString());
+          return;
         }
-        for (size_t i = 0; i < beta; i++) {
+        if (Status st = session.ReceiveSetup(*link); !st.ok()) {
+          if (st.code() == StatusCode::kPhaseViolation) {
+            fatal("prover setup: " + st.ToString());
+          }
+          return;  // channel-class: the verifier recovers
+        }
+        for (size_t i = resume; i < beta; i++) {
           std::vector<F> gw;
           {
             obs::Span solve("prover.solve");
@@ -282,72 +339,172 @@ BatchMeasurement MeasureBatch(const App<F>& app,
 
           std::vector<F> outputs = program.ExtractOutputs(gw);
           if (outputs != instances[i].expected_outputs) {
-            throw std::runtime_error(app.name +
-                                     ": compiled outputs disagree with the "
-                                     "native reference");
+            fatal(app.name +
+                  ": compiled outputs disagree with the native reference");
+            return;
           }
           Status shape = Adapter::ValidateProverVectors(
               session.context(), {&vectors.first, &vectors.second});
           if (!shape.ok()) {
-            throw std::runtime_error("prover vectors: " + shape.ToString());
+            fatal("prover vectors: " + shape.ToString());
+            return;
           }
           auto sent = session.ProveInstance(
-              prover_link, {&vectors.first, &vectors.second});
+              *link, {&vectors.first, &vectors.second});
           if (!sent.ok()) {
-            throw std::runtime_error("prover instance " + std::to_string(i) +
-                                     ": " + sent.status().ToString());
+            if (sent.status().code() == StatusCode::kPhaseViolation) {
+              fatal("prover instance " + std::to_string(i) + ": " +
+                    sent.status().ToString());
+            }
+            return;
           }
-          auto verdict = session.ReceiveVerdict(prover_link);
+          auto verdict = session.ReceiveVerdict(*link);
           if (!verdict.ok()) {
-            throw std::runtime_error("prover verdict " + std::to_string(i) +
-                                     ": " + verdict.status().ToString());
+            // Includes a garbled verdict frame (kMalformed): the session
+            // cannot resync mid-stream, so behave as a dead peer and let
+            // the reconnect path replay the instance.
+            if (verdict.status().code() == StatusCode::kPhaseViolation) {
+              fatal("prover verdict " + std::to_string(i) + ": " +
+                    verdict.status().ToString());
+            }
+            return;
           }
         }
       } catch (const std::exception& e) {
-        prover_error = e.what();
-        // Unblock a verifier waiting on the next proof frame.
-        prover_link.Close();
+        fatal(e.what());
       }
-    });
+    };
+
+    // Prover thread lifecycle. `reap` closes the prover's endpoint (waking
+    // it from any blocking Receive/Send) and joins; `spawn` reaps the
+    // previous prover first, so at most one is ever alive and `prover_error`
+    // is never written concurrently.
+    std::unique_ptr<protocol::Transport> prover_link;
+    std::thread prover_thread;
+    auto reap = [&] {
+      if (prover_thread.joinable()) {
+        if (prover_link != nullptr) {
+          prover_link->Close();
+        }
+        prover_thread.join();
+      }
+      prover_link.reset();
+    };
+    auto spawn = [&](uint32_t resume,
+                     std::unique_ptr<protocol::Transport> link) {
+      reap();
+      prover_link = std::move(link);
+      prover_thread = std::thread(prover_main, resume, prover_link.get());
+    };
+
+    // The transport factory: called by RetryingSession on first connect and
+    // after every teardown. It builds (or re-wraps) a channel, hands the
+    // right end to a fresh prover thread resuming at `resume`, and returns
+    // the left end to the verifier.
+    uint32_t connection_ordinal = 0;
+    protocol::TransportFactory factory;
+    if (opt.preconnected != nullptr) {
+      protocol::TransportPair* links = opt.preconnected;
+      factory = [&, links](uint32_t resume)
+          -> StatusOr<std::unique_ptr<protocol::Transport>> {
+        if (connection_ordinal++ > 0) {
+          return TruncatedError(
+              "preconnected transport cannot be re-established");
+        }
+        spawn(resume,
+              std::make_unique<protocol::TransportRef>(links->right.get()));
+        return std::unique_ptr<protocol::Transport>(
+            std::make_unique<protocol::TransportRef>(links->left.get()));
+      };
+    } else {
+      factory = [&](uint32_t resume)
+          -> StatusOr<std::unique_ptr<protocol::Transport>> {
+        protocol::TransportPair pair;
+        if (opt.link == MeasureOptions::Link::kSocketpair) {
+          ZAATAR_ASSIGN_OR_RETURN(
+              pair, protocol::PipeTransport::CreatePair(opt.transport));
+        } else {
+          pair = protocol::MakeLoopbackPair(opt.transport);
+        }
+        const uint32_t ordinal = connection_ordinal++;
+        if (opt.wrap_transport) {
+          pair.left = opt.wrap_transport(std::move(pair.left),
+                                         /*verifier_side=*/true, ordinal);
+          pair.right = opt.wrap_transport(std::move(pair.right),
+                                          /*verifier_side=*/false, ordinal);
+        }
+        spawn(resume, std::move(pair.right));
+        return std::move(pair.left);
+      };
+    }
+
+    protocol::BackoffPolicy backoff = opt.backoff;
+    if (backoff.jitter_seed == 0) {
+      backoff.jitter_seed = seed;  // deterministic per-run schedule
+    }
+    protocol::RetryingSession<F, Adapter> rsession(std::move(verifier),
+                                                   factory, backoff);
 
     // The verifier side drives the calling thread.
     try {
-      auto setup_sent = [&] {
+      {
         obs::Span span("harness.send_setup");
-        return verifier.SendSetup(verifier_link);
-      }();
-      if (!setup_sent.ok()) {
-        throw std::runtime_error("verifier setup: " +
-                                 setup_sent.status().ToString());
+        Status st = rsession.EnsureConnected();
+        if (!st.ok() && !protocol::IsTransportFailure(st)) {
+          throw std::runtime_error("verifier setup: " + st.ToString());
+        }
+        // A transport failure here is retried by the first DecideNext.
       }
-      out.setup_message_bytes = *setup_sent;
       for (size_t i = 0; i < beta; i++) {
         std::vector<F> bound = program.BoundValues(
             instances[i].inputs, instances[i].expected_outputs);
-        auto result = verifier.DecideNext(verifier_link, bound);
-        if (!result.ok()) {
+        auto result = rsession.DecideNext(bound);
+        VerifyInstanceResult decided;
+        if (result.ok()) {
+          decided = *result;
+        } else if (protocol::IsTransportFailure(result.status())) {
+          // Retry budget exhausted. If the prover actually died of a local
+          // bug, surface that; otherwise degrade this one instance and keep
+          // deciding the rest of the batch.
+          reap();
+          if (!prover_error.empty()) {
+            throw std::runtime_error(prover_error);
+          }
+          auto skipped = rsession.session().SkipInstanceTransportFailed(
+              result.status().ToString());
+          if (!skipped.ok()) {
+            throw std::runtime_error("verifier instance " + std::to_string(i) +
+                                     ": " + skipped.status().ToString());
+          }
+          obs::MetricAdd("transport.instances_failed");
+          decided = *skipped;
+        } else {
           throw std::runtime_error("verifier instance " + std::to_string(i) +
                                    ": " + result.status().ToString());
         }
-        RecordVerdict(&out, i, *result);
+        RecordVerdict(&out, i, decided);
       }
     } catch (...) {
       // Unblock the prover (it may be waiting for a verdict), reap it, and
       // prefer its error — a transport failure seen here is usually the
       // symptom of the prover dying first.
-      verifier_link.Close();
-      prover_thread.join();
+      rsession.Disconnect();
+      reap();
       if (!prover_error.empty()) {
         throw std::runtime_error(prover_error);
       }
       throw;
     }
-    prover_thread.join();
+    rsession.Disconnect();
+    reap();
     if (!prover_error.empty()) {
       throw std::runtime_error(prover_error);
     }
 
-    out.proof_message_bytes = verifier.proof_bytes_received();
+    out.setup_message_bytes = rsession.session().setup_bytes_sent();
+    out.proof_message_bytes = rsession.session().proof_bytes_received();
+    out.transport_retries = static_cast<size_t>(rsession.total_retries());
+    out.transport_connections = static_cast<size_t>(rsession.connections());
   }  // closes the "harness.batch" root span
 
   // Cost fields are views over the span tree (0.0 under ZAATAR_TRACE=0).
@@ -362,6 +519,23 @@ BatchMeasurement MeasureBatch(const App<F>& app,
   return out;
 }
 
+// Legacy signature: the historical single-shot semantics (no deadlines, no
+// reconnection — `backoff.max_retries = 0` makes the first transport failure
+// final). `links` optionally supplies caller-owned endpoints (left =
+// verifier side, right = prover side); the default is an in-memory loopback.
+template <typename F, typename Backend>
+BatchMeasurement MeasureBatch(const App<F>& app,
+                              const CompiledProgram<F>& program, size_t beta,
+                              const PcpParams& params, uint64_t seed,
+                              bool measure_native = true,
+                              protocol::TransportPair* links = nullptr) {
+  MeasureOptions opt;
+  opt.measure_native = measure_native;
+  opt.preconnected = links;
+  opt.backoff.max_retries = 0;
+  return MeasureBatch<F, Backend>(app, program, beta, params, seed, opt);
+}
+
 // Runs a batch of `beta` instances through the full Zaatar argument.
 template <typename F>
 BatchMeasurement MeasureZaatarBatch(const App<F>& app,
@@ -373,6 +547,15 @@ BatchMeasurement MeasureZaatarBatch(const App<F>& app,
                                                   seed, measure_native);
 }
 
+template <typename F>
+BatchMeasurement MeasureZaatarBatch(const App<F>& app,
+                                    const CompiledProgram<F>& program,
+                                    size_t beta, const PcpParams& params,
+                                    uint64_t seed, const MeasureOptions& opt) {
+  return MeasureBatch<F, ZaatarHarnessBackend<F>>(app, program, beta, params,
+                                                  seed, opt);
+}
+
 // Same for the Ginger baseline.
 template <typename F>
 BatchMeasurement MeasureGingerBatch(const App<F>& app,
@@ -382,6 +565,15 @@ BatchMeasurement MeasureGingerBatch(const App<F>& app,
                                     bool measure_native = true) {
   return MeasureBatch<F, GingerHarnessBackend<F>>(app, program, beta, params,
                                                   seed, measure_native);
+}
+
+template <typename F>
+BatchMeasurement MeasureGingerBatch(const App<F>& app,
+                                    const CompiledProgram<F>& program,
+                                    size_t beta, const PcpParams& params,
+                                    uint64_t seed, const MeasureOptions& opt) {
+  return MeasureBatch<F, GingerHarnessBackend<F>>(app, program, beta, params,
+                                                  seed, opt);
 }
 
 }  // namespace zaatar

@@ -8,6 +8,7 @@
 // Apps: lcs, matmul, apsp, fannkuch, pam (F128) and root_finding (F220).
 // --backend ginger selects the quadratic baseline (small sizes only).
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -33,6 +34,10 @@ struct Options {
   std::string trace_path;  // empty = no export
   bool measure_native = false;
   bool paper_params = false;  // default: PcpParams::Light() (fast smoke)
+  // Failure hardening (0 = wait forever / never retry, the historical
+  // behavior): per-Receive deadline and reconnect budget for the verifier.
+  uint64_t recv_timeout_ms = 0;
+  uint32_t max_retries = 0;
 };
 
 void Usage(const char* argv0) {
@@ -40,7 +45,8 @@ void Usage(const char* argv0) {
       << "usage: " << argv0
       << " [--app lcs|matmul|apsp|fannkuch|pam|root_finding] [--size N]\n"
       << "       [--beta N] [--seed S] [--backend zaatar|ginger]\n"
-      << "       [--trace PATH] [--measure-native] [--paper-params]\n";
+      << "       [--trace PATH] [--measure-native] [--paper-params]\n"
+      << "       [--recv-timeout-ms N] [--max-retries N]\n";
 }
 
 bool ParseArgs(int argc, char** argv, Options* opt) {
@@ -73,6 +79,15 @@ bool ParseArgs(int argc, char** argv, Options* opt) {
       const char* v = next();
       if (v == nullptr) return false;
       opt->trace_path = v;
+    } else if (a == "--recv-timeout-ms") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt->recv_timeout_ms = std::strtoull(v, nullptr, 10);
+    } else if (a == "--max-retries") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt->max_retries =
+          static_cast<uint32_t>(std::strtoull(v, nullptr, 10));
     } else if (a == "--measure-native") {
       opt->measure_native = true;
     } else if (a == "--paper-params") {
@@ -100,13 +115,20 @@ int RunApp(const zaatar::App<F>& app, const Options& opt) {
   PcpParams params =
       opt.paper_params ? PcpParams{} : PcpParams::Light();
 
+  MeasureOptions mopt;
+  mopt.measure_native = opt.measure_native;
+  mopt.transport.recv_deadline =
+      std::chrono::milliseconds(opt.recv_timeout_ms);
+  mopt.transport.handshake_deadline =
+      std::chrono::milliseconds(opt.recv_timeout_ms);
+  mopt.backoff.max_retries = opt.max_retries;
+  mopt.backoff.jitter_seed = opt.seed;
+
   BatchMeasurement m;
   if (opt.backend == "ginger") {
-    m = MeasureGingerBatch(app, program, opt.beta, params, opt.seed,
-                           opt.measure_native);
+    m = MeasureGingerBatch(app, program, opt.beta, params, opt.seed, mopt);
   } else {
-    m = MeasureZaatarBatch(app, program, opt.beta, params, opt.seed,
-                           opt.measure_native);
+    m = MeasureZaatarBatch(app, program, opt.beta, params, opt.seed, mopt);
   }
 
   std::printf("app                    %s\n", app.name.c_str());
@@ -127,6 +149,8 @@ int RunApp(const zaatar::App<F>& app, const Options& opt) {
   std::printf("verifier per instance  %.6f s\n", m.verifier_per_instance_s);
   std::printf("setup message          %zu bytes\n", m.setup_message_bytes);
   std::printf("proof messages         %zu bytes\n", m.proof_message_bytes);
+  std::printf("transport retries      %zu\n", m.transport_retries);
+  std::printf("transport connections  %zu\n", m.transport_connections);
   std::printf("all accepted           %s\n", m.all_accepted ? "yes" : "no");
 
   if (!opt.trace_path.empty()) {

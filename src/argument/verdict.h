@@ -29,10 +29,17 @@ enum class VerifyVerdict {
   kMalformed,      // proof shape disagrees with the setup
   kRejectCommit,   // responses inconsistent with the commitment
   kRejectPcp,      // commitment fine, PCP decision procedure rejects
+  // The channel failed, not the proof: the transport died or stalled past
+  // its deadline (and retries, if configured, were exhausted) before this
+  // instance could be decided. Unlike the reject verdicts this says nothing
+  // about the prover's honesty — the instance may be re-submitted — but it
+  // still counts as not-accepted so a flaky channel can never launder an
+  // undecided instance into an accepting batch.
+  kTransportFailed,
 };
 
 // Number of values in VerifyVerdict, for per-verdict counters.
-inline constexpr size_t kNumVerifyVerdicts = 4;
+inline constexpr size_t kNumVerifyVerdicts = 5;
 
 inline const char* VerifyVerdictName(VerifyVerdict v) {
   switch (v) {
@@ -44,6 +51,8 @@ inline const char* VerifyVerdictName(VerifyVerdict v) {
       return "REJECT_COMMIT";
     case VerifyVerdict::kRejectPcp:
       return "REJECT_PCP";
+    case VerifyVerdict::kTransportFailed:
+      return "TRANSPORT_FAILED";
   }
   return "UNKNOWN";
 }

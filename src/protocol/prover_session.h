@@ -64,6 +64,20 @@ class ProverSession {
     return IngestSetup(bytes);
   }
 
+  // Positions the session at `index` instead of instance 0, for a
+  // replacement prover resuming a batch after its predecessor's connection
+  // died (the verifier's RetryingSession replays from the first undecided
+  // instance). Refused mid-instance: resuming is a between-instances event.
+  Status StartAtInstance(uint32_t index) {
+    if (phase_ == SessionPhase::kDecommit || phase_ == SessionPhase::kDecide) {
+      return PhaseViolationError(
+          "StartAtInstance: instance " + std::to_string(next_instance_) +
+          " is still in flight");
+    }
+    next_instance_ = index;
+    return Status::Ok();
+  }
+
   // ----- Commit phase -----
 
   // Computes the homomorphic commitments for the next instance. The pointed-

@@ -1,0 +1,211 @@
+// Recovery semantics for the verifier's side of the channel: capped
+// exponential backoff with deterministic seeded jitter, and a
+// RetryingSession wrapper that survives transport failures by reconnecting
+// through a TransportFactory and replaying the in-flight instance.
+//
+// The security-critical line (DESIGN.md §13): a *protocol* outcome is
+// final, a *transport* failure is retryable. A reject verdict, a phase
+// violation, or malformed proof bytes say something about the peer's
+// honesty or a local bug — retrying them would let a malicious prover farm
+// unlimited fresh attempts at the same instance. A deadline, a dead
+// connection, or a desynchronized byte stream say nothing about the proof —
+// IsTransportFailure (transport.h) is the single classifier, and only those
+// statuses ever reach the backoff loop. The verifier's secrets, queries,
+// and already-recorded verdicts live in the wrapped VerifierSession and
+// survive every reconnect; only the channel is replaced.
+
+#ifndef SRC_PROTOCOL_RETRY_H_
+#define SRC_PROTOCOL_RETRY_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/crypto/prg.h"
+#include "src/obs/metrics.h"
+#include "src/protocol/transport.h"
+#include "src/protocol/verifier_session.h"
+#include "src/util/status.h"
+
+namespace zaatar {
+namespace protocol {
+
+// Capped exponential backoff: retry i (0-based) waits
+//   min(cap, initial * multiplier^i) * U[0.5, 1.0)
+// where U is drawn from a Prg seeded with jitter_seed — the schedule is
+// fully deterministic given the seed (testable, reproducible chaos runs)
+// while still decorrelating real fleets that seed from entropy.
+struct BackoffPolicy {
+  uint32_t max_retries = 3;
+  std::chrono::milliseconds initial{10};
+  double multiplier = 2.0;
+  std::chrono::milliseconds cap{1000};
+  uint64_t jitter_seed = 0;
+};
+
+class BackoffSchedule {
+ public:
+  explicit BackoffSchedule(const BackoffPolicy& policy)
+      : policy_(policy), prg_(policy.jitter_seed) {}
+
+  // Delay before the next retry; successive calls walk the schedule.
+  std::chrono::milliseconds NextDelay() {
+    double base = static_cast<double>(policy_.initial.count());
+    for (uint32_t i = 0; i < attempt_; i++) {
+      base *= policy_.multiplier;
+      if (base >= static_cast<double>(policy_.cap.count())) {
+        break;
+      }
+    }
+    int64_t capped = std::min<int64_t>(static_cast<int64_t>(base),
+                                       policy_.cap.count());
+    attempt_++;
+    if (capped <= 0) {
+      return std::chrono::milliseconds(0);
+    }
+    // Uniform in [capped/2, capped]; never zero for a positive base, so a
+    // retry storm cannot collapse into a busy loop.
+    int64_t half = capped / 2;
+    int64_t jittered =
+        capped - half +
+        static_cast<int64_t>(prg_.NextBounded(static_cast<uint64_t>(half) + 1));
+    return std::chrono::milliseconds(jittered);
+  }
+
+  uint32_t attempts() const { return attempt_; }
+
+ private:
+  BackoffPolicy policy_;
+  Prg prg_;
+  uint32_t attempt_ = 0;
+};
+
+// Produces a fresh connected Transport whose peer, after re-receiving the
+// batch setup, will resume proving at `next_instance`. Failures are typed;
+// a factory that can no longer connect returns a transport-class Status
+// (kTruncated) so the retry loop counts it against the budget.
+using TransportFactory =
+    std::function<StatusOr<std::unique_ptr<Transport>>(uint32_t next_instance)>;
+
+// Wraps a VerifierSession with reconnect-and-replay recovery. The session's
+// protocol state (secrets, recorded verdicts, instance cursor) is never
+// reset — only the transport is torn down and rebuilt. DecideNext retries a
+// transport-failed instance up to policy.max_retries times with backoff;
+// anything else (including every non-accept *verdict*, which arrives as a
+// value, not a Status) passes straight through exactly once.
+template <typename F, typename Adapter>
+class RetryingSession {
+ public:
+  using Sleeper = std::function<void(std::chrono::milliseconds)>;
+
+  RetryingSession(VerifierSession<F, Adapter> session, TransportFactory factory,
+                  BackoffPolicy policy = {}, Sleeper sleeper = {})
+      : session_(std::move(session)),
+        factory_(std::move(factory)),
+        policy_(policy),
+        sleeper_(std::move(sleeper)) {}
+
+  // Connects (if needed) and sends/resends the batch setup to the peer.
+  // Idempotent once connected.
+  Status EnsureConnected() {
+    if (transport_ != nullptr) {
+      return Status::Ok();
+    }
+    const uint32_t next =
+        static_cast<uint32_t>(session_.results().size());
+    ZAATAR_ASSIGN_OR_RETURN(transport_, factory_(next));
+    if (transport_ == nullptr) {
+      return TruncatedError("transport factory returned no transport");
+    }
+    connections_++;
+    obs::MetricAdd("transport.connections");
+    auto sent = session_.ResendSetup(*transport_);
+    if (!sent.ok()) {
+      Disconnect();
+      return sent.status();
+    }
+    return Status::Ok();
+  }
+
+  // Closes and drops the current transport; the next DecideNext reconnects.
+  void Disconnect() {
+    if (transport_ != nullptr) {
+      transport_->Close();
+      transport_.reset();
+    }
+  }
+
+  // One instance end to end, with recovery. Returns the typed verdict (which
+  // may be a reject — final, never retried here) or, after the retry budget
+  // is exhausted, the last transport-class Status. Protocol-level statuses
+  // (phase violations) return immediately.
+  StatusOr<VerifyInstanceResult> DecideNext(const std::vector<F>& bound) {
+    const size_t index = session_.results().size();
+    BackoffSchedule schedule(policy_);
+    uint32_t attempt = 0;
+    for (;;) {
+      Status failure = Status::Ok();
+      if (Status conn = EnsureConnected(); !conn.ok()) {
+        if (!IsTransportFailure(conn)) {
+          return conn;
+        }
+        failure = conn;
+      } else {
+        auto result = session_.DecideNext(*transport_, bound);
+        if (result.ok()) {
+          return *result;
+        }
+        if (session_.results().size() > index) {
+          // The proof arrived and was decided, but the verdict frame never
+          // reached the peer. The decision is made and stands; reconnect
+          // lazily before the next instance rather than re-deciding.
+          Disconnect();
+          return session_.results().back();
+        }
+        if (!IsTransportFailure(result.status())) {
+          return result.status();
+        }
+        failure = result.status();
+      }
+      Disconnect();
+      if (attempt >= policy_.max_retries) {
+        return failure;
+      }
+      attempt++;
+      total_retries_++;
+      obs::MetricAdd("transport.retries");
+      auto delay = schedule.NextDelay();
+      if (sleeper_) {
+        sleeper_(delay);
+      } else if (delay.count() > 0) {
+        std::this_thread::sleep_for(delay);
+      }
+    }
+  }
+
+  bool connected() const { return transport_ != nullptr; }
+  uint64_t total_retries() const { return total_retries_; }
+  uint64_t connections() const { return connections_; }
+  VerifierSession<F, Adapter>& session() { return session_; }
+  const VerifierSession<F, Adapter>& session() const { return session_; }
+
+ private:
+  VerifierSession<F, Adapter> session_;
+  TransportFactory factory_;
+  BackoffPolicy policy_;
+  Sleeper sleeper_;
+  std::unique_ptr<Transport> transport_;
+  uint64_t total_retries_ = 0;
+  uint64_t connections_ = 0;
+};
+
+}  // namespace protocol
+}  // namespace zaatar
+
+#endif  // SRC_PROTOCOL_RETRY_H_

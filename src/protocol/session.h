@@ -7,6 +7,7 @@
 #define SRC_PROTOCOL_SESSION_H_
 
 #include "src/protocol/prover_session.h"
+#include "src/protocol/retry.h"
 #include "src/protocol/transport.h"
 #include "src/protocol/verifier_session.h"
 

@@ -12,23 +12,34 @@
 //     before any allocation, and the body is read in bounded chunks — the
 //     same hostile-length discipline as ByteReader::GetLength.
 //
-// Receive() blocking on a closed/empty transport returns a typed kTruncated
-// error ("connection closed"), which sessions surface instead of hanging.
+// Failure model (DESIGN.md §13): the peer is not just untrusted about
+// *content* — it may also stall, flood, or die. Every wait is therefore
+// bounded by TransportOptions deadlines (poll(2) on the pipe, wait_for on
+// the loopback queues), expiring with a typed kDeadlineExceeded; the
+// loopback queues carry depth/byte caps so a runaway sender blocks (with a
+// deadline) instead of exhausting memory; and Receive() on a closed/empty
+// transport returns a typed kTruncated ("connection closed") — sessions
+// surface both instead of ever hanging a thread.
 
 #ifndef SRC_PROTOCOL_TRANSPORT_H_
 #define SRC_PROTOCOL_TRANSPORT_H_
 
+#include <fcntl.h>
+#include <poll.h>
 #include <unistd.h>
 
 #include <sys/socket.h>
 #include <sys/types.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <cstring>
 #include <deque>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -52,6 +63,56 @@ inline constexpr uint64_t kMaxFrameBytes = 1ull << 30;
 // the read side fails fast once the sender stops producing bytes.
 inline constexpr size_t kTransportChunkBytes = 1u << 20;
 
+// How much of a claimed frame length the receiver commits to up front. A
+// length prefix is a promise, not a delivery: the receiver reserves at most
+// this much eagerly and grows only as bytes actually arrive, so a hostile
+// "1 GiB incoming" prefix followed by silence costs one bounded allocation
+// and then a deadline, never a gigabyte.
+inline constexpr size_t kMaxEagerReserveBytes = 1u << 26;  // 64 MiB
+
+// Per-endpoint failure-hardening knobs. A zero duration means "wait
+// forever" — the pre-hardening behavior, and the right default for the
+// trusted in-process harness paths; servers and the chaos suite set real
+// deadlines. Queue caps of 0 mean unbounded (loopback only).
+struct TransportOptions {
+  std::chrono::milliseconds recv_deadline{0};  // per Receive() call
+  std::chrono::milliseconds send_deadline{0};  // per Send() call
+  // Applied instead of recv_deadline to the FIRST Receive() on the endpoint
+  // (waiting for a peer that may never come up); zero falls back to
+  // recv_deadline.
+  std::chrono::milliseconds handshake_deadline{0};
+  size_t max_queue_frames = 0;  // loopback: frames buffered per direction
+  size_t max_queue_bytes = 0;   // loopback: payload bytes buffered
+
+  // Production-shaped defaults: generous enough that no honest local
+  // exchange ever trips them, tight enough that a dead peer is detected.
+  static TransportOptions Hardened() {
+    TransportOptions o;
+    o.recv_deadline = std::chrono::milliseconds(30000);
+    o.send_deadline = std::chrono::milliseconds(30000);
+    o.handshake_deadline = std::chrono::milliseconds(30000);
+    o.max_queue_frames = 64;
+    o.max_queue_bytes = kMaxFrameBytes;
+    return o;
+  }
+};
+
+// True for failures of the channel itself — the peer stalled (deadline),
+// the connection died (truncated), or the byte stream desynchronized into
+// an impossible frame length. These are retryable by reconnecting; every
+// other status is a protocol-level outcome or a local sequencing bug and
+// must never be retried (a reject is final — see src/protocol/retry.h).
+inline bool IsTransportFailure(const Status& s) {
+  switch (s.code()) {
+    case StatusCode::kTruncated:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kLengthOverflow:
+      return true;
+    default:
+      return false;
+  }
+}
+
 namespace internal {
 
 // Shared per-frame accounting for every Transport implementation. Counters
@@ -67,21 +128,65 @@ inline void RecordFrameReceived(size_t bytes) {
   obs::MetricObserve("transport.frame_bytes", bytes);
 }
 
+inline void RecordDeadlineExceeded() {
+  obs::MetricAdd("transport.deadline_exceeded");
+}
+
+// Absolute-deadline bookkeeping for one blocking call: constructed from a
+// millisecond budget at call entry, consulted before each bounded wait so a
+// multi-chunk read shares one deadline instead of resetting per chunk.
+class CallDeadline {
+ public:
+  explicit CallDeadline(std::chrono::milliseconds budget)
+      : infinite_(budget.count() <= 0),
+        expires_at_(std::chrono::steady_clock::now() + budget) {}
+
+  bool infinite() const { return infinite_; }
+
+  // Remaining budget clamped to >= 0; meaningless when infinite().
+  std::chrono::milliseconds Remaining() const {
+    auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        expires_at_ - std::chrono::steady_clock::now());
+    return left.count() < 0 ? std::chrono::milliseconds(0) : left;
+  }
+
+  bool Expired() const {
+    return !infinite_ && std::chrono::steady_clock::now() >= expires_at_;
+  }
+
+  // poll(2) timeout argument: -1 for infinite, else remaining ms.
+  int PollTimeoutMs() const {
+    if (infinite_) {
+      return -1;
+    }
+    auto left = Remaining().count();
+    return static_cast<int>(std::min<int64_t>(
+        left, static_cast<int64_t>(std::numeric_limits<int>::max())));
+  }
+
+ private:
+  bool infinite_;
+  std::chrono::steady_clock::time_point expires_at_;
+};
+
 }  // namespace internal
 
 class Transport {
  public:
   virtual ~Transport() = default;
 
-  // Delivers one frame to the peer, preserving message boundaries.
+  // Delivers one frame to the peer, preserving message boundaries. Blocks
+  // at most the configured send deadline; kDeadlineExceeded past it.
   virtual Status Send(const std::vector<uint8_t>& frame) = 0;
 
-  // Blocks until a frame arrives or the peer closes; kTruncated on close.
+  // Blocks until a frame arrives, the peer closes (kTruncated), or the
+  // configured recv/handshake deadline expires (kDeadlineExceeded).
   virtual StatusOr<std::vector<uint8_t>> Receive() = 0;
 
   // Closes both directions. Any blocked or future Receive() on either side
   // fails with kTruncated; used to unwind a two-threaded exchange when one
-  // side dies.
+  // side dies. Must be safe to call concurrently with in-flight Send() /
+  // Receive() on the same object.
   virtual void Close() = 0;
 };
 
@@ -91,31 +196,96 @@ struct TransportPair {
   std::unique_ptr<Transport> right;
 };
 
+// Non-owning view of a Transport, for plumbing a caller-owned endpoint
+// through APIs that take ownership (e.g. a RetryingSession fed a
+// preconnected pair). Close() forwards — closing the view closes the link.
+class TransportRef final : public Transport {
+ public:
+  explicit TransportRef(Transport* inner) : inner_(inner) {}
+
+  Status Send(const std::vector<uint8_t>& frame) override {
+    return inner_->Send(frame);
+  }
+  StatusOr<std::vector<uint8_t>> Receive() override {
+    return inner_->Receive();
+  }
+  void Close() override { inner_->Close(); }
+
+ private:
+  Transport* inner_;
+};
+
 namespace internal {
 
-// One direction of a loopback link.
+// One direction of a loopback link: a bounded, deadline-aware frame queue.
+// Push blocks while the queue is at its depth or byte cap (backpressure —
+// a runaway sender stalls instead of growing the queue without bound) and
+// Pop blocks while it is empty; both expire into kDeadlineExceeded.
 class FrameQueue {
  public:
-  Status Push(std::vector<uint8_t> frame) {
+  FrameQueue() = default;
+  FrameQueue(size_t max_frames, size_t max_bytes)
+      : max_frames_(max_frames), max_bytes_(max_bytes) {}
+
+  Status Push(std::vector<uint8_t> frame,
+              std::chrono::milliseconds deadline = {}) {
+    const size_t frame_bytes = frame.size();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      std::unique_lock<std::mutex> lock(mu_);
+      // An empty queue always admits one frame even past the byte cap, so a
+      // frame larger than the cap degrades to rendezvous, not deadlock.
+      auto has_room = [this, frame_bytes] {
+        if (closed_) {
+          return true;
+        }
+        if (frames_.empty()) {
+          return true;
+        }
+        if (max_frames_ != 0 && frames_.size() >= max_frames_) {
+          return false;
+        }
+        return max_bytes_ == 0 || buffered_bytes_ + frame_bytes <= max_bytes_;
+      };
+      if (deadline.count() > 0) {
+        if (!cv_not_full_.wait_for(lock, deadline, has_room)) {
+          RecordDeadlineExceeded();
+          return DeadlineExceededError("transport send deadline exceeded");
+        }
+      } else {
+        cv_not_full_.wait(lock, has_room);
+      }
       if (closed_) {
         return TruncatedError("transport closed");
       }
+      buffered_bytes_ += frame_bytes;
       frames_.push_back(std::move(frame));
+      obs::MetricObserve("transport.queue_depth", frames_.size());
     }
-    cv_.notify_one();
+    cv_not_empty_.notify_one();
     return Status::Ok();
   }
 
-  StatusOr<std::vector<uint8_t>> Pop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] { return !frames_.empty() || closed_; });
-    if (frames_.empty()) {
-      return TruncatedError("transport closed");
+  StatusOr<std::vector<uint8_t>> Pop(std::chrono::milliseconds deadline = {}) {
+    std::vector<uint8_t> frame;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      auto ready = [this] { return !frames_.empty() || closed_; };
+      if (deadline.count() > 0) {
+        if (!cv_not_empty_.wait_for(lock, deadline, ready)) {
+          RecordDeadlineExceeded();
+          return DeadlineExceededError("transport recv deadline exceeded");
+        }
+      } else {
+        cv_not_empty_.wait(lock, ready);
+      }
+      if (frames_.empty()) {
+        return TruncatedError("transport closed");
+      }
+      frame = std::move(frames_.front());
+      frames_.pop_front();
+      buffered_bytes_ -= frame.size();
     }
-    std::vector<uint8_t> frame = std::move(frames_.front());
-    frames_.pop_front();
+    cv_not_full_.notify_one();
     return frame;
   }
 
@@ -124,13 +294,23 @@ class FrameQueue {
       std::lock_guard<std::mutex> lock(mu_);
       closed_ = true;
     }
-    cv_.notify_all();
+    cv_not_empty_.notify_all();
+    cv_not_full_.notify_all();
+  }
+
+  size_t depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return frames_.size();
   }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_not_empty_;
+  std::condition_variable cv_not_full_;
   std::deque<std::vector<uint8_t>> frames_;
+  size_t buffered_bytes_ = 0;
+  size_t max_frames_ = 0;  // 0 = unbounded
+  size_t max_bytes_ = 0;   // 0 = unbounded
   bool closed_ = false;
 };
 
@@ -140,8 +320,9 @@ class FrameQueue {
 class LoopbackTransport final : public Transport {
  public:
   LoopbackTransport(std::shared_ptr<internal::FrameQueue> tx,
-                    std::shared_ptr<internal::FrameQueue> rx)
-      : tx_(std::move(tx)), rx_(std::move(rx)) {}
+                    std::shared_ptr<internal::FrameQueue> rx,
+                    TransportOptions options = {})
+      : tx_(std::move(tx)), rx_(std::move(rx)), options_(options) {}
 
   ~LoopbackTransport() override { Close(); }
 
@@ -150,7 +331,7 @@ class LoopbackTransport final : public Transport {
     if (frame.size() > kMaxFrameBytes) {
       return LengthOverflowError("frame exceeds transport cap");
     }
-    Status s = tx_->Push(frame);
+    Status s = tx_->Push(frame, options_.send_deadline);
     if (s.ok()) {
       internal::RecordFrameSent(frame.size());
     }
@@ -161,8 +342,9 @@ class LoopbackTransport final : public Transport {
     // "transport.recv" spans include the blocking wait for the peer, so the
     // harness's wall-time partition treats them as idle time, not compute.
     obs::Span span("transport.recv");
-    auto frame = rx_->Pop();
+    auto frame = rx_->Pop(RecvDeadline());
     if (frame.ok()) {
+      received_any_.store(true, std::memory_order_relaxed);
       internal::RecordFrameReceived(frame->size());
     }
     return frame;
@@ -174,101 +356,186 @@ class LoopbackTransport final : public Transport {
   }
 
  private:
+  std::chrono::milliseconds RecvDeadline() const {
+    if (!received_any_.load(std::memory_order_relaxed) &&
+        options_.handshake_deadline.count() > 0) {
+      return options_.handshake_deadline;
+    }
+    return options_.recv_deadline;
+  }
+
   std::shared_ptr<internal::FrameQueue> tx_;
   std::shared_ptr<internal::FrameQueue> rx_;
+  TransportOptions options_;
+  std::atomic<bool> received_any_{false};
 };
 
-inline TransportPair MakeLoopbackPair() {
-  auto a = std::make_shared<internal::FrameQueue>();
-  auto b = std::make_shared<internal::FrameQueue>();
+inline TransportPair MakeLoopbackPair(TransportOptions options = {}) {
+  auto a = std::make_shared<internal::FrameQueue>(options.max_queue_frames,
+                                                  options.max_queue_bytes);
+  auto b = std::make_shared<internal::FrameQueue>(options.max_queue_frames,
+                                                  options.max_queue_bytes);
   TransportPair pair;
-  pair.left = std::make_unique<LoopbackTransport>(a, b);
-  pair.right = std::make_unique<LoopbackTransport>(b, a);
+  pair.left = std::make_unique<LoopbackTransport>(a, b, options);
+  pair.right = std::make_unique<LoopbackTransport>(b, a, options);
   return pair;
 }
 
 // Length-prefixed frames over a full-duplex file descriptor (socketpair).
 // This is the shape a networked deployment would use; the harness drives it
 // from two threads to exercise real kernel buffering and partial reads.
+//
+// Shutdown discipline: Close() only shutdown(2)s the descriptor — it never
+// close(2)s it while the object is alive. A concurrent ReadAll/WriteAll on
+// another thread therefore always operates on a valid (if shut-down) fd;
+// read() wakes with EOF and send() with EPIPE, and the descriptor number
+// cannot be recycled out from under them. The fd is closed exactly once, in
+// the destructor, when no concurrent user can exist.
 class PipeTransport final : public Transport {
  public:
-  explicit PipeTransport(int fd) : fd_(fd) {}
+  explicit PipeTransport(int fd, TransportOptions options = {})
+      : fd_(fd), options_(options) {
+    // Non-blocking I/O with poll(2) is what makes deadlines sound: a
+    // blocking send() of a chunk larger than the socket buffer would ignore
+    // any deadline until the peer drained it. EAGAIN routes every wait
+    // through WaitReady, which owns the deadline.
+    const int flags = ::fcntl(fd_, F_GETFL, 0);
+    if (flags >= 0) {
+      ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+    }
+  }
 
   PipeTransport(const PipeTransport&) = delete;
   PipeTransport& operator=(const PipeTransport&) = delete;
 
-  ~PipeTransport() override { Close(); }
+  ~PipeTransport() override {
+    Close();
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+  }
 
   Status Send(const std::vector<uint8_t>& frame) override {
     obs::Span span("transport.send");
     if (frame.size() > kMaxFrameBytes) {
       return LengthOverflowError("frame exceeds transport cap");
     }
+    internal::CallDeadline deadline(options_.send_deadline);
     uint8_t prefix[4];
     const uint32_t len = static_cast<uint32_t>(frame.size());
     for (int i = 0; i < 4; i++) {
       prefix[i] = static_cast<uint8_t>(len >> (8 * i));
     }
-    ZAATAR_RETURN_IF_ERROR(WriteAll(prefix, 4));
-    ZAATAR_RETURN_IF_ERROR(WriteAll(frame.data(), frame.size()));
+    ZAATAR_RETURN_IF_ERROR(WriteAll(prefix, 4, deadline));
+    ZAATAR_RETURN_IF_ERROR(WriteAll(frame.data(), frame.size(), deadline));
     internal::RecordFrameSent(frame.size());
     return Status::Ok();
   }
 
   StatusOr<std::vector<uint8_t>> Receive() override {
     obs::Span span("transport.recv");
+    internal::CallDeadline deadline(RecvDeadlineBudget());
     uint8_t prefix[4];
-    ZAATAR_RETURN_IF_ERROR(ReadAll(prefix, 4, /*eof_ok_at_start=*/true));
+    ZAATAR_RETURN_IF_ERROR(
+        ReadAll(prefix, 4, /*eof_ok_at_start=*/true, deadline));
     uint32_t len = 0;
     for (int i = 0; i < 4; i++) {
       len |= static_cast<uint32_t>(prefix[i]) << (8 * i);
     }
-    // The length prefix is untrusted: cap it before allocating, then read
-    // the body in bounded chunks so a liar that never delivers the promised
-    // bytes blocks on the descriptor, not on a multi-GB allocation.
+    // The length prefix is untrusted: cap it before allocating, reserve at
+    // most a bounded slab up front, and grow only as bytes actually arrive —
+    // a liar that promises gigabytes and delivers silence costs one bounded
+    // allocation and then a recv deadline, not memory or a wedged thread.
     if (len > kMaxFrameBytes) {
       return LengthOverflowError("frame length prefix exceeds transport cap");
     }
     std::vector<uint8_t> frame;
+    frame.reserve(std::min<size_t>(len, kMaxEagerReserveBytes));
     size_t received = 0;
     while (received < len) {
       const size_t chunk =
           std::min<size_t>(kTransportChunkBytes, len - received);
       frame.resize(received + chunk);
-      ZAATAR_RETURN_IF_ERROR(
-          ReadAll(frame.data() + received, chunk, /*eof_ok_at_start=*/false));
+      ZAATAR_RETURN_IF_ERROR(ReadAll(frame.data() + received, chunk,
+                                     /*eof_ok_at_start=*/false, deadline));
       received += chunk;
     }
+    received_any_.store(true, std::memory_order_relaxed);
     internal::RecordFrameReceived(frame.size());
     return frame;
   }
 
   void Close() override {
-    if (fd_ >= 0) {
-      // Shutdown first so a peer blocked in read() on the other endpoint of
-      // a socketpair wakes up even while it still holds its own fd open.
+    // shutdown(2), never close(2): see the class comment. Both a blocked
+    // peer (other endpoint of the socketpair) and a blocked sibling thread
+    // on this endpoint wake up with EOF/EPIPE.
+    if (!shutdown_.exchange(true, std::memory_order_acq_rel)) {
       ::shutdown(fd_, SHUT_RDWR);
-      ::close(fd_);
-      fd_ = -1;
     }
   }
 
   // Creates a connected socketpair; left and right are the two endpoints.
-  static StatusOr<TransportPair> CreatePair() {
+  static StatusOr<TransportPair> CreatePair(TransportOptions options = {}) {
     int fds[2];
     if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
       return MalformedError(std::string("socketpair failed: ") +
                             std::strerror(errno));
     }
     TransportPair pair;
-    pair.left = std::make_unique<PipeTransport>(fds[0]);
-    pair.right = std::make_unique<PipeTransport>(fds[1]);
+    pair.left = std::make_unique<PipeTransport>(fds[0], options);
+    pair.right = std::make_unique<PipeTransport>(fds[1], options);
     return pair;
   }
 
  private:
-  Status WriteAll(const uint8_t* data, size_t n) {
-    if (fd_ < 0) {
+  std::chrono::milliseconds RecvDeadlineBudget() const {
+    if (!received_any_.load(std::memory_order_relaxed) &&
+        options_.handshake_deadline.count() > 0) {
+      return options_.handshake_deadline;
+    }
+    return options_.recv_deadline;
+  }
+
+  bool ShutDown() const {
+    return shutdown_.load(std::memory_order_acquire);
+  }
+
+  // Bounded wait for the descriptor to become readable/writable. Returns
+  // kDeadlineExceeded when the deadline expires first. POLLERR/POLLHUP fall
+  // through to the read/write call, which reports the precise error.
+  Status WaitReady(short events, const internal::CallDeadline& deadline) {
+    for (;;) {
+      if (deadline.Expired()) {
+        internal::RecordDeadlineExceeded();
+        return DeadlineExceededError(events == POLLIN
+                                         ? "transport recv deadline exceeded"
+                                         : "transport send deadline exceeded");
+      }
+      struct pollfd pfd;
+      pfd.fd = fd_;
+      pfd.events = events;
+      pfd.revents = 0;
+      int rc = ::poll(&pfd, 1, deadline.PollTimeoutMs());
+      if (rc < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        return TruncatedError(std::string("transport poll failed: ") +
+                              std::strerror(errno));
+      }
+      if (rc == 0) {
+        internal::RecordDeadlineExceeded();
+        return DeadlineExceededError(events == POLLIN
+                                         ? "transport recv deadline exceeded"
+                                         : "transport send deadline exceeded");
+      }
+      return Status::Ok();
+    }
+  }
+
+  Status WriteAll(const uint8_t* data, size_t n,
+                  const internal::CallDeadline& deadline) {
+    if (ShutDown()) {
       return TruncatedError("transport closed");
     }
     size_t sent = 0;
@@ -277,43 +544,57 @@ class PipeTransport final : public Transport {
       // MSG_NOSIGNAL: a peer that closed mid-frame yields EPIPE (a typed
       // error below), not a process-killing SIGPIPE.
       ssize_t w = ::send(fd_, data + sent, chunk, MSG_NOSIGNAL);
-      if (w < 0) {
-        if (errno == EINTR) {
-          continue;
-        }
-        return TruncatedError(std::string("transport write failed: ") +
-                              std::strerror(errno));
+      if (w > 0) {
+        sent += static_cast<size_t>(w);
+        continue;
       }
-      sent += static_cast<size_t>(w);
+      if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        ZAATAR_RETURN_IF_ERROR(WaitReady(POLLOUT, deadline));
+        continue;
+      }
+      if (w < 0 && errno == EINTR) {
+        continue;
+      }
+      return TruncatedError(std::string("transport write failed: ") +
+                            std::strerror(errno));
     }
     return Status::Ok();
   }
 
-  Status ReadAll(uint8_t* data, size_t n, bool eof_ok_at_start) {
-    if (fd_ < 0) {
+  Status ReadAll(uint8_t* data, size_t n, bool eof_ok_at_start,
+                 const internal::CallDeadline& deadline) {
+    if (ShutDown()) {
       return TruncatedError("transport closed");
     }
     size_t got = 0;
     while (got < n) {
       ssize_t r = ::read(fd_, data + got, n - got);
-      if (r < 0) {
-        if (errno == EINTR) {
-          continue;
-        }
-        return TruncatedError(std::string("transport read failed: ") +
-                              std::strerror(errno));
+      if (r > 0) {
+        got += static_cast<size_t>(r);
+        continue;
       }
       if (r == 0) {
         return TruncatedError(got == 0 && eof_ok_at_start
                                   ? "transport closed"
                                   : "transport closed mid-frame");
       }
-      got += static_cast<size_t>(r);
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        ZAATAR_RETURN_IF_ERROR(WaitReady(POLLIN, deadline));
+        continue;
+      }
+      if (errno == EINTR) {
+        continue;
+      }
+      return TruncatedError(std::string("transport read failed: ") +
+                            std::strerror(errno));
     }
     return Status::Ok();
   }
 
-  int fd_;
+  const int fd_;
+  TransportOptions options_;
+  std::atomic<bool> shutdown_{false};
+  std::atomic<bool> received_any_{false};
 };
 
 }  // namespace protocol

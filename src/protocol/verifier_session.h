@@ -71,6 +71,23 @@ class VerifierSession {
     return bytes.size();
   }
 
+  // Sends the batch setup to a FRESH peer after a reconnect, without
+  // touching the session's protocol state: in kSetup it is a plain
+  // SendSetup; mid-batch (kCommit) it re-frames the identical SetupMessage
+  // so a replacement prover can rebuild its context and resume. Mid-instance
+  // phases refuse — a reconnect must happen between instances.
+  StatusOr<size_t> ResendSetup(Transport& transport) {
+    if (phase_ == SessionPhase::kSetup) {
+      return SendSetup(transport);
+    }
+    if (phase_ != SessionPhase::kCommit) {
+      return WrongPhase("ResendSetup", SessionPhase::kCommit, phase_);
+    }
+    std::vector<uint8_t> bytes = setup_.ToSetupMessage().Serialize();
+    ZAATAR_RETURN_IF_ERROR(transport.Send(bytes));
+    return bytes.size();
+  }
+
   // ----- Commit + Decommit phases -----
 
   // Ingests one instance's proof bytes and decides. The commitments and the
@@ -113,6 +130,27 @@ class VerifierSession {
     proof_bytes_ += proof_bytes.size();
     results_.push_back(result);
     phase_ = SessionPhase::kDecide;
+    return result;
+  }
+
+  // Consumes the next instance slot with a kTransportFailed verdict: the
+  // channel died (and the caller's retry budget ran out) before this
+  // instance's proof could arrive, so the batch degrades by one undecided
+  // instance instead of aborting. Keeps the session's instance cursor in
+  // step with the caller's bookkeeping — the next proof the verifier will
+  // accept is for the instance after the skipped one.
+  StatusOr<VerifyInstanceResult> SkipInstanceTransportFailed(
+      std::string detail) {
+    if (phase_ != SessionPhase::kCommit) {
+      return WrongPhase("SkipInstanceTransportFailed", SessionPhase::kCommit,
+                        phase_);
+    }
+    VerifyInstanceResult result = VerifyInstanceResult::Reject(
+        VerifyVerdict::kTransportFailed, std::move(detail));
+    if (obs::Metrics* m = obs::ThreadMetrics()) {
+      m->Add(std::string("verdict.") + VerifyVerdictName(result.verdict));
+    }
+    results_.push_back(result);
     return result;
   }
 

@@ -1,0 +1,235 @@
+// FaultyTransport: a seeded, deterministic chaos decorator over any
+// Transport. The transport analogue of the Corruptor/MaliciousProver byte
+// taxonomy in fault_injection.h — where those model a peer that *lies*,
+// this models a channel (or peer) that *drops, delays, duplicates,
+// garbles, or stalls*. Frame corruption reuses the Corruptor primitives so
+// the two taxonomies stay one vocabulary.
+//
+// All faults are injected on the send side (a fault "on the wire" is
+// indistinguishable from one at the sender), sampled per frame from a Prg
+// seeded by ChaosOptions::seed — a given (seed, schedule) pair replays
+// bit-identically, which is what lets tests/chaos_test.cc sweep hundreds of
+// schedules and still shrink any failure to one reproducible seed.
+//
+// Expected downstream behavior, by fault:
+//   drop / stall  -> the receiver's recv deadline fires (kDeadlineExceeded)
+//   truncate/flip -> the frame arrives but decodes to garbage: a kMalformed
+//                    per-instance verdict (never an ACCEPT — the commitment
+//                    and PCP checks are unchanged)
+//   duplicate     -> the extra copy carries a stale instance index and is
+//                    consumed as a kMalformed verdict by session ordering
+//   delay         -> harmless unless it pushes past a deadline
+// A stalled endpoint swallows every subsequent frame too (a half-dead peer,
+// not a one-off loss), which is what forces reconnect-and-replay recovery
+// rather than single-frame retries.
+
+#ifndef SRC_TESTING_CHAOS_TRANSPORT_H_
+#define SRC_TESTING_CHAOS_TRANSPORT_H_
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/crypto/prg.h"
+#include "src/protocol/transport.h"
+#include "src/testing/fault_injection.h"
+
+namespace zaatar {
+
+enum class ChaosFault {
+  kNone = 0,
+  kDrop,       // swallow this frame
+  kDelay,      // deliver after a bounded random sleep
+  kDuplicate,  // deliver twice
+  kTruncate,   // deliver a strict prefix of the frame (mid-frame cut)
+  kBitFlip,    // deliver with one random bit flipped
+  kStall,      // swallow this frame and every later one (half-dead peer)
+};
+
+inline constexpr size_t kNumChaosFaults = 7;
+
+inline const char* ChaosFaultName(ChaosFault f) {
+  switch (f) {
+    case ChaosFault::kNone:
+      return "none";
+    case ChaosFault::kDrop:
+      return "drop";
+    case ChaosFault::kDelay:
+      return "delay";
+    case ChaosFault::kDuplicate:
+      return "duplicate";
+    case ChaosFault::kTruncate:
+      return "truncate";
+    case ChaosFault::kBitFlip:
+      return "bit-flip";
+    case ChaosFault::kStall:
+      return "stall";
+  }
+  return "unknown";
+}
+
+// Per-frame fault probabilities in per-mille (so schedules are exact
+// integers and seeds replay identically across platforms). The sum of the
+// per-mille weights must be <= 1000; the remainder is fault-free delivery.
+struct ChaosOptions {
+  uint64_t seed = 0;
+  uint32_t drop_per_mille = 0;
+  uint32_t delay_per_mille = 0;
+  uint32_t duplicate_per_mille = 0;
+  uint32_t truncate_per_mille = 0;
+  uint32_t bitflip_per_mille = 0;
+  uint32_t stall_per_mille = 0;
+  std::chrono::milliseconds max_delay{5};
+
+  uint32_t TotalPerMille() const {
+    return drop_per_mille + delay_per_mille + duplicate_per_mille +
+           truncate_per_mille + bitflip_per_mille + stall_per_mille;
+  }
+
+  // A representative mixed schedule, parameterized by seed: every fault
+  // class enabled at rates that exercise both the corruption and the
+  // recovery paths within a small batch.
+  static ChaosOptions Mixed(uint64_t seed) {
+    ChaosOptions o;
+    o.seed = seed;
+    o.drop_per_mille = 40;
+    o.delay_per_mille = 80;
+    o.duplicate_per_mille = 40;
+    o.truncate_per_mille = 40;
+    o.bitflip_per_mille = 40;
+    o.stall_per_mille = 15;
+    o.max_delay = std::chrono::milliseconds(2);
+    return o;
+  }
+};
+
+class FaultyTransport final : public protocol::Transport {
+ public:
+  FaultyTransport(std::unique_ptr<protocol::Transport> inner,
+                  ChaosOptions options)
+      : inner_(std::move(inner)), options_(options), prg_(options.seed) {}
+
+  Status Send(const std::vector<uint8_t>& frame) override {
+    ChaosFault fault;
+    std::vector<uint8_t> mutated;
+    std::chrono::milliseconds delay{0};
+    {
+      // The Prg and counters are guarded; the inner Send below is not under
+      // the lock, so Close() from another thread never waits on a delay.
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stalled_) {
+        fault_counts_[static_cast<size_t>(ChaosFault::kStall)]++;
+        return Status::Ok();  // the sender believes it delivered
+      }
+      fault = SampleFault();
+      fault_counts_[static_cast<size_t>(fault)]++;
+      switch (fault) {
+        case ChaosFault::kStall:
+          stalled_ = true;
+          [[fallthrough]];
+        case ChaosFault::kDrop:
+          obs::MetricAdd("chaos.frames_lost");
+          return Status::Ok();
+        case ChaosFault::kTruncate:
+          mutated = Corruptor::Truncate(
+              frame, frame.empty() ? 0 : prg_.NextBounded(frame.size()));
+          break;
+        case ChaosFault::kBitFlip:
+          mutated = frame.empty()
+                        ? frame
+                        : Corruptor::FlipBit(
+                              frame, prg_.NextBounded(frame.size() * 8));
+          break;
+        case ChaosFault::kDelay:
+          delay = std::chrono::milliseconds(
+              1 + prg_.NextBounded(static_cast<uint64_t>(
+                      std::max<int64_t>(options_.max_delay.count(), 1))));
+          break;
+        default:
+          break;
+      }
+    }
+    if (fault == ChaosFault::kDelay) {
+      obs::MetricAdd("chaos.frames_delayed");
+      std::this_thread::sleep_for(delay);
+      return inner_->Send(frame);
+    }
+    if (fault == ChaosFault::kDuplicate) {
+      obs::MetricAdd("chaos.frames_duplicated");
+      ZAATAR_RETURN_IF_ERROR(inner_->Send(frame));
+      return inner_->Send(frame);
+    }
+    if (fault == ChaosFault::kTruncate || fault == ChaosFault::kBitFlip) {
+      obs::MetricAdd("chaos.frames_corrupted");
+      return inner_->Send(mutated);
+    }
+    return inner_->Send(frame);
+  }
+
+  StatusOr<std::vector<uint8_t>> Receive() override {
+    return inner_->Receive();
+  }
+
+  void Close() override { inner_->Close(); }
+
+  uint64_t FaultCount(ChaosFault f) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return fault_counts_[static_cast<size_t>(f)];
+  }
+
+  uint64_t TotalFaults() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t total = 0;
+    for (size_t i = 1; i < kNumChaosFaults; i++) {  // skip kNone
+      total += fault_counts_[i];
+    }
+    return total;
+  }
+
+ private:
+  ChaosFault SampleFault() {
+    const uint64_t r = prg_.NextBounded(1000);
+    uint64_t edge = options_.drop_per_mille;
+    if (r < edge) {
+      return ChaosFault::kDrop;
+    }
+    edge += options_.delay_per_mille;
+    if (r < edge) {
+      return ChaosFault::kDelay;
+    }
+    edge += options_.duplicate_per_mille;
+    if (r < edge) {
+      return ChaosFault::kDuplicate;
+    }
+    edge += options_.truncate_per_mille;
+    if (r < edge) {
+      return ChaosFault::kTruncate;
+    }
+    edge += options_.bitflip_per_mille;
+    if (r < edge) {
+      return ChaosFault::kBitFlip;
+    }
+    edge += options_.stall_per_mille;
+    if (r < edge) {
+      return ChaosFault::kStall;
+    }
+    return ChaosFault::kNone;
+  }
+
+  std::unique_ptr<protocol::Transport> inner_;
+  ChaosOptions options_;
+  mutable std::mutex mu_;
+  Prg prg_;
+  bool stalled_ = false;
+  std::array<uint64_t, kNumChaosFaults> fault_counts_{};
+};
+
+}  // namespace zaatar
+
+#endif  // SRC_TESTING_CHAOS_TRANSPORT_H_

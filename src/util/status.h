@@ -39,6 +39,11 @@ enum class StatusCode {
   // shape screens that replaced assert()-only validation are distinguishable
   // from byte-level decode failures.
   kShapeMismatch,
+  // A bounded wait expired: the peer stalled past a configured transport
+  // deadline (recv/send/handshake) or a bounded queue stayed full. A channel
+  // property, never a statement about the proof — retryable, unlike every
+  // protocol-level failure above.
+  kDeadlineExceeded,
 };
 
 inline const char* StatusCodeName(StatusCode code) {
@@ -57,6 +62,8 @@ inline const char* StatusCodeName(StatusCode code) {
       return "PHASE_VIOLATION";
     case StatusCode::kShapeMismatch:
       return "SHAPE_MISMATCH";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }
@@ -107,6 +114,9 @@ inline Status PhaseViolationError(std::string msg) {
 }
 inline Status ShapeMismatchError(std::string msg) {
   return Status(StatusCode::kShapeMismatch, std::move(msg));
+}
+inline Status DeadlineExceededError(std::string msg) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(msg));
 }
 
 // A value or a non-OK Status. T must be movable; access to value() on an

@@ -1,0 +1,550 @@
+// Failure-hardening of the transport and session layers (DESIGN.md §13):
+// the deadline matrix ({Send, Receive} x {LoopbackTransport, PipeTransport}
+// x {expired, not-expired, peer-dies-mid-frame}) with exact Status codes,
+// the prefix-then-silence regression, concurrent Close() vs a blocked
+// Receive() on another thread (the TSan target for the fd-ownership
+// discipline), bounded-queue backpressure, the backoff schedule, and the
+// RetryingSession retryable-vs-final classification.
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/constraints/qap.h"
+#include "src/constraints/transform.h"
+#include "src/field/fields.h"
+#include "src/pcp/zaatar_pcp.h"
+#include "src/protocol/session.h"
+#include "tests/test_util.h"
+
+namespace zaatar {
+namespace {
+
+using F = F128;
+using Adapter = ZaatarAdapter<F>;
+using protocol::BackoffPolicy;
+using protocol::BackoffSchedule;
+using protocol::IsTransportFailure;
+using protocol::PipeTransport;
+using protocol::Transport;
+using protocol::TransportOptions;
+using protocol::TransportPair;
+using protocol::VerifierSession;
+
+using Millis = std::chrono::milliseconds;
+
+Millis ElapsedSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<Millis>(std::chrono::steady_clock::now() -
+                                            start);
+}
+
+TransportOptions RecvDeadline(int ms) {
+  TransportOptions o;
+  o.recv_deadline = Millis(ms);
+  return o;
+}
+
+TransportOptions SendDeadline(int ms) {
+  TransportOptions o;
+  o.send_deadline = Millis(ms);
+  return o;
+}
+
+// ----- deadline matrix: Receive -----
+
+TEST(DeadlineMatrixTest, LoopbackReceiveExpires) {
+  auto pair = protocol::MakeLoopbackPair(RecvDeadline(60));
+  auto start = std::chrono::steady_clock::now();
+  auto got = pair.left->Receive();
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_LT(ElapsedSince(start).count(), 5000);
+}
+
+TEST(DeadlineMatrixTest, LoopbackReceiveWithinDeadline) {
+  auto pair = protocol::MakeLoopbackPair(RecvDeadline(2000));
+  ASSERT_TRUE(pair.right->Send({1, 2, 3}).ok());
+  auto got = pair.left->Receive();
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(*got, (std::vector<uint8_t>{1, 2, 3}));
+}
+
+TEST(DeadlineMatrixTest, LoopbackReceivePeerDies) {
+  auto pair = protocol::MakeLoopbackPair(RecvDeadline(5000));
+  std::thread killer([&] {
+    std::this_thread::sleep_for(Millis(20));
+    pair.right->Close();
+  });
+  auto got = pair.left->Receive();
+  killer.join();
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kTruncated);
+}
+
+TEST(DeadlineMatrixTest, PipeReceiveExpires) {
+  auto pair = PipeTransport::CreatePair(RecvDeadline(60));
+  ASSERT_TRUE(pair.ok());
+  auto start = std::chrono::steady_clock::now();
+  auto got = pair->left->Receive();
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_LT(ElapsedSince(start).count(), 5000);
+}
+
+TEST(DeadlineMatrixTest, PipeReceiveWithinDeadline) {
+  auto pair = PipeTransport::CreatePair(RecvDeadline(2000));
+  ASSERT_TRUE(pair.ok());
+  ASSERT_TRUE(pair->right->Send({9, 8, 7}).ok());
+  auto got = pair->left->Receive();
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(*got, (std::vector<uint8_t>{9, 8, 7}));
+}
+
+TEST(DeadlineMatrixTest, PipeReceivePeerDiesMidFrame) {
+  // The peer promises an 8-byte frame, delivers half, and dies: the break in
+  // the byte stream must surface as kTruncated ("closed mid-frame"), not a
+  // hang and not a deadline.
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  PipeTransport receiver(fds[0], RecvDeadline(5000));
+  const uint8_t partial[] = {8, 0, 0, 0, 0xAA, 0xBB, 0xCC, 0xDD};
+  ASSERT_EQ(::write(fds[1], partial, sizeof(partial)),
+            static_cast<ssize_t>(sizeof(partial)));
+  ::close(fds[1]);
+  auto got = receiver.Receive();
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kTruncated);
+}
+
+// ----- deadline matrix: Send -----
+
+TEST(DeadlineMatrixTest, LoopbackSendExpires) {
+  // Depth cap 1 with no consumer: the first frame is admitted, the second
+  // blocks on backpressure until the send deadline fires.
+  TransportOptions o = SendDeadline(60);
+  o.max_queue_frames = 1;
+  auto pair = protocol::MakeLoopbackPair(o);
+  ASSERT_TRUE(pair.left->Send({1}).ok());
+  auto start = std::chrono::steady_clock::now();
+  Status second = pair.left->Send({2});
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_LT(ElapsedSince(start).count(), 5000);
+}
+
+TEST(DeadlineMatrixTest, LoopbackSendWithinDeadline) {
+  TransportOptions o = SendDeadline(5000);
+  o.max_queue_frames = 1;
+  auto pair = protocol::MakeLoopbackPair(o);
+  std::thread consumer([&] {
+    for (int i = 0; i < 3; i++) {
+      std::this_thread::sleep_for(Millis(10));
+      ASSERT_TRUE(pair.right->Receive().ok());
+    }
+  });
+  for (uint8_t i = 0; i < 3; i++) {
+    ASSERT_TRUE(pair.left->Send({i}).ok());
+  }
+  consumer.join();
+}
+
+TEST(DeadlineMatrixTest, LoopbackSendPeerDiesMidBlock) {
+  // A sender blocked on a full queue is woken by a concurrent Close and gets
+  // kTruncated, not a hang and not a deadline.
+  TransportOptions o = SendDeadline(5000);
+  o.max_queue_frames = 1;
+  auto pair = protocol::MakeLoopbackPair(o);
+  ASSERT_TRUE(pair.left->Send({1}).ok());
+  std::thread killer([&] {
+    std::this_thread::sleep_for(Millis(20));
+    pair.right->Close();
+  });
+  Status second = pair.left->Send({2});
+  killer.join();
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.code(), StatusCode::kTruncated);
+}
+
+TEST(DeadlineMatrixTest, PipeSendExpires) {
+  // A frame much larger than the kernel socket buffer with no reader: the
+  // write blocks at the buffer boundary until the send deadline fires.
+  auto pair = PipeTransport::CreatePair(SendDeadline(100));
+  ASSERT_TRUE(pair.ok());
+  std::vector<uint8_t> big(4u << 20, 0x5A);
+  auto start = std::chrono::steady_clock::now();
+  Status sent = pair->left->Send(big);
+  ASSERT_FALSE(sent.ok());
+  EXPECT_EQ(sent.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_LT(ElapsedSince(start).count(), 5000);
+}
+
+TEST(DeadlineMatrixTest, PipeSendWithinDeadline) {
+  auto pair = PipeTransport::CreatePair(SendDeadline(10000));
+  ASSERT_TRUE(pair.ok());
+  std::vector<uint8_t> big(4u << 20, 0x5A);
+  std::thread reader([&] {
+    auto got = pair->right->Receive();
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(got->size(), big.size());
+  });
+  ASSERT_TRUE(pair->left->Send(big).ok());
+  reader.join();
+}
+
+TEST(DeadlineMatrixTest, PipeSendPeerDiesMidFrame) {
+  // The peer shuts down while a large frame is mid-flight: EPIPE surfaces as
+  // kTruncated.
+  auto pair = PipeTransport::CreatePair(SendDeadline(10000));
+  ASSERT_TRUE(pair.ok());
+  std::vector<uint8_t> big(4u << 20, 0x5A);
+  std::thread killer([&] {
+    std::this_thread::sleep_for(Millis(20));
+    pair->right->Close();
+  });
+  Status sent = pair->left->Send(big);
+  killer.join();
+  ASSERT_FALSE(sent.ok());
+  EXPECT_EQ(sent.code(), StatusCode::kTruncated);
+}
+
+// ----- prefix-then-silence regression -----
+
+// A peer that sends only the 4-byte length prefix and then goes silent must
+// cost one bounded allocation and a recv deadline — never an unbounded wait
+// and never an eager out-of-memory allocation.
+TEST(TransportHardeningTest, PrefixThenSilenceHitsRecvDeadline) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  PipeTransport receiver(fds[0], RecvDeadline(120));
+  const uint8_t prefix[] = {0, 16, 0, 0};  // claims 4096 bytes, sends none
+  ASSERT_EQ(::write(fds[1], prefix, 4), 4);
+  auto start = std::chrono::steady_clock::now();
+  auto got = receiver.Receive();
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_LT(ElapsedSince(start).count(), 5000);
+  ::close(fds[1]);
+}
+
+TEST(TransportHardeningTest, HostileHugePrefixThenSilenceStaysBounded) {
+  // The prefix claims the full 1 GiB frame cap; the receiver must reserve at
+  // most kMaxEagerReserveBytes before the deadline fires.
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  PipeTransport receiver(fds[0], RecvDeadline(120));
+  const uint64_t claim = protocol::kMaxFrameBytes;
+  uint8_t prefix[4];
+  for (int i = 0; i < 4; i++) {
+    prefix[i] = static_cast<uint8_t>(claim >> (8 * i));
+  }
+  ASSERT_EQ(::write(fds[1], prefix, 4), 4);
+  auto got = receiver.Receive();
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kDeadlineExceeded);
+  ::close(fds[1]);
+}
+
+TEST(TransportHardeningTest, OverCapPrefixRejectedBeforeAllocation) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  PipeTransport receiver(fds[0], RecvDeadline(5000));
+  const uint8_t prefix[] = {0xFF, 0xFF, 0xFF, 0xFF};  // ~4 GiB claim
+  ASSERT_EQ(::write(fds[1], prefix, 4), 4);
+  auto got = receiver.Receive();
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kLengthOverflow);
+  ::close(fds[1]);
+}
+
+// ----- concurrent Close() vs blocked Receive() (TSan regression) -----
+
+// Close() from another thread while a Receive() is blocked on the same
+// PipeTransport object. The shutdown(2)-then-destructor-close(2) discipline
+// means the reader always operates on a valid fd; under TSan this test also
+// proves the fd handoff is race-free.
+TEST(TransportHardeningTest, CloseFromAnotherThreadUnblocksReceive) {
+  for (int round = 0; round < 8; round++) {
+    auto pair = PipeTransport::CreatePair();
+    ASSERT_TRUE(pair.ok());
+    Status observed = Status::Ok();
+    std::thread receiver([&] {
+      auto got = pair->left->Receive();
+      observed = got.status();
+    });
+    std::this_thread::sleep_for(Millis(round % 3 == 0 ? 0 : 10));
+    pair->left->Close();
+    receiver.join();
+    EXPECT_FALSE(observed.ok());
+    EXPECT_EQ(observed.code(), StatusCode::kTruncated) << observed.ToString();
+  }
+}
+
+TEST(TransportHardeningTest, CloseFromAnotherThreadUnblocksLoopback) {
+  auto pair = protocol::MakeLoopbackPair();
+  Status observed = Status::Ok();
+  std::thread receiver([&] { observed = pair.left->Receive().status(); });
+  std::this_thread::sleep_for(Millis(10));
+  pair.left->Close();
+  receiver.join();
+  EXPECT_EQ(observed.code(), StatusCode::kTruncated);
+}
+
+// ----- bounded-queue backpressure -----
+
+TEST(TransportHardeningTest, BoundedQueueDeliversEverythingInOrder) {
+  TransportOptions o;
+  o.max_queue_frames = 2;
+  o.max_queue_bytes = 64;
+  o.send_deadline = Millis(5000);
+  o.recv_deadline = Millis(5000);
+  auto pair = protocol::MakeLoopbackPair(o);
+  const int kFrames = 32;
+  std::thread producer([&] {
+    for (int i = 0; i < kFrames; i++) {
+      std::vector<uint8_t> frame(17, static_cast<uint8_t>(i));
+      ASSERT_TRUE(pair.left->Send(frame).ok());
+    }
+  });
+  for (int i = 0; i < kFrames; i++) {
+    auto got = pair.right->Receive();
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ((*got)[0], static_cast<uint8_t>(i));
+  }
+  producer.join();
+}
+
+TEST(TransportHardeningTest, OversizeFrameDegradesToRendezvous) {
+  // A frame larger than the byte cap is admitted when the queue is empty:
+  // the cap degrades to rendezvous, never deadlock.
+  TransportOptions o;
+  o.max_queue_frames = 4;
+  o.max_queue_bytes = 8;
+  auto pair = protocol::MakeLoopbackPair(o);
+  std::vector<uint8_t> oversize(64, 0xEE);
+  ASSERT_TRUE(pair.left->Send(oversize).ok());
+  auto got = pair.right->Receive();
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->size(), 64u);
+}
+
+// ----- backoff schedule -----
+
+TEST(BackoffScheduleTest, DeterministicGivenSeed) {
+  BackoffPolicy policy;
+  policy.initial = Millis(10);
+  policy.multiplier = 2.0;
+  policy.cap = Millis(200);
+  policy.jitter_seed = 42;
+  BackoffSchedule a(policy);
+  BackoffSchedule b(policy);
+  for (int i = 0; i < 10; i++) {
+    EXPECT_EQ(a.NextDelay().count(), b.NextDelay().count()) << "step " << i;
+  }
+  // A different seed decorrelates (overwhelmingly likely to differ in ten
+  // draws of >=6 bits of jitter each).
+  policy.jitter_seed = 43;
+  BackoffSchedule c(policy);
+  BackoffSchedule d(BackoffPolicy{policy.max_retries, policy.initial,
+                                  policy.multiplier, policy.cap, 42});
+  bool any_differ = false;
+  for (int i = 0; i < 10; i++) {
+    any_differ |= c.NextDelay().count() != d.NextDelay().count();
+  }
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(BackoffScheduleTest, GrowsExponentiallyAndRespectsCap) {
+  BackoffPolicy policy;
+  policy.initial = Millis(10);
+  policy.multiplier = 2.0;
+  policy.cap = Millis(100);
+  policy.jitter_seed = 7;
+  BackoffSchedule schedule(policy);
+  int64_t expected_base = 10;
+  for (int i = 0; i < 8; i++) {
+    int64_t delay = schedule.NextDelay().count();
+    // Jitter keeps each delay in [base/2, base]; base is capped.
+    EXPECT_GE(delay, expected_base / 2) << "step " << i;
+    EXPECT_LE(delay, expected_base) << "step " << i;
+    EXPECT_LE(delay, policy.cap.count()) << "step " << i;
+    EXPECT_GT(delay, 0) << "step " << i;
+    expected_base = std::min<int64_t>(expected_base * 2, policy.cap.count());
+  }
+  EXPECT_EQ(schedule.attempts(), 8u);
+}
+
+// ----- RetryingSession classification -----
+
+// A tiny honest Zaatar batch, mirroring protocol_test's fixture.
+struct RetryFixture {
+  Prg sys_prg;
+  RandomSystem<F> rs;
+  ZaatarTransform<F> transform;
+  Qap<F> qap;
+  ZaatarProof<F> proof;
+  Prg setup_prg;
+  VerifierSession<F, Adapter> verifier;
+
+  explicit RetryFixture(uint64_t seed)
+      : sys_prg(seed),
+        rs(MakeRandomSatisfiedSystem<F>(sys_prg, 8, 2, 2, 14)),
+        transform(GingerToZaatar(rs.system)),
+        qap(transform.r1cs),
+        proof(BuildZaatarProof(qap, transform.ExtendAssignment(rs.assignment))),
+        setup_prg(seed + 1),
+        verifier(ZaatarPcp<F>::GenerateQueries(qap, PcpParams::Light(),
+                                               setup_prg),
+                 setup_prg) {}
+
+  std::array<const std::vector<F>*, 2> Vectors() const {
+    return {&proof.z, &proof.h};
+  }
+};
+
+// Runs an honest single-instance prover session over `link`; exits quietly
+// on any channel failure.
+void RunHonestProver(Transport* link, const RetryFixture& f, uint32_t resume) {
+  protocol::ProverSession<F> session;
+  if (!session.StartAtInstance(resume).ok()) return;
+  if (!session.ReceiveSetup(*link).ok()) return;
+  if (!session.ProveInstance(*link, f.Vectors()).ok()) return;
+  (void)session.ReceiveVerdict(*link);
+}
+
+TEST(RetryingSessionTest, ReconnectsAfterDeadPeerAndAccepts) {
+  RetryFixture f(900);
+  std::vector<std::unique_ptr<Transport>> peer_links;
+  std::vector<std::thread> peers;
+  int connections = 0;
+  protocol::TransportFactory factory =
+      [&](uint32_t resume) -> StatusOr<std::unique_ptr<Transport>> {
+    auto pair = protocol::MakeLoopbackPair(RecvDeadline(2000));
+    if (connections++ == 0) {
+      pair.right->Close();  // connection 0: the peer is already dead
+    } else {
+      peer_links.push_back(std::move(pair.right));
+      peers.emplace_back(RunHonestProver, peer_links.back().get(), std::cref(f),
+                         resume);
+    }
+    return std::move(pair.left);
+  };
+
+  BackoffPolicy policy;
+  policy.max_retries = 3;
+  policy.jitter_seed = 5;
+  std::vector<Millis> slept;
+  protocol::RetryingSession<F, Adapter> session(
+      std::move(f.verifier), factory, policy,
+      [&](Millis d) { slept.push_back(d); });
+
+  auto result = session.DecideNext(f.rs.BoundValues());
+  for (auto& t : peers) t.join();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->accepted()) << result->detail;
+  EXPECT_EQ(session.total_retries(), 1u);
+  EXPECT_EQ(session.connections(), 2u);
+  EXPECT_EQ(slept.size(), 1u);
+}
+
+TEST(RetryingSessionTest, ExhaustedBudgetReturnsTransportFailure) {
+  RetryFixture f(901);
+  int factory_calls = 0;
+  protocol::TransportFactory factory =
+      [&](uint32_t) -> StatusOr<std::unique_ptr<Transport>> {
+    factory_calls++;
+    return TruncatedError("no route to prover");
+  };
+  BackoffPolicy policy;
+  policy.max_retries = 2;
+  policy.jitter_seed = 5;
+  std::vector<Millis> slept;
+  protocol::RetryingSession<F, Adapter> session(
+      std::move(f.verifier), factory, policy,
+      [&](Millis d) { slept.push_back(d); });
+
+  auto result = session.DecideNext(f.rs.BoundValues());
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(IsTransportFailure(result.status()));
+  EXPECT_EQ(factory_calls, 3);  // initial + 2 retries
+  EXPECT_EQ(session.total_retries(), 2u);
+  EXPECT_EQ(slept.size(), 2u);
+}
+
+TEST(RetryingSessionTest, ProtocolRejectIsFinalNeverRetried) {
+  // A garbled proof frame is a protocol outcome (kMalformed verdict), not a
+  // transport failure: it must be decided exactly once, with zero retries —
+  // otherwise a malicious prover could farm fresh attempts at an instance.
+  RetryFixture f(902);
+  int connections = 0;
+  std::vector<std::unique_ptr<Transport>> peer_links;
+  std::vector<std::thread> peers;
+  protocol::TransportFactory factory =
+      [&](uint32_t) -> StatusOr<std::unique_ptr<Transport>> {
+    connections++;
+    auto pair = protocol::MakeLoopbackPair(RecvDeadline(2000));
+    peer_links.push_back(std::move(pair.right));
+    Transport* link = peer_links.back().get();
+    peers.emplace_back([link] {
+      (void)link->Receive();  // drain the setup
+      (void)link->Send({0xBA, 0xAD, 0xF0, 0x0D});
+      (void)link->Receive();  // drain the verdict
+    });
+    return std::move(pair.left);
+  };
+  BackoffPolicy policy;
+  policy.max_retries = 3;
+  policy.jitter_seed = 5;
+  protocol::RetryingSession<F, Adapter> session(
+      std::move(f.verifier), factory, policy, [](Millis) {});
+
+  auto result = session.DecideNext(f.rs.BoundValues());
+  for (auto& t : peers) t.join();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->verdict, VerifyVerdict::kMalformed);
+  EXPECT_EQ(connections, 1);
+  EXPECT_EQ(session.total_retries(), 0u);
+}
+
+TEST(RetryingSessionTest, SkipInstanceKeepsCursorAligned) {
+  // After a skip, the next proof the session accepts is for the instance
+  // AFTER the skipped one — the degradation path cannot desync the batch.
+  RetryFixture f(903);
+  auto setup_bytes = f.verifier.EmitSetup();
+  ASSERT_TRUE(setup_bytes.ok());
+  auto skipped = f.verifier.SkipInstanceTransportFailed("recv deadline");
+  ASSERT_TRUE(skipped.ok());
+  EXPECT_EQ(skipped->verdict, VerifyVerdict::kTransportFailed);
+  EXPECT_FALSE(skipped->accepted());
+  ASSERT_EQ(f.verifier.results().size(), 1u);
+
+  // An honest proof labeled instance 1 is accepted; labeled 0 it would be
+  // stale (the slot was consumed by the skip).
+  protocol::ProverSession<F> prover;
+  ASSERT_TRUE(prover.StartAtInstance(1).ok());
+  ASSERT_TRUE(prover.IngestSetup(*setup_bytes).ok());
+  ASSERT_TRUE(prover.Commit(f.Vectors()).ok());
+  auto proof_bytes = prover.Decommit();
+  ASSERT_TRUE(proof_bytes.ok());
+  auto decided = f.verifier.HandleProof(*proof_bytes, f.rs.BoundValues());
+  ASSERT_TRUE(decided.ok());
+  EXPECT_TRUE(decided->accepted()) << decided->detail;
+}
+
+TEST(RetryingSessionTest, TransportFailureClassifier) {
+  EXPECT_TRUE(IsTransportFailure(TruncatedError("x")));
+  EXPECT_TRUE(IsTransportFailure(DeadlineExceededError("x")));
+  EXPECT_TRUE(IsTransportFailure(LengthOverflowError("x")));
+  EXPECT_FALSE(IsTransportFailure(MalformedError("x")));
+  EXPECT_FALSE(IsTransportFailure(PhaseViolationError("x")));
+  EXPECT_FALSE(IsTransportFailure(Status::Ok()));
+}
+
+}  // namespace
+}  // namespace zaatar
