@@ -6,8 +6,21 @@
 // from the cost model (as in the paper). Expected shape: Zaatar's break-even
 // sizes are orders of magnitude smaller, because its query setup is
 // proportional to a linear- rather than quadratic-length proof.
+//
+// Besides the human tables, the bench emits a JSON baseline (default
+// BENCH_fig7_breakeven.json) so the perf trajectory is machine-tracked: the
+// "paper_scale_measured_micro" rows evaluate beta* at the paper's reported
+// computation sizes and local (GMP) baselines with THIS machine's measured
+// verifier primitive costs — the quantity the crypto kernels directly move —
+// and carry the pre-kernel-push baseline beta* alongside for comparison
+// (scripts/ci.sh asserts today's beta* is strictly smaller for every app).
+//
+// Usage: bench_fig7_breakeven [--out <path>]
 
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 
@@ -27,9 +40,75 @@ std::string HumanBatch(double b) {
   return buf;
 }
 
+// One emitted JSON record: a computation evaluated under one costing regime.
+struct JsonRow {
+  std::string app;
+  std::string field;
+  std::string regime;  // bench_measured | paper_scale_measured_micro |
+                       // paper_constants
+  double t_local_s = 0;
+  double setup_s = -1;         // measured verifier setup (bench_measured only)
+  double per_instance_s = -1;  // modeled verifier per-instance cost
+  double zaatar_beta = -1;     // measured break-even (bench_measured only)
+  double zaatar_model_beta = -1;
+  double zaatar_model_beta_pre = -2;  // -2 = not tracked for this regime
+  double ginger_model_beta = -1;
+};
+
+void JsonNumber(FILE* f, const char* key, double v, const char* suffix) {
+  if (v < 0) {
+    fprintf(f, "\"%s\": null%s", key, suffix);
+  } else {
+    fprintf(f, "\"%s\": %.9g%s", key, v, suffix);
+  }
+}
+
+void WriteJson(const std::string& path, const MicroCosts& m128,
+               const MicroCosts& m220, const std::vector<JsonRow>& rows) {
+  FILE* f = fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    exit(1);
+  }
+  fprintf(f, "{\n  \"bench\": \"fig7_breakeven\",\n");
+  fprintf(f, "  \"schema\": \"fig7.breakeven.v1\",\n");
+  fprintf(f, "  \"micro\": {\n");
+  const MicroCosts* micros[2] = {&m128, &m220};
+  const char* names[2] = {"F128", "F220"};
+  for (int i = 0; i < 2; i++) {
+    const MicroCosts& m = *micros[i];
+    fprintf(f,
+            "    \"%s\": {\"e_s\": %.9g, \"d_s\": %.9g, \"h_s\": %.9g, "
+            "\"h_amortized_s\": %.9g, \"f_s\": %.9g, \"f_div_s\": %.9g, "
+            "\"c_s\": %.9g}%s\n",
+            names[i], m.e, m.d, m.h, m.h_amortized, m.f, m.f_div, m.c,
+            i == 0 ? "," : "");
+  }
+  fprintf(f, "  },\n  \"rows\": [\n");
+  for (size_t i = 0; i < rows.size(); i++) {
+    const JsonRow& r = rows[i];
+    fprintf(f, "    {\"app\": \"%s\", \"field\": \"%s\", \"regime\": \"%s\", ",
+            r.app.c_str(), r.field.c_str(), r.regime.c_str());
+    fprintf(f, "\"t_local_s\": %.9g, ", r.t_local_s);
+    JsonNumber(f, "setup_s", r.setup_s, ", ");
+    JsonNumber(f, "per_instance_s", r.per_instance_s, ", ");
+    JsonNumber(f, "zaatar_beta_star", r.zaatar_beta, ", ");
+    JsonNumber(f, "zaatar_model_beta_star", r.zaatar_model_beta, ", ");
+    if (r.zaatar_model_beta_pre > -2) {
+      JsonNumber(f, "zaatar_model_beta_star_pre_pr", r.zaatar_model_beta_pre,
+                 ", ");
+    }
+    JsonNumber(f, "ginger_model_beta_star", r.ginger_model_beta, "");
+    fprintf(f, "}%s\n", i + 1 < rows.size() ? "," : "");
+  }
+  fprintf(f, "  ]\n}\n");
+  fclose(f);
+  printf("\nwrote %s\n", path.c_str());
+}
+
 template <typename F>
-void Row(const App<F>& app, const PcpParams& params,
-         const MicroCosts& micro) {
+void Row(const App<F>& app, const PcpParams& params, const MicroCosts& micro,
+         std::vector<JsonRow>* out) {
   auto program = CompileZlang<F>(app.source);
   auto m = MeasureZaatarBatch(app, program, 2, params, /*seed=*/21);
   double setup = m.query_generation_s + m.commit_setup_s;
@@ -43,24 +122,27 @@ void Row(const App<F>& app, const PcpParams& params,
          bench::HumanSeconds(setup).c_str(),
          HumanBatch(zaatar_measured).c_str(), HumanBatch(zaatar_model).c_str(),
          HumanBatch(ginger_model).c_str());
+  JsonRow r;
+  r.app = app.name;
+  r.field = F::kLimbs == 2 ? "F128" : "F220";
+  r.regime = "bench_measured";
+  r.t_local_s = m.stats.t_local_s;
+  r.setup_s = setup;
+  r.per_instance_s = m.verifier_per_instance_s;
+  r.zaatar_beta = zaatar_measured;
+  r.zaatar_model_beta = zaatar_model;
+  r.ginger_model_beta = ginger_model;
+  out->push_back(r);
 }
 
-}  // namespace
-}  // namespace zaatar
-
-namespace zaatar {
-namespace {
-
-// Paper-scale extrapolation: scale the measured constraint statistics by the
-// benchmark's complexity polynomial to the paper's input size, measure the
-// native baseline at that size for real, and evaluate both models.
+// Scales the measured constraint statistics of a bench-sized app by its
+// complexity polynomial to the paper's input size, with the given local
+// baseline time.
 template <typename F>
-void PaperScaleRow(const char* label, const App<F>& bench_app,
-                   double count_factor, double io_factor,
-                   double paper_t_local, const PcpParams& params,
-                   const MicroCosts& micro) {
+ComputationStats ScaledStats(const App<F>& bench_app, double count_factor,
+                             double io_factor, double t_local) {
   auto program = CompileZlang<F>(bench_app.source);
-  ComputationStats s = ComputeStats(program, paper_t_local);
+  ComputationStats s = ComputeStats(program, t_local);
   s.z_ginger = static_cast<size_t>(s.z_ginger * count_factor);
   s.c_ginger = static_cast<size_t>(s.c_ginger * count_factor);
   s.k = static_cast<size_t>(s.k * count_factor);
@@ -69,24 +151,57 @@ void PaperScaleRow(const char* label, const App<F>& bench_app,
   s.c_zaatar = static_cast<size_t>(s.c_zaatar * count_factor);
   s.num_inputs = static_cast<size_t>(s.num_inputs * io_factor);
   s.num_outputs = std::max<size_t>(1, s.num_outputs);
+  return s;
+}
+
+// Paper-scale model row; when pre-PR micro costs are supplied the row also
+// reports (and records) beta* under those, so the JSON carries the
+// trajectory the kernel work moved.
+void PaperScaleRow(const char* label, const char* field,
+                   const ComputationStats& s, const PcpParams& params,
+                   const MicroCosts& micro, const MicroCosts* micro_pre,
+                   const char* regime, std::vector<JsonRow>* out) {
   CostModel model(micro, params);
   double zb = model.ZaatarBreakeven(s);
   double gb = model.GingerBreakeven(s);
   printf("%-38s %10s %12s %12s", label,
-         bench::HumanSeconds(paper_t_local).c_str(),
-         HumanBatch(zb).c_str(), HumanBatch(gb).c_str());
-  if (zb > 0 && gb > 0) {
+         bench::HumanSeconds(s.t_local_s).c_str(), HumanBatch(zb).c_str(),
+         HumanBatch(gb).c_str());
+  JsonRow r;
+  r.app = label;
+  r.field = field;
+  r.regime = regime;
+  r.t_local_s = s.t_local_s;
+  r.per_instance_s = model.ZaatarVerifierPerInstance(s);
+  r.zaatar_model_beta = zb;
+  r.ginger_model_beta = gb;
+  if (micro_pre != nullptr) {
+    CostModel pre(*micro_pre, params);
+    r.zaatar_model_beta_pre = pre.ZaatarBreakeven(s);
+    printf("   pre-kernel-push Z = %s", HumanBatch(r.zaatar_model_beta_pre).c_str());
+  } else if (zb > 0 && gb > 0) {
     printf("   G/Z = %.1e", gb / zb);
   }
   printf("\n");
+  out->push_back(r);
 }
 
 }  // namespace
 }  // namespace zaatar
 
-int main() {
+int main(int argc, char** argv) {
   using namespace zaatar;
+  std::string out_path = "BENCH_fig7_breakeven.json";
+  for (int i = 1; i < argc; i++) {
+    if (strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      fprintf(stderr, "usage: %s [--out <path>]\n", argv[0]);
+      return 2;
+    }
+  }
   PcpParams params;
+  std::vector<JsonRow> rows;
   printf("Figure 7: break-even batch sizes (Zaatar measured+model, Ginger "
          "model)\n\n");
   MicroCosts m128 = bench::MeasureMicroCosts<F128>();
@@ -94,11 +209,11 @@ int main() {
   printf("%-38s %10s %12s %12s %12s %12s\n", "computation", "t_local",
          "V setup", "Z(meas)", "Z(model)", "G(model)");
   bench::PrintRule(110);
-  Row(MakePamApp(8, 16), params, m128);
-  Row(MakeRootFindApp(6, 8), params, m220);
-  Row(MakeApspApp(4), params, m128);
-  Row(MakeFannkuchApp(3, 5, 12), params, m128);
-  Row(MakeLcsApp(16), params, m128);
+  Row(MakePamApp(8, 16), params, m128, &rows);
+  Row(MakeRootFindApp(6, 8), params, m220, &rows);
+  Row(MakeApspApp(4), params, m128, &rows);
+  Row(MakeFannkuchApp(3, 5, 12), params, m128, &rows);
+  Row(MakeLcsApp(16), params, m128, &rows);
   printf(
       "\nNote: 'never' means verifying one instance costs more than running\n"
       "it locally, so no batch size breaks even — the paper's point that\n"
@@ -110,34 +225,62 @@ int main() {
       "paper's local baseline ran under GMP bignums; ours is native int64,\n"
       "~10-50x faster, which further inflates our break-even sizes.)\n");
 
-  printf("\nPaper-scale break-even estimates (models at the paper's input "
-         "sizes):\n");
+  // The paper-scale complexity factors: scale |C| etc. from our bench knob
+  // to the paper's knob via each benchmark's complexity polynomial.
+  struct PaperApp {
+    const char* label;
+    const char* field;
+    ComputationStats stats;  // at paper scale, with paper GMP t_local
+  };
+  // The paper's Figure 5 "local" column (GMP bignum baselines) — fixed
+  // across runs, so beta* movement in the trajectory rows below is purely
+  // verifier-kernel-driven.
+  std::vector<PaperApp> paper_apps;
+  paper_apps.push_back(
+      {"pam_clustering(m=20,d=128)", "F128",
+       ScaledStats(MakePamApp(8, 16), (20.0 * 20 * 128) / (8.0 * 8 * 16),
+                   (20.0 * 128) / (8.0 * 16), 51.6e-3)});
+  paper_apps.push_back(
+      {"root_finding(m=256,L=8)", "F220",
+       ScaledStats(MakeRootFindApp(6, 8), (256.0 * 256) / (6.0 * 6),
+                   (256.0 * 256) / (6.0 * 6), 0.8)});
+  paper_apps.push_back(
+      {"all_pairs_shortest_path(m=25)", "F128",
+       ScaledStats(MakeApspApp(4), (25.0 * 25 * 25) / (4.0 * 4 * 4),
+                   (25.0 * 25) / (4.0 * 4), 8.1e-3)});
+  paper_apps.push_back(
+      {"fannkuch(m=100,n=13)", "F128",
+       ScaledStats(MakeFannkuchApp(3, 5, 12), (100.0 * 13 * 80) / (3.0 * 5 * 12),
+                   (100.0 * 13) / (3.0 * 5), 0.8e-3)});
+  paper_apps.push_back(
+      {"longest_common_subsequence(m=300)", "F128",
+       ScaledStats(MakeLcsApp(16), (300.0 * 300) / (16.0 * 16), 300.0 / 16,
+                   1.4e-3)});
+
+  // Pre-kernel-push verifier primitive costs, measured on this machine by
+  // bench_micro_ops immediately before the Montgomery-squaring / windowed-
+  // Pow / signed-Pippenger / batched-Encrypt push (the previous EXPERIMENTS
+  // §5.1 baseline). The JSON rows below carry beta* under both cost sets so
+  // the improvement is machine-checkable.
+  MicroCosts pre128{.e = 50.7e-6, .d = 144.7e-6, .h = 212.9e-6,
+                    .f_lazy = 11.6e-9, .f = 11.6e-9, .f_div = 5.80e-6,
+                    .c = 45.7e-9};
+  MicroCosts pre220{.e = 74.8e-6, .d = 214.4e-6, .h = 451.7e-6,
+                    .f_lazy = 46.3e-9, .f = 46.3e-9, .f_div = 23.3e-6,
+                    .c = 130e-9};
+
+  printf("\nPaper regime, this machine's verifier kernels: beta* at the "
+         "paper's input\nsizes and GMP local baselines, under the measured "
+         "micro costs (the\ntrajectory rows scripts/ci.sh gates on):\n");
   printf("%-38s %10s %12s %12s\n", "computation @ paper size", "t_local",
          "Z(model)", "G(model)");
   bench::PrintRule(100);
-  // Count factors scale |C| etc. from our bench knob to the paper's knob
-  // via each benchmark's complexity polynomial.
-  PaperScaleRow("pam_clustering(m=20,d=128)", MakePamApp(8, 16),
-                (20.0 * 20 * 128) / (8.0 * 8 * 16), (20.0 * 128) / (8.0 * 16),
-                MakePamApp(20, 128).measure_native_seconds(), params, m128);
-  PaperScaleRow("root_finding(m=256,L=8)", MakeRootFindApp(6, 8),
-                (256.0 * 256) / (6.0 * 6), (256.0 * 256) / (6.0 * 6),
-                MakeRootFindApp(256, 8).measure_native_seconds(), params,
-                m220);
-  PaperScaleRow("all_pairs_shortest_path(m=25)", MakeApspApp(4),
-                (25.0 * 25 * 25) / (4.0 * 4 * 4), (25.0 * 25) / (4.0 * 4),
-                MakeApspApp(25).measure_native_seconds(), params, m128);
-  PaperScaleRow("fannkuch(m=100,n=13)", MakeFannkuchApp(3, 5, 12),
-                (100.0 * 13 * 80) / (3.0 * 5 * 12), (100.0 * 13) / (3.0 * 5),
-                MakeFannkuchApp(100, 13, 80).measure_native_seconds(), params,
-                m128);
-  PaperScaleRow("longest_common_subsequence(m=300)", MakeLcsApp(16),
-                (300.0 * 300) / (16.0 * 16), 300.0 / 16,
-                MakeLcsApp(300).measure_native_seconds(), params, m128);
-  printf("\nStill 'never' above: our native baselines are 10-50x faster than "
-         "the paper's GMP\nruns and our decrypt (d) is ~6x the paper's, so "
-         "per-instance verification exceeds\nlocal execution at every size "
-         "on this hardware.\n");
+  for (const PaperApp& app : paper_apps) {
+    const MicroCosts& micro = strcmp(app.field, "F220") == 0 ? m220 : m128;
+    const MicroCosts& pre = strcmp(app.field, "F220") == 0 ? pre220 : pre128;
+    PaperScaleRow(app.label, app.field, app.stats, params, micro, &pre,
+                  "paper_scale_measured_micro", &rows);
+  }
 
   // Finally, Figure 7 recomputed from the paper's own published constants:
   // its §5.1 microbenchmark row and its Figure 5 "local" column, through our
@@ -156,21 +299,14 @@ int main() {
     MicroCosts paper220{.e = 88e-6, .d = 170e-6, .h = 130e-6,
                         .f_lazy = 90e-9, .f = 320e-9, .f_div = 3e-6,
                         .c = 260e-9};
-    PaperScaleRow("pam_clustering(m=20,d=128)", MakePamApp(8, 16),
-                  (20.0 * 20 * 128) / (8.0 * 8 * 16),
-                  (20.0 * 128) / (8.0 * 16), 51.6e-3, params, paper128);
-    PaperScaleRow("root_finding(m=256,L=8)", MakeRootFindApp(6, 8),
-                  (256.0 * 256) / (6.0 * 6), (256.0 * 256) / (6.0 * 6),
-                  0.8, params, paper220);
-    PaperScaleRow("all_pairs_shortest_path(m=25)", MakeApspApp(4),
-                  (25.0 * 25 * 25) / (4.0 * 4 * 4), (25.0 * 25) / (4.0 * 4),
-                  8.1e-3, params, paper128);
-    PaperScaleRow("fannkuch(m=100,n=13)", MakeFannkuchApp(3, 5, 12),
-                  (100.0 * 13 * 80) / (3.0 * 5 * 12),
-                  (100.0 * 13) / (3.0 * 5), 0.8e-3, params, paper128);
-    PaperScaleRow("longest_common_subsequence(m=300)", MakeLcsApp(16),
-                  (300.0 * 300) / (16.0 * 16), 300.0 / 16, 1.4e-3, params,
-                  paper128);
+    for (const PaperApp& app : paper_apps) {
+      const MicroCosts& micro =
+          strcmp(app.field, "F220") == 0 ? paper220 : paper128;
+      PaperScaleRow(app.label, app.field, app.stats, params, micro, nullptr,
+                    "paper_constants", &rows);
+    }
   }
+
+  WriteJson(out_path, m128, m220, rows);
   return 0;
 }

@@ -186,7 +186,7 @@ int main(int argc, char** argv) {
   }
 
   std::vector<size_t> sizes =
-      smoke ? std::vector<size_t>{16, 64} : std::vector<size_t>{256, 4096};
+      smoke ? std::vector<size_t>{16, 64, 256} : std::vector<size_t>{256, 4096};
   size_t workers = std::thread::hardware_concurrency();
   if (workers == 0) {
     workers = 1;

@@ -63,11 +63,70 @@ bench_smoke() {
   local json="$build_dir/BENCH_multiexp_smoke.json"
   "$build_dir/bench/bench_multiexp" --smoke --out "$json"
   if command -v python3 >/dev/null 2>&1; then
-    python3 -m json.tool "$json" >/dev/null
+    python3 - "$json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+rows = doc["results"]
+assert rows, "multiexp bench emitted no rows"
+# Perf floor: the Pippenger kernel must not regress below 10x over the
+# pinned naive yardstick at the largest smoke size (n = 256 currently
+# measures >20x on both fields, so 10x is a regression alarm, not a
+# tight bound; smaller smoke sizes amortize the buckets too thinly to
+# gate on).
+gated = [r for r in rows if r["n"] >= 256]
+assert gated, "no smoke row large enough for the speedup floor"
+for row in gated:
+    assert row["speedup"] >= 10.0, \
+        f"multiexp speedup floor regressed: {row}"
+print("multiexp speedup floor ok:",
+      ", ".join(f"{r['field']} n={r['n']} {r['speedup']:.1f}x"
+                for r in gated))
+EOF
   else
     grep -q '"results"' "$json"
   fi
   echo "bench smoke ok: $json"
+
+  # Figure 7 break-even baseline: validate the emitted schema and assert the
+  # perf trajectory — in the paper-regime rows (paper input sizes + GMP
+  # local baselines, this machine's measured verifier kernels) every app
+  # must break even strictly earlier than the recorded pre-kernel-push
+  # baseline. Catches both emitter rot and verifier-kernel regressions.
+  echo "==== [bench] fig7 break-even smoke ===="
+  local fjson="$build_dir/BENCH_fig7_smoke.json"
+  "$build_dir/bench/bench_fig7_breakeven" --out "$fjson" >/dev/null
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "$fjson" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["schema"] == "fig7.breakeven.v1", doc.get("schema")
+for field in ("F128", "F220"):
+    micro = doc["micro"][field]
+    for key in ("e_s", "d_s", "h_s", "h_amortized_s", "f_s", "f_div_s",
+                "c_s"):
+        assert micro[key] > 0, f"micro cost {key} missing for {field}"
+rows = doc["rows"]
+for row in rows:
+    for key in ("app", "field", "regime", "t_local_s"):
+        assert key in row, f"missing key {key} in {row}"
+trajectory = [r for r in rows if r["regime"] == "paper_scale_measured_micro"]
+assert len(trajectory) == 5, f"expected 5 trajectory rows, got {trajectory}"
+for row in trajectory:
+    beta, pre = row["zaatar_model_beta_star"], row["zaatar_model_beta_star_pre_pr"]
+    assert beta is not None, f"{row['app']}: no longer breaks even"
+    assert pre is None or beta < pre, \
+        f"{row['app']}: beta* regressed ({beta} vs pre {pre})"
+print("fig7 trajectory ok:",
+      ", ".join(f"{r['app'].split('(')[0]} {r['zaatar_model_beta_star']:.0f}"
+                for r in trajectory))
+EOF
+  else
+    grep -q '"fig7.breakeven.v1"' "$fjson"
+    grep -q '"paper_scale_measured_micro"' "$fjson"
+  fi
+  echo "bench smoke ok: $fjson"
 
   # Same for the session/transport overhead bench: it exits nonzero if the
   # serialized paths (loopback, socketpair) diverge from the in-process

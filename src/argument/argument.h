@@ -112,9 +112,11 @@ class Argument {
 
   // Verifier, once per batch. `queries` should come from the PCP's
   // GenerateQueries (its cost belongs to query_generation_s and is measured
-  // by the caller; pass it in `query_generation_seconds`).
+  // by the caller; pass it in `query_generation_seconds`). `workers` > 1
+  // chunks the Enc(r) row encryptions across threads.
   static VerifierSetup Setup(typename Adapter::Queries queries, Prg& prg,
-                             double query_generation_seconds = 0) {
+                             double query_generation_seconds = 0,
+                             size_t workers = 1) {
     VerifierSetup s;
     s.costs.query_generation_s = query_generation_seconds;
     Stopwatch timer;
@@ -125,7 +127,7 @@ class Argument {
     for (size_t o = 0; o < 2; o++) {
       OracleCommitSetup<F> commit = LinearCommitment<F>::CreateSetup(
           s.pk, Adapter::OracleLength(s.queries, o),
-          Adapter::OracleQueries(s.queries, o), prg);
+          Adapter::OracleQueries(s.queries, o), prg, workers);
       s.secrets.commit[o] = std::move(commit.secrets);
       s.shared[o] = std::move(commit.shared);
     }

@@ -87,16 +87,16 @@ class LinearCommitment {
  public:
   using EG = ElGamal<F>;
 
-  // Phase 1 + 3 setup (verifier, amortized over the batch).
+  // Phase 1 + 3 setup (verifier, amortized over the batch). `workers` > 1
+  // chunks the row encryption of Enc(r) across threads.
   static OracleCommitSetup<F> CreateSetup(
       const typename EG::PublicKey& pk, size_t oracle_len,
-      const std::vector<std::vector<F>>& queries, Prg& prg) {
+      const std::vector<std::vector<F>>& queries, Prg& prg,
+      size_t workers = 1) {
     OracleCommitSetup<F> s;
     s.secrets.r = prg.NextFieldVector<F>(oracle_len);
-    s.shared.enc_r.reserve(oracle_len);
-    for (const F& ri : s.secrets.r) {
-      s.shared.enc_r.push_back(EG::Encrypt(pk, ri, prg));
-    }
+    s.shared.enc_r =
+        EG::EncryptRow(pk, s.secrets.r.data(), oracle_len, prg, workers);
     s.secrets.alphas.reserve(queries.size());
     s.shared.t = s.secrets.r;
     for (const auto& q : queries) {

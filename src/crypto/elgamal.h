@@ -16,6 +16,7 @@
 #ifndef SRC_CRYPTO_ELGAMAL_H_
 #define SRC_CRYPTO_ELGAMAL_H_
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <memory>
@@ -24,7 +25,9 @@
 #include "src/crypto/multiexp.h"
 #include "src/crypto/prg.h"
 #include "src/field/fields.h"
+#include "src/field/ifma52.h"
 #include "src/field/prime_field.h"
+#include "src/util/parallel_for.h"
 
 namespace zaatar {
 
@@ -110,13 +113,14 @@ class ElGamal {
           std::make_shared<const FixedBaseTable<Zp>>(h, F::kModulusBits);
     }
 
-    // g^e / h^e through the tables when present, plain Pow otherwise. Both
-    // paths are bit-identical (tests/multiexp_test.cc).
+    // g^e / h^e through the tables when present, a plain (vectorized when
+    // possible) Pow otherwise. Both paths are bit-identical
+    // (tests/multiexp_test.cc).
     Zp PowG(const Exponent& e) const {
-      return g_table ? g_table->Pow(e) : g.Pow(e);
+      return g_table ? g_table->Pow(e) : ifma52::PowAuto(g, e);
     }
     Zp PowH(const Exponent& e) const {
-      return h_table ? h_table->Pow(e) : h.Pow(e);
+      return h_table ? h_table->Pow(e) : ifma52::PowAuto(h, e);
     }
   };
 
@@ -150,7 +154,7 @@ class ElGamal {
         return *this;
       }
       typename F::Repr e = s.ToCanonical();
-      return {c1.Pow(e), c2.Pow(e)};
+      return {ifma52::PowAuto(c1, e), ifma52::PowAuto(c2, e)};
     }
   };
 
@@ -180,10 +184,72 @@ class ElGamal {
     return kp;
   }
 
-  static Ciphertext Encrypt(const PublicKey& pk, const F& m, Prg& prg) {
-    F r = prg.NextField<F>();
+  // SECURITY: the nonce must be nonzero. r = 0 gives c1 = g^0 = 1 and
+  // c2 = g^m — the "ciphertext" is the plaintext embedding in the clear, and
+  // the degenerate c1 flags it to any observer. NextField can return zero
+  // (probability 1/q — negligible for these fields, but structurally wrong),
+  // so the nonce is drawn with NextNonzeroField. Templated on the RNG so the
+  // r = 0 regression test can inject a stub generator.
+  template <typename Rng = Prg>
+  static Ciphertext Encrypt(const PublicKey& pk, const F& m, Rng& prg) {
+    F r = prg.template NextNonzeroField<F>();
+    return EncryptWithNonce(pk, m, r);
+  }
+
+  // Deterministic core of Encrypt: (g^r, h^r * g^m) for a caller-chosen
+  // nonce. Exposed for tests (fixed-nonce vectors, the r = 0 leak shape).
+  static Ciphertext EncryptWithNonce(const PublicKey& pk, const F& m,
+                                     const F& r) {
     Exponent re = r.ToCanonical();
     return {pk.PowG(re), pk.PowH(re) * pk.PowG(m.ToCanonical())};
+  }
+
+  // Encrypts a row of messages under one key, sharing per-ciphertext work
+  // that the one-at-a-time loop repeats: nonce digits are extracted once and
+  // drive both components, and c2 = h^r * g^m runs as a single interleaved
+  // dual-base walk (Straus/Shamir) instead of two walks and a multiply.
+  //
+  // All nonces are drawn from `prg` up front, in row order, before any group
+  // arithmetic. This keeps the PRG stream identical to n sequential
+  // Encrypt calls ONLY in the draw order sense — the guarantee tests rely on
+  // is stronger and simpler: for equal seeds, EncryptRow(msgs, n) is
+  // bit-identical to {Encrypt(msgs[0]), ..., Encrypt(msgs[n-1])} because the
+  // i-th nonce here is the i-th nonce there and the walks agree bit-for-bit
+  // with PowG/PowH. `workers` > 1 chunks rows across ParallelFor; drawing
+  // nonces first is what makes the parallel schedule deterministic.
+  static std::vector<Ciphertext> EncryptRow(const PublicKey& pk, const F* msgs,
+                                            size_t n, Prg& prg,
+                                            size_t workers = 1) {
+    std::vector<F> nonces(n);
+    for (size_t i = 0; i < n; i++) {
+      nonces[i] = prg.template NextNonzeroField<F>();
+    }
+    std::vector<Ciphertext> out(n);
+    if (!pk.g_table || !pk.h_table) {
+      // Table-less keys (unit fixtures): no shared structure to exploit.
+      for (size_t i = 0; i < n; i++) {
+        out[i] = EncryptWithNonce(pk, msgs[i], nonces[i]);
+      }
+      return out;
+    }
+    const FixedBaseTable<Zp>& gt = *pk.g_table;
+    const FixedBaseTable<Zp>& ht = *pk.h_table;
+    size_t chunks = std::min(workers == 0 ? size_t{1} : workers, n);
+    ParallelFor(chunks, chunks, [&](size_t chunk) {
+      size_t lo = n * chunk / chunks;
+      size_t hi = n * (chunk + 1) / chunks;
+      uint64_t dr[FixedBaseTable<Zp>::kMaxWindows];
+      uint64_t dm[FixedBaseTable<Zp>::kMaxWindows];
+      for (size_t i = lo; i < hi; i++) {
+        Exponent re = nonces[i].ToCanonical();
+        gt.ExtractDigits(re, dr);  // g and h tables share exp_bits, so the
+                                   // r-digits feed both walks
+        out[i].c1 = gt.PowDigits(dr);
+        gt.ExtractDigits(msgs[i].ToCanonical(), dm);
+        out[i].c2 = FixedBaseTable<Zp>::PowDigitsProduct(ht, dr, gt, dm);
+      }
+    });
+    return out;
   }
 
   // Returns g^m; full decryption to m would require a discrete log, which the
@@ -199,7 +265,7 @@ class ElGamal {
     // check; the protocol never extracts structure from such a value.
     Exponent neg_x = F::kModulus;
     neg_x.SubInPlace(sk.x);
-    return ct.c2 * ct.c1.Pow(neg_x);
+    return ct.c2 * ifma52::PowAuto(ct.c1, neg_x);
   }
 
   // g^m for a field element m (used by the verifier's consistency check);
@@ -229,8 +295,12 @@ class ElGamal {
   }
 
   // The pre-multiexp commitment loop: one independent Pow-and-multiply per
-  // nonzero weight. Kept as the differential-testing and benchmarking
-  // reference for InnerProduct (tests/multiexp_test.cc, bench_multiexp).
+  // nonzero weight. This is the differential-testing AND benchmarking
+  // yardstick for InnerProduct, so it is pinned to the frozen bit-at-a-time
+  // PowNaive / generic-Montgomery path — NOT Ciphertext::Pow, which now
+  // routes through the windowed and vectorized kernels. Pinning keeps the
+  // bench_multiexp speedup series comparable across revisions; do not
+  // "optimize" this function.
   static Ciphertext InnerProductNaive(const Ciphertext* cts, const F* u,
                                       size_t n) {
     Ciphertext acc{Zp::One(), Zp::One()};
@@ -238,7 +308,9 @@ class ElGamal {
       if (u[i].IsZero()) {
         continue;
       }
-      acc = acc * cts[i].Pow(u[i]);
+      typename F::Repr e = u[i].ToCanonical();
+      acc.c1 = acc.c1 * cts[i].c1.PowNaive(e);
+      acc.c2 = acc.c2 * cts[i].c2.PowNaive(e);
     }
     return acc;
   }

@@ -12,15 +12,20 @@
 //     T[j][d] = base^(d << j*w); then base^e is one table lookup and multiply
 //     per w-bit digit of e — no squarings, ~|e|/w multiplications.
 //
-//   - MultiExp: Pippenger's bucket method. Exponents are cut into c-bit
-//     digits; per digit position, bases with equal digit value share one
-//     bucket accumulation, and the buckets are folded with a running-product
-//     scan. Total cost ~ ceil(|e|/c) * (n + 2^c) multiplications + |e|
-//     squarings, versus ~1.5 * |e| * n naive.
+//   - MultiExp: Pippenger's bucket method with signed digits. Exponents are
+//     recoded into c-bit digits in [-2^(c-1), 2^(c-1)); negative digits index
+//     the same buckets through batch-inverted bases, halving the bucket count
+//     (and the fold cost) relative to unsigned windows. Total cost
+//     ~ ceil(|e|/c) * (n + 2^(c-1)) multiplications + |e| squarings + one
+//     batch inversion (3n muls + one Fermat), versus ~1.5 * |e| * n naive.
 //
-// Both are exact group arithmetic: results are bit-identical to the naive
-// path (multiplication mod p is associative/commutative), which the
-// differential tests in tests/multiexp_test.cc rely on.
+// Both layers run their long multiplication chains through the radix-2^52
+// AVX-512 IFMA kernel when the CPU supports it (src/field/ifma52.h), packing
+// operands into the vector domain once per call and unpacking once at the
+// end. All paths are exact group arithmetic: results are bit-identical to
+// the naive reference (multiplication mod p is associative/commutative and
+// canonical Montgomery form is unique), which the differential tests in
+// tests/multiexp_test.cc rely on.
 
 #ifndef SRC_CRYPTO_MULTIEXP_H_
 #define SRC_CRYPTO_MULTIEXP_H_
@@ -30,6 +35,7 @@
 #include <vector>
 
 #include "src/field/bigint.h"
+#include "src/field/ifma52.h"
 #include "src/obs/metrics.h"
 #include "src/util/parallel_for.h"
 
@@ -53,21 +59,270 @@ inline uint64_t ExtractBits(const BigInt<M>& e, size_t pos, size_t width) {
   return bits & ((uint64_t{1} << width) - 1);
 }
 
+// Signed-digit recode: e = sum_j out[j] * 2^(c*j) with out[j] in
+// [-2^(c-1), 2^(c-1)). `windows` must be ceil(bits/c) + 1; the final slot
+// absorbs the top carry (0 or 1).
+template <size_t M>
+inline void SignedDigits(const BigInt<M>& e, size_t c, size_t windows,
+                         int32_t* out) {
+  const uint64_t full = uint64_t{1} << c;
+  const uint64_t half = uint64_t{1} << (c - 1);
+  uint64_t carry = 0;
+  for (size_t j = 0; j + 1 < windows; j++) {
+    uint64_t raw = ExtractBits(e, j * c, c) + carry;
+    if (raw >= half) {  // raw can reach 2^c when the carry lands on all-ones
+      out[j] = static_cast<int32_t>(static_cast<int64_t>(raw) -
+                                    static_cast<int64_t>(full));
+      carry = 1;
+    } else {
+      out[j] = static_cast<int32_t>(raw);
+      carry = 0;
+    }
+  }
+  out[windows - 1] = static_cast<int32_t>(carry);
+}
+
+// Element-operation bundles the bucket kernel is templated over: the scalar
+// form multiplies group elements directly, the packed form runs the IFMA
+// radix-52 kernel with one import/export per element at the boundary.
+// MulInto2 is the pairing hook: two *independent* multiplies issued together
+// so the packed form can interleave them through one latency-bound loop
+// (ifma52::Engine::Mul2 runs a pair in ~1.3x the time of one).
+template <typename G>
+struct ScalarOps {
+  using E = G;
+  static E Import(const G& g) { return g; }
+  static G Export(const E& e) { return e; }
+  static void MulInto(E* a, const E& b) { *a = *a * b; }
+  static void MulInto2(E* a, const E& b, E* x, const E& y) {
+    *a = *a * b;
+    *x = *x * y;
+  }
+
+  // Inverses of the imported bases, Montgomery-trick batched. The scalar
+  // form is just the library BatchInvert (zeros stay zero, matching it).
+  static void ImportInverses(const G* bases, const std::vector<E>& /*pb*/,
+                             size_t n, std::vector<E>* out) {
+    std::vector<G> inv(bases, bases + n);
+    BatchInvert(inv.data(), n);
+    out->assign(inv.begin(), inv.end());
+  }
+};
+
+template <typename G>
+struct PackedOps {
+  using E = ifma52::Packed;
+  static E Import(const G& g) { return ifma52::Engine<G>::Pack(g); }
+  static G Export(const E& e) { return ifma52::Engine<G>::Unpack(e); }
+  static void MulInto(E* a, const E& b) { ifma52::Engine<G>::Mul(*a, b, a); }
+  static void MulInto2(E* a, const E& b, E* x, const E& y) {
+    ifma52::Engine<G>::Mul2(*a, b, a, *x, y, x);
+  }
+
+  // The Montgomery trick without leaving the packed domain: prefix products
+  // of the already-imported bases, one Fermat walk for the running total,
+  // then a paired backward sweep (out[i] = t * prefix[i-1] and t *= pb[i]
+  // are independent given t, so each step is one Mul2). Only the single
+  // inversion crosses the scalar boundary. Zero bases (never produced by
+  // honest ciphertexts, but BatchInvert tolerates them) are skipped the same
+  // way: their slot keeps a zero and the chain walks past them.
+  static void ImportInverses(const G* bases, const std::vector<E>& pb,
+                             size_t n, std::vector<E>* out) {
+    using Eng = ifma52::Engine<G>;
+    out->assign(n, E{});
+    std::vector<E> prefix(n);  // prefix[i] = prod_{k < i, nonzero} pb[k]
+    E acc = Import(G::One());
+    for (size_t i = 0; i < n; i++) {
+      prefix[i] = acc;
+      if (!bases[i].IsZero()) {
+        Eng::Mul(acc, pb[i], &acc);
+      }
+    }
+    E t = Import(ifma52::PowPacked(Export(acc), G::kFermatExponent));
+    for (size_t i = n; i-- > 0;) {
+      if (bases[i].IsZero()) {
+        continue;
+      }
+      // (*out)[i] = t * prefix[i] = pb[i]^-1;  t *= pb[i] drops base i from
+      // the running inverse. Both read the same t: one interleaved pair.
+      Eng::Mul2(t, prefix[i], &(*out)[i], t, pb[i], &t);
+    }
+  }
+};
+
+// The signed-digit bucket kernel. Buckets carry "filled" flags so the first
+// contribution is a copy, not a multiply by One — that alone saves one mul
+// per touched bucket per window, and lets the packed path avoid materializing
+// an identity element entirely.
+template <typename Ops, typename G, size_t M>
+G MultiExpSignedImpl(const G* bases, const BigInt<M>* exps, size_t n,
+                     size_t bits, size_t c) {
+  using E = typename Ops::E;
+  const size_t half = size_t{1} << (c - 1);
+  const size_t windows = (bits + c - 1) / c + 1;  // +1: top recode carry
+
+  std::vector<int32_t> digits(n * windows, 0);
+  bool any_negative = false;
+  for (size_t i = 0; i < n; i++) {
+    if (exps[i].IsZero()) {
+      continue;  // all-zero digit row: the term is skipped below
+    }
+    int32_t* row = &digits[i * windows];
+    SignedDigits(exps[i], c, windows, row);
+    if (!any_negative) {
+      for (size_t j = 0; j < windows; j++) {
+        if (row[j] < 0) {
+          any_negative = true;
+          break;
+        }
+      }
+    }
+  }
+
+  std::vector<E> pb(n);
+  for (size_t i = 0; i < n; i++) {
+    pb[i] = Ops::Import(bases[i]);
+  }
+  // Negative digits read batch-inverted bases: one Montgomery-trick pass
+  // (3n muls + a single Fermat inversion) for the whole call, run in the
+  // Ops domain so the packed path never round-trips through scalar limbs.
+  std::vector<E> pbinv;
+  if (any_negative) {
+    Ops::ImportInverses(bases, pb, n, &pbinv);
+  }
+
+  std::vector<E> buckets(half);
+  std::vector<uint8_t> filled(half, 0);
+  E acc{};
+  bool acc_started = false;
+  for (size_t j = windows; j-- > 0;) {
+    if (acc_started) {
+      for (size_t s = 0; s < c; s++) {
+        Ops::MulInto(&acc, acc);
+      }
+    }
+    // Bucket accumulation, issued in pairs: consecutive multiplies almost
+    // always hit different buckets, so holding one back and issuing two
+    // independent ones together feeds the interleaved kernel. Same-bucket
+    // collisions flush the older op first (order within a bucket preserved;
+    // across buckets the products commute, so any schedule yields the same
+    // group element).
+    bool touched = false;
+    size_t pend_idx = SIZE_MAX;
+    const E* pend_src = nullptr;
+    for (size_t i = 0; i < n; i++) {
+      int32_t d = digits[i * windows + j];
+      if (d == 0) {
+        continue;
+      }
+      size_t idx;
+      const E* src;
+      if (d > 0) {
+        idx = static_cast<size_t>(d) - 1;
+        src = &pb[i];
+      } else {
+        idx = static_cast<size_t>(-d) - 1;
+        src = &pbinv[i];
+      }
+      touched = true;
+      if (!filled[idx]) {
+        buckets[idx] = *src;
+        filled[idx] = 1;
+        continue;
+      }
+      if (pend_idx == SIZE_MAX) {
+        pend_idx = idx;
+        pend_src = src;
+      } else if (pend_idx == idx) {
+        Ops::MulInto(&buckets[pend_idx], *pend_src);
+        pend_src = src;
+      } else {
+        Ops::MulInto2(&buckets[pend_idx], *pend_src, &buckets[idx], *src);
+        pend_idx = SIZE_MAX;
+      }
+    }
+    if (pend_idx != SIZE_MAX) {
+      Ops::MulInto(&buckets[pend_idx], *pend_src);
+    }
+    if (!touched) {
+      continue;
+    }
+    // Fold buckets: sum_d (d+1) * B_d as a running suffix product. `running`
+    // walks prod_{d' >= d} B_{d'}; multiplying it into `wsum` once per level
+    // weights each bucket by its digit value. The two chains are software-
+    // pipelined one level apart: the wsum update owed at level d uses the
+    // running value of level d, which is exactly what is in hand when level
+    // d-1's running update is found — so the pair goes out as one Mul2.
+    E running{};
+    E wsum{};
+    bool run_started = false;
+    bool wsum_started = false;
+    bool owe_wsum = false;  // wsum *= running pending for the level above
+    auto issue_owed = [&]() {
+      if (wsum_started) {
+        Ops::MulInto(&wsum, running);
+      } else {
+        wsum = running;
+        wsum_started = true;
+      }
+    };
+    for (size_t d = half; d-- > 0;) {
+      if (filled[d]) {
+        filled[d] = 0;  // reset for the next window
+        if (!run_started) {
+          running = buckets[d];
+          run_started = true;
+        } else if (owe_wsum && wsum_started) {
+          // One paired issue: the owed wsum multiply reads the pre-update
+          // running; the running update is independent of it.
+          Ops::MulInto2(&wsum, running, &running, buckets[d]);
+          owe_wsum = false;
+        } else {
+          if (owe_wsum) {
+            issue_owed();  // first wsum op is a copy — nothing to pair
+            owe_wsum = false;
+          }
+          Ops::MulInto(&running, buckets[d]);
+        }
+      } else if (!run_started) {
+        continue;  // above the first filled bucket: no weight owed yet
+      }
+      if (owe_wsum) {
+        issue_owed();  // running unchanged at this level: settle sequentially
+      }
+      owe_wsum = true;
+    }
+    if (owe_wsum) {
+      issue_owed();
+    }
+    if (acc_started) {
+      Ops::MulInto(&acc, wsum);
+    } else {
+      acc = wsum;
+      acc_started = true;
+    }
+  }
+  return acc_started ? Ops::Export(acc) : G::One();
+}
+
 }  // namespace multiexp_internal
 
 // Picks the Pippenger window width minimizing the modeled multiplication
-// count ceil(bits/c) * (n + 2^c) for n terms of `bits`-bit exponents.
+// count under signed-digit recoding: ceil(bits/c) * (n + 2^(c-1)) bucket and
+// fold multiplies. The batch inversion the signed form needs costs ~3n plus
+// one Fermat walk *independent of c*, so it shifts every candidate equally
+// and stays out of the scan.
 inline size_t PippengerWindowBits(size_t n, size_t bits) {
   if (n == 0 || bits == 0) {
     return 1;
   }
-  // c is capped at 16 (8 MB of buckets for a 1024-bit group) — beyond that
-  // the bucket array stops fitting in cache and the model stops holding.
+  // c is capped at 16 (2^15 buckets for a 1024-bit group) — beyond that the
+  // bucket array stops fitting in cache and the model stops holding.
   size_t best_c = 1;
   uint64_t best_cost = ~uint64_t{0};
   for (size_t c = 1; c <= 16; c++) {
     uint64_t windows = (bits + c - 1) / c;
-    uint64_t cost = windows * (n + (uint64_t{1} << c));
+    uint64_t cost = windows * (n + (uint64_t{1} << (c - 1)));
     if (cost < best_cost) {
       best_cost = cost;
       best_c = c;
@@ -79,6 +334,8 @@ inline size_t PippengerWindowBits(size_t n, size_t bits) {
 // Windowed fixed-base exponentiation table over group G (a PrimeField type
 // used multiplicatively). Precomputes base^(d << j*w) for every window j and
 // digit d, so Pow(e) is ceil(bits/w) multiplications and zero squarings.
+// When the IFMA kernel is available the entries are mirrored in packed form
+// at build time, so walks run vectorized end to end with a single unpack.
 //
 // Sized by `exp_bits`, the largest exponent bit-length the table covers
 // (the ElGamal subgroup order |q| for key material). Larger exponents fall
@@ -88,6 +345,9 @@ class FixedBaseTable {
  public:
   static constexpr size_t kWindowBits = 6;
   static constexpr size_t kDigits = (size_t{1} << kWindowBits) - 1;  // 1..63
+  // Window-count bound for stack-allocated digit arrays: covers exponents up
+  // to 384 bits, far above both subgroup orders (128/220 bits).
+  static constexpr size_t kMaxWindows = 64;
 
   FixedBaseTable() = default;
 
@@ -106,10 +366,96 @@ class FixedBaseTable {
         window_base = row[kDigits - 1] * window_base;  // base^(2^((j+1)*w))
       }
     }
+    if constexpr (G::kLimbs == 16) {
+      if (ifma52::Available()) {
+        packed_.resize(table_.size());
+        for (size_t i = 0; i < table_.size(); i++) {
+          packed_[i] = ifma52::Engine<G>::Pack(table_[i]);
+        }
+      }
+    }
   }
 
   const G& base() const { return base_; }
   size_t exp_bits() const { return exp_bits_; }
+  size_t windows() const { return table_.size() / kDigits; }
+
+  // Splits e into this table's w-bit digits. `digits` must hold windows()
+  // entries (<= kMaxWindows) and e must fit exp_bits().
+  template <size_t M>
+  void ExtractDigits(const BigInt<M>& e, uint64_t* digits) const {
+    size_t w = windows();
+    for (size_t j = 0; j < w; j++) {
+      digits[j] =
+          multiexp_internal::ExtractBits(e, j * kWindowBits, kWindowBits);
+    }
+  }
+
+  // base^e from pre-extracted digits — the walk EncryptRow shares digit
+  // extraction across. Bit-identical to base.Pow(e).
+  G PowDigits(const uint64_t* digits) const {
+    size_t w = windows();
+    if constexpr (G::kLimbs == 16) {
+      if (!packed_.empty()) {
+        ifma52::Packed acc{};
+        bool started = false;
+        for (size_t j = 0; j < w; j++) {
+          if (digits[j] == 0) {
+            continue;
+          }
+          const ifma52::Packed& t = packed_[j * kDigits + (digits[j] - 1)];
+          if (started) {
+            ifma52::Engine<G>::Mul(acc, t, &acc);
+          } else {
+            acc = t;
+            started = true;
+          }
+        }
+        return started ? ifma52::Engine<G>::Unpack(acc) : G::One();
+      }
+    }
+    G r = G::One();
+    for (size_t j = 0; j < w; j++) {
+      if (digits[j] != 0) {
+        r = r * table_[j * kDigits + (digits[j] - 1)];
+      }
+    }
+    return r;
+  }
+
+  // ta^{da} * tb^{db} in one interleaved dual-base walk (Straus/Shamir): a
+  // single accumulator takes both tables' hits per window, saving one
+  // boundary unpack and the final cross multiply relative to two walks.
+  static G PowDigitsProduct(const FixedBaseTable& ta, const uint64_t* da,
+                            const FixedBaseTable& tb, const uint64_t* db) {
+    const size_t wa = ta.windows();
+    const size_t wb = tb.windows();
+    const size_t w = wa > wb ? wa : wb;
+    if constexpr (G::kLimbs == 16) {
+      if (!ta.packed_.empty() && !tb.packed_.empty()) {
+        ifma52::Packed acc{};
+        bool started = false;
+        auto take = [&](const ifma52::Packed& t) {
+          if (started) {
+            ifma52::Engine<G>::Mul(acc, t, &acc);
+          } else {
+            acc = t;
+            started = true;
+          }
+        };
+        for (size_t j = 0; j < w; j++) {
+          if (j < wa && da[j] != 0) {
+            take(ta.packed_[j * kDigits + (da[j] - 1)]);
+          }
+          if (j < wb && db[j] != 0) {
+            take(tb.packed_[j * kDigits + (db[j] - 1)]);
+          }
+        }
+        return started ? ifma52::Engine<G>::Unpack(acc) : G::One();
+      }
+    }
+    return ta.PowDigits(da) * tb.PowDigits(db);
+  }
 
   // base^e, bit-identical to base.Pow(e).
   template <size_t M>
@@ -117,29 +463,30 @@ class FixedBaseTable {
     if (table_.empty() || e.BitLength() > exp_bits_) {
       return base_.Pow(e);  // exponent outside the precomputed range
     }
-    G r = G::One();
-    size_t windows = table_.size() / kDigits;
-    for (size_t j = 0; j < windows; j++) {
-      uint64_t d =
-          multiexp_internal::ExtractBits(e, j * kWindowBits, kWindowBits);
-      if (d != 0) {
-        r = r * table_[j * kDigits + (d - 1)];
-      }
-    }
-    return r;
+    uint64_t digits[kMaxWindows];
+    ExtractDigits(e, digits);
+    return PowDigits(digits);
   }
 
  private:
   G base_{};
   size_t exp_bits_ = 0;
   std::vector<G> table_;  // row j, entry d-1: base^(d << j*w)
+  std::vector<ifma52::Packed> packed_;  // same layout, radix-52 domain
 };
 
-// Pippenger bucket multi-exponentiation: prod_i bases[i]^{exps[i]} over
-// group G with BigInt<M> exponents. Zero exponents are skipped (matching the
-// naive path's skip, and the common all-zero degenerate query vectors).
+// Pippenger signed-digit bucket multi-exponentiation:
+// prod_i bases[i]^{exps[i]} over group G with BigInt<M> exponents. Zero
+// exponents are skipped (matching the naive path's skip, and the common
+// all-zero degenerate query vectors). When non-null, `window_bits` receives
+// the window width the kernel actually chose from (nonzero count, max
+// exponent bit-length) — 0 if the degenerate early-outs fired.
 template <typename G, size_t M>
-G MultiExpBigInt(const G* bases, const BigInt<M>* exps, size_t n) {
+G MultiExpBigInt(const G* bases, const BigInt<M>* exps, size_t n,
+                 size_t* window_bits = nullptr) {
+  if (window_bits != nullptr) {
+    *window_bits = 0;
+  }
   if (n == 0) {
     return G::One();
   }
@@ -158,46 +505,19 @@ G MultiExpBigInt(const G* bases, const BigInt<M>* exps, size_t n) {
     return G::One();
   }
   size_t c = PippengerWindowBits(nonzero, bits);
-  size_t windows = (bits + c - 1) / c;
-  std::vector<G> buckets(size_t{1} << c, G::One());
-
-  G acc = G::One();
-  for (size_t j = windows; j-- > 0;) {
-    if (j + 1 < windows) {
-      for (size_t s = 0; s < c; s++) {
-        acc = acc.Square();
-      }
-    }
-    bool touched = false;
-    for (size_t i = 0; i < n; i++) {
-      uint64_t d = multiexp_internal::ExtractBits(exps[i], j * c, c);
-      if (d != 0) {
-        buckets[d] = buckets[d] * bases[i];
-        touched = true;
-      }
-    }
-    if (!touched) {
-      continue;
-    }
-    // Fold buckets: sum_d d * B_d as a running suffix product. `running`
-    // walks prod_{d' >= d} B_{d'}; multiplying it into `window_sum` once per
-    // d weights each bucket by its digit value.
-    G running = G::One();
-    G window_sum = G::One();
-    bool running_nontrivial = false;
-    for (size_t d = buckets.size() - 1; d >= 1; d--) {
-      if (!buckets[d].IsOne()) {
-        running = running * buckets[d];
-        running_nontrivial = true;
-        buckets[d] = G::One();  // reset for the next window
-      }
-      if (running_nontrivial) {
-        window_sum = window_sum * running;
-      }
-    }
-    acc = acc * window_sum;
+  if (window_bits != nullptr) {
+    *window_bits = c;
   }
-  return acc;
+  if constexpr (G::kLimbs == 16) {
+    // The packed kernel pays ~2 boundary AMMs per base; only worth it once
+    // the bucket work dominates.
+    if (ifma52::Available() && nonzero * bits >= 256) {
+      return multiexp_internal::MultiExpSignedImpl<
+          multiexp_internal::PackedOps<G>, G, M>(bases, exps, n, bits, c);
+    }
+  }
+  return multiexp_internal::MultiExpSignedImpl<multiexp_internal::ScalarOps<G>,
+                                               G, M>(bases, exps, n, bits, c);
 }
 
 // Field-scalar front end: canonicalizes the scalars once, then runs the
@@ -208,26 +528,40 @@ template <typename G, typename F>
 G MultiExp(const G* bases, const F* scalars, size_t n, size_t workers = 1) {
   using Exp = typename F::Repr;
   // Metrics are recorded at the front end only: ParallelFor workers have no
-  // ambient metrics installed, so the kernel stays hook-free.
+  // ambient metrics installed, so the kernel reports its chosen window width
+  // through an out-param (per chunk on the parallel path) and the front end
+  // observes after the join. multiexp.window_bits therefore reflects what
+  // the kernel *actually* picked from (nonzero count, max bit-length), not a
+  // front-end re-derivation.
   obs::MetricAdd("multiexp.calls");
   obs::MetricObserve("multiexp.terms", n);
-  obs::MetricObserve("multiexp.window_bits",
-                     PippengerWindowBits(n, Exp::kBits));
   std::vector<Exp> exps(n);
   for (size_t i = 0; i < n; i++) {
     exps[i] = scalars[i].ToCanonical();
   }
   if (workers <= 1 || n < 2 * workers) {
-    return MultiExpBigInt(bases, exps.data(), n);
+    size_t chosen = 0;
+    G r = MultiExpBigInt(bases, exps.data(), n, &chosen);
+    if (chosen > 0) {
+      obs::MetricObserve("multiexp.window_bits", chosen);
+    }
+    return r;
   }
   size_t chunk = (n + workers - 1) / workers;
   size_t chunks = (n + chunk - 1) / chunk;
   std::vector<G> partial(chunks, G::One());
+  std::vector<size_t> chunk_window(chunks, 0);
   ParallelFor(chunks, workers, [&](size_t k) {
     size_t lo = k * chunk;
     size_t hi = lo + chunk < n ? lo + chunk : n;
-    partial[k] = MultiExpBigInt(bases + lo, exps.data() + lo, hi - lo);
+    partial[k] =
+        MultiExpBigInt(bases + lo, exps.data() + lo, hi - lo, &chunk_window[k]);
   });
+  for (size_t k = 0; k < chunks; k++) {
+    if (chunk_window[k] > 0) {
+      obs::MetricObserve("multiexp.window_bits", chunk_window[k]);
+    }
+  }
   G acc = G::One();
   for (const G& p : partial) {
     acc = acc * p;

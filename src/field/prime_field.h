@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "src/field/bigint.h"
@@ -30,6 +31,18 @@ constexpr uint64_t NegInvModWord(uint64_t p) {
     x *= 2 - p * x;  // doubles the number of correct low bits
   }
   return ~x + 1;  // -x
+}
+
+// Runtime CPU feature probe for the tuned wide-field kernels. The build uses
+// no -march flags, so mulx-emitting code paths carry function-level target
+// attributes and are entered only behind this check.
+inline bool HasBmi2() {
+#if defined(__x86_64__) && defined(__GNUC__)
+  static const bool kHas = __builtin_cpu_supports("bmi2");
+  return kHas;
+#else
+  return false;
+#endif
 }
 
 // 2^bits mod p by repeated doubling, starting from start < p.
@@ -80,7 +93,7 @@ class PrimeField {
   // Builds an element from a canonical (non-Montgomery) residue < p.
   static constexpr PrimeField FromCanonical(const Repr& x) {
     PrimeField r;
-    r.v_ = MontMul(x, kMontR2);
+    r.v_ = MontMulAuto(x, kMontR2);
     return r;
   }
 
@@ -116,7 +129,7 @@ class PrimeField {
 
   constexpr const Repr& Montgomery() const { return v_; }
 
-  constexpr Repr ToCanonical() const { return MontMul(v_, Repr::One()); }
+  constexpr Repr ToCanonical() const { return MontMulAuto(v_, Repr::One()); }
 
   constexpr uint64_t ToUint64() const { return ToCanonical().limbs[0]; }
 
@@ -136,7 +149,7 @@ class PrimeField {
     return FromMontgomery(v_.IsZero() ? v_ : kModulus.Sub(v_));
   }
   constexpr PrimeField operator*(const PrimeField& o) const {
-    return FromMontgomery(MontMul(v_, o.v_));
+    return FromMontgomery(MontMulAuto(v_, o.v_));
   }
   constexpr PrimeField& operator+=(const PrimeField& o) {
     v_ = AddMod(v_, o.v_, kModulus);
@@ -147,31 +160,90 @@ class PrimeField {
     return *this;
   }
   constexpr PrimeField& operator*=(const PrimeField& o) {
-    v_ = MontMul(v_, o.v_);
+    v_ = MontMulAuto(v_, o.v_);
     return *this;
   }
 
-  constexpr PrimeField Square() const { return *this * *this; }
+  constexpr PrimeField Square() const { return FromMontgomery(MontSqrAuto(v_)); }
 
   constexpr PrimeField Double() const {
     return FromMontgomery(DoubleMod(v_, kModulus));
   }
 
-  // x^e for an arbitrary-width exponent (square-and-multiply, MSB first).
+  // x^e for an arbitrary-width exponent: sliding-window exponentiation over
+  // precomputed odd powers x^1, x^3, ..., x^(2^w - 1). Squarings stay at
+  // ~|e|, but multiplies drop from ~|e|/2 (bit-at-a-time) to ~|e|/(w+1).
   template <size_t M>
   constexpr PrimeField Pow(const BigInt<M>& e) const {
-    PrimeField r = One();
     size_t top = e.BitLength();
-    for (size_t i = top; i-- > 0;) {
-      r = r.Square();
-      if (e.Bit(i)) {
-        r = r * *this;
+    if (top == 0) {
+      return One();
+    }
+    if (top <= 3) {  // tiny exponents: the table costs more than it saves
+      return PowNaive(e);
+    }
+    const size_t w = top > 512 ? 6 : top > 128 ? 5 : top > 24 ? 4 : 2;
+    // Odd powers: tbl[i] = x^(2i+1), 2^(w-1) entries (<= 32 for w = 6).
+    PrimeField tbl[32];
+    tbl[0] = *this;
+    const PrimeField sq = Square();
+    const size_t half = size_t{1} << (w - 1);
+    for (size_t i = 1; i < half; i++) {
+      tbl[i] = tbl[i - 1] * sq;
+    }
+    PrimeField r;
+    bool started = false;
+    size_t i = top;  // bits [0, i) of e remain to be consumed
+    while (i > 0) {
+      if (!e.Bit(i - 1)) {
+        if (started) {
+          r = r.Square();
+        }
+        i--;
+        continue;
       }
+      // Take a window [j, i) of at most w bits that starts and ends on a set
+      // bit, so its value is odd and indexes the table directly.
+      size_t j = i >= w ? i - w : 0;
+      while (!e.Bit(j)) {
+        j++;
+      }
+      uint64_t digit = 0;
+      for (size_t k = i; k-- > j;) {
+        digit = (digit << 1) | e.Bit(k);
+      }
+      if (started) {
+        for (size_t k = 0; k < i - j; k++) {
+          r = r.Square();
+        }
+        r = r * tbl[digit >> 1];
+      } else {
+        r = tbl[digit >> 1];
+        started = true;
+      }
+      i = j;
     }
     return r;
   }
 
   constexpr PrimeField Pow(uint64_t e) const { return Pow(BigInt<1>(e)); }
+
+  // The frozen pre-window reference: bit-at-a-time square-and-multiply over
+  // the generic CIOS MontMul only. This is the yardstick the cross-PR
+  // speedup trajectory (BENCH_multiexp.json "naive" rows) is measured
+  // against, and the oracle the differential tests compare every tuned
+  // exponentiation path to — do not optimize it.
+  template <size_t M>
+  constexpr PrimeField PowNaive(const BigInt<M>& e) const {
+    PrimeField r = One();
+    for (size_t i = e.BitLength(); i-- > 0;) {
+      r.v_ = MontMul(r.v_, r.v_);
+      if (e.Bit(i)) {
+        r.v_ = MontMul(r.v_, v_);
+      }
+    }
+    return r;
+  }
 
   // Multiplicative inverse via Fermat: x^(p-2). Inverse of zero is zero
   // (callers that care must check; this matches the convention used by the
@@ -226,6 +298,189 @@ class PrimeField {
     }
     return r;
   }
+
+  // Montgomery squaring: a·a·R^{-1} mod p. The off-diagonal partial products
+  // a_i·a_j (i < j) are computed once and shift-doubled instead of twice,
+  // then the diagonals are added and the double-width result is reduced SOS-
+  // style with a single deferred top carry (no data-dependent inner loops).
+  static constexpr Repr MontSqr(const Repr& a) {
+    constexpr size_t N = kLimbs;
+    uint64_t t[2 * N + 1] = {};
+    for (size_t i = 0; i < N; i++) {
+      uint64_t ai = a.limbs[i];
+      uint64_t carry = 0;
+      for (size_t j = i + 1; j < N; j++) {
+        __uint128_t cur =
+            static_cast<__uint128_t>(ai) * a.limbs[j] + t[i + j] + carry;
+        t[i + j] = static_cast<uint64_t>(cur);
+        carry = static_cast<uint64_t>(cur >> 64);
+      }
+      t[i + N] = carry;
+    }
+    uint64_t top = 0;
+    for (size_t k = 0; k < 2 * N; k++) {
+      uint64_t nt = t[k] >> 63;
+      t[k] = (t[k] << 1) | top;
+      top = nt;
+    }
+    uint64_t c = 0;
+    for (size_t i = 0; i < N; i++) {
+      __uint128_t cur =
+          static_cast<__uint128_t>(a.limbs[i]) * a.limbs[i] + t[2 * i] + c;
+      t[2 * i] = static_cast<uint64_t>(cur);
+      __uint128_t cur2 =
+          static_cast<__uint128_t>(t[2 * i + 1]) + static_cast<uint64_t>(cur >> 64);
+      t[2 * i + 1] = static_cast<uint64_t>(cur2);
+      c = static_cast<uint64_t>(cur2 >> 64);
+    }
+    // Montgomery reduction of the 2N-limb square; per-row carries into the
+    // upper half are deferred through `pend` so each row is one fixed pass.
+    uint64_t pend = 0;
+    for (size_t i = 0; i < N; i++) {
+      uint64_t m = t[i] * kN0Inv;
+      uint64_t cc = 0;
+      for (size_t j = 0; j < N; j++) {
+        __uint128_t cur =
+            static_cast<__uint128_t>(m) * kModulus.limbs[j] + t[i + j] + cc;
+        t[i + j] = static_cast<uint64_t>(cur);
+        cc = static_cast<uint64_t>(cur >> 64);
+      }
+      __uint128_t s = static_cast<__uint128_t>(t[i + N]) + cc + pend;
+      t[i + N] = static_cast<uint64_t>(s);
+      pend = static_cast<uint64_t>(s >> 64);
+    }
+    t[2 * N] += pend;
+    Repr r;
+    for (size_t i = 0; i < N; i++) {
+      r.limbs[i] = t[N + i];
+    }
+    if (t[2 * N] != 0 || r >= kModulus) {
+      r.SubInPlace(kModulus);
+    }
+    return r;
+  }
+
+  // Dispatching product/square: compile-time evaluation and narrow fields use
+  // the generic kernels inline; wide fields (the 1024-bit ElGamal groups)
+  // take the mulx-emitting tuned kernels when the CPU has BMI2. Results are
+  // bit-identical across all paths (tests/field_test.cc).
+  static constexpr Repr MontMulAuto(const Repr& a, const Repr& b) {
+    if constexpr (kLimbs >= 8) {
+      if (!std::is_constant_evaluated() && field_internal::HasBmi2()) {
+        return MontMulTuned(a, b);
+      }
+    }
+    return MontMul(a, b);
+  }
+
+  static constexpr Repr MontSqrAuto(const Repr& a) {
+    if constexpr (kLimbs >= 8) {
+      if (!std::is_constant_evaluated() && field_internal::HasBmi2()) {
+        return MontSqrTuned(a);
+      }
+    }
+    return MontSqr(a);
+  }
+
+#if defined(__x86_64__) && defined(__GNUC__)
+  // Fused CIOS: one pass per row with two interleaved carry chains (a_i·b and
+  // m·p). At default build flags this form loses to the plain CIOS, but with
+  // mulx codegen it is the fastest scalar multiply measured on this kernel
+  // shape — hence the target attribute + HasBmi2 dispatch.
+  __attribute__((target("bmi2"), optimize("O3"))) static Repr MontMulTuned(
+      const Repr& a, const Repr& b) {
+    constexpr size_t N = kLimbs;
+    uint64_t t[N + 1] = {};
+    for (size_t i = 0; i < N; i++) {
+      uint64_t ai = a.limbs[i];
+      __uint128_t x = static_cast<__uint128_t>(ai) * b.limbs[0] + t[0];
+      uint64_t m = static_cast<uint64_t>(x) * kN0Inv;
+      __uint128_t y = static_cast<__uint128_t>(m) * kModulus.limbs[0] +
+                      static_cast<uint64_t>(x);
+      uint64_t ca = static_cast<uint64_t>(x >> 64);
+      uint64_t cm = static_cast<uint64_t>(y >> 64);
+      for (size_t j = 1; j < N; j++) {
+        x = static_cast<__uint128_t>(ai) * b.limbs[j] + t[j] + ca;
+        ca = static_cast<uint64_t>(x >> 64);
+        y = static_cast<__uint128_t>(m) * kModulus.limbs[j] +
+            static_cast<uint64_t>(x) + cm;
+        cm = static_cast<uint64_t>(y >> 64);
+        t[j - 1] = static_cast<uint64_t>(y);
+      }
+      __uint128_t fin = static_cast<__uint128_t>(t[N]) + ca + cm;
+      t[N - 1] = static_cast<uint64_t>(fin);
+      t[N] = static_cast<uint64_t>(fin >> 64);
+    }
+    Repr r;
+    for (size_t i = 0; i < N; i++) {
+      r.limbs[i] = t[i];
+    }
+    if (t[N] != 0 || r >= kModulus) {
+      r.SubInPlace(kModulus);
+    }
+    return r;
+  }
+
+  // MontSqr body under mulx codegen.
+  __attribute__((target("bmi2"), optimize("O3"))) static Repr MontSqrTuned(
+      const Repr& a) {
+    constexpr size_t N = kLimbs;
+    uint64_t t[2 * N + 1] = {};
+    for (size_t i = 0; i < N; i++) {
+      uint64_t ai = a.limbs[i];
+      uint64_t carry = 0;
+      for (size_t j = i + 1; j < N; j++) {
+        __uint128_t cur =
+            static_cast<__uint128_t>(ai) * a.limbs[j] + t[i + j] + carry;
+        t[i + j] = static_cast<uint64_t>(cur);
+        carry = static_cast<uint64_t>(cur >> 64);
+      }
+      t[i + N] = carry;
+    }
+    uint64_t top = 0;
+    for (size_t k = 0; k < 2 * N; k++) {
+      uint64_t nt = t[k] >> 63;
+      t[k] = (t[k] << 1) | top;
+      top = nt;
+    }
+    uint64_t c = 0;
+    for (size_t i = 0; i < N; i++) {
+      __uint128_t cur =
+          static_cast<__uint128_t>(a.limbs[i]) * a.limbs[i] + t[2 * i] + c;
+      t[2 * i] = static_cast<uint64_t>(cur);
+      __uint128_t cur2 = static_cast<__uint128_t>(t[2 * i + 1]) +
+                         static_cast<uint64_t>(cur >> 64);
+      t[2 * i + 1] = static_cast<uint64_t>(cur2);
+      c = static_cast<uint64_t>(cur2 >> 64);
+    }
+    uint64_t pend = 0;
+    for (size_t i = 0; i < N; i++) {
+      uint64_t m = t[i] * kN0Inv;
+      uint64_t cc = 0;
+      for (size_t j = 0; j < N; j++) {
+        __uint128_t cur =
+            static_cast<__uint128_t>(m) * kModulus.limbs[j] + t[i + j] + cc;
+        t[i + j] = static_cast<uint64_t>(cur);
+        cc = static_cast<uint64_t>(cur >> 64);
+      }
+      __uint128_t s = static_cast<__uint128_t>(t[i + N]) + cc + pend;
+      t[i + N] = static_cast<uint64_t>(s);
+      pend = static_cast<uint64_t>(s >> 64);
+    }
+    t[2 * N] += pend;
+    Repr r;
+    for (size_t i = 0; i < N; i++) {
+      r.limbs[i] = t[N + i];
+    }
+    if (t[2 * N] != 0 || r >= kModulus) {
+      r.SubInPlace(kModulus);
+    }
+    return r;
+  }
+#else
+  static Repr MontMulTuned(const Repr& a, const Repr& b) { return MontMul(a, b); }
+  static Repr MontSqrTuned(const Repr& a) { return MontSqr(a); }
+#endif
 
  private:
   Repr v_{};  // Montgomery form

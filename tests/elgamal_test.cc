@@ -54,6 +54,113 @@ TYPED_TEST(ElGamalTest, EncryptionIsRandomized) {
             EG::DecryptToGroup(kp.sk, kp.pk, c2));
 }
 
+// A PRG stand-in for the r = 0 regression test: serves a scripted sequence
+// of field elements, mirroring Prg's NextNonzeroField retry semantics.
+template <typename F>
+struct ScriptedRng {
+  std::vector<F> values;
+  size_t next = 0;
+  template <typename FF>
+  FF NextField() {
+    return values.at(next++);
+  }
+  template <typename FF>
+  FF NextNonzeroField() {
+    FF r;
+    do {
+      r = NextField<FF>();
+    } while (r.IsZero());
+    return r;
+  }
+};
+
+// Regression: Encrypt must never use a zero nonce. r = 0 collapses the
+// ciphertext to (1, g^m) — the plaintext embedding in the clear, flagged to
+// any observer by the degenerate first component.
+TYPED_TEST(ElGamalTest, EncryptRejectsZeroNonce) {
+  using F = TypeParam;
+  using EG = ElGamal<F>;
+  Prg prg(58);
+  auto kp = EG::GenerateKeys(prg);
+  F m = prg.NextNonzeroField<F>();
+
+  // The leak shape itself, pinned via the deterministic core: a zero nonce
+  // yields c1 == 1 and c2 == g^m exactly.
+  auto leaked = EG::EncryptWithNonce(kp.pk, m, F::Zero());
+  EXPECT_TRUE(leaked.c1.IsOne());
+  EXPECT_EQ(leaked.c2, EG::GroupEmbed(kp.pk, m));
+
+  // A generator whose next raw draw IS zero: the old NextField-based path
+  // would have produced the leak above; the fixed path must skip to the
+  // following draw and produce a sound ciphertext.
+  F r1 = prg.NextNonzeroField<F>();
+  ScriptedRng<F> rng{{F::Zero(), r1}};
+  auto ct = EG::Encrypt(kp.pk, m, rng);
+  EXPECT_FALSE(ct.c1.IsOne());
+  auto expect = EG::EncryptWithNonce(kp.pk, m, r1);
+  EXPECT_EQ(ct.c1, expect.c1);
+  EXPECT_EQ(ct.c2, expect.c2);
+  EXPECT_EQ(rng.next, 2u);  // both draws consumed
+
+  // Seed sweep: no real stream should ever emit the degenerate c1.
+  for (uint64_t seed = 100; seed < 140; seed++) {
+    Prg sweep(seed);
+    auto swept = EG::Encrypt(kp.pk, m, sweep);
+    EXPECT_FALSE(swept.c1.IsOne()) << "seed " << seed;
+  }
+}
+
+// EncryptRow is an optimization, not a different scheme: for equal seeds it
+// must be bit-identical to encrypting the row one element at a time, with
+// and without worker threads, with and without precomputed key tables.
+TYPED_TEST(ElGamalTest, EncryptRowMatchesSequentialEncrypt) {
+  using F = TypeParam;
+  using EG = ElGamal<F>;
+  Prg prg(59);
+  auto kp = EG::GenerateKeys(prg);
+  const size_t n = 33;
+  auto msgs = prg.NextFieldVector<F>(n);
+  msgs[0] = F::Zero();  // m = 0 exercises the empty g^m walk
+  msgs[1] = F::One();
+
+  Prg seq_stream(4242);
+  std::vector<typename EG::Ciphertext> seq;
+  for (size_t i = 0; i < n; i++) {
+    seq.push_back(EG::Encrypt(kp.pk, msgs[i], seq_stream));
+  }
+
+  Prg row_stream(4242);
+  auto row = EG::EncryptRow(kp.pk, msgs.data(), n, row_stream);
+  ASSERT_EQ(row.size(), n);
+  for (size_t i = 0; i < n; i++) {
+    EXPECT_EQ(row[i].c1, seq[i].c1) << "row " << i;
+    EXPECT_EQ(row[i].c2, seq[i].c2) << "row " << i;
+  }
+
+  // Threaded chunking must not change the nonce schedule or the results.
+  Prg par_stream(4242);
+  auto par = EG::EncryptRow(kp.pk, msgs.data(), n, par_stream, 4);
+  for (size_t i = 0; i < n; i++) {
+    EXPECT_EQ(par[i].c1, seq[i].c1) << "row " << i;
+    EXPECT_EQ(par[i].c2, seq[i].c2) << "row " << i;
+  }
+
+  // Table-less keys take the fallback loop; same ciphertexts, same stream.
+  auto bare = kp.pk;
+  bare.g_table = nullptr;
+  bare.h_table = nullptr;
+  Prg bare_stream(4242);
+  auto plain = EG::EncryptRow(bare, msgs.data(), n, bare_stream);
+  for (size_t i = 0; i < n; i++) {
+    EXPECT_EQ(plain[i].c1, seq[i].c1) << "row " << i;
+    EXPECT_EQ(plain[i].c2, seq[i].c2) << "row " << i;
+  }
+
+  // Empty row: no draws, no elements.
+  Prg empty_stream(7);
+  EXPECT_TRUE(EG::EncryptRow(kp.pk, msgs.data(), 0, empty_stream).empty());
+}
+
 TYPED_TEST(ElGamalTest, HomomorphicAdditionAndScaling) {
   using F = TypeParam;
   using EG = ElGamal<F>;

@@ -104,6 +104,111 @@ TYPED_TEST(FieldTest, FromLimbsFoldsPowersOfTwo64) {
   EXPECT_EQ(F::FromLimbs(limbs, 3), expect);
 }
 
+// Reduces an arbitrary limb pattern below the modulus so it is a valid
+// Montgomery representative (the kernels' actual input domain): mask to the
+// modulus bit-length (keeping the low bits of the pattern intact), then at
+// most a couple of conditional subtracts finish the job.
+template <typename F>
+typename F::Repr ReduceBelowModulus(typename F::Repr r) {
+  for (size_t bit = F::kModulusBits; bit < F::kLimbs * 64; bit++) {
+    r.limbs[bit / 64] &= ~(uint64_t{1} << (bit % 64));
+  }
+  auto ge_modulus = [](const typename F::Repr& x) {
+    for (size_t i = F::kLimbs; i-- > 0;) {
+      if (x.limbs[i] != F::kModulus.limbs[i]) {
+        return x.limbs[i] > F::kModulus.limbs[i];
+      }
+    }
+    return true;  // equal counts as >=
+  };
+  while (ge_modulus(r)) {
+    r.SubInPlace(F::kModulus);
+  }
+  return r;
+}
+
+// The dedicated squaring kernel (and its tuned/dispatched variants) must be
+// bit-identical to the general product a*a — not just on random elements but
+// on the limb patterns that stress its carry paths: zero, one, p-1, a single
+// saturated limb, all-ones, and bit runs that straddle limb boundaries.
+TYPED_TEST(FieldTest, MontSqrMatchesMontMulOnAdversarialPatterns) {
+  using F = TypeParam;
+  using Repr = typename F::Repr;
+  std::vector<Repr> patterns;
+  patterns.push_back(Repr{});                    // zero
+  patterns.push_back(Repr(uint64_t{1}));         // one
+  Repr pm1 = F::kModulus;
+  pm1.SubInPlace(Repr(uint64_t{1}));
+  patterns.push_back(pm1);                       // p - 1
+  for (size_t limb = 0; limb < F::kLimbs; limb++) {
+    Repr single{};
+    single.limbs[limb] = ~uint64_t{0};           // one saturated limb
+    patterns.push_back(single);
+    Repr straddle{};
+    straddle.limbs[limb] = uint64_t{1} << 63;    // run across the boundary
+    if (limb + 1 < F::kLimbs) {
+      straddle.limbs[limb + 1] = 1;
+    }
+    patterns.push_back(straddle);
+  }
+  Repr ones;
+  for (size_t limb = 0; limb < F::kLimbs; limb++) {
+    ones.limbs[limb] = ~uint64_t{0};             // all ones
+  }
+  patterns.push_back(ones);
+  Prg prg(21);
+  for (int i = 0; i < 50; i++) {
+    patterns.push_back(prg.template NextField<F>().ToCanonical());
+  }
+  for (Repr r : patterns) {
+    r = ReduceBelowModulus<F>(r);
+    const Repr via_mul = F::MontMul(r, r);
+    EXPECT_EQ(F::MontSqr(r), via_mul);      // generic squaring kernel
+    EXPECT_EQ(F::MontSqrAuto(r), via_mul);  // runtime-dispatched kernel
+    EXPECT_EQ(F::MontMulAuto(r, r), via_mul);
+    const F x = F::FromMontgomery(r);
+    EXPECT_EQ(x.Square(), x * x);           // element-level dispatch
+  }
+}
+
+// The windowed Pow must be bit-identical to the frozen bit-at-a-time
+// PowNaive across random exponents and the shapes that stress the window
+// scanner: 0, 1, p-1, p, p-2, lone bits, and dense all-ones exponents.
+TYPED_TEST(FieldTest, WindowedPowMatchesPowNaive) {
+  using F = TypeParam;
+  using Repr = typename F::Repr;
+  Prg prg(22);
+  std::vector<Repr> exps;
+  exps.push_back(Repr{});                  // 0
+  exps.push_back(Repr(uint64_t{1}));       // 1
+  Repr pm1 = F::kModulus;
+  pm1.SubInPlace(Repr(uint64_t{1}));
+  exps.push_back(pm1);                     // p - 1
+  exps.push_back(F::kModulus);             // p (exponents need not be < p)
+  exps.push_back(F::kFermatExponent);      // p - 2 (the Inverse walk)
+  for (size_t bit = 0; bit < F::kLimbs * 64; bit += 13) {
+    Repr lone{};
+    lone.limbs[bit / 64] = uint64_t{1} << (bit % 64);
+    exps.push_back(lone);                  // single-bit exponents
+  }
+  Repr dense;
+  for (size_t limb = 0; limb < F::kLimbs; limb++) {
+    dense.limbs[limb] = ~uint64_t{0};
+  }
+  exps.push_back(dense);                   // maximally dense exponent
+  for (int i = 0; i < 10; i++) {
+    exps.push_back(prg.template NextField<F>().ToCanonical());
+  }
+  const F a = prg.template NextNonzeroField<F>();
+  const F b = prg.template NextField<F>();
+  for (const Repr& e : exps) {
+    EXPECT_EQ(a.Pow(e), a.PowNaive(e));
+    EXPECT_EQ(b.Pow(e), b.PowNaive(e));
+    EXPECT_EQ(F::Zero().Pow(e), F::Zero().PowNaive(e));
+    EXPECT_EQ(F::One().Pow(e), F::One().PowNaive(e));
+  }
+}
+
 TYPED_TEST(FieldTest, BatchInvertMatchesIndividualInverses) {
   using F = TypeParam;
   Prg prg(16);

@@ -192,6 +192,81 @@ TYPED_TEST(MultiExpTest, CiphertextPowShortCircuits) {
   EXPECT_EQ(p1.c1, ct.c1.Pow(F::One().ToCanonical()));
 }
 
+// The vectorized exponentiation (packed radix-52 kernel where available,
+// scalar windowed Pow elsewhere) must be bit-identical to the frozen
+// bit-at-a-time reference on the 1024-bit group, across the exponent shapes
+// that stress window scanning and the domain boundaries.
+TYPED_TEST(MultiExpTest, PackedPowMatchesPowNaive) {
+  using F = TypeParam;
+  using EG = ElGamal<F>;
+  using Zp = typename EG::Zp;
+  Prg prg(907);
+  auto widen = [](const typename F::Repr& small) {
+    typename Zp::Repr wide{};
+    for (size_t i = 0; i < small.limbs.size(); i++) {
+      wide.limbs[i] = small.limbs[i];
+    }
+    return wide;
+  };
+  std::vector<typename Zp::Repr> exps;
+  exps.push_back(typename Zp::Repr{});                    // 0
+  exps.push_back(typename Zp::Repr(uint64_t{1}));         // 1
+  exps.push_back(widen((-F::One()).ToCanonical()));       // q - 1
+  exps.push_back(Zp::kFermatExponent);                    // 1022-bit walk
+  for (size_t bit = 0; bit < 1024; bit += 97) {
+    typename Zp::Repr lone{};
+    lone.limbs[bit / 64] = uint64_t{1} << (bit % 64);
+    exps.push_back(lone);                                 // single-bit
+  }
+  typename Zp::Repr dense;
+  for (size_t limb = 0; limb < Zp::kLimbs; limb++) {
+    dense.limbs[limb] = ~uint64_t{0};
+  }
+  exps.push_back(dense);                                  // maximally dense
+  for (int i = 0; i < 5; i++) {
+    exps.push_back(widen(prg.template NextField<F>().ToCanonical()));
+  }
+  const Zp g = EG::Generator();
+  const Zp r = g * g * g;
+  for (const auto& e : exps) {
+    EXPECT_EQ(ifma52::PowAuto(g, e), g.PowNaive(e));
+    EXPECT_EQ(ifma52::PowAuto(r, e), r.PowNaive(e));
+  }
+}
+
+// Signed-digit recoding is exact: the digits reassemble to the exponent
+// (checked in the scalar field, where sum_j d_j 2^(c j) can be evaluated
+// directly), every digit fits [-2^(c-1), 2^(c-1)), and the extra top window
+// only ever holds the carry.
+TYPED_TEST(MultiExpTest, SignedDigitRecodeReassembles) {
+  using F = TypeParam;
+  Prg prg(908);
+  for (size_t c : {1u, 4u, 7u, 10u, 16u}) {
+    for (int trial = 0; trial < 8; trial++) {
+      F x = prg.template NextField<F>();
+      typename F::Repr e = x.ToCanonical();
+      const size_t windows = (F::kModulusBits + c - 1) / c + 1;
+      std::vector<int32_t> digits(windows);
+      multiexp_internal::SignedDigits(e, c, windows, digits.data());
+      const int64_t half = int64_t{1} << (c - 1);
+      F acc = F::Zero();
+      F scale = F::One();
+      const F radix = F::FromUint(uint64_t{1} << c);
+      for (size_t j = 0; j < windows; j++) {
+        if (j + 1 < windows) {  // main windows: [-2^(c-1), 2^(c-1))
+          EXPECT_GE(digits[j], -half);
+          EXPECT_LT(digits[j], half);
+        }
+        acc += F::FromInt(digits[j]) * scale;
+        scale *= radix;
+      }
+      EXPECT_EQ(acc, x);
+      EXPECT_GE(digits[windows - 1], 0);  // top window: carry only
+      EXPECT_LE(digits[windows - 1], 1);
+    }
+  }
+}
+
 TYPED_TEST(MultiExpTest, WindowChoiceIsSane) {
   EXPECT_GE(PippengerWindowBits(0, 0), 1u);
   EXPECT_GE(PippengerWindowBits(1, 128), 1u);

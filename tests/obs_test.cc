@@ -11,6 +11,9 @@
 #include <vector>
 
 #include "src/apps/harness.h"
+#include "src/crypto/elgamal.h"
+#include "src/crypto/multiexp.h"
+#include "src/crypto/prg.h"
 #include "src/obs/export.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -140,6 +143,52 @@ TEST(MetricsTest, CountersAndHistograms) {
 }
 
 #if ZAATAR_TRACE
+
+// multiexp.window_bits must record the window width the bucket kernel
+// actually chose — plumbed out of the kernel, not re-derived at the metrics
+// site — once per kernel invocation that did real work.
+TEST(MetricsTest, MultiExpWindowBitsReflectKernelChoice) {
+  using EG = ElGamal<F128>;
+  using Zp = EG::Zp;
+  Prg prg(77);
+  const Zp g = EG::Generator();
+  const size_t n = 30;
+  std::vector<Zp> bases(n);
+  Zp cur = g;
+  for (size_t i = 0; i < n; i++) {
+    bases[i] = cur;
+    cur *= g;
+  }
+  auto scalars = prg.NextFieldVector<F128>(n);
+
+  obs::Metrics m;
+  {
+    obs::ScopedThreadMetrics install(&m);
+    MultiExp(bases.data(), scalars.data(), n);       // serial: one kernel
+    MultiExp(bases.data(), scalars.data(), n, 3);    // parallel: 3 chunks
+    std::vector<F128> zeros(n, F128::Zero());
+    MultiExp(bases.data(), zeros.data(), n);         // degenerate: no kernel
+  }
+
+  EXPECT_EQ(m.CounterValue("multiexp.calls"), 3u);
+  EXPECT_EQ(m.HistogramValue("multiexp.terms").count, 3u);
+  auto wb = m.HistogramValue("multiexp.window_bits");
+  // One observation per kernel that ran: 1 serial + 3 parallel chunks; the
+  // all-zero call contributes none (its kernel never picks a window).
+  EXPECT_EQ(wb.count, 4u);
+  // Every recorded width is a real kernel choice in the model's range, and
+  // the parallel chunks (10 terms each) must not report the full-size call's
+  // width: expected widths are PippengerWindowBits of the actual shapes.
+  const uint64_t serial_c = PippengerWindowBits(n, F128::kModulusBits);
+  const uint64_t chunk_c = PippengerWindowBits(10, F128::kModulusBits);
+  EXPECT_EQ(wb.sum, serial_c + 3 * chunk_c);
+  for (size_t b = 0; b < 64; b++) {
+    if (wb.buckets[b] != 0) {
+      EXPECT_GE(b, obs::Metrics::BucketIndex(1));
+      EXPECT_LE(b, obs::Metrics::BucketIndex(16));
+    }
+  }
+}
 
 TEST(MetricsTest, FreeFunctionsAreNoOpsWithoutInstalledRegistry) {
   EXPECT_EQ(obs::ThreadMetrics(), nullptr);
