@@ -213,6 +213,22 @@ lint_gate() {
   "$build_dir/src/apps/zaatar-lint" --suite --dir examples/zlang --werror
 }
 
+equiv_gate() {
+  # Symbolic equivalence stage (DESIGN.md §14): every suite program and
+  # every example must reach a proof-grade verdict under --prove (any
+  # ZL021/ZL022 is an error; ZL023 warnings fail via --werror), the
+  # seeded-defect catch-rate is pinned by symbolic_equiv_test, and a short
+  # differential-fuzz sweep cross-checks the compiler end to end.
+  local build_dir="$1"
+  echo "==== [equiv] zaatar-lint --prove ===="
+  "$build_dir/src/apps/zaatar-lint" --suite --dir examples/zlang \
+    --prove --werror
+  echo "==== [equiv] seeded-defect catch rate ===="
+  watchdog "$build_dir/tests/symbolic_equiv_test"
+  echo "==== [equiv] differential fuzz (plain, 60 iters) ===="
+  ZAATAR_FUZZ_ITERS=60 watchdog "$build_dir/tests/equiv_fuzz_test"
+}
+
 clang_tidy_gate() {
   # clang-tidy over the checked-in sources via compile_commands.json. The
   # container image may not ship clang tooling; skip loudly rather than fail
@@ -241,6 +257,7 @@ clang_tidy_gate() {
 if [[ "$SKIP_PLAIN" -eq 0 && -z "$ONLY" ]]; then
   run_config plain build ""
   lint_gate build
+  equiv_gate build
   clang_tidy_gate build
   bench_smoke build
   trace_smoke build
@@ -251,6 +268,9 @@ fi
 if [[ -z "$ONLY" || "$ONLY" == "address" ]]; then
   ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=0}" \
     run_config asan build-asan address
+  echo "==== [equiv] differential fuzz (ASan, 200 iters) ===="
+  ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=0}" ZAATAR_FUZZ_ITERS=200 \
+    watchdog ./build-asan/tests/equiv_fuzz_test
 fi
 if [[ -z "$ONLY" || "$ONLY" == "undefined" ]]; then
   UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \

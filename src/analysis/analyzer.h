@@ -11,12 +11,14 @@
 #ifndef SRC_ANALYSIS_ANALYZER_H_
 #define SRC_ANALYSIS_ANALYZER_H_
 
+#include <string>
 #include <utility>
 
 #include "src/analysis/determinism.h"
 #include "src/analysis/finding.h"
 #include "src/analysis/pipeline_rules.h"
 #include "src/analysis/structure.h"
+#include "src/analysis/symbolic/equivalence.h"
 #include "src/compiler/compile.h"
 #include "src/constraints/ginger.h"
 #include "src/constraints/qap.h"
@@ -25,10 +27,12 @@
 namespace zaatar {
 
 struct AnalyzeOptions {
-  bool determinism = true;  // ZL001 / ZL002
-  bool structure = true;    // ZL003..ZL006, ZL010
-  bool qap_shape = true;    // ZL020 (program analysis only)
+  bool determinism = true;   // ZL001 / ZL002
+  bool structure = true;     // ZL003..ZL006, ZL010
+  bool qap_shape = true;     // ZL020 (program analysis only)
   bool qap_tau_probe = true;
+  bool equivalence = false;  // ZL021..ZL023 (source analysis only)
+  EquivOptions equiv;
 };
 
 template <typename F>
@@ -70,6 +74,27 @@ AnalysisReport AnalyzeProgram(const CompiledProgram<F>& program,
   if (options.qap_shape) {
     Qap<F> qap(program.zaatar.r1cs);
     CheckQapShape(qap, &report, options.qap_tau_probe);
+  }
+  return report;
+}
+
+// Analyzes a program from source: every compiled-layer rule, plus — when
+// options.equivalence is set — the symbolic equivalence checker, which needs
+// the source text to re-derive reference semantics independently of the
+// compiler. The equivalence verdict is returned through `equiv_out` (when
+// non-null) and rendered into ZL021/ZL022/ZL023 findings.
+template <typename F>
+AnalysisReport AnalyzeSource(const std::string& source,
+                             const AnalyzeOptions& options = {},
+                             EquivResult* equiv_out = nullptr) {
+  CompiledProgram<F> program = CompileZlang<F>(source);
+  AnalysisReport report = AnalyzeProgram(program, options);
+  if (options.equivalence) {
+    EquivResult r = ProveEquivalence<F>(source, options.equiv);
+    EmitEquivFindings(r, &report);
+    if (equiv_out != nullptr) {
+      *equiv_out = std::move(r);
+    }
   }
   return report;
 }

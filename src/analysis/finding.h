@@ -85,10 +85,29 @@ struct Finding {
   std::string rule_id;  // "ZL001" etc., see src/analysis/rules.h
   AnalysisLocation location;
   std::string message;
+  // Concrete separating input attached by the symbolic equivalence checker
+  // (ZL021/ZL022): one decimal signed integer per input slot, in slot order,
+  // replayable through EncodeSignedInt + the witness solver. Empty for rules
+  // that have no counterexample semantics.
+  std::vector<std::string> counterexample;
+  // Free-form witness annotation for ZL022 ("w7: 5 vs 6") or the divergence
+  // description for ZL021.
+  std::string counterexample_note;
 
   std::string Render() const {
-    return std::string(SeverityName(severity)) + " [" + rule_id + "] " +
-           location.ToString() + ": " + message;
+    std::string s = std::string(SeverityName(severity)) + " [" + rule_id +
+                    "] " + location.ToString() + ": " + message;
+    if (!counterexample.empty()) {
+      s += " [input =";
+      for (const auto& v : counterexample) {
+        s += " " + v;
+      }
+      s += "]";
+    }
+    if (!counterexample_note.empty()) {
+      s += " (" + counterexample_note + ")";
+    }
+    return s;
   }
 };
 

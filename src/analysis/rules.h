@@ -28,6 +28,10 @@ inline constexpr const char* kRuleUnsatisfiableConstraint = "ZL006";
 inline constexpr const char* kRuleIndexOutOfBounds = "ZL010";
 inline constexpr const char* kRuleTransformMismatch = "ZL012";
 inline constexpr const char* kRuleQapShape = "ZL020";
+// (e) symbolic equivalence (src/analysis/symbolic/, DESIGN.md §14)
+inline constexpr const char* kRuleEquivMismatch = "ZL021";
+inline constexpr const char* kRuleUnderconstrainedProven = "ZL022";
+inline constexpr const char* kRuleEquivUnknown = "ZL023";
 
 struct RuleInfo {
   const char* id;
@@ -58,6 +62,15 @@ inline constexpr RuleInfo kRuleCatalog[] = {
      "Ginger->Zaatar transform bookkeeping mismatch"},
     {"ZL020", Severity::kError,
      "QAP shape violation (divisor degree / row dimensions)"},
+    {"ZL021", Severity::kError,
+     "equivalence mismatch: a concrete input separates the source program "
+     "from the compiled constraint system"},
+    {"ZL022", Severity::kError,
+     "underconstrainedness proven: a second satisfying witness exists for "
+     "the same inputs (concrete witness pair attached)"},
+    {"ZL023", Severity::kWarning,
+     "equivalence unknown: the symbolic engine could neither prove "
+     "equivalence nor construct a separating input"},
 };
 
 inline constexpr size_t kRuleCatalogSize =

@@ -1,0 +1,285 @@
+// Second-witness search: given a constraint system, a nominal satisfying
+// assignment, and the set of variables the determinism fixpoint could not
+// prove determined, try to construct a *different* satisfying assignment for
+// the same inputs. Success turns a ZL001 suspicion ("not provably
+// determined") into ZL022 proof ("a second witness exists"): the pair of
+// witnesses is a replayable certificate that the constraint system accepts
+// more than the program computes.
+//
+// Strategy (DESIGN.md §14): pin one free variable to a handful of candidate
+// values away from its nominal value, then re-solve the rest of the system
+// by concrete single-unknown propagation (the concrete analogue of
+// sym_solver.h). When propagation stalls, the unknown occurring in the most
+// unresolved equations falls back to its nominal value. A full evaluation
+// pass at the end accepts the candidate only if every equation holds and
+// the assignment differs from the nominal one in a non-exempt variable.
+
+#ifndef SRC_ANALYSIS_SYMBOLIC_SECOND_WITNESS_H_
+#define SRC_ANALYSIS_SYMBOLIC_SECOND_WITNESS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/analysis/determinism.h"
+#include "src/constraints/linear_combination.h"
+
+namespace zaatar {
+
+template <typename F>
+struct SecondWitnessResult {
+  bool found = false;
+  std::vector<F> witness;     // the alternative satisfying assignment
+  uint32_t pinned_var = 0;    // the variable that was forced off-nominal
+  uint32_t source_line = 0;   // first attributed equation touching it
+  std::string note;           // e.g. "w7: 2 vs 3"
+};
+
+namespace symbolic_internal {
+
+template <typename F>
+bool EqInBounds(const QuadEq<F>& eq, size_t n) {
+  for (const auto& [v, c] : eq.linear.terms()) {
+    if (v >= n) {
+      return false;
+    }
+  }
+  for (const auto& q : eq.quad) {
+    if (q.a >= n || q.b >= n) {
+      return false;
+    }
+  }
+  return true;
+}
+
+template <typename F>
+F EvalQuadEq(const QuadEq<F>& eq, const std::vector<F>& w) {
+  F acc = eq.linear.Evaluate(w);
+  for (const auto& q : eq.quad) {
+    acc += q.coeff * w[q.a] * w[q.b];
+  }
+  return acc;
+}
+
+template <typename F>
+bool AllEqsHold(const std::vector<QuadEq<F>>& eqs, const std::vector<F>& w) {
+  for (const auto& eq : eqs) {
+    if (eq.opaque || !EqInBounds(eq, w.size())) {
+      return false;  // cannot certify what we cannot evaluate
+    }
+    if (!EvalQuadEq(eq, w).IsZero()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Re-solves the system with inputs and the pinned variable fixed. Returns
+// the completed assignment, or nullopt on contradiction. `stall_to_zero`
+// selects the fallback used when propagation stalls: the nominal value
+// (stays close to the known witness) or zero (escapes the nominal basin —
+// needed when the second witness flips a subset of boolean variables, e.g.
+// colliding subset sums in a repeated-weight decomposition).
+template <typename F>
+std::optional<std::vector<F>> Repropagate(const std::vector<QuadEq<F>>& eqs,
+                                          const VariableLayout& layout,
+                                          const std::vector<F>& nominal,
+                                          uint32_t pinned, const F& value,
+                                          bool stall_to_zero = false) {
+  const size_t n = layout.Total();
+  std::vector<F> w(n, F::Zero());
+  std::vector<bool> done(n, false);
+  for (size_t i = 0; i < layout.num_inputs; i++) {
+    size_t v = layout.FirstInput() + i;
+    w[v] = nominal[v];
+    done[v] = true;
+  }
+  w[pinned] = value;
+  done[pinned] = true;
+
+  std::vector<bool> eq_done(eqs.size(), false);
+  for (;;) {
+    bool progress = false;
+    for (size_t j = 0; j < eqs.size(); j++) {
+      if (eq_done[j] || eqs[j].opaque) {
+        continue;
+      }
+      const QuadEq<F>& eq = eqs[j];
+      long unknown = -1;
+      bool solvable = true;
+      auto consider = [&](uint32_t v) {
+        if (done[v]) {
+          return;
+        }
+        if (unknown == -1) {
+          unknown = v;
+        } else if (static_cast<uint32_t>(unknown) != v) {
+          solvable = false;
+        }
+      };
+      for (const auto& [v, c] : eq.linear.terms()) {
+        consider(v);
+      }
+      for (const auto& q : eq.quad) {
+        consider(q.a);
+        consider(q.b);
+        if (!done[q.a] && !done[q.b]) {
+          solvable = false;
+        }
+      }
+      if (unknown == -1) {
+        eq_done[j] = true;
+        if (!EvalQuadEq(eq, w).IsZero()) {
+          return std::nullopt;  // contradiction: the pin is infeasible here
+        }
+        progress = true;
+        continue;
+      }
+      if (!solvable) {
+        continue;
+      }
+      uint32_t u = static_cast<uint32_t>(unknown);
+      F coeff = F::Zero();
+      F residual = eq.linear.constant();
+      for (const auto& [v, c] : eq.linear.terms()) {
+        if (v == u) {
+          coeff += c;
+        } else {
+          residual += c * w[v];
+        }
+      }
+      for (const auto& q : eq.quad) {
+        if (q.a == u || q.b == u) {
+          coeff += q.coeff * w[q.a == u ? q.b : q.a];
+        } else {
+          residual += q.coeff * w[q.a] * w[q.b];
+        }
+      }
+      if (coeff.IsZero()) {
+        // 0·u + B = 0: u is unconstrained by this equation; the equation
+        // itself must still hold.
+        eq_done[j] = true;
+        if (!residual.IsZero()) {
+          return std::nullopt;
+        }
+        progress = true;
+        continue;
+      }
+      w[u] = residual * (-coeff.Inverse());
+      done[u] = true;
+      eq_done[j] = true;
+      progress = true;
+    }
+    if (progress) {
+      continue;
+    }
+    // Stalled: pick the unresolved variable occurring in the most pending
+    // equations and fall back to its nominal value.
+    std::vector<uint32_t> pending_count(n, 0);
+    for (size_t j = 0; j < eqs.size(); j++) {
+      if (eq_done[j] || eqs[j].opaque) {
+        continue;
+      }
+      for (const auto& [v, c] : eqs[j].linear.terms()) {
+        pending_count[v] += done[v] ? 0 : 1;
+      }
+      for (const auto& q : eqs[j].quad) {
+        pending_count[q.a] += done[q.a] ? 0 : 1;
+        pending_count[q.b] += done[q.b] ? 0 : 1;
+      }
+    }
+    long best = -1;
+    for (size_t v = 0; v < n; v++) {
+      if (!done[v] && (best == -1 || pending_count[v] >
+                                         pending_count[static_cast<size_t>(
+                                             best)])) {
+        best = static_cast<long>(v);
+      }
+    }
+    if (best == -1) {
+      break;  // everything resolved
+    }
+    w[static_cast<size_t>(best)] =
+        stall_to_zero ? F::Zero() : nominal[static_cast<size_t>(best)];
+    done[static_cast<size_t>(best)] = true;
+  }
+  return w;
+}
+
+}  // namespace symbolic_internal
+
+// free_vars: variables not proven determined and not exempt; exempt:
+// per-variable exemption flags (a witness pair differing only in exempt
+// variables proves nothing).
+template <typename F>
+SecondWitnessResult<F> FindSecondWitness(
+    const std::vector<QuadEq<F>>& eqs, const VariableLayout& layout,
+    const std::vector<F>& nominal, const std::vector<uint32_t>& free_vars,
+    const std::vector<bool>& exempt) {
+  namespace si = symbolic_internal;
+  SecondWitnessResult<F> result;
+  for (const auto& eq : eqs) {
+    if (eq.opaque || !si::EqInBounds(eq, layout.Total())) {
+      return result;  // cannot certify a witness we cannot evaluate
+    }
+  }
+  for (uint32_t v : free_vars) {
+    F nom = nominal[v];
+    const F candidates[] = {nom + F::One(), nom - F::One(), -nom,
+                            F::FromInt(2), F::Zero()};
+    for (const F& cand : candidates) {
+      if (cand == nom) {
+        continue;
+      }
+      std::optional<std::vector<F>> w;
+      for (bool stall_to_zero : {false, true}) {
+        w = si::Repropagate(eqs, layout, nominal, v, cand, stall_to_zero);
+        if (w.has_value() && si::AllEqsHold(eqs, *w)) {
+          break;
+        }
+        w.reset();
+      }
+      if (!w.has_value()) {
+        continue;
+      }
+      // Must differ from the nominal witness in some non-exempt variable.
+      bool differs = false;
+      for (size_t i = 0; i < w->size(); i++) {
+        if (!((*w)[i] == nominal[i]) &&
+            (i >= exempt.size() || !exempt[i])) {
+          differs = true;
+          break;
+        }
+      }
+      if (!differs) {
+        continue;
+      }
+      result.found = true;
+      result.witness = std::move(*w);
+      result.pinned_var = v;
+      for (const auto& eq : eqs) {
+        if (eq.source_line == 0) {
+          continue;
+        }
+        bool touches = false;
+        for (const auto& [tv, c] : eq.linear.terms()) {
+          touches |= tv == v;
+        }
+        for (const auto& q : eq.quad) {
+          touches |= q.a == v || q.b == v;
+        }
+        if (touches) {
+          result.source_line = eq.source_line;
+          break;
+        }
+      }
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace zaatar
+
+#endif  // SRC_ANALYSIS_SYMBOLIC_SECOND_WITNESS_H_

@@ -1,0 +1,241 @@
+// Sparse multivariate polynomials over the prime field, the normal form both
+// halves of the equivalence checker reduce to (DESIGN.md §14).
+//
+// Symbols are input-slot indices (symbol i = the i-th input field element).
+// A polynomial is a map from monomials (sorted (symbol, exponent) lists) to
+// nonzero coefficients. Term count and degree are capped: a polynomial that
+// outgrows the caps is marked invalid, which downgrades the decider from
+// exact algebraic comparison to randomized identity testing — never to a
+// wrong answer.
+
+#ifndef SRC_ANALYSIS_SYMBOLIC_SYM_POLY_H_
+#define SRC_ANALYSIS_SYMBOLIC_SYM_POLY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace zaatar {
+
+// A monomial: strictly increasing symbol ids with positive exponents.
+using SymMono = std::vector<std::pair<uint32_t, uint32_t>>;
+
+template <typename F>
+class SymPoly {
+ public:
+  static constexpr size_t kMaxTerms = 2048;
+  static constexpr size_t kMaxDegree = 64;
+
+  SymPoly() = default;
+
+  static SymPoly Constant(const F& c) {
+    SymPoly p;
+    if (!c.IsZero()) {
+      p.terms_.emplace(SymMono{}, c);
+    }
+    return p;
+  }
+
+  static SymPoly Symbol(uint32_t id) {
+    SymPoly p;
+    p.terms_.emplace(SymMono{{id, 1}}, F::One());
+    return p;
+  }
+
+  // An invalid polynomial still carries a degree bound: cap overflow must
+  // not lose the bound the Schwartz–Zippel error estimate depends on.
+  static SymPoly Invalid(size_t deg_bound = 0) {
+    SymPoly p;
+    p.valid_ = false;
+    p.deg_bound_ = deg_bound;
+    return p;
+  }
+
+  bool valid() const { return valid_; }
+  bool IsZero() const { return valid_ && terms_.empty(); }
+  bool IsConstant() const {
+    return valid_ && (terms_.empty() ||
+                      (terms_.size() == 1 && terms_.begin()->first.empty()));
+  }
+  F ConstantValue() const {
+    return terms_.empty() ? F::Zero() : terms_.begin()->second;
+  }
+  size_t TermCount() const { return terms_.size(); }
+  const std::map<SymMono, F>& terms() const { return terms_; }
+
+  size_t TotalDegree() const {
+    size_t d = 0;
+    for (const auto& [m, c] : terms_) {
+      size_t md = 0;
+      for (const auto& [s, e] : m) {
+        md += e;
+      }
+      d = d < md ? md : d;
+    }
+    return d;
+  }
+
+  // Valid: the exact total degree. Invalid: the bound accumulated through
+  // the operations that overflowed the caps.
+  size_t DegreeBound() const { return valid_ ? TotalDegree() : deg_bound_; }
+
+  bool operator==(const SymPoly& o) const {
+    if (!valid_ || !o.valid_) {
+      return false;
+    }
+    if (terms_.size() != o.terms_.size()) {
+      return false;
+    }
+    auto it = terms_.begin();
+    auto jt = o.terms_.begin();
+    for (; it != terms_.end(); ++it, ++jt) {
+      if (it->first != jt->first || !(it->second == jt->second)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  SymPoly operator+(const SymPoly& o) const {
+    size_t sum_bound =
+        DegreeBound() > o.DegreeBound() ? DegreeBound() : o.DegreeBound();
+    if (!valid_ || !o.valid_) {
+      return Invalid(sum_bound);
+    }
+    SymPoly r = *this;
+    for (const auto& [m, c] : o.terms_) {
+      r.AddTerm(m, c);
+    }
+    if (r.terms_.size() > kMaxTerms) {
+      return Invalid(sum_bound);
+    }
+    return r;
+  }
+
+  SymPoly operator-(const SymPoly& o) const { return *this + o * (-F::One()); }
+
+  SymPoly operator*(const F& k) const {
+    if (!valid_) {
+      return Invalid(deg_bound_);
+    }
+    if (k.IsZero()) {
+      return SymPoly();
+    }
+    SymPoly r;
+    for (const auto& [m, c] : terms_) {
+      r.terms_.emplace(m, c * k);
+    }
+    return r;
+  }
+
+  SymPoly operator*(const SymPoly& o) const {
+    size_t prod_bound = DegreeBound() + o.DegreeBound();
+    if (!valid_ || !o.valid_) {
+      return Invalid(prod_bound);
+    }
+    if (terms_.size() * o.terms_.size() > 4 * kMaxTerms) {
+      return Invalid(prod_bound);
+    }
+    SymPoly r;
+    for (const auto& [ma, ca] : terms_) {
+      for (const auto& [mb, cb] : o.terms_) {
+        SymMono m = MergeMono(ma, mb);
+        size_t d = 0;
+        for (const auto& [s, e] : m) {
+          d += e;
+        }
+        if (d > kMaxDegree) {
+          return Invalid(prod_bound);
+        }
+        r.AddTerm(m, ca * cb);
+      }
+    }
+    if (r.terms_.size() > kMaxTerms) {
+      return Invalid(prod_bound);
+    }
+    return r;
+  }
+
+  // Evaluates at a point: point[i] is the value of symbol i.
+  F Evaluate(const std::vector<F>& point) const {
+    F acc = F::Zero();
+    for (const auto& [m, c] : terms_) {
+      F t = c;
+      for (const auto& [s, e] : m) {
+        F base = s < point.size() ? point[s] : F::Zero();
+        for (uint32_t i = 0; i < e; i++) {
+          t = t * base;
+        }
+      }
+      acc = acc + t;
+    }
+    return acc;
+  }
+
+  std::string ToString() const {
+    if (!valid_) {
+      return "<invalid>";
+    }
+    if (terms_.empty()) {
+      return "0";
+    }
+    std::string s;
+    for (const auto& [m, c] : terms_) {
+      if (!s.empty()) {
+        s += " + ";
+      }
+      s += c.ToHexString();
+      for (const auto& [sym, e] : m) {
+        s += "*x" + std::to_string(sym);
+        if (e > 1) {
+          s += "^" + std::to_string(e);
+        }
+      }
+    }
+    return s;
+  }
+
+ private:
+  void AddTerm(const SymMono& m, const F& c) {
+    auto it = terms_.find(m);
+    if (it == terms_.end()) {
+      if (!c.IsZero()) {
+        terms_.emplace(m, c);
+      }
+      return;
+    }
+    it->second += c;
+    if (it->second.IsZero()) {
+      terms_.erase(it);
+    }
+  }
+
+  static SymMono MergeMono(const SymMono& a, const SymMono& b) {
+    SymMono m;
+    m.reserve(a.size() + b.size());
+    size_t i = 0, j = 0;
+    while (i < a.size() || j < b.size()) {
+      if (j >= b.size() || (i < a.size() && a[i].first < b[j].first)) {
+        m.push_back(a[i++]);
+      } else if (i >= a.size() || b[j].first < a[i].first) {
+        m.push_back(b[j++]);
+      } else {
+        m.emplace_back(a[i].first, a[i].second + b[j].second);
+        i++;
+        j++;
+      }
+    }
+    return m;
+  }
+
+  std::map<SymMono, F> terms_;
+  bool valid_ = true;
+  size_t deg_bound_ = 0;  // meaningful only when !valid_
+};
+
+}  // namespace zaatar
+
+#endif  // SRC_ANALYSIS_SYMBOLIC_SYM_POLY_H_

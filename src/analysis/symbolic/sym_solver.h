@@ -1,0 +1,220 @@
+// Constraint-side symbolic reduction: runs the same single-unknown
+// propagation fixpoint as the determinism analyzer (DESIGN.md §10), but over
+// SymPoly terms instead of a bit of "determined" state. Starting from
+// input variables bound to fresh symbols, each equation that is linear in
+// its one remaining unknown — with a *constant* coefficient — solves that
+// unknown to a polynomial in the inputs. The result is a symbolic
+// input→output map for the constraint system itself, directly comparable to
+// the program-side normal form from sym_eval.h.
+//
+// Variables behind non-polynomial gadgets (bit decompositions, floor
+// division, inverses) never acquire a polynomial and stay unknown; an
+// equation that solves its unknown through an Invalid() operand propagates
+// Invalid, so overflow degrades to sampling rather than a wrong verdict.
+//
+// Residual equations — fully resolved but not identically zero — restrict
+// the accepted input domain (e.g. booleanity of a boolean input). Their
+// presence caps an algebraic-equality verdict at "over the accepted domain".
+
+#ifndef SRC_ANALYSIS_SYMBOLIC_SYM_SOLVER_H_
+#define SRC_ANALYSIS_SYMBOLIC_SYM_SOLVER_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/analysis/determinism.h"
+#include "src/analysis/symbolic/sym_poly.h"
+#include "src/constraints/linear_combination.h"
+
+namespace zaatar {
+
+template <typename F>
+struct SymSolveResult {
+  // polys[v] is set once variable v was solved to a polynomial in the
+  // inputs (possibly Invalid() when term/degree caps overflowed en route).
+  std::vector<std::optional<SymPoly<F>>> polys;
+  // One entry per output variable, in layout order; Invalid() if unsolved.
+  std::vector<SymPoly<F>> outputs;
+  bool residual_guards = false;  // some resolved equation isn't identically 0
+  bool has_opaque = false;       // some equation was too dense to expand
+
+  bool AllOutputsValid() const {
+    if (outputs.empty()) {
+      return false;
+    }
+    for (const auto& p : outputs) {
+      if (!p.valid()) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  size_t DegreeBound() const {
+    size_t d = 1;
+    for (const auto& p : outputs) {
+      if (p.valid() && p.TotalDegree() > d) {
+        d = p.TotalDegree();
+      }
+    }
+    return d;
+  }
+};
+
+template <typename F>
+SymSolveResult<F> SymSolve(const std::vector<QuadEq<F>>& eqs,
+                           const VariableLayout& layout) {
+  SymSolveResult<F> result;
+  const size_t n = layout.Total();
+  result.polys.assign(n, std::nullopt);
+  for (size_t i = 0; i < layout.num_inputs; i++) {
+    result.polys[layout.FirstInput() + i] =
+        SymPoly<F>::Symbol(static_cast<uint32_t>(i));
+  }
+
+  // var -> equations referencing it, for worklist re-activation.
+  std::vector<std::vector<uint32_t>> occurrences(n);
+  for (size_t j = 0; j < eqs.size(); j++) {
+    if (eqs[j].opaque) {
+      result.has_opaque = true;
+      continue;
+    }
+    for (const auto& [v, c] : eqs[j].linear.terms()) {
+      occurrences[v].push_back(static_cast<uint32_t>(j));
+    }
+    for (const auto& q : eqs[j].quad) {
+      occurrences[q.a].push_back(static_cast<uint32_t>(j));
+      occurrences[q.b].push_back(static_cast<uint32_t>(j));
+    }
+  }
+
+  std::vector<uint32_t> worklist;
+  std::vector<bool> queued(eqs.size(), false);
+  for (size_t j = 0; j < eqs.size(); j++) {
+    if (!eqs[j].opaque) {
+      worklist.push_back(static_cast<uint32_t>(j));
+      queued[j] = true;
+    }
+  }
+
+  auto known = [&](uint32_t v) { return result.polys[v].has_value(); };
+
+  while (!worklist.empty()) {
+    uint32_t j = worklist.back();
+    worklist.pop_back();
+    queued[j] = false;
+    const QuadEq<F>& eq = eqs[j];
+
+    // Find the single unknown, if any, and check the equation is linear in
+    // it with a constant coefficient:  A·u + B = 0.
+    long unknown = -1;
+    bool solvable = true;
+    auto consider = [&](uint32_t v) {
+      if (known(v)) {
+        return;
+      }
+      if (unknown == -1) {
+        unknown = v;
+      } else if (static_cast<uint32_t>(unknown) != v) {
+        solvable = false;
+      }
+    };
+    for (const auto& [v, c] : eq.linear.terms()) {
+      consider(v);
+    }
+    for (const auto& q : eq.quad) {
+      consider(q.a);
+      consider(q.b);
+      if (!known(q.a) && !known(q.b)) {
+        solvable = false;  // u·u or u·u': quadratic in the unknowns
+      }
+    }
+    if (!solvable || unknown == -1) {
+      continue;
+    }
+    uint32_t u = static_cast<uint32_t>(unknown);
+
+    F coeff = F::Zero();          // constant part of A
+    bool coeff_constant = true;   // A must be constant to invert
+    SymPoly<F> residual = SymPoly<F>::Constant(eq.linear.constant());
+    for (const auto& [v, c] : eq.linear.terms()) {
+      if (v == u) {
+        coeff += c;
+      } else {
+        residual = residual + *result.polys[v] * c;
+      }
+    }
+    for (const auto& q : eq.quad) {
+      if (q.a == u || q.b == u) {
+        // linear in u with a polynomial coefficient: only invertible when
+        // that coefficient is a constant polynomial.
+        uint32_t partner = q.a == u ? q.b : q.a;
+        const SymPoly<F>& p = *result.polys[partner];
+        if (p.valid() && p.IsConstant()) {
+          coeff += q.coeff * p.ConstantValue();
+        } else {
+          coeff_constant = false;
+        }
+      } else {
+        residual = residual + (*result.polys[q.a] * *result.polys[q.b]) *
+                                  q.coeff;
+      }
+    }
+    if (!coeff_constant || coeff.IsZero()) {
+      continue;
+    }
+    // u = -B / A
+    result.polys[u] = residual * (-coeff.Inverse());
+    for (uint32_t dep : occurrences[u]) {
+      if (!queued[dep]) {
+        worklist.push_back(dep);
+        queued[dep] = true;
+      }
+    }
+  }
+
+  // Residual check: equations whose variables all resolved to valid
+  // polynomials must vanish identically, or they restrict the domain.
+  for (size_t j = 0; j < eqs.size(); j++) {
+    const QuadEq<F>& eq = eqs[j];
+    if (eq.opaque) {
+      continue;
+    }
+    SymPoly<F> acc = SymPoly<F>::Constant(eq.linear.constant());
+    bool all_known = true;
+    for (const auto& [v, c] : eq.linear.terms()) {
+      if (!known(v) || !result.polys[v]->valid()) {
+        all_known = false;
+        break;
+      }
+      acc = acc + *result.polys[v] * c;
+    }
+    if (all_known) {
+      for (const auto& q : eq.quad) {
+        if (!known(q.a) || !known(q.b) || !result.polys[q.a]->valid() ||
+            !result.polys[q.b]->valid()) {
+          all_known = false;
+          break;
+        }
+        acc = acc + (*result.polys[q.a] * *result.polys[q.b]) * q.coeff;
+      }
+    }
+    if (all_known && acc.valid() && !acc.IsZero()) {
+      result.residual_guards = true;
+      break;
+    }
+  }
+
+  result.outputs.reserve(layout.num_outputs);
+  for (size_t i = 0; i < layout.num_outputs; i++) {
+    uint32_t v = static_cast<uint32_t>(layout.FirstOutput() + i);
+    result.outputs.push_back(known(v) ? *result.polys[v]
+                                      : SymPoly<F>::Invalid());
+  }
+  return result;
+}
+
+}  // namespace zaatar
+
+#endif  // SRC_ANALYSIS_SYMBOLIC_SYM_SOLVER_H_

@@ -6,10 +6,19 @@
 // and the QAP encoding. Exits non-zero when any ERROR finding is reported,
 // so CI can gate on it (scripts/ci.sh runs it after the plain build).
 //
+// --prove additionally runs the symbolic equivalence checker on every
+// program with source text (DESIGN.md §14): each gets a verdict on whether
+// the compiled constraints accept exactly the relation the source computes,
+// and non-proof verdicts surface as ZL021/ZL022 errors or a ZL023 warning.
+//
+// --json switches the report to a machine-readable stream: one JSON object
+// on stdout with per-program findings (rule id, severity, source line,
+// counterexample input vector) and totals.
+//
 //   zaatar-lint                         # built-in suite (default)
-//   zaatar-lint --suite --dir examples/zlang
+//   zaatar-lint --suite --dir examples/zlang --prove --werror
 //   zaatar-lint --field=220 prog.zl
-//   zaatar-lint --werror --max-findings=50 ...
+//   zaatar-lint --json --werror --max-findings=50 ...
 
 #include <cstdio>
 #include <cstring>
@@ -31,6 +40,8 @@ namespace {
 struct Options {
   bool suite = false;
   bool werror = false;
+  bool prove = false;
+  bool json = false;
   size_t max_findings = 25;
   int field_bits = 128;
   std::vector<std::string> dirs;
@@ -41,38 +52,136 @@ struct Totals {
   size_t programs = 0;
   size_t errors = 0;
   size_t warnings = 0;
+  std::vector<std::string> json_entries;
 };
 
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string FindingToJson(const zaatar::Finding& f) {
+  std::string s = "{";
+  s += "\"rule\":\"" + JsonEscape(f.rule_id) + "\",";
+  s += "\"severity\":\"" +
+       std::string(zaatar::SeverityName(f.severity)) + "\",";
+  s += "\"layer\":\"" + std::string(zaatar::LayerName(f.location.layer)) +
+       "\",";
+  s += "\"constraint\":" + std::to_string(f.location.constraint) + ",";
+  s += "\"variable\":" + std::to_string(f.location.variable) + ",";
+  s += "\"line\":" + std::to_string(f.location.source_line) + ",";
+  s += "\"message\":\"" + JsonEscape(f.message) + "\",";
+  s += "\"counterexample\":[";
+  for (size_t i = 0; i < f.counterexample.size(); i++) {
+    s += (i != 0 ? "," : "");
+    s += "\"" + JsonEscape(f.counterexample[i]) + "\"";
+  }
+  s += "],";
+  s += "\"note\":\"" + JsonEscape(f.counterexample_note) + "\"";
+  s += "}";
+  return s;
+}
+
 void Report(const std::string& name, const zaatar::AnalysisReport& report,
-            const Options& options, Totals* totals) {
+            const zaatar::EquivResult* equiv, const Options& options,
+            Totals* totals) {
   totals->programs++;
   totals->errors += report.NumErrors();
   totals->warnings += report.NumWarnings();
-  if (report.Empty()) {
-    std::printf("%-48s clean\n", name.c_str());
+  if (options.json) {
+    std::string s = "{\"name\":\"" + JsonEscape(name) + "\",";
+    s += "\"errors\":" + std::to_string(report.NumErrors()) + ",";
+    s += "\"warnings\":" + std::to_string(report.NumWarnings()) + ",";
+    if (equiv != nullptr) {
+      s += "\"equivalence\":{\"status\":\"" +
+           JsonEscape(zaatar::EquivStatusName(equiv->status)) +
+           "\",\"proof\":" +
+           (zaatar::EquivStatusIsProof(equiv->status) ? "true" : "false") +
+           ",\"detail\":\"" + JsonEscape(equiv->detail) + "\"},";
+    }
+    s += "\"findings\":[";
+    const auto& fs = report.findings();
+    for (size_t i = 0; i < fs.size(); i++) {
+      s += (i != 0 ? "," : "");
+      s += FindingToJson(fs[i]);
+    }
+    s += "]}";
+    totals->json_entries.push_back(std::move(s));
     return;
   }
-  std::printf("%-48s %s\n", name.c_str(), report.Summary().c_str());
+  if (equiv != nullptr) {
+    std::printf("%-48s prove: %s\n", name.c_str(),
+                zaatar::EquivStatusName(equiv->status));
+    if (!zaatar::EquivStatusIsProof(equiv->status)) {
+      std::printf("  %s\n", equiv->detail.c_str());
+    }
+  }
+  if (report.Empty()) {
+    if (equiv == nullptr) {
+      std::printf("%-48s clean\n", name.c_str());
+    }
+    return;
+  }
+  if (equiv == nullptr) {
+    std::printf("%-48s %s\n", name.c_str(), report.Summary().c_str());
+  }
   report.Print(stdout, options.max_findings);
 }
 
 template <typename F>
 void LintSource(const std::string& name, const std::string& source,
                 const Options& options, Totals* totals) {
-  zaatar::CompiledProgram<F> program;
+  zaatar::AnalyzeOptions analyze;
+  analyze.equivalence = options.prove;
+  zaatar::EquivResult equiv;
+  zaatar::AnalysisReport report;
   try {
-    program = zaatar::CompileZlang<F>(source);
+    report = zaatar::AnalyzeSource<F>(source, analyze,
+                                      options.prove ? &equiv : nullptr);
   } catch (const std::exception& e) {
-    std::printf("%-48s COMPILE ERROR: %s\n", name.c_str(), e.what());
+    if (options.json) {
+      totals->json_entries.push_back(
+          "{\"name\":\"" + JsonEscape(name) + "\",\"errors\":1,"
+          "\"warnings\":0,\"compile_error\":\"" + JsonEscape(e.what()) +
+          "\",\"findings\":[]}");
+    } else {
+      std::printf("%-48s COMPILE ERROR: %s\n", name.c_str(), e.what());
+    }
     totals->programs++;
     totals->errors++;
     return;
   }
-  Report(name, zaatar::AnalyzeProgram(program), options, totals);
+  Report(name, report, options.prove ? &equiv : nullptr, options, totals);
 }
 
 // The hand-built degenerate quadratic form (src/apps/degenerate.h) has no
-// CompiledProgram wrapper; run the per-layer entry points directly.
+// zlang source, so the equivalence checker does not apply; run the
+// per-layer entry points directly.
 void LintDegenerate(size_t m, const Options& options, Totals* totals) {
   zaatar::Prg prg(0xD0D0);
   auto d = zaatar::BuildDegenerateQuadForm<zaatar::F128>(m, prg);
@@ -82,8 +191,8 @@ void LintDegenerate(size_t m, const Options& options, Totals* totals) {
   report.Merge(zaatar::AnalyzeR1cs(t.r1cs));
   zaatar::Qap<zaatar::F128> qap(t.r1cs);
   zaatar::CheckQapShape(qap, &report);
-  Report("degenerate_quadform(m=" + std::to_string(m) + ")", report, options,
-         totals);
+  Report("degenerate_quadform(m=" + std::to_string(m) + ")", report, nullptr,
+         options, totals);
 }
 
 void LintSuite(const Options& options, Totals* totals) {
@@ -125,8 +234,11 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: zaatar-lint [--suite] [--dir <path>] [--field=128|220]\n"
-      "                   [--werror] [--max-findings=N] [file.zl ...]\n"
-      "With no targets, the built-in benchmark suite is analyzed.\n");
+      "                   [--prove] [--json] [--werror]\n"
+      "                   [--max-findings=N] [file.zl ...]\n"
+      "With no targets, the built-in benchmark suite is analyzed.\n"
+      "--prove runs the symbolic equivalence checker per program;\n"
+      "--json emits one machine-readable JSON object on stdout.\n");
   return 2;
 }
 
@@ -140,6 +252,10 @@ int main(int argc, char** argv) {
       options.suite = true;
     } else if (arg == "--werror") {
       options.werror = true;
+    } else if (arg == "--prove") {
+      options.prove = true;
+    } else if (arg == "--json") {
+      options.json = true;
     } else if (arg == "--dir") {
       if (i + 1 >= argc) {
         return Usage();
@@ -194,8 +310,18 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("zaatar-lint: %zu program(s), %zu error(s), %zu warning(s)\n",
-              totals.programs, totals.errors, totals.warnings);
+  if (options.json) {
+    std::printf("{\"programs\":[");
+    for (size_t i = 0; i < totals.json_entries.size(); i++) {
+      std::printf("%s%s", i != 0 ? "," : "", totals.json_entries[i].c_str());
+    }
+    std::printf("],\"totals\":{\"programs\":%zu,\"errors\":%zu,"
+                "\"warnings\":%zu}}\n",
+                totals.programs, totals.errors, totals.warnings);
+  } else {
+    std::printf("zaatar-lint: %zu program(s), %zu error(s), %zu warning(s)\n",
+                totals.programs, totals.errors, totals.warnings);
+  }
   bool fail = totals.errors > 0 || (options.werror && totals.warnings > 0);
   return fail ? 1 : 0;
 }

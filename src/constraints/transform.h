@@ -68,9 +68,25 @@ ZaatarTransform<F> GingerToZaatar(const GingerSystem<F>& g,
   ZaatarTransform<F> t;
   t.ginger_num_unbound = g.layout.num_unbound;
 
+  // Line attribution for synthesized product rows: a degree-2 pair can be
+  // shared by several constraints (including folded ones), and the first one
+  // to need it may come from compiler-internal bookkeeping with no source
+  // line. Prefer the first *nonzero* line among every constraint that
+  // references the pair, so the synthesized row stays attributable to
+  // program text whenever any user of the pair is.
+  std::map<std::pair<uint32_t, uint32_t>, uint32_t> pair_lines;
+  for (size_t j = 0; j < g.constraints.size(); j++) {
+    uint32_t line = g.SourceLineOf(j);
+    if (line == 0) {
+      continue;
+    }
+    for (const auto& q : g.constraints[j].quad) {
+      pair_lines.emplace(std::minmax(q.a, q.b), line);
+    }
+  }
+
   // First pass: allocate auxiliary variables for distinct degree-2 terms that
-  // are not folded away. Each product remembers the source line of the first
-  // constraint that needed it, so its R1CS product row stays attributable.
+  // are not folded away.
   std::map<std::pair<uint32_t, uint32_t>, uint32_t> aux;  // pair -> aux index
   std::vector<uint32_t> product_lines;
   for (size_t j = 0; j < g.constraints.size(); j++) {
@@ -84,7 +100,9 @@ ZaatarTransform<F> GingerToZaatar(const GingerSystem<F>& g,
         uint32_t idx = static_cast<uint32_t>(t.products.size());
         aux.emplace(key, idx);
         t.products.emplace_back(key.first, key.second);
-        product_lines.push_back(g.SourceLineOf(j));
+        auto pl = pair_lines.find(key);
+        product_lines.push_back(pl != pair_lines.end() ? pl->second
+                                                       : g.SourceLineOf(j));
       }
     }
   }
