@@ -4,10 +4,22 @@
 //
 // Expected shape (paper): e2e is orders of magnitude above local; construct-u
 // ~40% and crypto ~35% of prover time, the remainder answering queries.
+//
+// --json [--out PATH]: instead of the table, emit BENCH_ntt.json (schema
+// ntt.pipeline.v1) — the residue-pipeline ComputeH decomposed into
+// interpolate / mul / divide at |C| in {256, 1024, 4096} over synthetic
+// R1CS, with the Figure 3 model 3·f·|C|·log2²|C| as the yardstick and the
+// frozen coefficient-form path timed as a baseline at |C| <= 1024. ci.sh
+// validates the schema and gates construct_proof / model <= 6 at |C| = 1024.
 
+#include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
+#include "src/obs/trace.h"
 
 namespace zaatar {
 namespace {
@@ -35,11 +47,7 @@ void Row(const App<F>& app, const PcpParams& params, size_t beta) {
   g_total_answer += m.prover.answer_queries_s;
 }
 
-}  // namespace
-}  // namespace zaatar
-
-int main() {
-  using namespace zaatar;
+int TableMain() {
   PcpParams params;
   printf("Figure 5: per-instance Zaatar prover cost vs local execution\n\n");
   printf("%-38s %10s %12s %12s %12s %12s %12s\n", "computation (Psi)",
@@ -59,4 +67,171 @@ int main() {
          100 * g_total_u / g_total_e2e, 100 * g_total_crypto / g_total_e2e,
          100 * g_total_answer / g_total_e2e);
   return 0;
+}
+
+// ---- --json mode: the NTT-pipeline breakdown -------------------------------
+
+using F = F128;
+
+// Synthetic R1CS with exactly m constraints v0 · v_{1+j} = v_{1+m+j} and a
+// satisfying witness with distinct values — the ComputeH cost depends only
+// on the shape, and this keeps |C| an exact power of two (the apps suite
+// cannot pin it).
+struct SyntheticSystem {
+  R1cs<F> cs;
+  std::vector<F> witness;
+};
+
+SyntheticSystem MakeSynthetic(size_t m, Prg& prg) {
+  SyntheticSystem s;
+  s.cs.layout = {1 + 2 * m, 0, 0};
+  s.witness.resize(1 + 2 * m);
+  s.witness[0] = prg.NextNonzeroField<F>();
+  for (size_t j = 0; j < m; j++) {
+    R1csConstraint<F> c;
+    c.a = LinearCombination<F>::Variable(0);
+    c.b = LinearCombination<F>::Variable(static_cast<uint32_t>(1 + j));
+    c.c = LinearCombination<F>::Variable(static_cast<uint32_t>(1 + m + j));
+    s.cs.constraints.push_back(c);
+    s.witness[1 + j] = prg.NextNonzeroField<F>();
+    s.witness[1 + m + j] = s.witness[0] * s.witness[1 + j];
+  }
+  return s;
+}
+
+// Per-multiply field cost, measured inline (the only model parameter the
+// construct-proof term uses; no need for the full crypto microbenchmarks).
+double MeasureFieldMulSeconds() {
+  Prg prg(0xF00D);
+  F x = prg.NextNonzeroField<F>();
+  F y = prg.NextNonzeroField<F>();
+  const size_t reps = 200000;
+  Stopwatch sw;
+  for (size_t i = 0; i < reps; i++) {
+    x *= y;
+  }
+  double f = sw.ElapsedSeconds() / static_cast<double>(reps);
+  if (x.IsZero()) {  // keep the loop alive
+    printf("unreachable\n");
+  }
+  return f;
+}
+
+struct SizeResult {
+  size_t c = 0;
+  double construct_s = 0, interp_s = 0, mul_s = 0, divide_s = 0;
+  double model_s = 0, ratio = 0;
+  double naive_s = -1;  // < 0: not measured at this size
+};
+
+SizeResult MeasureSize(size_t m, size_t beta, double f_seconds) {
+  Prg prg(0xBE7A + m);
+  SyntheticSystem s = MakeSynthetic(m, prg);
+  Qap<F> qap(s.cs);
+  qap.WarmProver();  // one-time setup outside the measured region
+
+  obs::Tracer tracer;
+  F sink = F::Zero();
+  {
+    obs::ScopedThreadTracer scoped(&tracer);
+    for (size_t i = 0; i < beta; i++) {
+      auto hr = qap.ComputeH(s.witness);
+      sink += hr.h[m / 2];
+      if (!hr.exact) {
+        fprintf(stderr, "synthetic witness rejected at |C| = %zu\n", m);
+      }
+    }
+  }
+  double b = static_cast<double>(beta);
+  SizeResult r;
+  r.c = m;
+  r.construct_s = tracer.SumSeconds("qap.compute_h") / b;
+  r.interp_s = tracer.SumSeconds("qap.interpolate") / b;
+  r.mul_s = tracer.SumSeconds("qap.mul") / b;
+  r.divide_s = tracer.SumSeconds("qap.divide") / b;
+  double lg = std::log2(static_cast<double>(m));
+  r.model_s = 3.0 * f_seconds * static_cast<double>(m) * lg * lg;
+  r.ratio = r.construct_s / r.model_s;
+
+  if (m <= 1024) {
+    // Pre-refactor yardstick: the frozen coefficient-form pipeline, one
+    // instance (it is the slow path; EXPERIMENTS.md records the history).
+    Stopwatch sw;
+    auto hr = qap.ComputeHNaive(s.witness);
+    r.naive_s = sw.ElapsedSeconds();
+    sink += hr.h[m / 2];
+  }
+  if (sink.IsZero()) {
+    printf("# unlikely checksum\n");
+  }
+  return r;
+}
+
+int JsonMain(const char* out_path) {
+  const size_t kBeta = 4;  // steady-state: caches warm, per-instance cost
+  double f_seconds = MeasureFieldMulSeconds();
+  std::vector<SizeResult> results;
+  for (size_t m : {size_t{256}, size_t{1024}, size_t{4096}}) {
+    results.push_back(MeasureSize(m, kBeta, f_seconds));
+  }
+
+  std::string json;
+  char buf[256];
+  json += "{\n  \"schema\": \"ntt.pipeline.v1\",\n";
+  snprintf(buf, sizeof(buf),
+           "  \"field\": \"%s\",\n  \"beta\": %zu,\n"
+           "  \"f_seconds\": %.3e,\n  \"sizes\": [\n",
+           F::kName, kBeta, f_seconds);
+  json += buf;
+  for (size_t i = 0; i < results.size(); i++) {
+    const SizeResult& r = results[i];
+    snprintf(buf, sizeof(buf),
+             "    {\"c\": %zu, \"construct_proof_s\": %.6e, "
+             "\"interpolate_s\": %.6e, \"mul_s\": %.6e, \"divide_s\": %.6e, "
+             "\"model_s\": %.6e, \"model_ratio\": %.3f, ",
+             r.c, r.construct_s, r.interp_s, r.mul_s, r.divide_s, r.model_s,
+             r.ratio);
+    json += buf;
+    if (r.naive_s >= 0) {
+      snprintf(buf, sizeof(buf), "\"naive_s\": %.6e}", r.naive_s);
+    } else {
+      snprintf(buf, sizeof(buf), "\"naive_s\": null}");
+    }
+    json += buf;
+    json += (i + 1 < results.size()) ? ",\n" : "\n";
+  }
+  json += "  ]\n}\n";
+
+  if (out_path != nullptr) {
+    FILE* fp = fopen(out_path, "w");
+    if (fp == nullptr) {
+      fprintf(stderr, "cannot open %s\n", out_path);
+      return 1;
+    }
+    fputs(json.c_str(), fp);
+    fclose(fp);
+    fprintf(stderr, "wrote %s\n", out_path);
+  } else {
+    fputs(json.c_str(), stdout);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace zaatar
+
+int main(int argc, char** argv) {
+  bool json = false;
+  const char* out_path = nullptr;
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      fprintf(stderr, "usage: %s [--json [--out PATH]]\n", argv[0]);
+      return 2;
+    }
+  }
+  return json ? zaatar::JsonMain(out_path) : zaatar::TableMain();
 }

@@ -128,6 +128,46 @@ EOF
   fi
   echo "bench smoke ok: $fjson"
 
+  # NTT proving-pipeline baseline: emit BENCH_ntt.json from the --json mode
+  # of the fig5 bench (per-phase ComputeH seconds on synthetic R1CS at
+  # |C| in {256, 1024, 4096}) and gate the residue pipeline against the
+  # Figure 3 model: construct_proof / (3 f |C| log2^2 |C|) <= 6 at
+  # |C| = 1024. The pre-refactor coefficient-form path sat at 12-20x; a
+  # ratio drifting back above 6 means the pipeline fell off the NTT path.
+  echo "==== [bench] ntt pipeline smoke ===="
+  local njson="$build_dir/BENCH_ntt_smoke.json"
+  "$build_dir/bench/bench_fig5_prover_breakdown" --json --out "$njson"
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "$njson" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["schema"] == "ntt.pipeline.v1", doc.get("schema")
+assert doc["f_seconds"] > 0
+sizes = doc["sizes"]
+assert [s["c"] for s in sizes] == [256, 1024, 4096], sizes
+for s in sizes:
+    for key in ("construct_proof_s", "interpolate_s", "mul_s", "divide_s",
+                "model_s", "model_ratio"):
+        assert s[key] > 0, f"missing/zero {key} at |C|={s['c']}"
+    assert "naive_s" in s
+    # The phase spans must account for most of construct_proof (the
+    # evaluation pass outside them is linear and small).
+    phases = s["interpolate_s"] + s["mul_s"] + s["divide_s"]
+    assert phases <= s["construct_proof_s"] * 1.001, s
+gate = next(s for s in sizes if s["c"] == 1024)
+assert gate["model_ratio"] <= 6.0, \
+    f"construct_proof / model = {gate['model_ratio']:.2f} > 6 at |C|=1024"
+assert gate["naive_s"] is not None and gate["naive_s"] > 0
+print("ntt pipeline ok:",
+      ", ".join(f"|C|={s['c']} ratio={s['model_ratio']:.2f}" for s in sizes),
+      f"(naive@1024 {gate['naive_s']:.3f}s)")
+EOF
+  else
+    grep -q '"ntt.pipeline.v1"' "$njson"
+  fi
+  echo "bench smoke ok: $njson"
+
   # Same for the session/transport overhead bench: it exits nonzero if the
   # serialized paths (loopback, socketpair) diverge from the in-process
   # verdicts, so this doubles as a cheap cross-path equivalence check. The
@@ -290,11 +330,21 @@ tsan_config() {
   cmake -B build-tsan -S . -DZAATAR_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$JOBS" \
     --target parallel_test multiexp_test protocol_test obs_test \
-             transport_robustness_test chaos_test
+             transport_robustness_test chaos_test \
+             residue_test poly_test qap_test
   echo "==== [tsan] concurrency-heavy tests ===="
   for t in parallel_test multiexp_test protocol_test obs_test \
            transport_robustness_test; do
     TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+      watchdog "./build-tsan/tests/$t"
+  done
+  # Residue-pipeline tests with the per-prime fan-out forced on: on a
+  # single-core runner PolyWorkers() is 1 and the ParallelFor paths in
+  # ResiduePoly/ComputeH would run inline, so pin 4 workers to make TSan
+  # actually see the concurrent transforms and chunked folds.
+  echo "==== [tsan] residue pipeline (ZAATAR_POLY_WORKERS=4) ===="
+  for t in residue_test poly_test qap_test; do
+    TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" ZAATAR_POLY_WORKERS=4 \
       watchdog "./build-tsan/tests/$t"
   done
 }

@@ -21,6 +21,8 @@
 #include "src/constraints/ginger.h"
 #include "src/constraints/qap.h"
 #include "src/constraints/transform.h"
+#include "src/crypto/prg.h"
+#include "src/poly/residue.h"
 
 namespace zaatar {
 
@@ -162,6 +164,44 @@ void CheckQapShape(const Qap<F>& qap, AnalysisReport* report,
       report->Add(Severity::kError, kRuleQapShape, loc,
                   "barycentric D(tau) disagrees with the materialized "
                   "divisor polynomial");
+    }
+  }
+
+  // Residue-domain prover probes: the divisor check above validates the
+  // coefficient-form D(t), but ComputeH never touches it — the quotient
+  // comes from the cached Newton inverse of rev(D) in CRT evaluation form.
+  // Re-derive that cache's defining identity instead of trusting it.
+  if (tau_probe && m > 0 && d.Degree() == static_cast<long>(m)) {
+    const auto& ctx = qap.Prover();
+    // rev_m(D) · inv ≡ 1 (mod x^{m+1}): multiply through the very NTT
+    // images ComputeH uses for the quotient, then fold and compare.
+    ResiduePoly<F> rev_d = ToResidue(d.Reverse(m), m + 1, *ctx.basis, 1);
+    ResiduePoly<F> prod =
+        ResiduePoly<F>::MulImages(rev_d, ctx.inv_images, m + 1, 1);
+    std::vector<F> unit = prod.ToCoefficients(1);
+    bool is_unit = unit[0].IsOne();
+    for (size_t i = 1; i < unit.size() && is_unit; i++) {
+      is_unit = unit[i].IsZero();
+    }
+    if (!is_unit) {
+      report->Add(Severity::kError, kRuleQapShape, loc,
+                  "cached prover inverse is not rev(D)^{-1} mod x^{|C|+1}: "
+                  "residue-domain division would produce wrong quotients");
+    }
+
+    // Small systems get a full end-to-end differential: the residue
+    // pipeline must reproduce the frozen coefficient-form path bit for bit
+    // on an arbitrary (non-satisfying) assignment.
+    if (m <= 256) {
+      Prg probe_prg(0x5eed);
+      std::vector<F> w = probe_prg.NextFieldVector<F>(cs.layout.Total());
+      auto fast = qap.ComputeH(w);
+      auto slow = qap.ComputeHNaive(w);
+      if (fast.h != slow.h || fast.exact != slow.exact) {
+        report->Add(Severity::kError, kRuleQapShape, loc,
+                    "residue-pipeline ComputeH diverges from the "
+                    "coefficient-form reference on a probe assignment");
+      }
     }
   }
 }

@@ -126,7 +126,13 @@ struct ZaatarHarnessBackend {
 
   struct Prepared {
     explicit Prepared(const CompiledProgram<F>& program)
-        : qap(program.zaatar.r1cs) {}
+        : qap(program.zaatar.r1cs) {
+      // One-time prover setup (CRT basis, divisor-inverse NTT images,
+      // subproduct-tree residue images) happens here, outside the
+      // per-instance prover.construct_proof spans — it is amortized across
+      // the batch exactly like the verifier's query setup.
+      qap.WarmProver();
+    }
     Qap<F> qap;  // holds a pointer into the program's R1CS; do not copy
   };
 
@@ -255,14 +261,17 @@ BatchMeasurement MeasureBatch(const App<F>& app,
     obs::Span root("harness.batch");
     const uint32_t root_id = root.id();
 
-    {
+    Prg prg(seed);
+    // Backend::Prepared runs the one-time prover setup (e.g. the Zaatar
+    // backend warms the residue-domain caches), so it belongs inside the
+    // prepare span: the span-tree tests assert the batch root's children
+    // account for the wall time.
+    auto prep = [&] {
       obs::Span prepare("harness.prepare");
       out.stats = ComputeStats(
           program, opt.measure_native ? app.measure_native_seconds() : 0.0);
-    }
-
-    Prg prg(seed);
-    typename Backend::Prepared prep(program);
+      return typename Backend::Prepared(program);
+    }();
 
     Stopwatch sw;
     typename Backend::Queries queries = [&] {

@@ -52,8 +52,74 @@ class Qap {
   // Computes the coefficients of H(t) = P_w(t) / D(t) for the given full
   // assignment. For an unsatisfying assignment `exact` is false and `h` is
   // the polynomial quotient (useful for building cheating provers in tests).
+  //
+  // Runs the residue-domain pipeline (DESIGN.md §15): interpolate A, B, C in
+  // residue form over the subproduct tree's cached node images, form
+  // A·B − C with one renormalize, and divide by D(t) through the cached
+  // Newton inverse of rev(D) — only the top half of P_w feeds the quotient
+  // (rev_{2m}(P_w) ≡ rev_m(q)·rev_m(D) mod x^{m+1}, D monic). Exactness is
+  // read off the evaluations: D | P_w iff P_w vanishes at every point j,
+  // i.e. A(j)·B(j) = C(j) for j = 1..m — equivalent to the remainder test
+  // of ComputeHNaive, whose output this must match bit for bit (enforced by
+  // the differential suites in tests/qap_test.cc).
   HResult ComputeH(const std::vector<F>& assignment) const {
     obs::Span span("qap.compute_h");
+    const size_t m = Degree();
+    const SubproductTree<F>& tree = Tree();
+    const ProverContext& ctx = Prover();
+    const size_t workers = PolyWorkers();
+
+    std::vector<F> ea(m + 1, F::Zero()), eb(m + 1, F::Zero()),
+        ec(m + 1, F::Zero());
+    for (size_t j = 0; j < m; j++) {
+      const auto& c = cs_->constraints[j];
+      ea[j + 1] = c.a.Evaluate(assignment);
+      eb[j + 1] = c.b.Evaluate(assignment);
+      ec[j + 1] = c.c.Evaluate(assignment);
+    }
+    HResult out;
+    out.exact = true;
+    for (size_t j = 1; j <= m; j++) {
+      if (ea[j] * eb[j] != ec[j]) {
+        out.exact = false;
+        break;
+      }
+    }
+
+    ResiduePoly<F> ra, rb, rc;
+    {
+      obs::Span interp("qap.interpolate");
+      ra = tree.InterpolateResidue(ea, *ctx.basis, workers);
+      rb = tree.InterpolateResidue(eb, *ctx.basis, workers);
+      rc = tree.InterpolateResidue(ec, *ctx.basis, workers);
+    }
+    ResiduePoly<F> pw;
+    {
+      obs::Span mul("qap.mul");
+      pw = ResiduePoly<F>::Mul(ra, rb, workers);  // length 2m+1
+      pw = ResiduePoly<F>::Sub(pw, rc, workers);
+      pw.Renormalize(workers);
+    }
+    {
+      obs::Span divide("qap.divide");
+      ResiduePoly<F> hi = pw.Reverse(2 * m).Truncate(m + 1);
+      ResiduePoly<F> q_rev =
+          ResiduePoly<F>::MulImages(hi, ctx.inv_images, m + 1, workers);
+      std::vector<F> hv = q_rev.ToCoefficients(workers);
+      out.h.assign(m + 1, F::Zero());
+      for (size_t i = 0; i <= m; i++) {
+        out.h[i] = hv[m - i];
+      }
+    }
+    return out;
+  }
+
+  // The frozen coefficient-form pipeline ComputeH replaced: interpolate with
+  // Polynomial products, divide with DivRem, read exactness off the
+  // remainder. Kept verbatim as the cross-PR differential yardstick — the
+  // residue path must reproduce its output bit for bit.
+  HResult ComputeHNaive(const std::vector<F>& assignment) const {
+    obs::Span span("qap.compute_h_naive");
     const size_t m = Degree();
     const SubproductTree<F>& tree = Tree();
 
@@ -81,6 +147,46 @@ class Qap {
       out.h[i] = q[i];
     }
     return out;
+  }
+
+  // Precomputed residue-domain prover state: the CRT basis sized for the
+  // whole pipeline's bound growth and the forward images of
+  // NewtonInverse(rev_m(D), m+1) at the product transform size. Built once
+  // per Qap and reused across every instance of a batch. Public so the
+  // static analyzer can probe the rewritten division path
+  // (src/analysis/pipeline_rules.h).
+  struct ProverContext {
+    const CrtBasis<F>* basis = nullptr;
+    NttImages inv_images;
+  };
+
+  const ProverContext& Prover() const {
+    if (prover_ == nullptr) {
+      const size_t m = Degree();
+      const size_t workers = PolyWorkers();
+      auto ctx = std::make_unique<ProverContext>();
+      // Bound headroom over the plain product bound 2B + log: +2 for the
+      // padded subtraction in A·B − C, +2 for Newton's 2 − f·g step.
+      size_t bound = 2 * F::kModulusBits + CeilLog2(2 * m + 1) + 4;
+      ctx->basis = &CrtBasis<F>::Get(CrtBasisSizeForBound(bound));
+      ResiduePoly<F> rev_d =
+          ToResidue(Divisor().Reverse(m), m + 1, *ctx->basis, workers);
+      ResiduePoly<F> inv = ResidueNewtonInverse(rev_d, m + 1, workers);
+      ctx->inv_images = inv.ForwardImages(CeilLog2(2 * m + 1), workers);
+      prover_ = std::move(ctx);
+    }
+    return *prover_;
+  }
+
+  // Builds every lazily-cached prover artifact — subproduct tree,
+  // interpolation weights, divisor inverse images, tree node images — so
+  // batch pipelines pay the one-time setup outside the per-instance loop
+  // (and outside the per-instance ParallelFor, keeping the lazy caches
+  // single-threaded).
+  void WarmProver() const {
+    const ProverContext& ctx = Prover();
+    Tree().InterpolationWeights();
+    Tree().WarmResidueImages(*ctx.basis, PolyWorkers());
   }
 
   // ----- Verifier -----
@@ -128,7 +234,9 @@ class Qap {
     }
     BatchInvert(small_inv.data() + 1, m);
 
-    std::vector<F> denom(m + 1);  // (1/v_j)·(tau - j)
+    // Slot m+1 carries diff[0] so D(tau)'s inversion rides the same batch
+    // instead of paying its own Fermat walk below.
+    std::vector<F> denom(m + 2);  // (1/v_j)·(tau - j)
     F iv = F::One();              // 1/v_0 = (-1)^m · m!
     for (size_t k = 1; k <= m; k++) {
       iv *= -F::FromUint(k);
@@ -140,7 +248,8 @@ class Qap {
         iv = -(iv * F::FromUint(j + 1) * small_inv[m - j]);
       }
     }
-    BatchInvert(denom.data(), m + 1);
+    denom[m + 1] = diff[0];
+    BatchInvert(denom.data(), m + 2);
     std::vector<F> cj(m + 1);
     for (size_t j = 0; j <= m; j++) {
       cj[j] = ell * denom[j];
@@ -158,8 +267,8 @@ class Qap {
       Accumulate(c.b, w, &ev.b_rows);
       Accumulate(c.c, w, &ev.c_rows);
     }
-    // D(tau) = ell(tau) / (tau - 0).
-    ev.d_tau = ell * diff[0].Inverse();
+    // D(tau) = ell(tau) / (tau - 0), with 1/(tau - 0) from the batch above.
+    ev.d_tau = ell * denom[m + 1];
     return ev;
   }
 
@@ -185,6 +294,7 @@ class Qap {
 
   const R1cs<F>* cs_;
   mutable std::unique_ptr<SubproductTree<F>> tree_;
+  mutable std::unique_ptr<ProverContext> prover_;
 };
 
 }  // namespace zaatar

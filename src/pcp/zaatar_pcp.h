@@ -39,6 +39,12 @@ struct ZaatarProof {
 // assignment the result is a valid proof; for any other assignment it is the
 // "best-effort cheat" (H is the polynomial quotient), which the PCP rejects
 // with high probability — tests rely on this.
+//
+// ComputeH runs the residue-domain NTT pipeline (src/poly/residue.h): the
+// quotient is produced without leaving CRT evaluation form between
+// interpolation and division, and is bit-identical to the frozen
+// coefficient-form path (Qap::ComputeHNaive) — including the non-exact
+// cheating case, where both return the truncated polynomial quotient.
 template <typename F>
 ZaatarProof<F> BuildZaatarProof(const Qap<F>& qap,
                                 const std::vector<F>& assignment) {

@@ -1,159 +1,86 @@
 // Quasi-linear polynomial multiplication over arbitrary prime fields via
 // residue number systems: reduce coefficients modulo several 62-bit NTT
-// primes, convolve with NTTs, and reconstruct exact integer coefficients with
-// Garner's algorithm, folding the final value into the target field.
+// primes, convolve with NTTs, and fold the exact integer coefficients back
+// into the target field.
 //
 // This is how the prover achieves the paper's ~f·|C|·log|C| polynomial
-// multiplication over the (non-FFT-friendly) 128/220-bit fields.
+// multiplication over the (non-FFT-friendly) 128/220-bit fields. The heavy
+// lifting lives in src/poly/residue.h (ResiduePoly<F>); MulCrt is the
+// one-shot convenience wrapper Polynomial<F>::operator* calls: ingest both
+// operands, one residue-domain product, fold once. Pipelines that chain
+// many products (the QAP prover) hold ResiduePoly values directly and skip
+// the per-product conversions entirely.
 
 #ifndef SRC_POLY_CRT_MUL_H_
 #define SRC_POLY_CRT_MUL_H_
 
+#include <algorithm>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/poly/ntt.h"
+#include "src/poly/residue.h"
+#include "src/util/status.h"
 
 namespace zaatar {
 
 namespace crt_internal {
 
-// Precomputed Garner data for the first k primes plus target-field constants.
+// Worst-case product coefficient bound in bits for operands over F with the
+// given shorter length: min_len terms of 2·kModulusBits-bit products, plus
+// one guard bit required by the float-corrected CRT fold (the represented
+// value must stay below half the prime product).
 template <typename F>
-struct GarnerTables {
-  size_t k;
-  // inv_prod[i] = (q_0 ... q_{i-1})^{-1} mod q_i, Montgomery form of q_i.
-  std::vector<uint64_t> inv_prod;
-  // prime_mod[i][j] = q_j mod q_i (standard form), j < i.
-  std::vector<std::vector<uint64_t>> prime_mod;
-  // Field embeddings of the primes.
-  std::vector<F> prime_in_field;
-  // Powers of 2^64 modulo each prime, for reducing big-int coefficients.
-  std::vector<std::vector<uint64_t>> limb_base;  // [prime][limb]
-
-  static const GarnerTables& Get(size_t k) {
-    static std::vector<GarnerTables> cache = [] {
-      std::vector<GarnerTables> all(kNumNttPrimes + 1);
-      for (size_t kk = 1; kk <= kNumNttPrimes; kk++) {
-        GarnerTables& t = all[kk];
-        t.k = kk;
-        t.inv_prod.resize(kk);
-        t.prime_mod.resize(kk);
-        t.prime_in_field.resize(kk);
-        t.limb_base.resize(kk);
-        for (size_t i = 0; i < kk; i++) {
-          MontField64 f(kNttPrimes[i]);
-          t.prime_mod[i].resize(i);
-          uint64_t prod = f.One();
-          for (size_t j = 0; j < i; j++) {
-            t.prime_mod[i][j] = kNttPrimes[j] % kNttPrimes[i];
-            prod = f.Mul(prod, f.ToMont(t.prime_mod[i][j]));
-          }
-          t.inv_prod[i] = i == 0 ? f.One() : f.Inverse(prod);
-          t.prime_in_field[i] = F::FromUint(kNttPrimes[i]);
-          // 2^(64j) mod q_i for the limb fold.
-          size_t limbs = F::kLimbs;
-          t.limb_base[i].resize(limbs);
-          uint64_t base = f.ToMont((~uint64_t{0}) % kNttPrimes[i] + 1);
-          uint64_t cur = f.One();
-          for (size_t j = 0; j < limbs; j++) {
-            t.limb_base[i][j] = cur;
-            cur = f.Mul(cur, base);
-          }
-        }
-      }
-      return all;
-    }();
-    assert(k >= 1 && k <= kNumNttPrimes);
-    return cache[k];
-  }
-};
-
-}  // namespace crt_internal
-
-// Number of CRT primes needed for products of polynomials over F with the
-// given output length.
-template <typename F>
-size_t CrtPrimeCount(size_t min_len) {
+size_t MulBoundBits(size_t min_len) {
   size_t log_n = 1;
   while ((size_t{1} << log_n) < min_len) {
     log_n++;
   }
-  size_t bound_bits = 2 * F::kModulusBits + log_n + 1;
-  size_t k = (bound_bits + 61) / 62;
-  assert(k <= kNumNttPrimes && "coefficient bound exceeds CRT basis");
-  return k;
+  return 2 * F::kModulusBits + log_n + 1;
+}
+
+}  // namespace crt_internal
+
+// Number of CRT primes needed for products of polynomials over F with the
+// given shorter-operand length. Asserts the basis suffices; use
+// CrtPrimeCountChecked where basis exhaustion must surface as a Status.
+template <typename F>
+size_t CrtPrimeCount(size_t min_len) {
+  return CrtBasisSizeForBound(crt_internal::MulBoundBits<F>(min_len));
+}
+
+// Status-returning variant: kOutOfRange when the product's coefficient
+// bound exceeds what kNumNttPrimes 62-bit primes can represent.
+template <typename F>
+StatusOr<size_t> CrtPrimeCountChecked(size_t min_len) {
+  size_t bound = crt_internal::MulBoundBits<F>(min_len);
+  if (!CrtBasisFitsBound(bound)) {
+    return OutOfRangeError(
+        "CRT basis exhausted: product coefficient bound " +
+        std::to_string(bound) + " bits exceeds the " +
+        std::to_string(CrtBasis<F>::Capacity(kNumNttPrimes)) +
+        "-bit capacity of " + std::to_string(kNumNttPrimes) +
+        " NTT primes (field " + std::string(F::kName) + ", operand length " +
+        std::to_string(min_len) + ")");
+  }
+  return CrtBasisSizeForBound(bound);
 }
 
 // result[i] = sum_j a[j]*b[i-j] over F; output length a_len + b_len - 1.
 template <typename F>
 std::vector<F> MulCrt(const F* a, size_t a_len, const F* b, size_t b_len) {
   assert(a_len > 0 && b_len > 0);
-  size_t out_len = a_len + b_len - 1;
   size_t k = CrtPrimeCount<F>(std::min(a_len, b_len));
-  const auto& tables = crt_internal::GarnerTables<F>::Get(k);
-
-  // Residue convolutions, one per prime.
-  std::vector<std::vector<uint64_t>> residues(k);
-  std::vector<uint64_t> ra(a_len), rb(b_len);
-  for (size_t pi = 0; pi < k; pi++) {
-    MontField64 f(kNttPrimes[pi]);
-    const auto& base = tables.limb_base[pi];
-    auto reduce = [&](const F& x) {
-      typename F::Repr c = x.ToCanonical();
-      uint64_t acc = 0;
-      for (size_t j = 0; j < F::kLimbs; j++) {
-        acc = f.Add(acc, f.Mul(f.ToMont(c.limbs[j]), base[j]));
-      }
-      return f.FromMont(acc);  // acc is in Montgomery form
-    };
-    for (size_t i = 0; i < a_len; i++) {
-      ra[i] = reduce(a[i]);
-    }
-    for (size_t i = 0; i < b_len; i++) {
-      rb[i] = reduce(b[i]);
-    }
-    residues[pi] =
-        ConvolveModPrime(pi, ra.data(), a_len, rb.data(), b_len);
-  }
-
-  // Garner reconstruction per coefficient, folding into F by Horner over the
-  // mixed-radix digits: value = d_0 + q_0 (d_1 + q_1 (d_2 + ...)).
-  std::vector<MontField64> fields;
-  fields.reserve(k);
-  for (size_t pi = 0; pi < k; pi++) {
-    fields.emplace_back(kNttPrimes[pi]);
-  }
-  std::vector<F> out(out_len);
-  std::vector<uint64_t> digits(k);
-  for (size_t c = 0; c < out_len; c++) {
-    for (size_t i = 0; i < k; i++) {
-      const MontField64& f = fields[i];
-      // t = (x_i - partial) * inv_prod_i mod q_i, where partial is the
-      // mixed-radix value of digits[0..i) evaluated mod q_i.
-      uint64_t partial = 0;  // standard form accumulator mod q_i
-      for (size_t j = i; j-- > 0;) {
-        // partial = partial * q_j + d_j (mod q_i)
-        uint64_t pm = f.FromMont(
-            f.Mul(f.ToMont(partial), f.ToMont(tables.prime_mod[i][j])));
-        partial = pm + digits[j] % kNttPrimes[i];
-        if (partial >= kNttPrimes[i]) {
-          partial -= kNttPrimes[i];
-        }
-      }
-      uint64_t xi = residues[i][c];
-      uint64_t diff = f.Sub(xi % kNttPrimes[i], partial);
-      digits[i] = f.FromMont(f.Mul(f.ToMont(diff), tables.inv_prod[i]));
-    }
-    F val = F::Zero();
-    for (size_t i = k; i-- > 0;) {
-      val = val * tables.prime_in_field[i] + F::FromUint(digits[i]);
-    }
-    out[c] = val;
-  }
-  return out;
+  const CrtBasis<F>& basis = CrtBasis<F>::Get(k);
+  // Serial on purpose: operator* is called from arbitrary contexts
+  // (including inside ParallelFor workers); the batch pipelines own the
+  // thread fan-out.
+  ResiduePoly<F> ra = ResiduePoly<F>::FromCoefficients(a, a_len, basis, 1);
+  ResiduePoly<F> rb = ResiduePoly<F>::FromCoefficients(b, b_len, basis, 1);
+  return ResiduePoly<F>::Mul(ra, rb, 1).ToCoefficients(1);
 }
 
 }  // namespace zaatar

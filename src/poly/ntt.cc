@@ -1,5 +1,6 @@
 #include "src/poly/ntt.h"
 
+#include <algorithm>
 #include <cassert>
 #include <map>
 #include <memory>
@@ -98,6 +99,111 @@ void NttPlan::Inverse(uint64_t* data) const {
   }
 }
 
+void TransposeBlocked(const uint64_t* src, uint64_t* dst, size_t rows,
+                      size_t cols) {
+  constexpr size_t kTile = 32;  // 2 × 8KB tiles, comfortably inside L1
+  for (size_t r0 = 0; r0 < rows; r0 += kTile) {
+    size_t r1 = std::min(rows, r0 + kTile);
+    for (size_t c0 = 0; c0 < cols; c0 += kTile) {
+      size_t c1 = std::min(cols, c0 + kTile);
+      for (size_t r = r0; r < r1; r++) {
+        for (size_t c = c0; c < c1; c++) {
+          dst[c * rows + r] = src[r * cols + c];
+        }
+      }
+    }
+  }
+}
+
+namespace {
+
+// Six-step NTT over the n1×n2 split of n (n1 = 2^⌊log/2⌋ rows): transpose,
+// n2 column transforms of size n1, twiddle by w^(i2·k1), transpose, n1 row
+// transforms of size n2, and a final transpose back to natural order. Row
+// transforms recurse through the dispatcher, so they always hit the small
+// cached plans. The identity used (w_n1 = w_n^n2, w_n2 = w_n^n1) holds
+// because every plan derives its root from the same 2^42 generator.
+void FourStep(size_t prime_index, uint64_t* data, size_t log_n,
+              bool inverse) {
+  assert(log_n >= 2 && log_n <= kNttTwoAdicity);
+  size_t l1 = log_n / 2;
+  size_t l2 = log_n - l1;
+  size_t n1 = size_t{1} << l1;
+  size_t n2 = size_t{1} << l2;
+  size_t n = size_t{1} << log_n;
+  const MontField64 f(kNttPrimes[prime_index]);
+
+  uint64_t root = f.ToMont(kNttRoots[prime_index]);
+  for (size_t i = 0; i < kNttTwoAdicity - log_n; i++) {
+    root = f.Mul(root, root);
+  }
+  if (inverse) {
+    root = f.Inverse(root);
+  }
+
+  std::vector<uint64_t> scratch(n);
+  // scratch[i2·n1 + i1] = data[i1·n2 + i2]
+  TransposeBlocked(data, scratch.data(), n1, n2);
+  for (size_t r = 0; r < n2; r++) {
+    uint64_t* row = scratch.data() + r * n1;
+    if (inverse) {
+      NttInverse(prime_index, row, l1);
+    } else {
+      NttForward(prime_index, row, l1);
+    }
+  }
+  // Twiddle correction w^(i2·k1), computed row by row (no n-entry table).
+  uint64_t wrow = f.One();  // w^(i2)
+  for (size_t i2 = 0; i2 < n2; i2++) {
+    uint64_t* row = scratch.data() + i2 * n1;
+    uint64_t w = f.One();
+    for (size_t k1 = 0; k1 < n1; k1++) {
+      row[k1] = f.Mul(row[k1], w);
+      w = f.Mul(w, wrow);
+    }
+    wrow = f.Mul(wrow, root);
+  }
+  // data[k1·n2 + i2] = scratch[i2·n1 + k1]
+  TransposeBlocked(scratch.data(), data, n2, n1);
+  for (size_t r = 0; r < n1; r++) {
+    uint64_t* row = data + r * n2;
+    if (inverse) {
+      NttInverse(prime_index, row, l2);
+    } else {
+      NttForward(prime_index, row, l2);
+    }
+  }
+  // Natural order: out[k1 + n1·k2] = current[k1·n2 + k2].
+  TransposeBlocked(data, scratch.data(), n1, n2);
+  std::copy(scratch.begin(), scratch.end(), data);
+}
+
+}  // namespace
+
+void NttForwardFourStep(size_t prime_index, uint64_t* data, size_t log_n) {
+  FourStep(prime_index, data, log_n, /*inverse=*/false);
+}
+
+void NttInverseFourStep(size_t prime_index, uint64_t* data, size_t log_n) {
+  FourStep(prime_index, data, log_n, /*inverse=*/true);
+}
+
+void NttForward(size_t prime_index, uint64_t* data, size_t log_n) {
+  if (log_n >= kNttFourStepMinLogN) {
+    NttForwardFourStep(prime_index, data, log_n);
+    return;
+  }
+  GetNttPlan(prime_index, log_n).Forward(data);
+}
+
+void NttInverse(size_t prime_index, uint64_t* data, size_t log_n) {
+  if (log_n >= kNttFourStepMinLogN) {
+    NttInverseFourStep(prime_index, data, log_n);
+    return;
+  }
+  GetNttPlan(prime_index, log_n).Inverse(data);
+}
+
 const NttPlan& GetNttPlan(size_t prime_index, size_t log_n) {
   static std::mutex mu;
   static std::map<std::pair<size_t, size_t>, std::unique_ptr<NttPlan>> cache;
@@ -120,9 +226,8 @@ std::vector<uint64_t> ConvolveModPrime(size_t prime_index, const uint64_t* a,
   while ((size_t{1} << log_n) < out_len) {
     log_n++;
   }
-  const NttPlan& plan = GetNttPlan(prime_index, log_n);
-  const MontField64& f = plan.field();
-  size_t n = plan.size();
+  const MontField64 f(kNttPrimes[prime_index]);
+  size_t n = size_t{1} << log_n;
 
   std::vector<uint64_t> fa(n, 0), fb(n, 0);
   for (size_t i = 0; i < a_len; i++) {
@@ -131,12 +236,12 @@ std::vector<uint64_t> ConvolveModPrime(size_t prime_index, const uint64_t* a,
   for (size_t i = 0; i < b_len; i++) {
     fb[i] = f.ToMont(b[i]);
   }
-  plan.Forward(fa.data());
-  plan.Forward(fb.data());
+  NttForward(prime_index, fa.data(), log_n);
+  NttForward(prime_index, fb.data(), log_n);
   for (size_t i = 0; i < n; i++) {
     fa[i] = f.Mul(fa[i], fb[i]);
   }
-  plan.Inverse(fa.data());
+  NttInverse(prime_index, fa.data(), log_n);
   std::vector<uint64_t> out(out_len);
   for (size_t i = 0; i < out_len; i++) {
     out[i] = f.FromMont(fa[i]);

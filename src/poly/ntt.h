@@ -136,6 +136,30 @@ class NttPlan {
 // Cached plan lookup (plans are immutable once built).
 const NttPlan& GetNttPlan(size_t prime_index, size_t log_n);
 
+// Sizes at or above 2^kNttFourStepMinLogN switch from the cached radix-2
+// plans (whose 2n-entry twiddle tables overflow L2 there) to a four-step
+// n1×n2 decomposition: blocked transpose, row transforms through the small
+// cached plans, an on-the-fly twiddle pass, and transposes back to natural
+// order. Output ordering is identical to the radix-2 path, so images
+// produced at different times by either path stay pointwise-compatible.
+inline constexpr size_t kNttFourStepMinLogN = 15;
+
+// In-place transforms of 2^log_n Montgomery-form words, natural order in and
+// out, dispatching on size as above. Inverse includes the 1/n scaling.
+void NttForward(size_t prime_index, uint64_t* data, size_t log_n);
+void NttInverse(size_t prime_index, uint64_t* data, size_t log_n);
+
+// The four-step path directly, any size with log_n >= 2 (exposed so tests
+// can cross-check it against the radix-2 plans below the dispatch
+// threshold).
+void NttForwardFourStep(size_t prime_index, uint64_t* data, size_t log_n);
+void NttInverseFourStep(size_t prime_index, uint64_t* data, size_t log_n);
+
+// Out-of-place cache-blocked matrix transpose of rows×cols 64-bit words:
+// dst[c·rows + r] = src[r·cols + c], tiled so both sides stay in L1.
+void TransposeBlocked(const uint64_t* src, uint64_t* dst, size_t rows,
+                      size_t cols);
+
 // Convolution of a and b modulo kNttPrimes[prime_index]. Inputs in standard
 // (non-Montgomery) representation reduced mod the prime; output likewise,
 // length a_len + b_len - 1.

@@ -168,6 +168,61 @@ TEST(QapTest, EvaluateAtTauRejectsInterpolationPoints) {
   EXPECT_TRUE(qap.EvaluateAtTau(F::FromUint(qap.Degree() + 1)).ok());
 }
 
+// The residue-pipeline ComputeH must match the frozen coefficient-form
+// ComputeHNaive bit for bit — same h vector, same exact flag — for
+// satisfying, perturbed, and fully random assignments. Run across system
+// sizes that land on both sides of the subproduct tree's residue switch
+// level (F-domain combines below length-32 nodes, residue combines above).
+template <typename Fd>
+void CheckComputeHDifferential(uint64_t seed, size_t num_constraints) {
+  Prg prg(seed);
+  auto rs = MakeRandomSatisfiedSystem<Fd>(prg, 8, 3, 2, num_constraints);
+  auto transform = GingerToZaatar(rs.system);
+  auto witness = transform.ExtendAssignment(rs.assignment);
+  Qap<Fd> qap(transform.r1cs);
+  SCOPED_TRACE(testing::Message() << "m = " << qap.Degree());
+
+  auto fast = qap.ComputeH(witness);
+  auto slow = qap.ComputeHNaive(witness);
+  EXPECT_TRUE(fast.exact);
+  EXPECT_EQ(fast.exact, slow.exact);
+  EXPECT_EQ(fast.h, slow.h);
+
+  auto bad = witness;
+  bad[prg.NextBounded(transform.r1cs.layout.num_unbound)] +=
+      prg.NextNonzeroField<Fd>();
+  if (!transform.r1cs.IsSatisfied(bad)) {
+    auto fast_bad = qap.ComputeH(bad);
+    auto slow_bad = qap.ComputeHNaive(bad);
+    EXPECT_FALSE(fast_bad.exact);
+    EXPECT_EQ(fast_bad.exact, slow_bad.exact);
+    EXPECT_EQ(fast_bad.h, slow_bad.h);
+  }
+
+  auto random_w = prg.NextFieldVector<Fd>(witness.size());
+  auto fast_r = qap.ComputeH(random_w);
+  auto slow_r = qap.ComputeHNaive(random_w);
+  EXPECT_EQ(fast_r.exact, slow_r.exact);
+  EXPECT_EQ(fast_r.h, slow_r.h);
+
+  std::vector<Fd> zero_w(witness.size(), Fd::Zero());
+  EXPECT_EQ(qap.ComputeH(zero_w).h, qap.ComputeHNaive(zero_w).h);
+}
+
+TEST(QapTest, ComputeHMatchesNaiveF128) {
+  uint64_t seed = 80;
+  for (size_t nc : {1, 2, 5, 15, 33, 60}) {
+    CheckComputeHDifferential<F128>(seed++, nc);
+  }
+}
+
+TEST(QapTest, ComputeHMatchesNaiveF220) {
+  uint64_t seed = 90;
+  for (size_t nc : {5, 33}) {
+    CheckComputeHDifferential<F220>(seed++, nc);
+  }
+}
+
 TEST(QapTest, ProofVectorLengthIsLinear) {
   // |u| = |Z| + |C| + 1: the paper's headline claim about the encoding.
   Prg prg(75);

@@ -1,0 +1,334 @@
+#include "src/poly/residue.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "src/crypto/prg.h"
+#include "src/field/fields.h"
+#include "src/poly/algorithms.h"
+#include "src/poly/crt_mul.h"
+#include "src/poly/polynomial.h"
+
+namespace zaatar {
+namespace {
+
+// Synthetic fields chosen so CrtPrimeCount actually moves within testable
+// lengths (the production fields pin it at 5 resp. 8 primes for every
+// feasible size): F59 = 2^59 - 55 steps from 2 to 3 primes, and
+// F245 = 2^245 - 163 exhausts the 8-prime basis just above length 16.
+struct F59Config {
+  static constexpr size_t kLimbs = 1;
+  static constexpr std::array<uint64_t, 1> kModulus = {0x07FFFFFFFFFFFFC9ULL};
+  static constexpr const char* kName = "F59";
+};
+using F59 = PrimeField<F59Config>;
+
+struct F245Config {
+  static constexpr size_t kLimbs = 4;
+  static constexpr std::array<uint64_t, 4> kModulus = {
+      0xFFFFFFFFFFFFFF5DULL, 0xFFFFFFFFFFFFFFFFULL, 0xFFFFFFFFFFFFFFFFULL,
+      0x001FFFFFFFFFFFFFULL};
+  static constexpr const char* kName = "F245";
+};
+using F245 = PrimeField<F245Config>;
+
+static_assert(F59::kModulusBits == 59);
+static_assert(F245::kModulusBits == 245);
+
+template <typename F>
+class ResiduePolyTest : public ::testing::Test {
+ protected:
+  // Full basis: 495-bit capacity leaves headroom for chained products.
+  const CrtBasis<F>& basis_ = CrtBasis<F>::Get(kNumNttPrimes);
+
+  ResiduePoly<F> FromVec(const std::vector<F>& c, size_t workers = 1) {
+    return ResiduePoly<F>::FromCoefficients(c.data(), c.size(), basis_,
+                                            workers);
+  }
+};
+
+using TestFields = ::testing::Types<F128, F220>;
+TYPED_TEST_SUITE(ResiduePolyTest, TestFields);
+
+TYPED_TEST(ResiduePolyTest, RoundTrip) {
+  using F = TypeParam;
+  Prg prg(900);
+  std::vector<F> c = prg.NextFieldVector<F>(57);
+  ResiduePoly<F> r = this->FromVec(c);
+  EXPECT_TRUE(r.IsCanonical());
+  EXPECT_EQ(r.ToCoefficients(1), c);
+  for (size_t i : {size_t{0}, size_t{13}, size_t{56}}) {
+    EXPECT_EQ(r.Coefficient(i), c[i]);
+  }
+}
+
+TYPED_TEST(ResiduePolyTest, MulMatchesSchoolbook) {
+  using F = TypeParam;
+  Prg prg(901);
+  for (auto [la, lb] : {std::pair<size_t, size_t>{1, 1},
+                        {1, 7},
+                        {8, 8},
+                        {31, 33},
+                        {64, 100}}) {
+    std::vector<F> a = prg.NextFieldVector<F>(la);
+    std::vector<F> b = prg.NextFieldVector<F>(lb);
+    ResiduePoly<F> prod =
+        ResiduePoly<F>::Mul(this->FromVec(a), this->FromVec(b), 1);
+    EXPECT_EQ(prod.ToCoefficients(1), Polynomial<F>::NaiveMul(a, b))
+        << "lengths " << la << "x" << lb;
+  }
+}
+
+TYPED_TEST(ResiduePolyTest, AddAndSubMatchFieldArithmetic) {
+  using F = TypeParam;
+  Prg prg(902);
+  std::vector<F> a = prg.NextFieldVector<F>(20);
+  std::vector<F> b = prg.NextFieldVector<F>(33);
+  ResiduePoly<F> ra = this->FromVec(a), rb = this->FromVec(b);
+  std::vector<F> sum = ResiduePoly<F>::Add(ra, rb, 1).ToCoefficients(1);
+  std::vector<F> dif = ResiduePoly<F>::Sub(ra, rb, 1).ToCoefficients(1);
+  for (size_t i = 0; i < 33; i++) {
+    F av = i < a.size() ? a[i] : F::Zero();
+    EXPECT_EQ(sum[i], av + b[i]);
+    EXPECT_EQ(dif[i], av - b[i]);
+  }
+}
+
+// (a - b) * c evaluated without an intermediate renormalize: the padded
+// subtraction keeps integer coefficients non-negative and the product bound
+// within capacity, so the single final fold must still land on the exact
+// field value.
+TYPED_TEST(ResiduePolyTest, SubThenMulSingleFold) {
+  using F = TypeParam;
+  Prg prg(903);
+  std::vector<F> a = prg.NextFieldVector<F>(25);
+  std::vector<F> b = prg.NextFieldVector<F>(25);
+  std::vector<F> c = prg.NextFieldVector<F>(10);
+  ResiduePoly<F> d =
+      ResiduePoly<F>::Sub(this->FromVec(a), this->FromVec(b), 1);
+  EXPECT_FALSE(d.IsCanonical());
+  std::vector<F> got =
+      ResiduePoly<F>::Mul(d, this->FromVec(c), 1).ToCoefficients(1);
+  std::vector<F> ab(25);
+  for (size_t i = 0; i < 25; i++) {
+    ab[i] = a[i] - b[i];
+  }
+  EXPECT_EQ(got, Polynomial<F>::NaiveMul(ab, c));
+}
+
+TYPED_TEST(ResiduePolyTest, RenormalizeRestoresCanonicalQueries) {
+  using F = TypeParam;
+  Prg prg(904);
+  std::vector<F> a = prg.NextFieldVector<F>(15);
+  ResiduePoly<F> ra = this->FromVec(a);
+  ResiduePoly<F> diff = ResiduePoly<F>::Sub(ra, ra, 1);
+  diff.Renormalize(1);
+  EXPECT_TRUE(diff.IsCanonical());
+  EXPECT_TRUE(diff.IsZero());
+  EXPECT_EQ(diff.Degree(), -1);
+
+  std::vector<F> b = a;
+  b[7] += F::One();
+  ResiduePoly<F> d2 = ResiduePoly<F>::Sub(ra, this->FromVec(b), 1);
+  d2.Renormalize(1);
+  EXPECT_FALSE(d2.IsZero());
+  EXPECT_EQ(d2.Degree(), 7);
+  EXPECT_EQ(d2.Coefficient(7), -F::One());
+}
+
+TYPED_TEST(ResiduePolyTest, TruncateAndReverse) {
+  using F = TypeParam;
+  Prg prg(905);
+  std::vector<F> a = prg.NextFieldVector<F>(12);
+  ResiduePoly<F> ra = this->FromVec(a);
+
+  std::vector<F> lo = ra.Truncate(5).ToCoefficients(1);
+  EXPECT_EQ(lo, std::vector<F>(a.begin(), a.begin() + 5));
+  std::vector<F> padded = ra.Truncate(20).ToCoefficients(1);
+  EXPECT_EQ(padded.size(), 20u);
+  for (size_t i = 0; i < 20; i++) {
+    EXPECT_EQ(padded[i], i < 12 ? a[i] : F::Zero());
+  }
+
+  std::vector<F> rev = ra.Reverse(15).ToCoefficients(1);
+  EXPECT_EQ(rev.size(), 16u);
+  for (size_t i = 0; i < 16; i++) {
+    EXPECT_EQ(rev[15 - i], i < 12 ? a[i] : F::Zero());
+  }
+}
+
+TYPED_TEST(ResiduePolyTest, NewtonInverseMatchesCoefficientPath) {
+  using F = TypeParam;
+  Prg prg(906);
+  for (size_t count : {size_t{1}, size_t{5}, size_t{32}, size_t{100}}) {
+    std::vector<F> c = prg.NextFieldVector<F>(17);
+    if (c[0].IsZero()) {
+      c[0] = F::One();
+    }
+    Polynomial<F> f(c);
+    ResiduePoly<F> rinv =
+        ResidueNewtonInverse(this->FromVec(c), count, /*workers=*/1);
+    Polynomial<F> finv = NewtonInverse(f, count);
+    std::vector<F> got = rinv.ToCoefficients(1);
+    ASSERT_EQ(got.size(), count);
+    for (size_t i = 0; i < count; i++) {
+      EXPECT_EQ(got[i], finv.CoefficientOrZero(i)) << "count " << count;
+    }
+  }
+}
+
+TYPED_TEST(ResiduePolyTest, DivRemMatchesCoefficientPath) {
+  using F = TypeParam;
+  Prg prg(907);
+  std::vector<F> av = prg.NextFieldVector<F>(81);
+  std::vector<F> bv = prg.NextFieldVector<F>(18);
+  bv.back() = F::One();  // monic so degrees are what we constructed
+  Polynomial<F> a(av), b(bv);
+  DivRemResult<F> want = DivRem(a, b);
+  ResidueDivRemResult<F> got =
+      ResidueDivRem(this->FromVec(av), this->FromVec(bv), /*workers=*/1);
+  EXPECT_FALSE(got.exact);
+  EXPECT_EQ(Polynomial<F>(got.quotient.ToCoefficients(1)), want.quotient);
+  EXPECT_EQ(Polynomial<F>(got.remainder.ToCoefficients(1)), want.remainder);
+
+  // Exact case: a = q·b has a zero remainder and sets the exact flag.
+  std::vector<F> qb = Polynomial<F>::NaiveMul(want.quotient.Coefficients(),
+                                              bv);
+  ResidueDivRemResult<F> ex =
+      ResidueDivRem(this->FromVec(qb), this->FromVec(bv), /*workers=*/1);
+  EXPECT_TRUE(ex.exact);
+  EXPECT_TRUE(ex.remainder.IsZero());
+  EXPECT_EQ(Polynomial<F>(ex.quotient.ToCoefficients(1)), want.quotient);
+}
+
+TYPED_TEST(ResiduePolyTest, CachedImagesMatchDirectProducts) {
+  using F = TypeParam;
+  Prg prg(908);
+  std::vector<F> a = prg.NextFieldVector<F>(40);
+  std::vector<F> b = prg.NextFieldVector<F>(25);
+  ResiduePoly<F> ra = this->FromVec(a), rb = this->FromVec(b);
+  size_t out_len = 40 + 25 - 1;
+  NttImages bimg = rb.ForwardImages(CeilLog2(out_len), 1);
+  ResiduePoly<F> via_img = ResiduePoly<F>::MulImages(ra, bimg, out_len, 1);
+  ResiduePoly<F> direct = ResiduePoly<F>::Mul(ra, rb, 1);
+  EXPECT_EQ(via_img.ToCoefficients(1), direct.ToCoefficients(1));
+
+  // FusedMulAdd(u, x, v, y) == u·x + v·y.
+  std::vector<F> u = prg.NextFieldVector<F>(30);
+  std::vector<F> v = prg.NextFieldVector<F>(22);
+  ResiduePoly<F> ru = this->FromVec(u), rv = this->FromVec(v);
+  NttImages aimg = ra.ForwardImages(CeilLog2(out_len), 1);
+  ResiduePoly<F> fused =
+      ResiduePoly<F>::FusedMulAdd(ru, bimg, rv, aimg, out_len, 1);
+  std::vector<F> ux = Polynomial<F>::NaiveMul(u, b);
+  std::vector<F> vy = Polynomial<F>::NaiveMul(v, a);
+  std::vector<F> want(out_len, F::Zero());
+  for (size_t i = 0; i < ux.size(); i++) {
+    want[i] += ux[i];
+  }
+  for (size_t i = 0; i < vy.size(); i++) {
+    want[i] += vy[i];
+  }
+  EXPECT_EQ(fused.ToCoefficients(1), want);
+}
+
+// The per-residue fan-out must be purely structural: identical results (and
+// identical raw residues) regardless of worker count.
+TYPED_TEST(ResiduePolyTest, WorkerCountDoesNotChangeResults) {
+  using F = TypeParam;
+  Prg prg(909);
+  std::vector<F> a = prg.NextFieldVector<F>(700);
+  std::vector<F> b = prg.NextFieldVector<F>(650);
+  ResiduePoly<F> p1 = ResiduePoly<F>::Mul(this->FromVec(a, 1),
+                                          this->FromVec(b, 1), 1);
+  ResiduePoly<F> p4 = ResiduePoly<F>::Mul(this->FromVec(a, 4),
+                                          this->FromVec(b, 4), 4);
+  for (size_t pi = 0; pi < this->basis_.k(); pi++) {
+    EXPECT_EQ(p1.Residues(pi), p4.Residues(pi)) << "prime " << pi;
+  }
+  EXPECT_EQ(p1.ToCoefficients(1), p4.ToCoefficients(4));
+}
+
+// ----- CRT sizing: step points and basis exhaustion (synthetic fields) -----
+
+// Lengths where the checked prime count changes value, scanning [1, max].
+template <typename F>
+std::vector<size_t> PrimeCountSteps(size_t max_len) {
+  std::vector<size_t> steps;
+  size_t prev = CrtPrimeCountChecked<F>(1).value();
+  for (size_t len = 2; len <= max_len; len++) {
+    StatusOr<size_t> k = CrtPrimeCountChecked<F>(len);
+    if (!k.ok()) {
+      break;
+    }
+    if (k.value() != prev) {
+      steps.push_back(len);
+      prev = k.value();
+    }
+  }
+  return steps;
+}
+
+// MulCrt against schoolbook at equal lengths, with uniform random
+// coefficients and with every coefficient at p-1 (the adversarial maximum
+// that stresses the integer coefficient bound the basis was sized for).
+template <typename F>
+void CheckMulCrtAt(size_t len, uint64_t seed) {
+  Prg prg(seed);
+  std::vector<F> a = prg.NextFieldVector<F>(len);
+  std::vector<F> b = prg.NextFieldVector<F>(len);
+  EXPECT_EQ(MulCrt(a.data(), len, b.data(), len),
+            Polynomial<F>::NaiveMul(a, b))
+      << "random, len " << len;
+  std::vector<F> mx(len, F::Zero() - F::One());
+  EXPECT_EQ(MulCrt(mx.data(), len, mx.data(), len),
+            Polynomial<F>::NaiveMul(mx, mx))
+      << "all-max, len " << len;
+}
+
+TEST(CrtSizingTest, MulCrtExactAcrossStepPoints) {
+  // F59: one step (2 -> 3 primes) inside the scan range.
+  std::vector<size_t> steps = PrimeCountSteps<F59>(64);
+  ASSERT_FALSE(steps.empty());
+  EXPECT_EQ(steps.front(), 17u);
+  uint64_t seed = 910;
+  for (size_t s : steps) {
+    ASSERT_GT(s, 1u);
+    CheckMulCrtAt<F59>(s - 1, seed++);
+    CheckMulCrtAt<F59>(s, seed++);
+  }
+}
+
+TEST(CrtSizingTest, MulCrtExactAtLargestFittingLength) {
+  // F245 needs all 8 primes from length 1 and exhausts the basis at the
+  // next power-of-two bump; find the boundary programmatically.
+  size_t largest = 0;
+  for (size_t len = 1; CrtPrimeCountChecked<F245>(len).ok(); len++) {
+    largest = len;
+  }
+  ASSERT_EQ(largest, 16u);
+  EXPECT_EQ(CrtPrimeCountChecked<F245>(largest).value(), kNumNttPrimes);
+  CheckMulCrtAt<F245>(largest, 920);
+}
+
+TEST(CrtSizingTest, BasisExhaustionSurfacesAsStatus) {
+  StatusOr<size_t> k = CrtPrimeCountChecked<F245>(17);
+  ASSERT_FALSE(k.ok());
+  EXPECT_EQ(k.status().code(), StatusCode::kOutOfRange);
+  EXPECT_NE(k.status().message().find("CRT basis exhausted"),
+            std::string::npos);
+  EXPECT_NE(k.status().message().find("F245"), std::string::npos);
+}
+
+#ifndef NDEBUG
+// The unchecked path asserts in debug builds (sanitizer CI runs these).
+TEST(CrtSizingDeathTest, UncheckedCountAbortsOnExhaustion) {
+  EXPECT_DEATH(CrtPrimeCount<F245>(17), "CRT basis");
+}
+#endif
+
+}  // namespace
+}  // namespace zaatar
