@@ -1,0 +1,217 @@
+// bench_serve: measures what the zaatar-serve daemon's cross-request
+// amortization cache buys. One in-process daemon serves rows of {1, 2, 4}
+// concurrent prover clients over AF_UNIX; the FIRST hello of the run pays
+// the full per-Ψ build (query generation + commit setup) and every later
+// hello — same client or not — reuses it. The emitted BENCH_serve.json
+// (schema zaatar.serve.bench.v1) carries the cold/warm handshake split and
+// the cache counters; ci.sh gates hits > 0 so the amortization claim is
+// continuously verified, not just narrated.
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/pcp/params.h"
+#include "src/serve/client.h"
+#include "src/serve/psi_material.h"
+#include "src/serve/server.h"
+#include "src/util/stopwatch.h"
+
+namespace zaatar {
+namespace {
+
+struct Row {
+  size_t clients = 0;
+  size_t instances_per_client = 0;
+  size_t instances = 0;
+  size_t accepted = 0;
+  double total_seconds = 0;
+  double hello_max_s = 0;  // slowest handshake in the row
+  double hello_min_s = 0;  // fastest (warm path when the cache is primed)
+  uint64_t resource_retries = 0;
+};
+
+bool RunRow(const std::string& socket_path, const std::string& psi,
+            size_t clients, size_t instances_per_client, uint64_t seed_base,
+            Row* row) {
+  row->clients = clients;
+  row->instances_per_client = instances_per_client;
+  std::vector<serve::ServeBatchReport> reports(clients);
+  std::vector<Status> failures(clients, Status::Ok());
+  Stopwatch total;
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (size_t c = 0; c < clients; c++) {
+    threads.emplace_back([&, c] {
+      serve::ServeClient::Options copt;
+      copt.backoff.max_retries = 16;
+      copt.backoff.jitter_seed = seed_base + c;
+      auto client = serve::ServeClient::Connect(socket_path, copt);
+      if (!client.ok()) {
+        failures[c] = client.status();
+        return;
+      }
+      auto report = serve::RunServeBatchF128(
+          *client, psi, "bench-" + std::to_string(c), instances_per_client,
+          seed_base + 100 * c);
+      if (!report.ok()) {
+        failures[c] = report.status();
+        return;
+      }
+      reports[c] = *report;
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  row->total_seconds = total.ElapsedSeconds();
+  row->hello_min_s = 1e30;
+  for (size_t c = 0; c < clients; c++) {
+    if (!failures[c].ok()) {
+      std::fprintf(stderr, "client %zu failed: %s\n", c,
+                   failures[c].ToString().c_str());
+      return false;
+    }
+    row->instances += reports[c].instances;
+    row->accepted += reports[c].accepted;
+    row->resource_retries += reports[c].resource_retries;
+    row->hello_max_s = std::max(row->hello_max_s, reports[c].hello_seconds);
+    row->hello_min_s = std::min(row->hello_min_s, reports[c].hello_seconds);
+  }
+  return true;
+}
+
+bool WriteJson(const std::string& path, const std::string& psi,
+               const std::vector<Row>& rows,
+               const serve::AmortizationCache::Stats& cache, double cold_s,
+               double warm_s) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return false;
+  }
+  out << "{\n  \"schema\": \"zaatar.serve.bench.v1\",\n";
+  out << "  \"psi\": \"" << psi << "\",\n  \"rows\": [\n";
+  for (size_t i = 0; i < rows.size(); i++) {
+    const Row& r = rows[i];
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"clients\": %zu, \"instances_per_client\": %zu, "
+                  "\"instances\": %zu, \"accepted\": %zu, "
+                  "\"total_seconds\": %.6f, \"hello_max_s\": %.6f, "
+                  "\"hello_min_s\": %.6f, \"resource_retries\": %llu}%s\n",
+                  r.clients, r.instances_per_client, r.instances, r.accepted,
+                  r.total_seconds, r.hello_max_s, r.hello_min_s,
+                  static_cast<unsigned long long>(r.resource_retries),
+                  i + 1 < rows.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ],\n";
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "  \"cache\": {\"hits\": %llu, \"misses\": %llu, "
+                "\"evictions\": %llu, \"build_failures\": %llu, "
+                "\"entries\": %zu},\n",
+                static_cast<unsigned long long>(cache.hits),
+                static_cast<unsigned long long>(cache.misses),
+                static_cast<unsigned long long>(cache.evictions),
+                static_cast<unsigned long long>(cache.build_failures),
+                cache.entries);
+  out << buf;
+  const double speedup = warm_s > 0 ? cold_s / warm_s : 0;
+  std::snprintf(buf, sizeof(buf),
+                "  \"amortization\": {\"cold_hello_s\": %.6f, "
+                "\"warm_hello_s\": %.6f, \"speedup\": %.2f}\n}\n",
+                cold_s, warm_s, speedup);
+  out << buf;
+  return true;
+}
+
+}  // namespace
+}  // namespace zaatar
+
+int main(int argc, char** argv) {
+  using namespace zaatar;
+  bool smoke = false;
+  std::string out = "BENCH_serve.json";
+  std::string psi = "lcs/4";
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else if (std::strcmp(argv[i], "--psi") == 0 && i + 1 < argc) {
+      psi = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--out PATH] [--psi ID]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  const std::string socket_path =
+      "/tmp/zaatar_bench_serve." + std::to_string(::getpid()) + ".sock";
+  serve::ServerOptions sopt;
+  sopt.socket_path = socket_path;
+  sopt.workers = 4;
+  sopt.max_queue = 64;
+  sopt.max_connections = 16;
+  serve::Server server(sopt, serve::MakePsiBuilder(PcpParams::Light()));
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "daemon start failed: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+
+  const std::vector<size_t> client_counts =
+      smoke ? std::vector<size_t>{1, 2} : std::vector<size_t>{1, 2, 4};
+  const size_t instances = smoke ? 2 : 4;
+  std::vector<Row> rows;
+  // The first row's slowest hello is the cold build; every handshake after
+  // row 0 rides the cache. hello_min of the last row is the steady-state
+  // warm path.
+  for (size_t i = 0; i < client_counts.size(); i++) {
+    Row row;
+    if (!RunRow(socket_path, psi, client_counts[i], instances,
+                /*seed_base=*/1000 * (i + 1), &row)) {
+      server.Stop();
+      return 1;
+    }
+    rows.push_back(row);
+    std::printf(
+        "clients=%zu instances=%zu accepted=%zu total=%.4fs "
+        "hello=[%.4fs, %.4fs]\n",
+        row.clients, row.instances, row.accepted, row.total_seconds,
+        row.hello_min_s, row.hello_max_s);
+  }
+
+  const auto cache = server.cache().stats();
+  server.Stop();
+  ::unlink(socket_path.c_str());
+
+  const double cold_s = rows.front().hello_max_s;
+  const double warm_s = rows.back().hello_min_s;
+  std::printf("cache hits=%llu misses=%llu  cold hello=%.4fs warm=%.4fs\n",
+              static_cast<unsigned long long>(cache.hits),
+              static_cast<unsigned long long>(cache.misses), cold_s, warm_s);
+  if (!WriteJson(out, psi, rows, cache, cold_s, warm_s)) {
+    return 1;
+  }
+  std::printf("wrote %s\n", out.c_str());
+  if (cache.hits == 0) {
+    std::fprintf(stderr, "amortization failure: zero cache hits\n");
+    return 1;
+  }
+  if (rows.back().accepted != rows.back().instances) {
+    std::fprintf(stderr, "soundness failure: rejected honest instances\n");
+    return 1;
+  }
+  return 0;
+}

@@ -237,11 +237,105 @@ for expected in ["harness.batch", "verifier.query_gen", "prover.commit",
     assert expected in names, f"span {expected} missing from trace"
 assert doc["counters"].get("verdict.ACCEPT", 0) >= 1, "no accepting verdicts"
 assert "transport.frame_bytes" in doc["histograms"], "frame histogram missing"
+# The summed name is kept for compatibility; the per-direction split must
+# also be present (transport.h RecordFrameSent/Received).
+for split in ("transport.frame_bytes_sent", "transport.frame_bytes_received"):
+    assert split in doc["histograms"], f"{split} histogram missing"
+sent = doc["histograms"]["transport.frame_bytes_sent"]["count"]
+received = doc["histograms"]["transport.frame_bytes_received"]["count"]
+total = doc["histograms"]["transport.frame_bytes"]["count"]
+assert sent + received == total, \
+    f"frame split inconsistent: {sent} + {received} != {total}"
 print(f"trace smoke ok: {len(names)} distinct span names")
 EOF
   else
     grep -q '"harness.batch"' "$tjson"
   fi
+}
+
+serve_stage() {
+  # The zaatar-serve daemon end to end: bring it up under a watchdog, prove
+  # from two concurrent tenants (the second handshake must ride the
+  # amortization cache), validate the /stats JSON schema and gate on a
+  # nonzero cache hit rate, then stop it via the admin message. A daemon
+  # that wedges is killed by the trap and fails the stage.
+  local build_dir="$1"
+  echo "==== [serve] daemon smoke (2 concurrent tenants) ===="
+  local serve_bin="$build_dir/src/apps/zaatar-serve"
+  local sock="/tmp/zaatar_ci_serve.$$.sock"
+  "$serve_bin" --mode serve --socket "$sock" --workers 2 &
+  local daemon_pid=$!
+  # shellcheck disable=SC2064
+  trap "kill $daemon_pid 2>/dev/null || true; rm -f '$sock'" RETURN
+  for _ in $(seq 1 100); do
+    [[ -S "$sock" ]] && break
+    sleep 0.1
+  done
+  [[ -S "$sock" ]] || { echo "daemon never bound $sock" >&2; return 1; }
+  watchdog "$serve_bin" --mode prove --socket "$sock" --psi lcs/4 \
+    --tenant alice --instances 2 --seed 11 &
+  local c1=$!
+  watchdog "$serve_bin" --mode prove --socket "$sock" --psi lcs/4 \
+    --tenant bob --instances 2 --seed 22 &
+  local c2=$!
+  wait "$c1"
+  wait "$c2"
+  local stats_json="$build_dir/SERVE_stats_smoke.json"
+  watchdog "$serve_bin" --mode stats --socket "$sock" > "$stats_json"
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "$stats_json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["schema"] == "zaatar.serve.stats.v1", doc.get("schema")
+assert doc["poller"] in ("epoll", "poll"), doc["poller"]
+cache = doc["cache"]
+assert cache["misses"] >= 1, f"no setup build recorded: {cache}"
+assert cache["hits"] >= 1, f"amortization failure, zero cache hits: {cache}"
+for tenant in ("alice", "bob"):
+    t = doc["tenants"][tenant]
+    assert t["proofs"] == 2 and t["accepted"] == 2, f"{tenant}: {t}"
+    assert t["verify_us_sum"] > 0, f"{tenant} has no verify latency: {t}"
+queue = doc["queue"]
+assert queue["workers"] == 2 and queue["capacity"] > 0, queue
+assert doc["obs"]["counters"].get("verdict.ACCEPT", 0) >= 4, \
+    doc["obs"]["counters"]
+print("serve stats ok: cache", cache, "tenants", sorted(doc["tenants"]))
+EOF
+  else
+    grep -q '"zaatar.serve.stats.v1"' "$stats_json"
+    grep -q '"alice"' "$stats_json"
+  fi
+  watchdog "$serve_bin" --mode shutdown --socket "$sock"
+  wait "$daemon_pid"
+  echo "serve smoke ok: $stats_json"
+
+  # Amortization bench: the emitter itself exits nonzero when the cache
+  # records zero hits or the warm row rejects an honest instance; the
+  # schema check below guards the JSON consumers.
+  echo "==== [serve] bench_serve amortization smoke ===="
+  local sjson="$build_dir/BENCH_serve_smoke.json"
+  watchdog "$build_dir/bench/bench_serve" --smoke --out "$sjson"
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "$sjson" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["schema"] == "zaatar.serve.bench.v1", doc.get("schema")
+rows = doc["rows"]
+assert rows, "serve bench emitted no rows"
+for row in rows:
+    assert row["accepted"] == row["instances"], f"rejected honest run: {row}"
+assert doc["cache"]["hits"] > 0, f"zero cache hits: {doc['cache']}"
+amort = doc["amortization"]
+assert amort["cold_hello_s"] > 0 and amort["warm_hello_s"] > 0, amort
+print(f"serve bench ok: speedup {amort['speedup']:.1f}x "
+      f"(cold {amort['cold_hello_s']:.4f}s -> warm {amort['warm_hello_s']:.4f}s)")
+EOF
+  else
+    grep -q '"zaatar.serve.bench.v1"' "$sjson"
+  fi
+  echo "bench smoke ok: $sjson"
 }
 
 lint_gate() {
@@ -301,6 +395,7 @@ if [[ "$SKIP_PLAIN" -eq 0 && -z "$ONLY" ]]; then
   clang_tidy_gate build
   bench_smoke build
   trace_smoke build
+  serve_stage build
 fi
 
 # ASan guards the fault-injection suite against out-of-bounds reads on
@@ -330,11 +425,11 @@ tsan_config() {
   cmake -B build-tsan -S . -DZAATAR_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$JOBS" \
     --target parallel_test multiexp_test protocol_test obs_test \
-             transport_robustness_test chaos_test \
+             transport_robustness_test serve_test chaos_test \
              residue_test poly_test qap_test
   echo "==== [tsan] concurrency-heavy tests ===="
   for t in parallel_test multiexp_test protocol_test obs_test \
-           transport_robustness_test; do
+           transport_robustness_test serve_test; do
     TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
       watchdog "./build-tsan/tests/$t"
   done

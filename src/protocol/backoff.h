@@ -1,0 +1,78 @@
+// Capped exponential backoff with deterministic seeded jitter. Split out of
+// retry.h so PROVER-side code (e.g. the serve client, which backs off on a
+// typed kResourceExhausted rejection) can use the schedule without pulling
+// in retry.h's verifier-session machinery — retry.h includes
+// verifier_session.h, which carries the verifier's secrets, and the trust
+// boundary (tests/protocol_isolation_test.cc) forbids prover code from
+// touching that.
+
+#ifndef SRC_PROTOCOL_BACKOFF_H_
+#define SRC_PROTOCOL_BACKOFF_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+
+#include "src/crypto/prg.h"
+
+namespace zaatar {
+namespace protocol {
+
+// Capped exponential backoff: retry i (0-based) waits
+//   min(cap, initial * multiplier^i) * U[0.5, 1.0)
+// where U is drawn from a Prg seeded with jitter_seed — the schedule is
+// fully deterministic given the seed (testable, reproducible chaos runs)
+// while still decorrelating real fleets that seed from entropy.
+struct BackoffPolicy {
+  uint32_t max_retries = 3;
+  std::chrono::milliseconds initial{10};
+  double multiplier = 2.0;
+  std::chrono::milliseconds cap{1000};
+  uint64_t jitter_seed = 0;
+};
+
+class BackoffSchedule {
+ public:
+  explicit BackoffSchedule(const BackoffPolicy& policy)
+      : policy_(policy), prg_(policy.jitter_seed) {}
+
+  // Delay before the next retry; successive calls walk the schedule.
+  std::chrono::milliseconds NextDelay() {
+    double base = static_cast<double>(policy_.initial.count());
+    for (uint32_t i = 0; i < attempt_; i++) {
+      base *= policy_.multiplier;
+      if (base >= static_cast<double>(policy_.cap.count())) {
+        break;
+      }
+    }
+    int64_t capped = std::min<int64_t>(static_cast<int64_t>(base),
+                                       policy_.cap.count());
+    attempt_++;
+    if (capped <= 0) {
+      return std::chrono::milliseconds(0);
+    }
+    // Uniform over {⌊capped/2⌋, ..., capped-1}: the floored integer image of
+    // the documented half-open multiplicative jitter U[0.5, 1.0) — `capped`
+    // itself is never drawn, and odd bases are no longer biased high
+    // (capped=3 draws {1, 2}, not {2, 3}). Clamped to >= 1ms so a positive
+    // base can never collapse a retry storm into a busy loop.
+    int64_t half = capped / 2;
+    int64_t span = capped - half;  // >= 1 for capped >= 1
+    int64_t jittered =
+        half +
+        static_cast<int64_t>(prg_.NextBounded(static_cast<uint64_t>(span)));
+    return std::chrono::milliseconds(std::max<int64_t>(jittered, 1));
+  }
+
+  uint32_t attempts() const { return attempt_; }
+
+ private:
+  BackoffPolicy policy_;
+  Prg prg_;
+  uint32_t attempt_ = 0;
+};
+
+}  // namespace protocol
+}  // namespace zaatar
+
+#endif  // SRC_PROTOCOL_BACKOFF_H_

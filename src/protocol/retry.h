@@ -29,6 +29,7 @@
 
 #include "src/crypto/prg.h"
 #include "src/obs/metrics.h"
+#include "src/protocol/backoff.h"
 #include "src/protocol/transport.h"
 #include "src/protocol/verifier_session.h"
 #include "src/util/status.h"
@@ -36,55 +37,9 @@
 namespace zaatar {
 namespace protocol {
 
-// Capped exponential backoff: retry i (0-based) waits
-//   min(cap, initial * multiplier^i) * U[0.5, 1.0)
-// where U is drawn from a Prg seeded with jitter_seed — the schedule is
-// fully deterministic given the seed (testable, reproducible chaos runs)
-// while still decorrelating real fleets that seed from entropy.
-struct BackoffPolicy {
-  uint32_t max_retries = 3;
-  std::chrono::milliseconds initial{10};
-  double multiplier = 2.0;
-  std::chrono::milliseconds cap{1000};
-  uint64_t jitter_seed = 0;
-};
-
-class BackoffSchedule {
- public:
-  explicit BackoffSchedule(const BackoffPolicy& policy)
-      : policy_(policy), prg_(policy.jitter_seed) {}
-
-  // Delay before the next retry; successive calls walk the schedule.
-  std::chrono::milliseconds NextDelay() {
-    double base = static_cast<double>(policy_.initial.count());
-    for (uint32_t i = 0; i < attempt_; i++) {
-      base *= policy_.multiplier;
-      if (base >= static_cast<double>(policy_.cap.count())) {
-        break;
-      }
-    }
-    int64_t capped = std::min<int64_t>(static_cast<int64_t>(base),
-                                       policy_.cap.count());
-    attempt_++;
-    if (capped <= 0) {
-      return std::chrono::milliseconds(0);
-    }
-    // Uniform in [capped/2, capped]; never zero for a positive base, so a
-    // retry storm cannot collapse into a busy loop.
-    int64_t half = capped / 2;
-    int64_t jittered =
-        capped - half +
-        static_cast<int64_t>(prg_.NextBounded(static_cast<uint64_t>(half) + 1));
-    return std::chrono::milliseconds(jittered);
-  }
-
-  uint32_t attempts() const { return attempt_; }
-
- private:
-  BackoffPolicy policy_;
-  Prg prg_;
-  uint32_t attempt_ = 0;
-};
+// BackoffPolicy / BackoffSchedule moved to backoff.h (prover-side code
+// needs the schedule without this header's verifier machinery); included
+// above so existing users of retry.h see the same names.
 
 // Produces a fresh connected Transport whose peer, after re-receiving the
 // batch setup, will resume proving at `next_instance`. Failures are typed;

@@ -30,6 +30,7 @@
 
 #include <sys/socket.h>
 #include <sys/types.h>
+#include <sys/un.h>
 
 #include <algorithm>
 #include <atomic>
@@ -120,11 +121,17 @@ namespace internal {
 // the calling thread (no-ops otherwise).
 inline void RecordFrameSent(size_t bytes) {
   obs::MetricAdd("transport.frames_sent");
+  obs::MetricObserve("transport.frame_bytes_sent", bytes);
+  // Direction-summed histogram kept for schema compatibility; consumers that
+  // care about direction read the _sent/_received splits (a loopback link
+  // observed from one registry counts every frame here twice — once per
+  // direction — which is exactly why the splits exist).
   obs::MetricObserve("transport.frame_bytes", bytes);
 }
 
 inline void RecordFrameReceived(size_t bytes) {
   obs::MetricAdd("transport.frames_received");
+  obs::MetricObserve("transport.frame_bytes_received", bytes);
   obs::MetricObserve("transport.frame_bytes", bytes);
 }
 
@@ -135,11 +142,18 @@ inline void RecordDeadlineExceeded() {
 // Absolute-deadline bookkeeping for one blocking call: constructed from a
 // millisecond budget at call entry, consulted before each bounded wait so a
 // multi-chunk read shares one deadline instead of resetting per chunk.
+//
+// Budget semantics: negative = infinite (never expires), zero = already
+// expired — the caller gets exactly one non-blocking poll and then a typed
+// kDeadlineExceeded, which is the immediate-or-fail probe admission control
+// wants. (TransportOptions' "0 = wait forever" convention is translated at
+// the call sites via OptionBudget; it never reaches this class as zero.)
 class CallDeadline {
  public:
   explicit CallDeadline(std::chrono::milliseconds budget)
-      : infinite_(budget.count() <= 0),
-        expires_at_(std::chrono::steady_clock::now() + budget) {}
+      : infinite_(budget.count() < 0),
+        expires_at_(std::chrono::steady_clock::now() +
+                    std::max(budget, std::chrono::milliseconds(0))) {}
 
   bool infinite() const { return infinite_; }
 
@@ -168,6 +182,13 @@ class CallDeadline {
   bool infinite_;
   std::chrono::steady_clock::time_point expires_at_;
 };
+
+// Translates a TransportOptions deadline (where 0 means "wait forever", the
+// trusted-harness default) into a CallDeadline budget (where 0 means
+// "expire immediately" and negative means infinite).
+inline std::chrono::milliseconds OptionBudget(std::chrono::milliseconds d) {
+  return d.count() == 0 ? std::chrono::milliseconds(-1) : d;
+}
 
 }  // namespace internal
 
@@ -420,7 +441,8 @@ class PipeTransport final : public Transport {
     if (frame.size() > kMaxFrameBytes) {
       return LengthOverflowError("frame exceeds transport cap");
     }
-    internal::CallDeadline deadline(options_.send_deadline);
+    internal::CallDeadline deadline(
+        internal::OptionBudget(options_.send_deadline));
     uint8_t prefix[4];
     const uint32_t len = static_cast<uint32_t>(frame.size());
     for (int i = 0; i < 4; i++) {
@@ -434,7 +456,8 @@ class PipeTransport final : public Transport {
 
   StatusOr<std::vector<uint8_t>> Receive() override {
     obs::Span span("transport.recv");
-    internal::CallDeadline deadline(RecvDeadlineBudget());
+    internal::CallDeadline deadline(
+        internal::OptionBudget(RecvDeadlineBudget()));
     uint8_t prefix[4];
     ZAATAR_RETURN_IF_ERROR(
         ReadAll(prefix, 4, /*eof_ok_at_start=*/true, deadline));
@@ -502,15 +525,12 @@ class PipeTransport final : public Transport {
 
   // Bounded wait for the descriptor to become readable/writable. Returns
   // kDeadlineExceeded when the deadline expires first. POLLERR/POLLHUP fall
-  // through to the read/write call, which reports the precise error.
+  // through to the read/write call, which reports the precise error. Polls
+  // before checking expiry, so a zero budget (deadline already expired)
+  // still gets exactly one non-blocking poll — an already-ready descriptor
+  // succeeds, an immediate-or-fail probe fails typed instead of blocking.
   Status WaitReady(short events, const internal::CallDeadline& deadline) {
     for (;;) {
-      if (deadline.Expired()) {
-        internal::RecordDeadlineExceeded();
-        return DeadlineExceededError(events == POLLIN
-                                         ? "transport recv deadline exceeded"
-                                         : "transport send deadline exceeded");
-      }
       struct pollfd pfd;
       pfd.fd = fd_;
       pfd.events = events;
@@ -596,6 +616,137 @@ class PipeTransport final : public Transport {
   std::atomic<bool> shutdown_{false};
   std::atomic<bool> received_any_{false};
 };
+
+// A bound, listening AF_UNIX stream socket — the accept side of a standing
+// service (zaatar-serve). The descriptor is non-blocking so an event loop
+// can register it with poll/epoll and drain the accept queue on readiness;
+// accepted connections come back non-blocking too, ready to wrap in a
+// PipeTransport or feed a framed connection buffer. Owns the fd and unlinks
+// the socket path on destruction.
+class UnixListener {
+ public:
+  UnixListener(UnixListener&& other) noexcept
+      : fd_(other.fd_), path_(std::move(other.path_)) {
+    other.fd_ = -1;
+    other.path_.clear();
+  }
+  UnixListener& operator=(UnixListener&&) = delete;
+  UnixListener(const UnixListener&) = delete;
+  UnixListener& operator=(const UnixListener&) = delete;
+
+  ~UnixListener() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      ::unlink(path_.c_str());
+    }
+  }
+
+  // Binds and listens at `path`, replacing any stale socket file (a prior
+  // daemon that died without cleanup). Paths longer than sun_path are a
+  // typed error, not silent truncation.
+  static StatusOr<UnixListener> Bind(const std::string& path,
+                                     int backlog = 64) {
+    struct sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+      return MalformedError("unix socket path empty or too long: " + path);
+    }
+    std::memcpy(addr.sun_path, path.data(), path.size());
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return TruncatedError(std::string("socket failed: ") +
+                            std::strerror(errno));
+    }
+    ::unlink(path.c_str());
+    if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      Status s = TruncatedError(std::string("bind failed: ") +
+                                std::strerror(errno));
+      ::close(fd);
+      return s;
+    }
+    if (::listen(fd, backlog) != 0) {
+      Status s = TruncatedError(std::string("listen failed: ") +
+                                std::strerror(errno));
+      ::close(fd);
+      ::unlink(path.c_str());
+      return s;
+    }
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags >= 0) {
+      ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    }
+    return UnixListener(fd, path);
+  }
+
+  // Drains one connection from the accept queue, or returns -1 when none is
+  // pending (the readiness loop re-arms and waits) — that is flow control,
+  // not an error. Accepted descriptors are returned non-blocking; the
+  // caller owns them.
+  StatusOr<int> Accept() {
+    for (;;) {
+      int conn = ::accept(fd_, nullptr, nullptr);
+      if (conn >= 0) {
+        const int flags = ::fcntl(conn, F_GETFL, 0);
+        if (flags >= 0) {
+          ::fcntl(conn, F_SETFL, flags | O_NONBLOCK);
+        }
+        return conn;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return -1;
+      }
+      if (errno == EINTR || errno == ECONNABORTED) {
+        continue;
+      }
+      return TruncatedError(std::string("accept failed: ") +
+                            std::strerror(errno));
+    }
+  }
+
+  int fd() const { return fd_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  UnixListener(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+
+  int fd_;
+  std::string path_;
+};
+
+// Client-side dial: connects to a UnixListener's socket path and returns
+// the connected descriptor (blocking connect — dialing a local daemon
+// either succeeds immediately or fails with a typed error). The caller
+// typically wraps it in a PipeTransport, which takes ownership and flips it
+// non-blocking.
+inline StatusOr<int> ConnectUnix(const std::string& path) {
+  struct sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    return MalformedError("unix socket path empty or too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.data(), path.size());
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return TruncatedError(std::string("socket failed: ") +
+                          std::strerror(errno));
+  }
+  for (;;) {
+    if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      return fd;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    Status s = TruncatedError(std::string("connect(") + path +
+                              ") failed: " + std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+}
 
 }  // namespace protocol
 }  // namespace zaatar

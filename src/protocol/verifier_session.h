@@ -24,6 +24,7 @@
 #define SRC_PROTOCOL_VERIFIER_SESSION_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -50,8 +51,19 @@ class VerifierSession {
   // given queries. The session owns the resulting secrets for its lifetime.
   VerifierSession(typename Adapter::Queries queries, Prg& prg,
                   double query_generation_seconds = 0)
-      : setup_(Arg::Setup(std::move(queries), prg,
-                          query_generation_seconds)) {}
+      : setup_(std::make_shared<const typename Arg::VerifierSetup>(
+            Arg::Setup(std::move(queries), prg, query_generation_seconds))) {}
+
+  // Adopts an already-built batch setup instead of generating one — the
+  // amortization path: a serve daemon builds the per-Ψ setup once and every
+  // session for that Ψ shares it (VerifierSetup is read-only after
+  // construction, so concurrent sessions on worker threads are safe). The
+  // session starts in kCommit: the cached setup frame was (or will be)
+  // delivered to the peer out of band by the owner of the cache, so this
+  // session never emits it and setup_bytes_sent() stays 0.
+  explicit VerifierSession(
+      std::shared_ptr<const typename Arg::VerifierSetup> setup)
+      : setup_(std::move(setup)), phase_(SessionPhase::kCommit) {}
 
   // ----- Setup phase -----
 
@@ -59,7 +71,7 @@ class VerifierSession {
     if (phase_ != SessionPhase::kSetup) {
       return WrongPhase("EmitSetup", SessionPhase::kSetup, phase_);
     }
-    std::vector<uint8_t> bytes = setup_.ToSetupMessage().Serialize();
+    std::vector<uint8_t> bytes = setup_->ToSetupMessage().Serialize();
     setup_bytes_ = bytes.size();
     phase_ = SessionPhase::kCommit;
     return bytes;
@@ -83,7 +95,7 @@ class VerifierSession {
     if (phase_ != SessionPhase::kCommit) {
       return WrongPhase("ResendSetup", SessionPhase::kCommit, phase_);
     }
-    std::vector<uint8_t> bytes = setup_.ToSetupMessage().Serialize();
+    std::vector<uint8_t> bytes = setup_->ToSetupMessage().Serialize();
     ZAATAR_RETURN_IF_ERROR(transport.Send(bytes));
     return bytes.size();
   }
@@ -122,7 +134,7 @@ class VerifierSession {
         proof.parts[o].responses = std::move(decoded->responses[o]);
         proof.parts[o].t_response = decoded->t_responses[o];
       }
-      result = Arg::VerifyInstanceDetailed(setup_, proof, bound_values);
+      result = Arg::VerifyInstanceDetailed(*setup_, proof, bound_values);
     }
     if (obs::Metrics* m = obs::ThreadMetrics()) {
       m->Add(std::string("verdict.") + VerifyVerdictName(result.verdict));
@@ -187,7 +199,12 @@ class VerifierSession {
   // ----- Accessors -----
 
   SessionPhase phase() const { return phase_; }
-  const typename Arg::VerifierSetup& setup() const { return setup_; }
+  const typename Arg::VerifierSetup& setup() const { return *setup_; }
+  // The shared handle, for callers that cache/refcount the batch setup.
+  const std::shared_ptr<const typename Arg::VerifierSetup>& shared_setup()
+      const {
+    return setup_;
+  }
   const std::vector<VerifyInstanceResult>& results() const {
     return results_;
   }
@@ -195,7 +212,9 @@ class VerifierSession {
   size_t proof_bytes_received() const { return proof_bytes_; }
 
  private:
-  typename Arg::VerifierSetup setup_;
+  // Shared, immutable after construction: many concurrent sessions (one per
+  // serve-daemon client proving the same Ψ) read one setup.
+  std::shared_ptr<const typename Arg::VerifierSetup> setup_;
   SessionPhase phase_ = SessionPhase::kSetup;
   std::vector<VerifyInstanceResult> results_;
   size_t setup_bytes_ = 0;

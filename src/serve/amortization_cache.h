@@ -1,0 +1,306 @@
+// The cross-request amortization cache — the paper's §5 economics lifted
+// from "per batch" to "per computation per epoch". A batch argument pays a
+// large one-time setup (query generation + the Enc(r) commitment setup)
+// that §5 amortizes over the β instances of one client's batch; a standing
+// daemon can do better, because two clients proving the SAME computation Ψ
+// can share one setup. This cache keys that material by (Ψ, field, epoch):
+// the first Hello for a Ψ builds it (misses pay the build), every later
+// Hello in the same epoch reuses it (hits pay nothing), so break-even is
+// paid once per computation per epoch across the whole client population.
+//
+// Sharing the verifier's setup across clients is sound because a setup
+// binds no per-instance randomness: the queries and Enc(r) are fixed per
+// batch in the base protocol too, and VerifierSetup is immutable after
+// construction (ValidateProofShape + the decision procedure only read it),
+// so concurrent sessions on worker threads share one copy safely. Epochs
+// bound the exposure window: AdvanceEpoch retires every older-epoch entry,
+// forcing fresh queries/keys — the operator's rotation knob.
+//
+// Concurrency: one mutex, per-entry condition variables. Concurrent Hellos
+// for the same uncached Ψ build it ONCE — the second waits on the first's
+// entry latch instead of duplicating a multi-second setup. Eviction is
+// LRU over ready entries; evicted material survives as long as some
+// connection still holds its shared_ptr (refcounted), it just stops being
+// findable.
+
+#ifndef SRC_SERVE_AMORTIZATION_CACHE_H_
+#define SRC_SERVE_AMORTIZATION_CACHE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/util/status.h"
+
+namespace zaatar {
+namespace serve {
+
+// One connection's verifying state machine, created from cached per-Ψ
+// material. Type-erased so the daemon's I/O loop and cache are untemplated;
+// the field/backend-typed implementation lives in psi_material.h.
+class BatchVerifier {
+ public:
+  virtual ~BatchVerifier() = default;
+
+  // Consumes one kProve payload (inputs, claimed outputs, proof bytes) and
+  // returns the kVerdict payload. A Status return is a connection-level
+  // problem (undecodable payload geometry); hostile PROOF bytes never error
+  // — they come back as a reject verdict, preserving batch isolation.
+  virtual StatusOr<std::vector<uint8_t>> HandleProve(
+      const std::vector<uint8_t>& payload) = 0;
+
+  virtual size_t instances_decided() const = 0;
+  virtual size_t instances_accepted() const = 0;
+};
+
+// Immutable, shareable per-Ψ material: the serialized SetupMessage frame
+// every client of this Ψ receives, plus a factory for per-connection
+// verifier state machines that all read the one shared VerifierSetup.
+class PsiMaterial {
+ public:
+  virtual ~PsiMaterial() = default;
+
+  virtual const std::vector<uint8_t>& setup_frame() const = 0;
+  virtual std::unique_ptr<BatchVerifier> NewBatch() const = 0;
+
+  // Approximate resident size (eviction accounting / stats).
+  virtual size_t memory_bytes() const = 0;
+  // Wall seconds the build cost — the amount every cache hit saves.
+  virtual double build_seconds() const = 0;
+};
+
+struct CacheKey {
+  std::string psi;
+  uint8_t field_tag = 0;
+  uint64_t epoch = 0;
+
+  bool operator<(const CacheKey& o) const {
+    return std::tie(epoch, field_tag, psi) <
+           std::tie(o.epoch, o.field_tag, o.psi);
+  }
+
+  bool operator==(const CacheKey& o) const {
+    return epoch == o.epoch && field_tag == o.field_tag && psi == o.psi;
+  }
+};
+
+class AmortizationCache {
+ public:
+  // Builds the material for an uncached Ψ. The seed is derived
+  // deterministically from (base seed, Ψ, field, epoch) so a restarted
+  // daemon regenerates identical setups — and an epoch bump changes them.
+  using Builder = std::function<StatusOr<std::shared_ptr<PsiMaterial>>(
+      const std::string& psi, uint8_t field_tag, uint64_t seed)>;
+
+  struct Options {
+    size_t max_entries = 16;
+    uint64_t seed = 0x5EED5EED;
+  };
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t build_failures = 0;
+    uint64_t epoch = 0;
+    size_t entries = 0;
+    size_t memory_bytes = 0;
+  };
+
+  AmortizationCache(Options options, Builder builder)
+      : options_(options), builder_(std::move(builder)) {}
+
+  // Returns the Ψ's material for the CURRENT epoch, building it if absent.
+  // Blocks only when another thread is mid-build for the same key (then the
+  // wait replaces a duplicate build and counts as a hit — the material was
+  // shared). A failed build is not cached: the error returns to every
+  // waiter and the next request retries.
+  StatusOr<std::shared_ptr<PsiMaterial>> GetOrBuild(const std::string& psi,
+                                                    uint8_t field_tag) {
+    std::shared_ptr<Entry> entry;
+    bool builder_here = false;
+    CacheKey key;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      key = CacheKey{psi, field_tag, epoch_};
+      auto it = entries_.find(key);
+      if (it != entries_.end()) {
+        entry = it->second;
+        Touch(key);
+      } else {
+        entry = std::make_shared<Entry>();
+        entries_[key] = entry;
+        lru_.push_front(key);
+        builder_here = true;
+        misses_++;
+        obs::MetricAdd("serve.cache.miss");
+      }
+    }
+
+    if (builder_here) {
+      auto built = builder_(psi, field_tag, SeedFor(key));
+      std::unique_lock<std::mutex> lock(mu_);
+      if (built.ok()) {
+        entry->material = std::move(built).value();
+        // The entry may have been swept by an epoch bump mid-build; only
+        // account memory for material that is actually published.
+        auto it = entries_.find(key);
+        if (it != entries_.end() && it->second == entry) {
+          memory_bytes_ += entry->material->memory_bytes();
+        }
+      } else {
+        entry->error = built.status();
+        build_failures_++;
+        // Unpublish so the next request retries instead of re-hitting a
+        // cached failure (the entry may already be gone if an epoch bump
+        // swept it mid-build).
+        auto it = entries_.find(key);
+        if (it != entries_.end() && it->second == entry) {
+          RemoveLocked(key, /*count_eviction=*/false);
+        }
+      }
+      entry->ready = true;
+      entry->cv.notify_all();
+      if (built.ok()) {
+        EvictOverCapacityLocked();
+        return entry->material;
+      }
+      return entry->error;
+    }
+
+    std::unique_lock<std::mutex> lock(mu_);
+    entry->cv.wait(lock, [&] { return entry->ready; });
+    if (!entry->error.ok()) {
+      return entry->error;
+    }
+    hits_++;
+    obs::MetricAdd("serve.cache.hit");
+    return entry->material;
+  }
+
+  // Retires every entry of older epochs: the next request for any Ψ
+  // rebuilds with fresh (epoch-salted) randomness. In-flight builds for old
+  // epochs finish but become unreachable.
+  void AdvanceEpoch() {
+    std::lock_guard<std::mutex> lock(mu_);
+    epoch_++;
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      if (it->first.epoch < epoch_) {
+        lru_.remove(it->first);
+        if (it->second->ready && it->second->material != nullptr) {
+          memory_bytes_ -= it->second->material->memory_bytes();
+        }
+        it = entries_.erase(it);
+        evictions_++;
+        obs::MetricAdd("serve.cache.evict");
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  uint64_t epoch() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return epoch_;
+  }
+
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    Stats s;
+    s.hits = hits_;
+    s.misses = misses_;
+    s.evictions = evictions_;
+    s.build_failures = build_failures_;
+    s.epoch = epoch_;
+    s.entries = entries_.size();
+    s.memory_bytes = memory_bytes_;
+    return s;
+  }
+
+ private:
+  struct Entry {
+    std::shared_ptr<PsiMaterial> material;  // set iff ready && error.ok()
+    Status error;
+    bool ready = false;
+    std::condition_variable cv;
+  };
+
+  uint64_t SeedFor(const CacheKey& key) const {
+    // splitmix-style stirring of the three key components into the base
+    // seed; any fixed mixing works, it only needs to be deterministic.
+    uint64_t h = options_.seed ^ (key.epoch * 0x9E3779B97F4A7C15ull) ^
+                 (static_cast<uint64_t>(key.field_tag) << 56);
+    for (char c : key.psi) {
+      h ^= static_cast<uint64_t>(static_cast<uint8_t>(c));
+      h *= 0x100000001B3ull;
+    }
+    return h;
+  }
+
+  void Touch(const CacheKey& key) {
+    lru_.remove(key);
+    lru_.push_front(key);
+  }
+
+  void RemoveLocked(const CacheKey& key, bool count_eviction) {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      return;
+    }
+    if (it->second->ready && it->second->material != nullptr) {
+      memory_bytes_ -= it->second->material->memory_bytes();
+    }
+    entries_.erase(it);
+    lru_.remove(key);
+    if (count_eviction) {
+      evictions_++;
+      obs::MetricAdd("serve.cache.evict");
+    }
+  }
+
+  // Drops least-recently-used READY entries until within capacity; an
+  // in-flight build is never evicted (its waiters hold the entry latch).
+  void EvictOverCapacityLocked() {
+    while (entries_.size() > options_.max_entries) {
+      bool evicted = false;
+      for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+        auto e = entries_.find(*it);
+        if (e != entries_.end() && e->second->ready) {
+          RemoveLocked(*it, /*count_eviction=*/true);
+          evicted = true;
+          break;
+        }
+      }
+      if (!evicted) {
+        break;  // everything is mid-build; capacity is restored on finish
+      }
+    }
+  }
+
+  const Options options_;
+  const Builder builder_;
+
+  mutable std::mutex mu_;
+  std::map<CacheKey, std::shared_ptr<Entry>> entries_;
+  std::list<CacheKey> lru_;  // front = most recent
+  uint64_t epoch_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+  uint64_t build_failures_ = 0;
+  size_t memory_bytes_ = 0;
+};
+
+}  // namespace serve
+}  // namespace zaatar
+
+#endif  // SRC_SERVE_AMORTIZATION_CACHE_H_

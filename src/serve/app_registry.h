@@ -1,0 +1,79 @@
+// Maps a wire Ψ identifier ("lcs/8", "mat_mul/4", ...) to the benchmark-
+// suite App it names. Both ends of a serve connection resolve Ψ through
+// this one registry — the server to compile the program and build verifier
+// material, the client to compile the SAME program and generate witnesses —
+// so a Ψ string is a complete, unambiguous computation identity.
+//
+// TRUST BOUNDARY: this header is included by prover-side client code, so it
+// must never include src/argument/ or anything else carrying verifier
+// secrets. Verifier material construction lives in psi_material.h.
+
+#ifndef SRC_SERVE_APP_REGISTRY_H_
+#define SRC_SERVE_APP_REGISTRY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/apps/suite.h"
+#include "src/field/fields.h"
+#include "src/util/status.h"
+
+namespace zaatar {
+namespace serve {
+
+// Wire tags for the field a Ψ is proven over (HelloMessage.field_tag).
+inline constexpr uint8_t kFieldTagF128 = 0;
+inline constexpr uint8_t kFieldTagF220 = 1;
+
+// Parses "name/size". Size is bounded to keep a hostile Hello from
+// requesting a pathologically large compilation on the daemon.
+inline Status ParsePsi(const std::string& psi, std::string* name,
+                       size_t* size) {
+  const size_t slash = psi.find('/');
+  if (slash == std::string::npos || slash == 0 || slash + 1 >= psi.size()) {
+    return MalformedError("psi must look like \"name/size\": " + psi);
+  }
+  *name = psi.substr(0, slash);
+  uint64_t m = 0;
+  for (size_t i = slash + 1; i < psi.size(); i++) {
+    if (psi[i] < '0' || psi[i] > '9') {
+      return MalformedError("psi size is not a number: " + psi);
+    }
+    m = m * 10 + static_cast<uint64_t>(psi[i] - '0');
+    if (m > 64) {
+      return MalformedError("psi size too large (cap 64): " + psi);
+    }
+  }
+  if (m == 0) {
+    return MalformedError("psi size must be positive: " + psi);
+  }
+  *size = static_cast<size_t>(m);
+  return Status::Ok();
+}
+
+// The F128 computations a zaatar-serve daemon accepts. Growing the registry
+// is one line per app; an unknown name is a typed per-connection error, not
+// a daemon problem.
+inline StatusOr<App<F128>> MakeRegisteredAppF128(const std::string& psi) {
+  std::string name;
+  size_t m = 0;
+  ZAATAR_RETURN_IF_ERROR(ParsePsi(psi, &name, &m));
+  if (name == "lcs") {
+    return MakeLcsApp(m);
+  }
+  if (name == "mat_mul") {
+    return MakeMatMulApp(m);
+  }
+  if (name == "apsp") {
+    return MakeApspApp(m);
+  }
+  if (name == "fannkuch") {
+    return MakeFannkuchApp(m, /*n=*/4, /*max_steps=*/16);
+  }
+  return MalformedError("unknown psi: " + psi);
+}
+
+}  // namespace serve
+}  // namespace zaatar
+
+#endif  // SRC_SERVE_APP_REGISTRY_H_

@@ -1,0 +1,134 @@
+// Fixed-size worker pool with a bounded job queue — the compute half of the
+// serve daemon. Session steps (proof verification, per-Ψ setup builds) run
+// here so the I/O thread never blocks on cryptography; admission control is
+// the queue bound: Submit REFUSES with a typed kResourceExhausted when the
+// queue is full instead of growing it or blocking the caller. That refusal
+// propagates to the client as a typed, retryable error frame — the daemon
+// degrades by shedding load, never by stalling its readiness loop.
+
+#ifndef SRC_SERVE_WORKER_POOL_H_
+#define SRC_SERVE_WORKER_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/util/status.h"
+
+namespace zaatar {
+namespace serve {
+
+class WorkerPool {
+ public:
+  // `metrics` (optional) is installed as the ambient registry on every
+  // worker thread, so transport/argument instrumentation deep in session
+  // code lands in the daemon's registry; the pool's own counters are
+  // recorded into it directly and work with tracing compiled out.
+  WorkerPool(size_t threads, size_t max_queue, obs::Metrics* metrics = nullptr)
+      : max_queue_(max_queue == 0 ? 1 : max_queue), metrics_(metrics) {
+    if (threads == 0) {
+      threads = 1;
+    }
+    workers_.reserve(threads);
+    for (size_t i = 0; i < threads; i++) {
+      workers_.emplace_back([this] { WorkerMain(); });
+    }
+  }
+
+  ~WorkerPool() { Stop(); }
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  // Enqueues a job, or refuses with kResourceExhausted when the queue is at
+  // capacity or the pool is stopping. Never blocks.
+  Status Submit(std::function<void()> job) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) {
+        return ResourceExhaustedError("worker pool is stopping");
+      }
+      if (queue_.size() >= max_queue_) {
+        if (metrics_ != nullptr) {
+          metrics_->Add("serve.pool.rejected");
+        }
+        return ResourceExhaustedError(
+            "worker queue full (" + std::to_string(max_queue_) + " jobs)");
+      }
+      queue_.push_back(std::move(job));
+      if (metrics_ != nullptr) {
+        metrics_->Add("serve.pool.submitted");
+        metrics_->Observe("serve.pool.queue_depth", queue_.size());
+      }
+    }
+    cv_.notify_one();
+    return Status::Ok();
+  }
+
+  // Drains nothing: queued-but-unstarted jobs are dropped on Stop. The
+  // server only stops after its connections are gone, so a dropped job has
+  // no one waiting on it.
+  void Stop() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) {
+        return;
+      }
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : workers_) {
+      if (t.joinable()) {
+        t.join();
+      }
+    }
+  }
+
+  size_t queue_depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+
+  size_t queue_capacity() const { return max_queue_; }
+  size_t thread_count() const { return workers_.size(); }
+
+ private:
+  void WorkerMain() {
+    obs::ScopedThreadMetrics ambient(metrics_);
+    for (;;) {
+      std::function<void()> job;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (stopping_) {
+          return;
+        }
+        job = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      job();
+      if (metrics_ != nullptr) {
+        metrics_->Add("serve.pool.completed");
+      }
+    }
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  const size_t max_queue_;
+  obs::Metrics* metrics_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace serve
+}  // namespace zaatar
+
+#endif  // SRC_SERVE_WORKER_POOL_H_

@@ -44,6 +44,12 @@ enum class StatusCode {
   // property, never a statement about the proof — retryable, unlike every
   // protocol-level failure above.
   kDeadlineExceeded,
+  // A bounded resource is at capacity and the request was refused rather
+  // than queued: the serve daemon's admission control (connection cap,
+  // worker queue saturation). Says nothing about any proof — the client may
+  // back off and retry, exactly like a transport failure, but the channel
+  // itself is healthy so it is NOT classified as one.
+  kResourceExhausted,
 };
 
 inline const char* StatusCodeName(StatusCode code) {
@@ -64,6 +70,8 @@ inline const char* StatusCodeName(StatusCode code) {
       return "SHAPE_MISMATCH";
     case StatusCode::kDeadlineExceeded:
       return "DEADLINE_EXCEEDED";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
   }
   return "UNKNOWN";
 }
@@ -117,6 +125,9 @@ inline Status ShapeMismatchError(std::string msg) {
 }
 inline Status DeadlineExceededError(std::string msg) {
   return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+}
+inline Status ResourceExhaustedError(std::string msg) {
+  return Status(StatusCode::kResourceExhausted, std::move(msg));
 }
 
 // A value or a non-OK Status. T must be movable; access to value() on an

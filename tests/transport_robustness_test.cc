@@ -360,6 +360,74 @@ TEST(BackoffScheduleTest, DeterministicGivenSeed) {
   EXPECT_TRUE(any_differ);
 }
 
+TEST(BackoffScheduleTest, PinnedScheduleSeed42) {
+  // The exact delays for a fixed policy+seed, hard-coded: any change to the
+  // jitter arithmetic (range, rounding, draw order) shows up here as a
+  // value diff, not a hidden distribution shift.
+  BackoffPolicy policy;
+  policy.initial = Millis(10);
+  policy.multiplier = 2.0;
+  policy.cap = Millis(200);
+  policy.jitter_seed = 42;
+  BackoffSchedule schedule(policy);
+  const int64_t kExpected[] = {9, 18, 22, 58, 92, 136, 187, 133};
+  for (size_t i = 0; i < std::size(kExpected); i++) {
+    EXPECT_EQ(schedule.NextDelay().count(), kExpected[i]) << "step " << i;
+  }
+}
+
+TEST(BackoffScheduleTest, JitterIsHalfOpenNeverDrawsBase) {
+  // U[0.5, 1.0) is half-open: with base pinned at an odd 3 the only legal
+  // draws are {1, 2} — the documented range's floored image. The old
+  // inclusive-and-biased-high jitter drew {2, 3}, overshooting the base.
+  BackoffPolicy policy;
+  policy.initial = Millis(3);
+  policy.multiplier = 1.0;
+  policy.cap = Millis(3);
+  policy.jitter_seed = 9;
+  BackoffSchedule schedule(policy);
+  bool saw_one = false;
+  bool saw_two = false;
+  for (int i = 0; i < 64; i++) {
+    const int64_t d = schedule.NextDelay().count();
+    EXPECT_GE(d, 1) << "step " << i;
+    EXPECT_LE(d, 2) << "step " << i;
+    saw_one |= d == 1;
+    saw_two |= d == 2;
+  }
+  EXPECT_TRUE(saw_one);
+  EXPECT_TRUE(saw_two);
+}
+
+// ----- CallDeadline budget semantics -----
+
+TEST(CallDeadlineTest, ZeroBudgetExpiresImmediatelyWithOnePoll) {
+  // Regression: a zero-millisecond budget used to mean "infinite". It now
+  // means "already expired" — Expired() from construction, and the poll
+  // timeout is 0, i.e. the caller gets exactly one non-blocking readiness
+  // probe before the typed kDeadlineExceeded.
+  protocol::internal::CallDeadline deadline(Millis(0));
+  EXPECT_FALSE(deadline.infinite());
+  EXPECT_TRUE(deadline.Expired());
+  EXPECT_EQ(deadline.PollTimeoutMs(), 0);
+  EXPECT_EQ(deadline.Remaining().count(), 0);
+}
+
+TEST(CallDeadlineTest, NegativeBudgetIsInfinite) {
+  protocol::internal::CallDeadline deadline(Millis(-1));
+  EXPECT_TRUE(deadline.infinite());
+  EXPECT_FALSE(deadline.Expired());
+  EXPECT_EQ(deadline.PollTimeoutMs(), -1);
+}
+
+TEST(CallDeadlineTest, OptionBudgetKeepsWaitForeverConvention) {
+  // TransportOptions' "0 = wait forever" is translated at the call sites,
+  // so the options-layer contract is unchanged by the CallDeadline fix.
+  EXPECT_EQ(protocol::internal::OptionBudget(Millis(0)).count(), -1);
+  EXPECT_EQ(protocol::internal::OptionBudget(Millis(5)).count(), 5);
+  EXPECT_EQ(protocol::internal::OptionBudget(Millis(-7)).count(), -7);
+}
+
 TEST(BackoffScheduleTest, GrowsExponentiallyAndRespectsCap) {
   BackoffPolicy policy;
   policy.initial = Millis(10);
@@ -535,6 +603,87 @@ TEST(RetryingSessionTest, SkipInstanceKeepsCursorAligned) {
   auto decided = f.verifier.HandleProof(*proof_bytes, f.rs.BoundValues());
   ASSERT_TRUE(decided.ok());
   EXPECT_TRUE(decided->accepted()) << decided->detail;
+}
+
+// Decorator that forwards everything but fails the Nth Send with a
+// transport-class error — the deterministic stand-in for "the verdict frame
+// died on the wire after the proof was decided".
+class SendFailTransport final : public Transport {
+ public:
+  SendFailTransport(std::unique_ptr<Transport> inner, int fail_at)
+      : inner_(std::move(inner)), fail_at_(fail_at) {}
+
+  Status Send(const std::vector<uint8_t>& frame) override {
+    if (sends_++ == fail_at_) {
+      return TruncatedError("injected send failure");
+    }
+    return inner_->Send(frame);
+  }
+  StatusOr<std::vector<uint8_t>> Receive() override {
+    return inner_->Receive();
+  }
+  void Close() override { inner_->Close(); }
+
+ private:
+  std::unique_ptr<Transport> inner_;
+  int fail_at_;
+  int sends_ = 0;
+};
+
+TEST(RetryingSessionTest, RecordedButUnsentVerdictStandsAndCursorAdvances) {
+  // The verifier receives the proof, decides it, records the verdict — and
+  // then the verdict frame fails to send. The decision is FINAL: DecideNext
+  // must return the recorded verdict without re-deciding (a re-decision
+  // would hand a malicious prover a second attempt at a decided instance),
+  // and the next instance's reconnect must ask the replacement prover to
+  // resume at instance 1, not replay instance 0.
+  RetryFixture f(904);
+  std::vector<std::unique_ptr<Transport>> peer_links;
+  std::vector<std::thread> peers;
+  std::vector<uint32_t> resume_points;
+  protocol::TransportFactory factory =
+      [&](uint32_t resume) -> StatusOr<std::unique_ptr<Transport>> {
+    resume_points.push_back(resume);
+    auto pair = protocol::MakeLoopbackPair(RecvDeadline(2000));
+    peer_links.push_back(std::move(pair.right));
+    peers.emplace_back(RunHonestProver, peer_links.back().get(), std::cref(f),
+                       resume);
+    if (resume_points.size() == 1) {
+      // Connection 0: send 0 is the setup, send 1 is the instance-0 verdict
+      // — kill exactly that one.
+      return std::unique_ptr<Transport>(std::make_unique<SendFailTransport>(
+          std::move(pair.left), /*fail_at=*/1));
+    }
+    return std::move(pair.left);
+  };
+
+  BackoffPolicy policy;
+  policy.max_retries = 3;
+  policy.jitter_seed = 5;
+  protocol::RetryingSession<F, Adapter> session(
+      std::move(f.verifier), factory, policy, [](Millis) {});
+
+  auto first = session.DecideNext(f.rs.BoundValues());
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_TRUE(first->accepted()) << first->detail;
+  // The verdict came from the record, not a retry: no backoff was consumed
+  // and the failed connection was dropped without a replacement yet.
+  EXPECT_EQ(session.total_retries(), 0u);
+  EXPECT_EQ(session.connections(), 1u);
+  EXPECT_FALSE(session.connected());
+  ASSERT_EQ(session.session().results().size(), 1u);
+
+  // Next instance: the lazy reconnect must hand the factory the cursor
+  // AFTER the decided-but-unsent instance.
+  auto second = session.DecideNext(f.rs.BoundValues());
+  for (auto& t : peers) t.join();
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_TRUE(second->accepted()) << second->detail;
+  ASSERT_EQ(resume_points.size(), 2u);
+  EXPECT_EQ(resume_points[0], 0u);
+  EXPECT_EQ(resume_points[1], 1u);
+  EXPECT_EQ(session.session().results().size(), 2u);
+  EXPECT_EQ(session.total_retries(), 0u);
 }
 
 TEST(RetryingSessionTest, TransportFailureClassifier) {
